@@ -1,0 +1,34 @@
+// Ablation A1 — p-value combination method for late fusion (the design
+// choice Algorithm 1 leaves open; cf. Balasubramanian et al.'s comparative
+// study). Same corpus/seed across rows; only the combiner changes.
+
+#include "bench_common.h"
+#include "cp/combine.h"
+
+using namespace noodle;
+
+int main() {
+  bench::banner("Ablation A1: p-value combiner for late fusion");
+
+  util::CsvTable csv;
+  csv.header = {"combiner", "late_brier", "late_auc", "late_sensitivity"};
+  std::cout << "combiner          Brier    AUC      sensitivity\n";
+  for (const auto method : cp::all_combination_methods()) {
+    core::ExperimentConfig config = bench::paper_config();
+    config.fusion.combiner = method;
+    const core::ExperimentResult result = core::run_experiment(config);
+    const core::ArmResult& arm = result.late_fusion;
+    const std::string name = cp::to_string(method);
+    std::cout << name << std::string(18 - name.size(), ' ')
+              << util::format_fixed(arm.brier, 4) << "   "
+              << util::format_fixed(arm.consolidated.auc, 4) << "   "
+              << util::format_fixed(arm.consolidated.sensitivity, 4) << "\n";
+    csv.rows.push_back({name, util::format_fixed(arm.brier, 4),
+                        util::format_fixed(arm.consolidated.auc, 4),
+                        util::format_fixed(arm.consolidated.sensitivity, 4)});
+  }
+  std::cout << "\nexpected: Fisher/Stouffer (evidence-pooling) competitive; "
+               "max most conservative (largest regions).\n";
+  bench::write_table("ablation_combiners", csv);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation A3 — missing modalities: GAN/MLP imputation vs dropping
+// incomplete samples (Sec. III's missing-modality handling claim).
+
+#include "bench_common.h"
+
+using namespace noodle;
+
+int main() {
+  bench::banner("Ablation A3: missing-modality handling");
+
+  struct Setting {
+    const char* label;
+    double graph_rate;
+    double tabular_rate;
+    bool impute;
+  };
+  const Setting settings[] = {
+      {"complete data (reference)", 0.0, 0.0, true},
+      {"15%/10% missing, imputed", 0.15, 0.10, true},
+      {"15%/10% missing, dropped", 0.15, 0.10, false},
+      {"30%/20% missing, imputed", 0.30, 0.20, true},
+      {"30%/20% missing, dropped", 0.30, 0.20, false},
+  };
+
+  util::CsvTable csv;
+  csv.header = {"setting", "winner_brier", "winner_auc", "test_size"};
+  std::cout << "setting                          winner Brier   winner AUC   test n\n";
+  for (const Setting& setting : settings) {
+    core::ExperimentConfig config = bench::paper_config();
+    config.missing_graph_rate = setting.graph_rate;
+    config.missing_tabular_rate = setting.tabular_rate;
+    config.impute_missing = setting.impute;
+    const core::ExperimentResult result = core::run_experiment(config);
+    std::cout << setting.label
+              << std::string(33 - std::string(setting.label).size(), ' ')
+              << util::format_fixed(result.winning_arm().brier, 4) << "         "
+              << util::format_fixed(result.winning_arm().consolidated.auc, 4)
+              << "       " << result.test_size << "\n";
+    csv.rows.push_back({setting.label,
+                        util::format_fixed(result.winning_arm().brier, 4),
+                        util::format_fixed(result.winning_arm().consolidated.auc, 4),
+                        std::to_string(result.test_size)});
+  }
+  std::cout << "\nexpected: imputation retains the full sample budget and "
+               "degrades more gracefully than dropping.\n";
+  bench::write_table("ablation_missing_modality", csv);
+  return 0;
+}

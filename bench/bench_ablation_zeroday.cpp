@@ -1,0 +1,101 @@
+// Ablation A5 — zero-day Trojans (Sec. I motivation): train on corpora
+// whose infected samples never use one trigger family, then test on a
+// corpus where *all* infections use the held-out family.
+
+#include "bench_common.h"
+#include "data/dataset.h"
+#include "fusion/models.h"
+#include "gan/augment.h"
+#include "metrics/roc.h"
+
+using namespace noodle;
+
+namespace {
+
+struct ZeroDayResult {
+  double auc;
+  double sensitivity_at_half;
+};
+
+ZeroDayResult run_holdout(trojan::TriggerKind held_out, std::uint64_t seed) {
+  // Training corpus: all triggers except the held-out one.
+  data::CorpusSpec train_spec;
+  train_spec.design_count = 360;
+  train_spec.infected_fraction = 0.3;
+  train_spec.seed = seed;
+  train_spec.allowed_triggers.clear();
+  for (const auto kind : {trojan::TriggerKind::TimeBomb, trojan::TriggerKind::CheatCode,
+                          trojan::TriggerKind::Sequence}) {
+    if (kind != held_out) train_spec.allowed_triggers.push_back(kind);
+  }
+
+  // Test corpus: only the held-out trigger.
+  data::CorpusSpec test_spec = train_spec;
+  test_spec.design_count = 120;
+  test_spec.seed = seed + 1000;
+  test_spec.allowed_triggers = {held_out};
+
+  data::FeatureDataset train_all = data::featurize_corpus(data::build_corpus(train_spec));
+  const data::FeatureDataset test = data::featurize_corpus(data::build_corpus(test_spec));
+
+  util::Rng rng(seed);
+  const data::SplitIndices split =
+      data::stratified_split(train_all.labels(), 0.7, 0.29, rng);
+  data::FeatureDataset train = data::subset(train_all, split.train);
+  const data::FeatureDataset cal = data::subset(train_all, split.cal);
+
+  gan::GanConfig gan_config;
+  gan_config.epochs = 120;
+  gan_config.seed = seed + 7;
+  train = gan::augment_with_gan(train, 250, gan_config);
+
+  fusion::FusionConfig fusion_config;
+  fusion_config.train.epochs = 60;
+  fusion_config.train.patience = 12;
+  fusion_config.seed = seed + 13;
+  fusion::LateFusionModel model(fusion_config);
+  model.fit(train, cal);
+
+  std::vector<double> probs;
+  for (const auto& sample : test.samples) {
+    probs.push_back(model.predict(sample).probability);
+  }
+  const auto labels = test.labels();
+  ZeroDayResult result{};
+  result.auc = metrics::roc_auc(probs, labels);
+  std::size_t hits = 0, positives = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == 1) {
+      ++positives;
+      if (probs[i] > 0.5) ++hits;
+    }
+  }
+  result.sensitivity_at_half =
+      positives == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(positives);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A5: zero-day trigger family hold-out (late fusion)");
+
+  util::CsvTable csv;
+  csv.header = {"held_out_trigger", "auc_on_unseen", "sensitivity_at_0.5"};
+  std::cout << "held-out trigger   AUC on unseen family   sensitivity@0.5\n";
+  for (const auto kind : {trojan::TriggerKind::TimeBomb, trojan::TriggerKind::CheatCode,
+                          trojan::TriggerKind::Sequence}) {
+    const ZeroDayResult result = run_holdout(kind, 11);
+    const std::string name = trojan::to_string(kind);
+    std::cout << name << std::string(19 - name.size(), ' ')
+              << util::format_fixed(result.auc, 3) << "                  "
+              << util::format_fixed(result.sensitivity_at_half, 3) << "\n";
+    csv.rows.push_back({name, util::format_fixed(result.auc, 4),
+                        util::format_fixed(result.sensitivity_at_half, 4)});
+  }
+  std::cout << "\nexpected: above-chance detection of unseen trigger families "
+               "(shared structural fingerprints), below the in-distribution "
+               "AUC of Fig. 4 — the zero-day gap the paper motivates.\n";
+  bench::write_table("ablation_zeroday", csv);
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+// Shared plumbing for the table/figure benches: each bench prints the
+// paper-shaped rows/series to stdout and drops the exact numbers as CSV
+// into ./bench_out/ for external plotting.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "util/csv.h"
+
+namespace noodle::bench {
+
+inline std::filesystem::path output_dir() {
+  const std::filesystem::path dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+inline void write_table(const std::string& name, const util::CsvTable& table) {
+  const auto path = output_dir() / (name + ".csv");
+  util::write_csv(path, table);
+  std::cout << "[csv] " << path.string() << "\n";
+}
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// The canonical experiment configuration used by every figure bench
+/// (see DESIGN.md experiment index; seed documented in ExperimentConfig).
+inline core::ExperimentConfig paper_config() { return core::ExperimentConfig{}; }
+
+}  // namespace noodle::bench

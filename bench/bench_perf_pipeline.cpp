@@ -1,0 +1,140 @@
+// P1-P3 — throughput micro-benchmarks (google-benchmark) for the pipeline
+// stages: Verilog parsing, graph/tabular feature extraction, CNN inference,
+// and Mondrian ICP p-value computation.
+
+#include <benchmark/benchmark.h>
+
+#include "cp/icp.h"
+#include "data/corpus.h"
+#include "data/dataset.h"
+#include "feat/tabular.h"
+#include "graph/builder.h"
+#include "graph/features.h"
+#include "nn/trainer.h"
+#include "verilog/parser.h"
+
+namespace {
+
+using namespace noodle;
+
+const std::vector<data::CircuitSample>& corpus() {
+  static const auto circuits = [] {
+    data::CorpusSpec spec;
+    spec.design_count = 48;
+    spec.infected_fraction = 0.3;
+    spec.seed = 7;
+    return data::build_corpus(spec);
+  }();
+  return circuits;
+}
+
+void BM_ParseVerilog(benchmark::State& state) {
+  const auto& circuits = corpus();
+  std::size_t i = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto& circuit = circuits[i++ % circuits.size()];
+    benchmark::DoNotOptimize(verilog::parse_module(circuit.verilog));
+    bytes += circuit.verilog.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_ParseVerilog);
+
+void BM_BuildNetGraph(benchmark::State& state) {
+  std::vector<verilog::Module> modules;
+  for (const auto& circuit : corpus()) {
+    modules.push_back(verilog::parse_module(circuit.verilog));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::build_netgraph(modules[i++ % modules.size()]));
+  }
+}
+BENCHMARK(BM_BuildNetGraph);
+
+void BM_GraphFeatures(benchmark::State& state) {
+  std::vector<graph::NetGraph> graphs;
+  for (const auto& circuit : corpus()) {
+    graphs.push_back(graph::build_netgraph(verilog::parse_module(circuit.verilog)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::graph_features(graphs[i++ % graphs.size()]));
+  }
+}
+BENCHMARK(BM_GraphFeatures);
+
+void BM_TabularFeatures(benchmark::State& state) {
+  std::vector<verilog::Module> modules;
+  for (const auto& circuit : corpus()) {
+    modules.push_back(verilog::parse_module(circuit.verilog));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(feat::tabular_features(modules[i++ % modules.size()]));
+  }
+}
+BENCHMARK(BM_TabularFeatures);
+
+void BM_FullFeaturize(benchmark::State& state) {
+  const auto& circuits = corpus();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::featurize(circuits[i++ % circuits.size()]));
+  }
+}
+BENCHMARK(BM_FullFeaturize);
+
+void BM_CnnForward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Sequential model = nn::make_cnn(40, rng);
+  nn::Matrix batch(static_cast<std::size_t>(state.range(0)), 40);
+  for (double& v : batch.data()) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(batch, false));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CnnForward)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_CnnTrainEpoch(benchmark::State& state) {
+  util::Rng rng(5);
+  nn::Matrix x(128, 40);
+  for (double& v : x.data()) v = rng.normal();
+  std::vector<int> y;
+  for (int i = 0; i < 128; ++i) y.push_back(rng.bernoulli(0.3) ? 1 : 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    util::Rng init(7);
+    nn::Sequential model = nn::make_cnn(40, init);
+    nn::TrainConfig config;
+    config.epochs = 1;
+    config.validation_fraction = 0.0;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(nn::train_binary_classifier(model, x, y, config));
+  }
+}
+BENCHMARK(BM_CnnTrainEpoch);
+
+void BM_IcpPValues(benchmark::State& state) {
+  util::Rng rng(9);
+  std::vector<double> probs;
+  std::vector<int> labels;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    labels.push_back(rng.bernoulli(0.3) ? 1 : 0);
+    probs.push_back(std::clamp((labels.back() ? 0.7 : 0.3) + rng.normal(0.0, 0.15),
+                               0.01, 0.99));
+  }
+  cp::MondrianIcp icp;
+  icp.calibrate(probs, labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(icp.p_values(rng.uniform()));
+  }
+  state.SetLabel("cal_size=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_IcpPValues)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Table I — Brier score comparison for different modalities.
+//
+// Paper reference values (Trust-Hub RTL + GAN, 109 test points):
+//   graph 0.1798 | tabular 0.1913 | early fusion 0.1685 | late fusion 0.1589
+// Expected shape: graph < tabular; both fusions < both single modalities;
+// late fusion lowest.
+
+#include "bench_common.h"
+
+using namespace noodle;
+
+int main() {
+  bench::banner("Table I: Brier score comparison for different modalities");
+
+  const core::ExperimentConfig config = bench::paper_config();
+  const core::ExperimentResult result = core::run_experiment(config);
+
+  struct Row {
+    const char* label;
+    const core::ArmResult* arm;
+    double paper;
+  };
+  const Row rows[] = {
+      {"Graph-based Data", &result.graph_only, 0.1798},
+      {"Tabular-based Data", &result.tabular_only, 0.1913},
+      {"NOODLE - Early Fusion (Graph + Tabular)", &result.early_fusion, 0.1685},
+      {"NOODLE - Late Fusion (Graph + Tabular)", &result.late_fusion, 0.1589},
+  };
+
+  std::cout << "test set: " << result.test_size << " circuits, total corpus "
+            << result.total_after_gan << " (train GAN-amplified)\n\n";
+  std::cout << "Dataset                                    Brier (ours)  Brier (paper)\n";
+  util::CsvTable csv;
+  csv.header = {"dataset", "brier", "brier_paper"};
+  for (const Row& row : rows) {
+    std::cout << row.label << std::string(43 - std::string(row.label).size(), ' ')
+              << util::format_fixed(row.arm->brier, 4) << "        "
+              << util::format_fixed(row.paper, 4) << "\n";
+    csv.rows.push_back({row.label, util::format_fixed(row.arm->brier, 4),
+                        util::format_fixed(row.paper, 4)});
+  }
+  std::cout << "\nwinning fusion (Algorithm 2, step 8): " << result.winner << "\n";
+
+  const bool graph_beats_tabular = result.graph_only.brier < result.tabular_only.brier;
+  const bool late_beats_early = result.late_fusion.brier < result.early_fusion.brier;
+  const bool fusion_wins =
+      result.winning_arm().brier <
+      std::min(result.graph_only.brier, result.tabular_only.brier);
+  std::cout << "shape check: graph<tabular " << (graph_beats_tabular ? "OK" : "MISS")
+            << " | late<early " << (late_beats_early ? "OK" : "MISS")
+            << " | fusion<singles " << (fusion_wins ? "OK" : "MISS") << "\n";
+
+  bench::write_table("table1_brier", csv);
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "core/detector.h"
+
+#include <stdexcept>
+
+#include "data/dataset.h"
+#include "metrics/brier.h"
+#include "verilog/parser.h"
+
+namespace noodle::core {
+
+struct NoodleDetector::Impl {
+  DetectorConfig config;
+  fusion::EarlyFusionModel early;
+  fusion::LateFusionModel late;
+  std::string winner;
+  bool fitted = false;
+
+  explicit Impl(DetectorConfig cfg)
+      : config(std::move(cfg)), early(config.fusion), late(config.fusion) {}
+};
+
+NoodleDetector::NoodleDetector(DetectorConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {
+  impl_->config.fusion.seed = impl_->config.seed + 13;
+}
+
+NoodleDetector::~NoodleDetector() = default;
+NoodleDetector::NoodleDetector(NoodleDetector&&) noexcept = default;
+NoodleDetector& NoodleDetector::operator=(NoodleDetector&&) noexcept = default;
+
+void NoodleDetector::fit(const std::vector<data::CircuitSample>& corpus) {
+  if (corpus.empty()) throw std::invalid_argument("NoodleDetector::fit: empty corpus");
+  data::FeatureDataset dataset = data::featurize_corpus(corpus);
+
+  if (impl_->config.use_gan) {
+    gan::GanConfig gan_config = impl_->config.gan;
+    gan_config.seed = impl_->config.seed + 7;
+    dataset =
+        gan::augment_with_gan(dataset, impl_->config.gan_target_per_class, gan_config);
+  }
+
+  // Split into proper training + calibration (Mondrian ICP requirement).
+  util::Rng rng(impl_->config.seed);
+  const double train_fraction = impl_->config.train_fraction;
+  const double cal_fraction = 1.0 - train_fraction - 1e-9;
+  const data::SplitIndices split =
+      data::stratified_split(dataset.labels(), train_fraction, cal_fraction, rng);
+  // stratified_split reserves a test shard; merge it into calibration since
+  // the detector keeps no internal test set.
+  std::vector<std::size_t> cal_indices = split.cal;
+  cal_indices.insert(cal_indices.end(), split.test.begin(), split.test.end());
+
+  const data::FeatureDataset train = data::subset(dataset, split.train);
+  const data::FeatureDataset cal = data::subset(dataset, cal_indices);
+
+  impl_->early = fusion::EarlyFusionModel(impl_->config.fusion);
+  impl_->late = fusion::LateFusionModel(impl_->config.fusion);
+  impl_->early.fit(train, cal);
+  impl_->late.fit(train, cal);
+
+  // Winner selection on the calibration split (Algorithm 2, step 8).
+  const std::vector<int> cal_labels = cal.labels();
+  auto arm_brier = [&cal, &cal_labels](fusion::ClassifierArm& arm) {
+    std::vector<double> probs;
+    probs.reserve(cal.size());
+    for (const auto& prediction : arm.predict_all(cal)) {
+      probs.push_back(prediction.probability);
+    }
+    return metrics::brier_score(probs, cal_labels);
+  };
+  const double early_brier = arm_brier(impl_->early);
+  const double late_brier = arm_brier(impl_->late);
+  impl_->winner = late_brier <= early_brier ? "late_fusion" : "early_fusion";
+  impl_->fitted = true;
+}
+
+void NoodleDetector::fit_default() {
+  data::CorpusSpec spec;
+  spec.design_count = 240;
+  spec.infected_fraction = 0.3;
+  spec.seed = impl_->config.seed;
+  fit(data::build_corpus(spec));
+}
+
+DetectionReport NoodleDetector::scan_features(const data::FeatureSample& sample) const {
+  if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
+  fusion::Prediction prediction =
+      impl_->winner == "late_fusion"
+          ? impl_->late.predict(sample)
+          : impl_->early.predict(sample);
+
+  DetectionReport report;
+  report.probability = prediction.probability;
+  report.p_values = prediction.p_values;
+  report.region =
+      cp::region_at_confidence(prediction.p_values, impl_->config.confidence_level);
+  report.predicted_label = report.region.point_prediction;
+  report.fusion_used = impl_->winner;
+  return report;
+}
+
+DetectionReport NoodleDetector::scan_verilog(const std::string& verilog_source) const {
+  data::CircuitSample circuit;
+  circuit.verilog = verilog_source;
+  circuit.infected = false;  // unknown; featurize() only uses the text
+  return scan_features(data::featurize(circuit));
+}
+
+bool NoodleDetector::fitted() const noexcept { return impl_->fitted; }
+
+const std::string& NoodleDetector::winning_fusion() const {
+  if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
+  return impl_->winner;
+}
+
+}  // namespace noodle::core

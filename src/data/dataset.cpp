@@ -1,0 +1,107 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "feat/tabular.h"
+#include "graph/builder.h"
+#include "graph/features.h"
+#include "verilog/parser.h"
+
+namespace noodle::data {
+
+std::size_t FeatureDataset::count_label(int label) const {
+  std::size_t count = 0;
+  for (const auto& s : samples) {
+    if (s.label == label) ++count;
+  }
+  return count;
+}
+
+std::vector<int> FeatureDataset::labels() const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.label);
+  return out;
+}
+
+FeatureSample featurize(const CircuitSample& circuit) {
+  const verilog::Module module = verilog::parse_module(circuit.verilog);
+  FeatureSample sample;
+  sample.graph = graph::graph_features(graph::build_netgraph(module));
+  sample.tabular = feat::tabular_features(module);
+  sample.label = circuit.infected ? kTrojanInfected : kTrojanFree;
+  return sample;
+}
+
+FeatureDataset featurize_corpus(const std::vector<CircuitSample>& corpus) {
+  FeatureDataset dataset;
+  dataset.samples.reserve(corpus.size());
+  for (const auto& circuit : corpus) dataset.samples.push_back(featurize(circuit));
+  return dataset;
+}
+
+void drop_modalities(FeatureDataset& dataset, double graph_rate, double tabular_rate,
+                     util::Rng& rng) {
+  for (auto& sample : dataset.samples) {
+    const bool drop_graph = rng.bernoulli(graph_rate);
+    const bool drop_tabular = rng.bernoulli(tabular_rate);
+    if (drop_graph && drop_tabular) {
+      // Never drop both: a sample with no modality carries no information.
+      if (rng.bernoulli(0.5)) {
+        sample.graph_missing = true;
+      } else {
+        sample.tabular_missing = true;
+      }
+    } else {
+      sample.graph_missing = drop_graph;
+      sample.tabular_missing = drop_tabular;
+    }
+  }
+}
+
+SplitIndices stratified_split(const std::vector<int>& labels, double train_fraction,
+                              double cal_fraction, util::Rng& rng) {
+  if (train_fraction <= 0.0 || cal_fraction <= 0.0 ||
+      train_fraction + cal_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: bad fractions");
+  }
+
+  SplitIndices split;
+  for (const int label : {kTrojanFree, kTrojanInfected}) {
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == label) members.push_back(i);
+    }
+    rng.shuffle(members);
+    const auto n = members.size();
+    // Round but keep at least one calibration and one test sample per class
+    // whenever the class has >= 3 members (Mondrian ICP requires per-class
+    // calibration examples).
+    std::size_t n_train = static_cast<std::size_t>(train_fraction * static_cast<double>(n));
+    std::size_t n_cal = static_cast<std::size_t>(cal_fraction * static_cast<double>(n));
+    if (n >= 3) {
+      n_train = std::max<std::size_t>(1, std::min(n_train, n - 2));
+      n_cal = std::max<std::size_t>(1, std::min(n_cal, n - n_train - 1));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < n_train) split.train.push_back(members[i]);
+      else if (i < n_train + n_cal) split.cal.push_back(members[i]);
+      else split.test.push_back(members[i]);
+    }
+  }
+  rng.shuffle(split.train);
+  rng.shuffle(split.cal);
+  rng.shuffle(split.test);
+  return split;
+}
+
+FeatureDataset subset(const FeatureDataset& dataset,
+                      const std::vector<std::size_t>& indices) {
+  FeatureDataset out;
+  out.samples.reserve(indices.size());
+  for (const std::size_t i : indices) out.samples.push_back(dataset.samples.at(i));
+  return out;
+}
+
+}  // namespace noodle::data

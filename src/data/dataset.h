@@ -1,0 +1,63 @@
+#pragma once
+// Feature-space dataset: the two modality vectors per circuit, label, and
+// missing-modality flags, plus stratified splitting into proper-training /
+// calibration / test partitions (ICP needs the calibration part).
+
+#include <cstddef>
+#include <vector>
+
+#include "data/corpus.h"
+#include "util/rng.h"
+
+namespace noodle::data {
+
+/// Binary labels used throughout; matches the paper's TF/TI convention.
+inline constexpr int kTrojanFree = 0;
+inline constexpr int kTrojanInfected = 1;
+
+struct FeatureSample {
+  std::vector<double> graph;    // graph-modality embedding
+  std::vector<double> tabular;  // tabular-modality features
+  int label = kTrojanFree;
+  bool graph_missing = false;
+  bool tabular_missing = false;
+};
+
+struct FeatureDataset {
+  std::vector<FeatureSample> samples;
+
+  std::size_t size() const noexcept { return samples.size(); }
+  std::size_t count_label(int label) const;
+  std::vector<int> labels() const;
+};
+
+/// Extracts both modality vectors from one circuit (parses the Verilog,
+/// builds the DFG for the graph modality, walks the AST for the tabular
+/// modality).
+FeatureSample featurize(const CircuitSample& circuit);
+
+/// Featurizes a whole corpus in order.
+FeatureDataset featurize_corpus(const std::vector<CircuitSample>& corpus);
+
+/// Marks modalities missing at the given rates (simulating incomplete data
+/// collection, Sec. III of the paper); never drops both modalities of the
+/// same sample.
+void drop_modalities(FeatureDataset& dataset, double graph_rate, double tabular_rate,
+                     util::Rng& rng);
+
+struct SplitIndices {
+  std::vector<std::size_t> train;  // proper training set
+  std::vector<std::size_t> cal;    // ICP calibration set
+  std::vector<std::size_t> test;
+};
+
+/// Stratified split: each label is partitioned independently with the given
+/// fractions (test gets the remainder), then shuffled. Fractions must be
+/// positive and sum to less than 1.
+SplitIndices stratified_split(const std::vector<int>& labels, double train_fraction,
+                              double cal_fraction, util::Rng& rng);
+
+/// Subset of a dataset by indices.
+FeatureDataset subset(const FeatureDataset& dataset, const std::vector<std::size_t>& indices);
+
+}  // namespace noodle::data

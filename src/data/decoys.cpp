@@ -1,0 +1,237 @@
+#include "data/decoys.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "trojan/inserter.h"
+
+namespace noodle::data {
+
+using verilog::AlwaysBlock;
+using verilog::BitRange;
+using verilog::ContAssign;
+using verilog::EdgeKind;
+using verilog::Expr;
+using verilog::ExprPtr;
+using verilog::Module;
+using verilog::NetDecl;
+using verilog::NetKind;
+using verilog::PortDecl;
+using verilog::PortDir;
+using verilog::SensItem;
+using verilog::Stmt;
+using verilog::StmtPtr;
+
+namespace {
+
+bool name_taken(const Module& m, const std::string& name) {
+  return m.find_port(name) != nullptr || m.find_net(name) != nullptr;
+}
+
+std::string fresh(const Module& m, const std::string& stem, util::Rng& rng) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const std::string candidate =
+        stem + std::to_string(rng.uniform_int(0, 999));
+    if (!name_taken(m, candidate)) return candidate;
+  }
+  throw std::runtime_error("decoy: cannot find fresh name for " + stem);
+}
+
+std::uint64_t magic(util::Rng& rng, int width) {
+  const int w = std::min(width, 62);
+  const std::uint64_t v = rng() & ((1ULL << w) - 1ULL);
+  return v == 0 ? 1 : v;
+}
+
+std::vector<const PortDecl*> data_inputs(const Module& m) {
+  std::vector<const PortDecl*> inputs;
+  for (const auto& port : m.ports) {
+    if (port.dir != PortDir::Input) continue;
+    const std::string lower = port.name;
+    if (lower == "clk" || lower == "clock" || lower == "rst" || lower == "reset")
+      continue;
+    inputs.push_back(&port);
+  }
+  return inputs;
+}
+
+void add_clocked_block(Module& m, StmtPtr body) {
+  AlwaysBlock block;
+  block.sensitivity.push_back(SensItem{EdgeKind::Posedge, trojan::find_clock(m)});
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(std::move(body));
+  block.body = Stmt::block(std::move(stmts));
+  m.always_blocks.push_back(std::move(block));
+}
+
+/// Watchdog: wd counter increments every cycle, wraps on a wide compare,
+/// and emits a one-cycle pulse register — the classic benign time-bomb
+/// lookalike.
+void insert_watchdog(Module& m, util::Rng& rng) {
+  const int width = static_cast<int>(rng.uniform_int(12, 28));
+  const std::string counter = fresh(m, "wd_cnt", rng);
+  const std::string pulse = fresh(m, "wd_pulse", rng);
+
+  NetDecl counter_decl;
+  counter_decl.kind = NetKind::Reg;
+  counter_decl.name = counter;
+  counter_decl.range = BitRange{width - 1, 0};
+  m.nets.push_back(std::move(counter_decl));
+
+  NetDecl pulse_decl;
+  pulse_decl.kind = NetKind::Reg;
+  pulse_decl.name = pulse;
+  m.nets.push_back(std::move(pulse_decl));
+
+  const std::uint64_t limit = magic(rng, width);
+  // if (cnt == LIMIT) begin cnt <= 0; pulse <= 1; end
+  // else begin cnt <= cnt + 1; pulse <= 0; end
+  std::vector<StmtPtr> hit;
+  hit.push_back(Stmt::non_blocking(Expr::ident(counter), Expr::number(0, width)));
+  hit.push_back(Stmt::non_blocking(Expr::ident(pulse), Expr::number(1, 1)));
+  std::vector<StmtPtr> miss;
+  miss.push_back(Stmt::non_blocking(
+      Expr::ident(counter), Expr::binary("+", Expr::ident(counter), Expr::number(1))));
+  miss.push_back(Stmt::non_blocking(Expr::ident(pulse), Expr::number(0, 1)));
+  StmtPtr body = Stmt::if_stmt(
+      Expr::binary("==", Expr::ident(counter), Expr::number(limit, width)),
+      Stmt::block(std::move(hit)), Stmt::block(std::move(miss)));
+  add_clocked_block(m, std::move(body));
+}
+
+/// Address decode: a data input (or pair) compared to a magic constant
+/// loads a shadow config register — the benign cheat-code lookalike.
+void insert_address_decode(Module& m, util::Rng& rng) {
+  const auto inputs = data_inputs(m);
+  if (inputs.empty()) return;
+  const PortDecl* input = inputs[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(inputs.size()) - 1))];
+  const int in_width = input->range ? input->range->width() : 1;
+  if (in_width < 2) return;
+
+  const std::string hit = fresh(m, "cfg_hit", rng);
+  const std::string shadow = fresh(m, "cfg_reg", rng);
+
+  NetDecl hit_decl;
+  hit_decl.kind = NetKind::Wire;
+  hit_decl.name = hit;
+  m.nets.push_back(std::move(hit_decl));
+
+  NetDecl shadow_decl;
+  shadow_decl.kind = NetKind::Reg;
+  shadow_decl.name = shadow;
+  shadow_decl.range = BitRange{in_width - 1, 0};
+  m.nets.push_back(std::move(shadow_decl));
+
+  ContAssign assign;
+  assign.lhs = Expr::ident(hit);
+  assign.rhs = Expr::binary("==", Expr::ident(input->name),
+                            Expr::number(magic(rng, in_width), std::min(in_width, 62)));
+  m.assigns.push_back(std::move(assign));
+
+  StmtPtr load = Stmt::if_stmt(
+      Expr::ident(hit),
+      Stmt::non_blocking(Expr::ident(shadow), Expr::ident(input->name)));
+  add_clocked_block(m, std::move(load));
+}
+
+/// Error gate: a benign condition (reduction over an input, or a fresh
+/// parity wire) forces an output to zero through a ternary — structurally
+/// the same mux a Disable payload uses.
+void insert_error_gate(Module& m, util::Rng& rng) {
+  std::vector<const PortDecl*> outputs;
+  for (const auto& port : m.ports) {
+    if (port.dir == PortDir::Output) outputs.push_back(&port);
+  }
+  const auto inputs = data_inputs(m);
+  if (outputs.empty() || inputs.empty()) return;
+
+  const PortDecl* victim = outputs[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(outputs.size()) - 1))];
+  const PortDecl* source = inputs[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(inputs.size()) - 1))];
+  const int width = victim->range ? victim->range->width() : 1;
+
+  const std::string victim_name = victim->name;  // pointer dies after redirect
+  const std::string err = fresh(m, "err_flag", rng);
+  NetDecl err_decl;
+  err_decl.kind = NetKind::Wire;
+  err_decl.name = err;
+  m.nets.push_back(std::move(err_decl));
+
+  // err = &source (all-ones input is treated as a bus error).
+  ContAssign err_assign;
+  err_assign.lhs = Expr::ident(err);
+  err_assign.rhs = Expr::unary("&", Expr::ident(source->name));
+  m.assigns.push_back(std::move(err_assign));
+
+  const std::string carrier = trojan::redirect_output(m, victim_name);
+  ContAssign tap;
+  tap.lhs = Expr::ident(victim_name);
+  tap.rhs = Expr::ternary(Expr::ident(err), Expr::number(0, width),
+                          Expr::ident(carrier));
+  m.assigns.push_back(std::move(tap));
+}
+
+/// Status shadow: wide internal register accumulating an input, plus a
+/// comparator flag — adds wide regs and eq-const noise.
+void insert_status_shadow(Module& m, util::Rng& rng) {
+  const auto inputs = data_inputs(m);
+  if (inputs.empty()) return;
+  const PortDecl* source = inputs[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(inputs.size()) - 1))];
+  const int width = static_cast<int>(rng.uniform_int(16, 32));
+
+  const std::string shadow = fresh(m, "stat_acc", rng);
+  const std::string flag = fresh(m, "stat_flag", rng);
+
+  NetDecl shadow_decl;
+  shadow_decl.kind = NetKind::Reg;
+  shadow_decl.name = shadow;
+  shadow_decl.range = BitRange{width - 1, 0};
+  m.nets.push_back(std::move(shadow_decl));
+
+  NetDecl flag_decl;
+  flag_decl.kind = NetKind::Wire;
+  flag_decl.name = flag;
+  m.nets.push_back(std::move(flag_decl));
+
+  // shadow <= shadow + source (width-extended by Verilog semantics).
+  StmtPtr accumulate = Stmt::non_blocking(
+      Expr::ident(shadow),
+      Expr::binary("+", Expr::ident(shadow), Expr::ident(source->name)));
+  add_clocked_block(m, std::move(accumulate));
+
+  ContAssign flag_assign;
+  flag_assign.lhs = Expr::ident(flag);
+  flag_assign.rhs = Expr::binary(
+      ">", Expr::ident(shadow), Expr::number(magic(rng, width), std::min(width, 62)));
+  m.assigns.push_back(std::move(flag_assign));
+}
+
+}  // namespace
+
+DecoyKind insert_decoy(Module& m, DecoyKind kind, util::Rng& rng) {
+  const bool clocked = trojan::has_clock(m);
+  if (!clocked && kind != DecoyKind::ErrorGate) kind = DecoyKind::ErrorGate;
+  switch (kind) {
+    case DecoyKind::Watchdog: insert_watchdog(m, rng); break;
+    case DecoyKind::AddressDecode: insert_address_decode(m, rng); break;
+    case DecoyKind::ErrorGate: insert_error_gate(m, rng); break;
+    case DecoyKind::StatusShadow: insert_status_shadow(m, rng); break;
+  }
+  return kind;
+}
+
+void add_benign_decoys(Module& m, util::Rng& rng, int max_decoys,
+                       double first_decoy_probability) {
+  double probability = first_decoy_probability;
+  for (int i = 0; i < max_decoys; ++i) {
+    if (!rng.bernoulli(probability)) break;
+    const auto kind = static_cast<DecoyKind>(rng.uniform_int(0, 3));
+    insert_decoy(m, kind, rng);
+    probability *= 0.6;
+  }
+}
+
+}  // namespace noodle::data

@@ -1,0 +1,37 @@
+#pragma once
+// Benign decoy structures injected into *all* corpus designs (clean and
+// infected alike). Real IP cores are full of constructs that look exactly
+// like Trojan triggers to a feature extractor — watchdog timers comparing a
+// counter to a wide constant, address decoders matching magic values,
+// error flags that gate outputs to zero. Trust-Hub detectors have to
+// separate Trojans from this benign background, and without it a synthetic
+// corpus is trivially separable (every wide comparator would be malicious).
+//
+// Decoys are what give the reproduced Table I its paper-like difficulty:
+// they create genuine class overlap in the tabular branch/comparator
+// counts, while the graph modality retains more signal because the decoy
+// wiring differs structurally from a real trigger->payload path.
+
+#include "util/rng.h"
+#include "verilog/ast.h"
+
+namespace noodle::data {
+
+enum class DecoyKind {
+  Watchdog,       // counter + wide equality compare -> internal reset pulse
+  AddressDecode,  // input compared to a magic constant -> register enable
+  ErrorGate,      // benign condition forces an output to zero via a mux
+  StatusShadow,   // wide internal reg + comparator feeding a status wire
+};
+
+/// Inserts one decoy of the given kind. Needs a clocked module for
+/// Watchdog/AddressDecode/StatusShadow (falls back to ErrorGate otherwise).
+/// Returns the kind actually inserted.
+DecoyKind insert_decoy(verilog::Module& m, DecoyKind kind, util::Rng& rng);
+
+/// Inserts 0..max_decoys decoys with geometric-ish damping (every design
+/// gets at least one with probability ~first_decoy_probability).
+void add_benign_decoys(verilog::Module& m, util::Rng& rng, int max_decoys = 3,
+                       double first_decoy_probability = 0.85);
+
+}  // namespace noodle::data

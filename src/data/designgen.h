@@ -1,0 +1,47 @@
+#pragma once
+// Synthetic Trojan-free RTL generator: 12 parameterized design families that
+// stand in for the Trust-Hub IP cores (see DESIGN.md substitution table).
+// Every instance is real, parser-clean Verilog with randomized widths,
+// constants, and structure, so no two corpus entries are identical and the
+// feature distributions have genuine within-class variance.
+
+#include <array>
+#include <string>
+
+#include "util/rng.h"
+
+namespace noodle::data {
+
+enum class DesignFamily {
+  Counter,         // loadable up-counter with wrap detect
+  Alu,             // small combinational ALU + result register
+  Fsm,             // random Moore state machine
+  UartTx,          // serial transmitter (baud divider + shift register)
+  Lfsr,            // linear feedback shift register
+  Crc,             // byte-wise CRC accumulator
+  Arbiter,         // fixed-priority request arbiter with grant register
+  FifoCtrl,        // FIFO pointer/flag controller
+  Shifter,         // combinational barrel shifter (no clock)
+  ComparatorBank,  // combinational threshold comparators (no clock)
+  TrafficLight,    // timed traffic-light FSM
+  Parity,          // streaming parity/checksum unit
+};
+
+inline constexpr std::size_t kDesignFamilyCount = 12;
+
+const char* to_string(DesignFamily family) noexcept;
+
+/// All families, for iteration.
+const std::array<DesignFamily, kDesignFamilyCount>& all_design_families() noexcept;
+
+/// True for families without a clock input (combinational designs); the
+/// Trojan inserter can only use the CheatCode trigger on these.
+bool is_combinational(DesignFamily family) noexcept;
+
+/// Generates one Verilog module of the given family. The text always parses
+/// with noodle::verilog::parse_module. Structure depends deterministically
+/// on the RNG state.
+std::string generate_design(DesignFamily family, const std::string& module_name,
+                            util::Rng& rng);
+
+}  // namespace noodle::data

@@ -1,0 +1,97 @@
+#include "feat/normalize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace noodle::feat {
+
+namespace {
+
+void check_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("normalizer: no rows to fit");
+  for (const auto& row : rows) {
+    if (row.size() != rows.front().size()) {
+      throw std::invalid_argument("normalizer: ragged rows");
+    }
+  }
+}
+
+}  // namespace
+
+void Standardizer::fit(const std::vector<std::vector<double>>& rows) {
+  check_rows(rows);
+  const std::size_t dim = rows.front().size();
+  const double n = static_cast<double>(rows.size());
+  means_.assign(dim, 0.0);
+  stddevs_.assign(dim, 0.0);
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dim; ++d) means_[d] += row[d];
+  }
+  for (double& m : means_) m /= n;
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double delta = row[d] - means_[d];
+      stddevs_[d] += delta * delta;
+    }
+  }
+  for (double& s : stddevs_) s = std::sqrt(s / std::max(1.0, n - 1.0));
+}
+
+std::vector<double> Standardizer::transform(std::span<const double> row) const {
+  if (row.size() != means_.size()) {
+    throw std::invalid_argument("Standardizer::transform: dimension mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    out[d] = stddevs_[d] > 1e-12 ? (row[d] - means_[d]) / stddevs_[d] : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> Standardizer::inverse(std::span<const double> row) const {
+  if (row.size() != means_.size()) {
+    throw std::invalid_argument("Standardizer::inverse: dimension mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    out[d] = stddevs_[d] > 1e-12 ? row[d] * stddevs_[d] + means_[d] : means_[d];
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Standardizer::transform_all(
+    const std::vector<std::vector<double>>& rows) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(transform(row));
+  return out;
+}
+
+void MinMaxScaler::fit(const std::vector<std::vector<double>>& rows) {
+  check_rows(rows);
+  const std::size_t dim = rows.front().size();
+  mins_.assign(dim, std::numeric_limits<double>::infinity());
+  maxs_.assign(dim, -std::numeric_limits<double>::infinity());
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      mins_[d] = std::min(mins_[d], row[d]);
+      maxs_[d] = std::max(maxs_[d], row[d]);
+    }
+  }
+}
+
+std::vector<double> MinMaxScaler::transform(std::span<const double> row) const {
+  if (row.size() != mins_.size()) {
+    throw std::invalid_argument("MinMaxScaler::transform: dimension mismatch");
+  }
+  std::vector<double> out(row.size());
+  for (std::size_t d = 0; d < row.size(); ++d) {
+    const double span = maxs_[d] - mins_[d];
+    out[d] = span > 1e-12 ? std::clamp((row[d] - mins_[d]) / span, 0.0, 1.0) : 0.5;
+  }
+  return out;
+}
+
+}  // namespace noodle::feat

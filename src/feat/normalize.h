@@ -1,0 +1,52 @@
+#pragma once
+// Feature normalization fitted on training data only (no test leakage).
+// Both modalities pass through a Standardizer before reaching the CNNs and
+// the GAN; the same fitted transform is applied at prediction time.
+
+#include <span>
+#include <vector>
+
+namespace noodle::feat {
+
+/// Per-dimension z-score standardizer: (x - mean) / stddev, with
+/// constant dimensions mapped to 0.
+class Standardizer {
+ public:
+  /// Fits means and stddevs. Throws std::invalid_argument on empty input or
+  /// ragged rows.
+  void fit(const std::vector<std::vector<double>>& rows);
+
+  /// Transforms one row (must match the fitted dimension).
+  std::vector<double> transform(std::span<const double> row) const;
+
+  /// Inverse transform (used by the GAN to map samples back to feature
+  /// space for inspection).
+  std::vector<double> inverse(std::span<const double> row) const;
+
+  std::vector<std::vector<double>> transform_all(
+      const std::vector<std::vector<double>>& rows) const;
+
+  bool fitted() const noexcept { return !means_.empty(); }
+  std::size_t dimension() const noexcept { return means_.size(); }
+  const std::vector<double>& means() const noexcept { return means_; }
+  const std::vector<double>& stddevs() const noexcept { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+};
+
+/// Per-dimension min-max scaler to [0, 1]; constant dimensions map to 0.5.
+class MinMaxScaler {
+ public:
+  void fit(const std::vector<std::vector<double>>& rows);
+  std::vector<double> transform(std::span<const double> row) const;
+  bool fitted() const noexcept { return !mins_.empty(); }
+  std::size_t dimension() const noexcept { return mins_.size(); }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace noodle::feat

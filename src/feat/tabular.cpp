@@ -1,0 +1,211 @@
+#include "feat/tabular.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace noodle::feat {
+
+using verilog::EdgeKind;
+using verilog::Expr;
+using verilog::ExprKind;
+using verilog::Module;
+using verilog::NetKind;
+using verilog::PortDir;
+using verilog::Stmt;
+using verilog::StmtKind;
+
+namespace {
+
+double lg(double x) { return std::log1p(std::max(0.0, x)); }
+
+/// Maximum nesting depth of if/case statements under s.
+int branch_depth(const Stmt& s) {
+  int child_max = 0;
+  auto consider = [&child_max](const Stmt* child) {
+    if (child != nullptr) child_max = std::max(child_max, branch_depth(*child));
+  };
+  consider(s.then_branch.get());
+  consider(s.else_branch.get());
+  for (const auto& child : s.body) consider(child.get());
+  for (const auto& item : s.case_items) consider(item.body.get());
+  const bool is_branch = s.kind == StmtKind::If || s.kind == StmtKind::Case;
+  return child_max + (is_branch ? 1 : 0);
+}
+
+struct Counters {
+  double if_count = 0, case_count = 0, case_items = 0, for_count = 0;
+  double blocking = 0, nonblocking = 0;
+  double eq_ops = 0, eq_const_ops = 0, wide_eq_const = 0;
+  double rel_ops = 0, xor_ops = 0, reduction_ops = 0, ternary = 0, concat = 0;
+  double max_const_width = 0;
+  std::set<std::uint64_t> distinct_consts;
+};
+
+}  // namespace
+
+std::vector<double> tabular_features(const Module& m) {
+  Counters c;
+
+  // Statement-level counts.
+  verilog::for_each_module_stmt(m, [&c](const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::If: c.if_count += 1.0; break;
+      case StmtKind::Case:
+        c.case_count += 1.0;
+        c.case_items += static_cast<double>(s.case_items.size());
+        break;
+      case StmtKind::For: c.for_count += 1.0; break;
+      case StmtKind::BlockingAssign: c.blocking += 1.0; break;
+      case StmtKind::NonBlockingAssign: c.nonblocking += 1.0; break;
+      default: break;
+    }
+  });
+
+  // Expression-level counts everywhere expressions occur.
+  verilog::for_each_module_expr(m, [&c](const Expr& e) {
+    // for_each_module_expr already recurses; scan only the node itself by
+    // dispatching through a single-node Counters pass.
+    switch (e.kind) {
+      case ExprKind::Number:
+        c.distinct_consts.insert(e.value);
+        c.max_const_width = std::max(c.max_const_width, static_cast<double>(e.width));
+        break;
+      case ExprKind::Binary: {
+        const std::string& op = e.name;
+        if (op == "==" || op == "!=" || op == "===" || op == "!==") {
+          c.eq_ops += 1.0;
+          for (const auto& side : e.operands) {
+            if (side->kind == ExprKind::Number) {
+              c.eq_const_ops += 1.0;
+              if (side->width >= 8) c.wide_eq_const += 1.0;
+              break;
+            }
+          }
+        } else if (op == "<" || op == "<=" || op == ">" || op == ">=") {
+          c.rel_ops += 1.0;
+        } else if (op == "^" || op == "~^" || op == "^~") {
+          c.xor_ops += 1.0;
+        }
+        break;
+      }
+      case ExprKind::Unary:
+        if (e.name == "&" || e.name == "|" || e.name == "^" || e.name == "~&" ||
+            e.name == "~|" || e.name == "~^") {
+          c.reduction_ops += 1.0;
+        }
+        break;
+      case ExprKind::Ternary: c.ternary += 1.0; break;
+      case ExprKind::Concat:
+      case ExprKind::Replicate: c.concat += 1.0; break;
+      default: break;
+    }
+  });
+
+  // Interface / declaration shape.
+  double inputs = 0, outputs = 0, input_bits = 0, output_bits = 0;
+  for (const auto& port : m.ports) {
+    const double width = port.range ? port.range->width() : 1;
+    if (port.dir == PortDir::Input) {
+      inputs += 1.0;
+      input_bits += width;
+    } else if (port.dir == PortDir::Output) {
+      outputs += 1.0;
+      output_bits += width;
+    }
+  }
+  double wires = 0, regs = 0, reg_bits = 0, wide_regs = 0;
+  for (const auto& net : m.nets) {
+    const double width = net.range ? net.range->width() : 1;
+    if (net.kind == NetKind::Wire) {
+      wires += 1.0;
+    } else if (net.kind == NetKind::Reg) {
+      regs += 1.0;
+      reg_bits += width;
+      if (width >= 16) wide_regs += 1.0;
+    }
+  }
+
+  double seq_always = 0, comb_always = 0, posedges = 0;
+  double max_depth = 0;
+  for (const auto& block : m.always_blocks) {
+    if (block.is_sequential()) seq_always += 1.0;
+    else comb_always += 1.0;
+    for (const auto& item : block.sensitivity) {
+      if (item.edge == EdgeKind::Posedge) posedges += 1.0;
+    }
+    if (block.body) max_depth = std::max(max_depth, static_cast<double>(branch_depth(*block.body)));
+  }
+
+  const double always_count = seq_always + comb_always;
+  const double total_branches = c.if_count + c.case_count;
+  const double total_assignments =
+      c.blocking + c.nonblocking + static_cast<double>(m.assigns.size());
+
+  std::vector<double> f;
+  f.reserve(kTabularFeatureDim);
+  // Interface (0..5)
+  f.push_back(inputs);
+  f.push_back(outputs);
+  f.push_back(lg(input_bits));
+  f.push_back(lg(output_bits));
+  f.push_back(lg(wires));
+  f.push_back(lg(regs));
+  // Storage (6..8)
+  f.push_back(lg(reg_bits));
+  f.push_back(wide_regs);
+  f.push_back(static_cast<double>(m.params.size()));
+  // Processes (9..13)
+  f.push_back(seq_always);
+  f.push_back(comb_always);
+  f.push_back(posedges);
+  f.push_back(static_cast<double>(m.initial_blocks.size()));
+  f.push_back(static_cast<double>(m.instances.size()));
+  // Assignments (14..17)
+  f.push_back(lg(static_cast<double>(m.assigns.size())));
+  f.push_back(lg(c.blocking));
+  f.push_back(lg(c.nonblocking));
+  f.push_back(lg(total_assignments));
+  // Branching shape (18..24)
+  f.push_back(c.if_count);
+  f.push_back(c.case_count);
+  f.push_back(lg(c.case_items));
+  f.push_back(c.for_count);
+  f.push_back(max_depth);
+  f.push_back(always_count == 0 ? 0.0 : total_branches / always_count);
+  f.push_back(total_assignments == 0 ? 0.0 : total_branches / total_assignments);
+  // Comparators / operators (25..30)
+  f.push_back(c.eq_ops);
+  f.push_back(c.eq_const_ops);
+  f.push_back(c.wide_eq_const);
+  f.push_back(c.rel_ops);
+  f.push_back(c.xor_ops + c.reduction_ops);
+  f.push_back(c.ternary);
+  // Constants (31)
+  f.push_back(lg(static_cast<double>(c.distinct_consts.size())));
+
+  if (f.size() != kTabularFeatureDim) {
+    throw std::logic_error("tabular_features: dimension drift");
+  }
+  return f;
+}
+
+const std::vector<std::string>& tabular_feature_names() {
+  static const std::vector<std::string> names = {
+      "inputs",            "outputs",          "log_input_bits",
+      "log_output_bits",   "log_wires",        "log_regs",
+      "log_reg_bits",      "wide_regs",        "params",
+      "seq_always",        "comb_always",      "posedges",
+      "initial_blocks",    "instances",        "log_assigns",
+      "log_blocking",      "log_nonblocking",  "log_total_assigns",
+      "if_count",          "case_count",       "log_case_items",
+      "for_count",         "max_branch_depth", "branches_per_always",
+      "branch_assign_ratio", "eq_ops",         "eq_const_ops",
+      "wide_eq_const",     "rel_ops",          "xor_reduction_ops",
+      "ternary_ops",       "log_distinct_consts",
+  };
+  return names;
+}
+
+}  // namespace noodle::feat

@@ -1,0 +1,27 @@
+#pragma once
+// Tabular (Euclidean) modality: code-branching features extracted from the
+// RTL AST, reimplementing the intent of the Trust-Hub RTL feature dataset
+// (Salmani et al., "code branching features"). One fixed-length vector per
+// module; layout documented by tabular_feature_names().
+//
+// Branch-shape features dominate because RTL Trojans hide behind rarely
+// taken branches: an `if (state == 24'hBAD5EED)` adds an equality compare
+// against a wide constant, one more conditional assignment, and a deeper
+// nest — all visible here without simulation.
+
+#include <string>
+#include <vector>
+
+#include "verilog/ast.h"
+
+namespace noodle::feat {
+
+inline constexpr std::size_t kTabularFeatureDim = 32;
+
+/// Extracts the feature vector of one module.
+std::vector<double> tabular_features(const verilog::Module& m);
+
+/// Name of each dimension (size kTabularFeatureDim).
+const std::vector<std::string>& tabular_feature_names();
+
+}  // namespace noodle::feat

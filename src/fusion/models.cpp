@@ -1,0 +1,197 @@
+#include "fusion/models.h"
+
+#include <stdexcept>
+
+namespace noodle::fusion {
+
+const char* to_string(Modality modality) noexcept {
+  return modality == Modality::Graph ? "graph" : "tabular";
+}
+
+std::vector<Prediction> ClassifierArm::predict_all(const data::FeatureDataset& dataset) {
+  std::vector<Prediction> predictions;
+  predictions.reserve(dataset.size());
+  for (const auto& sample : dataset.samples) predictions.push_back(predict(sample));
+  return predictions;
+}
+
+namespace {
+
+const std::vector<double>& modality_of(const data::FeatureSample& sample,
+                                       Modality modality) {
+  return modality == Modality::Graph ? sample.graph : sample.tabular;
+}
+
+void require_complete(const data::FeatureDataset& dataset, const char* who) {
+  for (const auto& sample : dataset.samples) {
+    if (sample.graph_missing || sample.tabular_missing) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": dataset has missing modalities; impute first");
+    }
+  }
+}
+
+std::vector<std::vector<double>> modality_rows(const data::FeatureDataset& dataset,
+                                               Modality modality) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(dataset.size());
+  for (const auto& sample : dataset.samples) rows.push_back(modality_of(sample, modality));
+  return rows;
+}
+
+std::vector<std::vector<double>> joint_rows(const data::FeatureDataset& dataset) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(dataset.size());
+  for (const auto& sample : dataset.samples) {
+    std::vector<double> joint = sample.graph;
+    joint.insert(joint.end(), sample.tabular.begin(), sample.tabular.end());
+    rows.push_back(std::move(joint));
+  }
+  return rows;
+}
+
+nn::Matrix single_row_matrix(const std::vector<double>& row) {
+  nn::Matrix m(1, row.size());
+  for (std::size_t i = 0; i < row.size(); ++i) m(0, i) = row[i];
+  return m;
+}
+
+}  // namespace
+
+nn::Matrix modality_matrix(const data::FeatureDataset& dataset, Modality modality) {
+  return nn::Matrix::from_rows(modality_rows(dataset, modality));
+}
+
+nn::Matrix joint_matrix(const data::FeatureDataset& dataset) {
+  return nn::Matrix::from_rows(joint_rows(dataset));
+}
+
+double p_value_probability(const std::array<double, 2>& p_values) {
+  const double total = p_values[0] + p_values[1];
+  if (total <= 0.0) return 0.5;
+  return p_values[1] / total;
+}
+
+// ---------------------------------------------------------------------------
+// SingleModalityModel
+// ---------------------------------------------------------------------------
+
+SingleModalityModel::SingleModalityModel(Modality modality, FusionConfig config)
+    : modality_(modality), config_(std::move(config)), icp_(config_.nonconformity) {}
+
+std::string SingleModalityModel::name() const {
+  return std::string(to_string(modality_)) + "_only";
+}
+
+void SingleModalityModel::fit(const data::FeatureDataset& train,
+                              const data::FeatureDataset& cal) {
+  require_complete(train, "SingleModalityModel::fit");
+  require_complete(cal, "SingleModalityModel::fit");
+  const auto rows = modality_rows(train, modality_);
+  scaler_.fit(rows);
+  const nn::Matrix x = nn::Matrix::from_rows(scaler_.transform_all(rows));
+  const std::vector<int> y = train.labels();
+
+  util::Rng rng(config_.seed + (modality_ == Modality::Graph ? 0u : 1u));
+  model_ = nn::make_cnn(x.cols(), rng);
+  nn::TrainConfig train_config = config_.train;
+  train_config.seed = config_.seed * 2654435761u + 1;
+  nn::train_binary_classifier(model_, x, y, train_config);
+
+  // Calibrate the Mondrian ICP on held-out predictions.
+  const nn::Matrix cal_x = nn::Matrix::from_rows(
+      scaler_.transform_all(modality_rows(cal, modality_)));
+  const std::vector<double> cal_probs = nn::predict_proba(model_, cal_x);
+  const std::vector<int> cal_y = cal.labels();
+  icp_.calibrate(cal_probs, cal_y);
+}
+
+Prediction SingleModalityModel::predict(const data::FeatureSample& sample) {
+  const std::vector<double> row = scaler_.transform(modality_of(sample, modality_));
+  const std::vector<double> probs = nn::predict_proba(model_, single_row_matrix(row));
+  Prediction prediction;
+  prediction.probability = probs.front();
+  prediction.p_values = icp_.p_values(prediction.probability);
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
+// EarlyFusionModel
+// ---------------------------------------------------------------------------
+
+EarlyFusionModel::EarlyFusionModel(FusionConfig config)
+    : config_(std::move(config)), icp_(config_.nonconformity) {}
+
+void EarlyFusionModel::fit(const data::FeatureDataset& train,
+                           const data::FeatureDataset& cal) {
+  require_complete(train, "EarlyFusionModel::fit");
+  require_complete(cal, "EarlyFusionModel::fit");
+  const auto rows = joint_rows(train);
+  scaler_.fit(rows);
+  const nn::Matrix x = nn::Matrix::from_rows(scaler_.transform_all(rows));
+  const std::vector<int> y = train.labels();
+
+  util::Rng rng(config_.seed + 2);
+  model_ = nn::make_cnn(x.cols(), rng);
+  nn::TrainConfig train_config = config_.train;
+  train_config.seed = config_.seed * 2654435761u + 2;
+  nn::train_binary_classifier(model_, x, y, train_config);
+
+  const nn::Matrix cal_x =
+      nn::Matrix::from_rows(scaler_.transform_all(joint_rows(cal)));
+  const std::vector<double> cal_probs = nn::predict_proba(model_, cal_x);
+  const std::vector<int> cal_y = cal.labels();
+  icp_.calibrate(cal_probs, cal_y);
+}
+
+Prediction EarlyFusionModel::predict(const data::FeatureSample& sample) {
+  std::vector<double> joint = sample.graph;
+  joint.insert(joint.end(), sample.tabular.begin(), sample.tabular.end());
+  const std::vector<double> row = scaler_.transform(joint);
+  const std::vector<double> probs = nn::predict_proba(model_, single_row_matrix(row));
+  Prediction prediction;
+  prediction.probability = probs.front();
+  prediction.p_values = icp_.p_values(prediction.probability);
+  return prediction;
+}
+
+// ---------------------------------------------------------------------------
+// LateFusionModel
+// ---------------------------------------------------------------------------
+
+LateFusionModel::LateFusionModel(FusionConfig config)
+    : config_(std::move(config)),
+      graph_arm_(Modality::Graph, config_),
+      tabular_arm_(Modality::Tabular, config_) {}
+
+void LateFusionModel::fit(const data::FeatureDataset& train,
+                          const data::FeatureDataset& cal) {
+  graph_arm_.fit(train, cal);
+  tabular_arm_.fit(train, cal);
+}
+
+Prediction LateFusionModel::predict(const data::FeatureSample& sample) {
+  const Prediction graph_prediction = graph_arm_.predict(sample);
+  const Prediction tabular_prediction = tabular_arm_.predict(sample);
+  last_p_values_ = {graph_prediction.p_values, tabular_prediction.p_values};
+
+  Prediction fused;
+  for (const int label : {0, 1}) {
+    const std::array<double, 2> per_modality = {
+        graph_prediction.p_values[static_cast<std::size_t>(label)],
+        tabular_prediction.p_values[static_cast<std::size_t>(label)]};
+    fused.p_values[static_cast<std::size_t>(label)] =
+        cp::combine_p_values(per_modality, config_.combiner);
+  }
+  // Decision-level probability: normalized fused p-values blended with the
+  // average model probability; the conformal part dominates but the model
+  // average keeps the estimate sharp when both p-values saturate.
+  const double p_norm = p_value_probability(fused.p_values);
+  const double model_avg =
+      (graph_prediction.probability + tabular_prediction.probability) / 2.0;
+  const double w = config_.late_probability_blend;
+  fused.probability = w * p_norm + (1.0 - w) * model_avg;
+  return fused;
+}
+
+}  // namespace noodle::fusion

@@ -1,0 +1,125 @@
+#pragma once
+// The classifier arms evaluated in the paper (Table I):
+//   * SingleModalityModel — one CNN + Mondrian ICP on one modality,
+//   * EarlyFusionModel    — feature-level fusion: modalities concatenated
+//                           before a single CNN + ICP (Eq. 3),
+//   * LateFusionModel     — decision-level fusion: per-modality CNN + ICP,
+//                           conformal p-values combined per class label
+//                           (Eq. 2 + Algorithm 1).
+//
+// All arms use the same CNN factory with identical hyperparameters, as the
+// paper stresses; they differ only in where information is fused.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cp/combine.h"
+#include "cp/icp.h"
+#include "data/dataset.h"
+#include "feat/normalize.h"
+#include "nn/trainer.h"
+
+namespace noodle::fusion {
+
+enum class Modality { Graph, Tabular };
+
+const char* to_string(Modality modality) noexcept;
+
+struct FusionConfig {
+  nn::TrainConfig train;
+  cp::NonconformityKind nonconformity = cp::NonconformityKind::InverseProbability;
+  cp::CombinationMethod combiner = cp::CombinationMethod::Fisher;
+  /// Late-fusion probability estimate: blend between the normalized
+  /// combined p-values (weight) and the per-modality model-probability
+  /// ensemble average (1 - weight).
+  double late_probability_blend = 0.5;
+  std::uint64_t seed = 23;
+};
+
+/// One prediction: calibrated probability of Trojan-infected plus the
+/// conformal p-value pair {p(TF), p(TI)}.
+struct Prediction {
+  double probability = 0.0;
+  std::array<double, 2> p_values{0.0, 0.0};
+};
+
+/// Shared shape: fit on proper-training + calibration sets, then predict.
+class ClassifierArm {
+ public:
+  virtual ~ClassifierArm() = default;
+
+  /// Trains the CNN(s) on `train` and calibrates the ICP(s) on `cal`.
+  /// Samples must have complete modalities (impute beforehand).
+  virtual void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) = 0;
+
+  virtual Prediction predict(const data::FeatureSample& sample) = 0;
+
+  virtual std::string name() const = 0;
+
+  std::vector<Prediction> predict_all(const data::FeatureDataset& dataset);
+};
+
+class SingleModalityModel : public ClassifierArm {
+ public:
+  SingleModalityModel(Modality modality, FusionConfig config);
+  void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
+  Prediction predict(const data::FeatureSample& sample) override;
+  std::string name() const override;
+
+ private:
+  Modality modality_;
+  FusionConfig config_;
+  feat::Standardizer scaler_;
+  nn::Sequential model_;
+  cp::MondrianIcp icp_;
+};
+
+class EarlyFusionModel : public ClassifierArm {
+ public:
+  explicit EarlyFusionModel(FusionConfig config);
+  void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
+  Prediction predict(const data::FeatureSample& sample) override;
+  std::string name() const override { return "early_fusion"; }
+
+ private:
+  FusionConfig config_;
+  feat::Standardizer scaler_;  // over the concatenated vector
+  nn::Sequential model_;
+  cp::MondrianIcp icp_;
+};
+
+class LateFusionModel : public ClassifierArm {
+ public:
+  explicit LateFusionModel(FusionConfig config);
+  void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
+  Prediction predict(const data::FeatureSample& sample) override;
+  std::string name() const override { return "late_fusion"; }
+
+  /// Per-modality p-values of the last predict() call, exposed so callers
+  /// can report each modality's contribution (interpretability claim of the
+  /// paper's fusion section).
+  const std::array<std::array<double, 2>, 2>& last_modality_p_values() const noexcept {
+    return last_p_values_;
+  }
+
+ private:
+  FusionConfig config_;
+  SingleModalityModel graph_arm_;
+  SingleModalityModel tabular_arm_;
+  std::array<std::array<double, 2>, 2> last_p_values_{};
+};
+
+// --- shared helpers (exposed for tests and the experiment harness) ---
+
+/// Extracts the modality matrix of a dataset.
+nn::Matrix modality_matrix(const data::FeatureDataset& dataset, Modality modality);
+
+/// Concatenated [graph || tabular] matrix.
+nn::Matrix joint_matrix(const data::FeatureDataset& dataset);
+
+/// Turns a pair of per-class combined p-values into a probability of the
+/// positive class: p(TI) / (p(TF) + p(TI)); 0.5 when both vanish.
+double p_value_probability(const std::array<double, 2>& p_values);
+
+}  // namespace noodle::fusion

@@ -1,0 +1,178 @@
+#include "gan/augment.h"
+
+#include <stdexcept>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace noodle::gan {
+
+data::FeatureDataset augment_with_gan(const data::FeatureDataset& train,
+                                      std::size_t target_per_class,
+                                      const GanConfig& config) {
+  data::FeatureDataset out = train;
+  if (train.samples.empty()) {
+    throw std::invalid_argument("augment_with_gan: empty training set");
+  }
+  const std::size_t graph_dim = train.samples.front().graph.size();
+  const std::size_t tabular_dim = train.samples.front().tabular.size();
+
+  // Pooled per-dimension spread across *both* classes. Synthetic-sample
+  // blur must be scaled by this, not by within-class spread: a feature
+  // that is constant within each class but differs between classes would
+  // otherwise be reproduced exactly and make synthetic points trivially
+  // separable (unlike anything a real small-data GAN produces).
+  std::vector<std::vector<double>> all_rows;
+  for (const auto& sample : train.samples) {
+    if (sample.graph_missing || sample.tabular_missing) continue;
+    std::vector<double> joint = sample.graph;
+    joint.insert(joint.end(), sample.tabular.begin(), sample.tabular.end());
+    all_rows.push_back(std::move(joint));
+  }
+  feat::Standardizer pooled;
+  pooled.fit(all_rows);
+  util::Rng noise_rng(config.seed + 0x9e3779b9ULL);
+
+  for (const int label : {data::kTrojanFree, data::kTrojanInfected}) {
+    std::vector<std::vector<double>> joint_rows;
+    std::size_t class_count = 0;
+    for (const auto& sample : train.samples) {
+      if (sample.label != label) continue;
+      ++class_count;
+      if (sample.graph_missing || sample.tabular_missing) continue;
+      std::vector<double> joint = sample.graph;
+      joint.insert(joint.end(), sample.tabular.begin(), sample.tabular.end());
+      joint_rows.push_back(std::move(joint));
+    }
+    if (class_count >= target_per_class) continue;
+    if (joint_rows.size() < 4) {
+      throw std::invalid_argument(
+          "augment_with_gan: class " + std::to_string(label) +
+          " has fewer than 4 complete samples; cannot train a GAN");
+    }
+
+    GanConfig class_config = config;
+    class_config.seed = config.seed + static_cast<std::uint64_t>(label) * 7919;
+    TabularGan gan(graph_dim + tabular_dim, class_config);
+    gan.fit(joint_rows);
+
+    const std::size_t needed = target_per_class - class_count;
+    for (auto& joint : gan.sample(needed)) {
+      // Anchor blending: a vanilla GAN fitted on tens of rows mode-collapses
+      // onto the class majority and would erase minority structure (e.g. the
+      // benign Trojan-lookalike mode), leaving synthetic points artificially
+      // easy to classify. Anchoring each draw at a real same-class row keeps
+      // every real mode at its natural frequency while the generator output
+      // contributes distributional smoothing between modes.
+      const std::vector<double>& anchor = joint_rows[static_cast<std::size_t>(
+          noise_rng.uniform_int(0, static_cast<std::int64_t>(joint_rows.size()) - 1))];
+      const double beta = noise_rng.uniform(0.05, 0.35);
+      const std::vector<double>& spread = pooled.stddevs();
+      for (std::size_t d = 0; d < joint.size(); ++d) {
+        joint[d] = anchor[d] + beta * (joint[d] - anchor[d]);
+        if (config.sample_noise > 0.0) {
+          joint[d] += noise_rng.normal(0.0, config.sample_noise * spread[d]);
+        }
+      }
+      data::FeatureSample synthetic;
+      synthetic.graph.assign(joint.begin(),
+                             joint.begin() + static_cast<std::ptrdiff_t>(graph_dim));
+      synthetic.tabular.assign(joint.begin() + static_cast<std::ptrdiff_t>(graph_dim),
+                               joint.end());
+      synthetic.label = label;
+      out.samples.push_back(std::move(synthetic));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CrossModalImputer
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Trains `model` to regress targets from inputs with Adam + MSE.
+void train_regressor(nn::Sequential& model, const nn::Matrix& inputs,
+                     const nn::Matrix& targets, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Adam optimizer(1e-3);
+  std::vector<std::size_t> order(inputs.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  constexpr std::size_t kEpochs = 200;
+  constexpr std::size_t kBatch = 16;
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size(); start += kBatch) {
+      const std::size_t end = std::min(start + kBatch, order.size());
+      const std::span<const std::size_t> batch(order.data() + start, end - start);
+      const nn::Matrix x = inputs.gather_rows(batch);
+      const nn::Matrix y = targets.gather_rows(batch);
+      model.zero_grad();
+      const nn::Matrix pred = model.forward(x, /*train=*/true);
+      nn::Matrix grad;
+      nn::mse_loss(pred, y, grad);
+      model.backward(grad);
+      optimizer.step(model.params());
+    }
+  }
+}
+
+}  // namespace
+
+CrossModalImputer::CrossModalImputer(std::uint64_t seed) : seed_(seed) {}
+
+void CrossModalImputer::fit(const data::FeatureDataset& train) {
+  std::vector<std::vector<double>> graph_rows, tabular_rows;
+  for (const auto& sample : train.samples) {
+    if (sample.graph_missing || sample.tabular_missing) continue;
+    graph_rows.push_back(sample.graph);
+    tabular_rows.push_back(sample.tabular);
+  }
+  if (graph_rows.size() < 4) {
+    throw std::invalid_argument(
+        "CrossModalImputer::fit: need at least 4 complete samples");
+  }
+  graph_scaler_.fit(graph_rows);
+  tabular_scaler_.fit(tabular_rows);
+
+  const nn::Matrix g = nn::Matrix::from_rows(graph_scaler_.transform_all(graph_rows));
+  const nn::Matrix t =
+      nn::Matrix::from_rows(tabular_scaler_.transform_all(tabular_rows));
+
+  util::Rng rng(seed_);
+  graph_to_tabular_ = nn::make_mlp(g.cols(), {48}, t.cols(), rng);
+  tabular_to_graph_ = nn::make_mlp(t.cols(), {48}, g.cols(), rng);
+  train_regressor(graph_to_tabular_, g, t, seed_ + 1);
+  train_regressor(tabular_to_graph_, t, g, seed_ + 2);
+  fitted_ = true;
+}
+
+void CrossModalImputer::impute(data::FeatureDataset& dataset) const {
+  if (!fitted_) throw std::logic_error("CrossModalImputer::impute: fit() first");
+  for (auto& sample : dataset.samples) {
+    if (sample.graph_missing && sample.tabular_missing) {
+      throw std::invalid_argument(
+          "CrossModalImputer::impute: sample missing both modalities");
+    }
+    if (sample.tabular_missing) {
+      const std::vector<double> g = graph_scaler_.transform(sample.graph);
+      nn::Matrix input(1, g.size());
+      for (std::size_t i = 0; i < g.size(); ++i) input(0, i) = g[i];
+      const nn::Matrix out = graph_to_tabular_.forward(input, /*train=*/false);
+      sample.tabular = tabular_scaler_.inverse(out.row(0));
+      sample.tabular_missing = false;
+    } else if (sample.graph_missing) {
+      const std::vector<double> t = tabular_scaler_.transform(sample.tabular);
+      nn::Matrix input(1, t.size());
+      for (std::size_t i = 0; i < t.size(); ++i) input(0, i) = t[i];
+      const nn::Matrix out = tabular_to_graph_.forward(input, /*train=*/false);
+      sample.graph = graph_scaler_.inverse(out.row(0));
+      sample.graph_missing = false;
+    }
+  }
+}
+
+}  // namespace noodle::gan

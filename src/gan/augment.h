@@ -1,0 +1,48 @@
+#pragma once
+// GAN-based dataset amplification (Algorithm 2, step "perform GAN") and the
+// cross-modal imputer for missing modalities.
+//
+// Amplification trains one GAN per class over the *joint* modality vector
+// [graph || tabular] so a synthetic circuit's two views stay coherent, then
+// splits samples back into modalities. The paper grows the dataset to 500
+// points; the target is a parameter here.
+
+#include "data/dataset.h"
+#include "gan/gan.h"
+
+namespace noodle::gan {
+
+/// Grows `train` so each class has at least `target_per_class` samples by
+/// appending GAN samples (trained per class on the joint modality vector).
+/// Classes already at/above target are untouched. Samples flagged as
+/// missing a modality are excluded from GAN training. Throws
+/// std::invalid_argument if a class has fewer than 4 complete samples.
+data::FeatureDataset augment_with_gan(const data::FeatureDataset& train,
+                                      std::size_t target_per_class,
+                                      const GanConfig& config);
+
+/// MLP regressors graph->tabular and tabular->graph, trained on complete
+/// samples, used to fill whichever modality is missing (the multimodal-
+/// autoencoder alternative the paper mentions, realized with the same NN
+/// substrate).
+class CrossModalImputer {
+ public:
+  explicit CrossModalImputer(std::uint64_t seed = 11);
+
+  /// Fits both direction regressors on samples with both modalities.
+  void fit(const data::FeatureDataset& train);
+
+  /// Fills every missing modality in place and clears the missing flags.
+  void impute(data::FeatureDataset& dataset) const;
+
+  bool fitted() const noexcept { return fitted_; }
+
+ private:
+  std::uint64_t seed_;
+  feat::Standardizer graph_scaler_, tabular_scaler_;
+  mutable nn::Sequential graph_to_tabular_;
+  mutable nn::Sequential tabular_to_graph_;
+  bool fitted_ = false;
+};
+
+}  // namespace noodle::gan

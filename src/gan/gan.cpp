@@ -1,0 +1,113 @@
+#include "gan/gan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace noodle::gan {
+
+TabularGan::TabularGan(std::size_t feature_dim, const GanConfig& config)
+    : feature_dim_(feature_dim), config_(config), rng_(config.seed) {
+  if (feature_dim == 0) throw std::invalid_argument("TabularGan: zero feature_dim");
+  // Generator: latent -> hidden -> hidden -> features (linear output in
+  // standardized space).
+  generator_ = nn::make_mlp(config_.latent_dim,
+                            {config_.hidden, config_.hidden}, feature_dim_, rng_);
+  // Discriminator: features -> hidden -> 1 logit.
+  discriminator_ = nn::make_mlp(feature_dim_, {config_.hidden}, 1, rng_);
+}
+
+nn::Matrix TabularGan::sample_latent(std::size_t n) {
+  nn::Matrix z(n, config_.latent_dim);
+  for (double& v : z.data()) v = rng_.normal();
+  return z;
+}
+
+GanTrainTrace TabularGan::fit(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("TabularGan::fit: no rows");
+  for (const auto& row : rows) {
+    if (row.size() != feature_dim_) {
+      throw std::invalid_argument("TabularGan::fit: row dimension mismatch");
+    }
+  }
+  scaler_.fit(rows);
+  const nn::Matrix real_all = nn::Matrix::from_rows(scaler_.transform_all(rows));
+
+  nn::Adam g_optimizer(config_.generator_lr, 0.5, 0.999);
+  nn::Adam d_optimizer(config_.discriminator_lr, 0.5, 0.999);
+
+  GanTrainTrace trace;
+  std::vector<std::size_t> order(rows.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const std::size_t batch = std::min(config_.batch_size, rows.size());
+  const std::vector<int> ones(batch, 1);
+  const std::vector<int> zeros(batch, 0);
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.shuffle(order);
+    double d_loss_sum = 0.0, g_loss_sum = 0.0;
+    std::size_t steps = 0;
+
+    for (std::size_t start = 0; start + batch <= order.size() || start == 0;
+         start += batch) {
+      const std::size_t end = std::min(start + batch, order.size());
+      if (end - start == 0) break;
+      std::vector<std::size_t> idx(order.begin() + static_cast<std::ptrdiff_t>(start),
+                                   order.begin() + static_cast<std::ptrdiff_t>(end));
+      // Pad the last short batch by resampling (keeps label vectors fixed).
+      while (idx.size() < batch) {
+        idx.push_back(order[static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(order.size()) - 1))]);
+      }
+      const nn::Matrix real = real_all.gather_rows(idx);
+
+      // --- Discriminator step: real -> 1, fake -> 0.
+      const nn::Matrix fake = generator_.forward(sample_latent(batch), /*train=*/true);
+      discriminator_.zero_grad();
+      nn::Matrix grad;
+      const nn::Matrix d_real = discriminator_.forward(real, /*train=*/true);
+      double d_loss = nn::bce_with_logits_loss(d_real, ones, grad);
+      discriminator_.backward(grad);
+      const nn::Matrix d_fake = discriminator_.forward(fake, /*train=*/true);
+      d_loss += nn::bce_with_logits_loss(d_fake, zeros, grad);
+      discriminator_.backward(grad);
+      d_optimizer.step(discriminator_.params());
+
+      // --- Generator step (non-saturating): make D call fakes real.
+      generator_.zero_grad();
+      discriminator_.zero_grad();  // D grads accumulate below but are discarded
+      const nn::Matrix fake2 = generator_.forward(sample_latent(batch), /*train=*/true);
+      const nn::Matrix d_fake2 = discriminator_.forward(fake2, /*train=*/true);
+      const double g_loss = nn::bce_with_logits_loss(d_fake2, ones, grad);
+      const nn::Matrix grad_into_g = discriminator_.backward(grad);
+      generator_.backward(grad_into_g);
+      g_optimizer.step(generator_.params());
+
+      d_loss_sum += d_loss;
+      g_loss_sum += g_loss;
+      ++steps;
+      if (end == order.size()) break;
+    }
+    trace.discriminator_loss.push_back(d_loss_sum / static_cast<double>(std::max<std::size_t>(1, steps)));
+    trace.generator_loss.push_back(g_loss_sum / static_cast<double>(std::max<std::size_t>(1, steps)));
+  }
+  trained_ = true;
+  return trace;
+}
+
+std::vector<std::vector<double>> TabularGan::sample(std::size_t n) {
+  if (!trained_) throw std::logic_error("TabularGan::sample: fit() first");
+  nn::Matrix out = generator_.forward(sample_latent(n), /*train=*/false);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    rows.push_back(scaler_.inverse(out.row(r)));
+  }
+  return rows;
+}
+
+}  // namespace noodle::gan

@@ -1,0 +1,224 @@
+#include "graph/builder.h"
+
+#include <map>
+#include <string>
+
+namespace noodle::graph {
+
+using verilog::AlwaysBlock;
+using verilog::EdgeKind;
+using verilog::Expr;
+using verilog::ExprKind;
+using verilog::Module;
+using verilog::NetKind;
+using verilog::PortDir;
+using verilog::Stmt;
+using verilog::StmtKind;
+
+namespace {
+
+class Lowering {
+ public:
+  explicit Lowering(const Module& m) : module_(m) {}
+
+  NetGraph run() {
+    declare_signals();
+    for (const auto& net : module_.nets) {
+      if (net.init) {
+        const NetGraph::NodeId value = lower_expr(*net.init);
+        graph_.add_edge(value, signal(net.name));
+      }
+    }
+    for (const auto& assign : module_.assigns) {
+      const NetGraph::NodeId value = lower_expr(*assign.rhs);
+      graph_.add_edge(value, lhs_target(*assign.lhs));
+    }
+    for (const auto& block : module_.always_blocks) lower_always(block);
+    for (const auto& inst : module_.instances) lower_instance(inst);
+    return std::move(graph_);
+  }
+
+ private:
+  void declare_signals() {
+    for (const auto& port : module_.ports) {
+      NodeType type = NodeType::Wire;
+      switch (port.dir) {
+        case PortDir::Input: type = NodeType::Input; break;
+        case PortDir::Output: type = NodeType::Output; break;
+        case PortDir::Inout: type = NodeType::Wire; break;
+      }
+      const int width = port.range ? port.range->width() : 1;
+      signals_[port.name] = graph_.add_node(type, port.name, width);
+    }
+    for (const auto& net : module_.nets) {
+      if (signals_.count(net.name) != 0) continue;  // output reg: port wins
+      const NodeType type = net.kind == NetKind::Wire ? NodeType::Wire : NodeType::Reg;
+      const int width = net.range ? net.range->width() : (net.kind == NetKind::Integer ? 32 : 1);
+      signals_[net.name] = graph_.add_node(type, net.name, width);
+    }
+  }
+
+  NetGraph::NodeId signal(const std::string& name) {
+    const auto it = signals_.find(name);
+    if (it != signals_.end()) return it->second;
+    // Implicitly declared net (legal Verilog for scalar wires).
+    const NetGraph::NodeId id = graph_.add_node(NodeType::Wire, name, 1);
+    signals_[name] = id;
+    return id;
+  }
+
+  /// The signal node assigned by an lvalue expression (the base identifier
+  /// of selects/concats; concat targets fan in to every member).
+  NetGraph::NodeId lhs_target(const Expr& lhs) {
+    switch (lhs.kind) {
+      case ExprKind::Identifier:
+        return signal(lhs.name);
+      case ExprKind::Index:
+      case ExprKind::Range:
+        return lhs_target(*lhs.operands[0]);
+      case ExprKind::Concat: {
+        // Represent a concat target as a Concat node feeding each member.
+        const NetGraph::NodeId hub = graph_.add_node(NodeType::Concat, "{lhs}");
+        for (const auto& part : lhs.operands) {
+          graph_.add_edge(hub, lhs_target(*part));
+        }
+        return hub;
+      }
+      default:
+        return signal("__bad_lhs__");
+    }
+  }
+
+  NetGraph::NodeId lower_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Number:
+        return graph_.add_node(NodeType::Const, std::to_string(e.value),
+                               e.width > 0 ? e.width : 32);
+      case ExprKind::Identifier:
+        return signal(e.name);
+      case ExprKind::Unary: {
+        const NetGraph::NodeId op = graph_.add_node(NodeType::Op, e.name);
+        graph_.add_edge(lower_expr(*e.operands[0]), op);
+        return op;
+      }
+      case ExprKind::Binary: {
+        const NetGraph::NodeId op = graph_.add_node(NodeType::Op, e.name);
+        graph_.add_edge(lower_expr(*e.operands[0]), op);
+        graph_.add_edge(lower_expr(*e.operands[1]), op);
+        return op;
+      }
+      case ExprKind::Ternary: {
+        const NetGraph::NodeId mux = graph_.add_node(NodeType::Mux, "?:");
+        graph_.add_edge(lower_expr(*e.operands[0]), mux);
+        graph_.add_edge(lower_expr(*e.operands[1]), mux);
+        graph_.add_edge(lower_expr(*e.operands[2]), mux);
+        return mux;
+      }
+      case ExprKind::Index:
+      case ExprKind::Range: {
+        const NetGraph::NodeId select = graph_.add_node(NodeType::Select, "[]");
+        graph_.add_edge(lower_expr(*e.operands[0]), select);
+        // Dynamic indices contribute data flow; constant bounds do not.
+        for (std::size_t i = 1; i < e.operands.size(); ++i) {
+          if (e.operands[i]->kind != ExprKind::Number) {
+            graph_.add_edge(lower_expr(*e.operands[i]), select);
+          }
+        }
+        return select;
+      }
+      case ExprKind::Concat:
+      case ExprKind::Replicate: {
+        const NetGraph::NodeId concat = graph_.add_node(NodeType::Concat, "{}");
+        for (const auto& part : e.operands) {
+          graph_.add_edge(lower_expr(*part), concat);
+        }
+        return concat;
+      }
+    }
+    return signal("__bad_expr__");
+  }
+
+  void lower_stmt(const Stmt& s, std::vector<NetGraph::NodeId>& conditions,
+                  const std::string& clock) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        for (const auto& child : s.body) lower_stmt(*child, conditions, clock);
+        break;
+      case StmtKind::If: {
+        const NetGraph::NodeId cond = lower_expr(*s.cond);
+        conditions.push_back(cond);
+        lower_stmt(*s.then_branch, conditions, clock);
+        if (s.else_branch) lower_stmt(*s.else_branch, conditions, clock);
+        conditions.pop_back();
+        break;
+      }
+      case StmtKind::Case: {
+        const NetGraph::NodeId subject = lower_expr(*s.cond);
+        conditions.push_back(subject);
+        for (const auto& item : s.case_items) {
+          if (item.body) lower_stmt(*item.body, conditions, clock);
+        }
+        conditions.pop_back();
+        break;
+      }
+      case StmtKind::For: {
+        // Loop bounds are elaboration-time; only the body carries data flow.
+        if (s.for_init) lower_stmt(*s.for_init, conditions, clock);
+        if (s.for_step) lower_stmt(*s.for_step, conditions, clock);
+        for (const auto& child : s.body) lower_stmt(*child, conditions, clock);
+        break;
+      }
+      case StmtKind::BlockingAssign:
+      case StmtKind::NonBlockingAssign: {
+        const NetGraph::NodeId target = lhs_target(*s.lhs);
+        graph_.add_edge(lower_expr(*s.rhs), target);
+        for (const NetGraph::NodeId cond : conditions) {
+          graph_.add_edge(cond, target);  // control dependency (mux select)
+        }
+        if (!clock.empty()) {
+          graph_.add_edge(signal(clock), target);  // sequential skeleton
+        }
+        break;
+      }
+      case StmtKind::Null:
+        break;
+    }
+  }
+
+  void lower_always(const AlwaysBlock& block) {
+    if (!block.body) return;
+    std::string clock;
+    for (const auto& item : block.sensitivity) {
+      if (item.edge != EdgeKind::None) {
+        clock = item.signal;
+        break;
+      }
+    }
+    std::vector<NetGraph::NodeId> conditions;
+    lower_stmt(*block.body, conditions, clock);
+  }
+
+  void lower_instance(const verilog::Instance& inst) {
+    const NetGraph::NodeId node =
+        graph_.add_node(NodeType::Instance, inst.module_name);
+    // Without the instantiated module's interface, use the Trust-Hub
+    // convention: connections are bidirectionally coupled through the
+    // instance so the DFG stays connected.
+    for (const auto& conn : inst.connections) {
+      if (!conn.actual) continue;
+      const NetGraph::NodeId actual = lower_expr(*conn.actual);
+      graph_.add_edge(actual, node);
+      graph_.add_edge(node, actual);
+    }
+  }
+
+  const Module& module_;
+  NetGraph graph_;
+  std::map<std::string, NetGraph::NodeId> signals_;
+};
+
+}  // namespace
+
+NetGraph build_netgraph(const verilog::Module& m) { return Lowering(m).run(); }
+
+}  // namespace noodle::graph

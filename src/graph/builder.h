@@ -1,0 +1,26 @@
+#pragma once
+// Lowers a parsed Verilog module to its data-flow NetGraph.
+//
+// Lowering rules:
+//  * one node per declared signal (Input/Output/Wire/Reg by declaration),
+//  * one node per constant occurrence and per operator occurrence,
+//  * `assign lhs = rhs`  =>  rhs-expression subgraph -> lhs signal node,
+//  * procedural assignment  =>  rhs subgraph -> lhs, plus a control edge
+//    from every enclosing if/case condition node (the implicit mux select),
+//  * instances become Instance nodes wired between their actuals
+//    (inputs feed the instance; the instance feeds outputs),
+//  * edge-triggered blocks add an edge from the clock signal to each
+//    assigned register, capturing the sequential skeleton.
+
+#include "graph/netgraph.h"
+#include "verilog/ast.h"
+
+namespace noodle::graph {
+
+/// Builds the data-flow graph of one module. Identifiers that were never
+/// declared (outside the generated corpus this can happen in hand-written
+/// files) get implicit Wire nodes rather than failing, matching how
+/// synthesis treats undeclared nets.
+NetGraph build_netgraph(const verilog::Module& m);
+
+}  // namespace noodle::graph

@@ -1,0 +1,176 @@
+#include "graph/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.h"
+
+namespace noodle::graph {
+
+namespace {
+
+double safe_log1p(double x) { return std::log1p(std::max(0.0, x)); }
+
+/// Operator buckets tracked by the embedding; anything else lands in
+/// "other". Comparators and XORs are listed first because Trojan triggers
+/// and leak payloads disproportionately use them.
+int op_bucket(const std::string& op) {
+  if (op == "==" || op == "!=" || op == "===" || op == "!==") return 0;  // equality
+  if (op == "<" || op == "<=" || op == ">" || op == ">=") return 1;      // relational
+  if (op == "^" || op == "~^" || op == "^~") return 2;                   // xor
+  if (op == "&" || op == "~&") return 3;                                 // and
+  if (op == "|" || op == "~|") return 4;                                 // or
+  if (op == "+" || op == "-") return 5;                                  // add/sub
+  if (op == "*" || op == "/" || op == "%") return 6;                     // mul/div
+  if (op == "<<" || op == ">>" || op == "<<<" || op == ">>>") return 7;  // shift
+  if (op == "!" || op == "~") return 8;                                  // not
+  return 9;                                                              // other
+}
+
+constexpr std::size_t kOpBuckets = 10;
+
+}  // namespace
+
+std::vector<double> graph_features(const NetGraph& g) {
+  std::vector<double> features;
+  features.reserve(kGraphFeatureDim);
+
+  const std::size_t n = g.node_count();
+  const std::size_t e = g.edge_count();
+
+  // [0..9] node-type histogram.
+  const std::vector<double> type_hist = g.type_histogram();
+  features.insert(features.end(), type_hist.begin(), type_hist.end());
+
+  // [10..19] operator-bucket histogram over Op nodes (normalized by node
+  // count so absolute operator density is preserved).
+  std::vector<double> op_hist(kOpBuckets, 0.0);
+  for (NetGraph::NodeId id = 0; id < n; ++id) {
+    const Node& node = g.node(id);
+    if (node.type == NodeType::Op) {
+      op_hist[static_cast<std::size_t>(op_bucket(node.label))] += 1.0;
+    }
+  }
+  if (n > 0) {
+    for (double& bin : op_hist) bin /= static_cast<double>(n);
+  }
+  features.insert(features.end(), op_hist.begin(), op_hist.end());
+
+  // [20..25] degree statistics.
+  std::vector<double> in_degrees, out_degrees;
+  in_degrees.reserve(n);
+  out_degrees.reserve(n);
+  for (NetGraph::NodeId id = 0; id < n; ++id) {
+    in_degrees.push_back(static_cast<double>(g.in_degree(id)));
+    out_degrees.push_back(static_cast<double>(g.out_degree(id)));
+  }
+  features.push_back(n == 0 ? 0.0 : util::mean(in_degrees));
+  features.push_back(n == 0 ? 0.0 : util::mean(out_degrees));
+  features.push_back(n == 0 ? 0.0 : safe_log1p(util::max_value(in_degrees)));
+  features.push_back(n == 0 ? 0.0 : safe_log1p(util::max_value(out_degrees)));
+  features.push_back(n == 0 ? 0.0 : util::stddev(out_degrees));
+  // Fraction of single-fanout nets: Trojan trigger wires typically feed
+  // exactly one mux, inflating this tail.
+  double single_fanout = 0.0;
+  for (const double d : out_degrees) {
+    if (d == 1.0) single_fanout += 1.0;
+  }
+  features.push_back(n == 0 ? 0.0 : single_fanout / static_cast<double>(n));
+
+  // [26..30] global structure.
+  features.push_back(safe_log1p(static_cast<double>(n)));
+  features.push_back(safe_log1p(static_cast<double>(e)));
+  features.push_back(n <= 1 ? 0.0
+                            : static_cast<double>(e) /
+                                  (static_cast<double>(n) * static_cast<double>(n - 1)));
+  features.push_back(static_cast<double>(g.component_count()));
+  features.push_back(safe_log1p(static_cast<double>(g.depth_from_inputs())));
+
+  // [31..33] spectral sketch.
+  const std::vector<double> spectrum = g.spectral_sketch(3);
+  for (const double eigenvalue : spectrum) features.push_back(safe_log1p(eigenvalue));
+
+  // [34..39] trigger-motif counts.
+  double wide_eq_const = 0.0;   // equality ops with a constant operand >= 8 bits
+  double mux_count = 0.0;       // muxes in the design
+  double mux_rare_select = 0.0; // muxes whose first predecessor has fanout 1
+  double wide_regs = 0.0;       // registers of width >= 16 (bomb counters)
+  double const_nodes = 0.0;
+  double reg_feedback = 0.0;    // registers feeding themselves (counters/FSMs)
+  for (NetGraph::NodeId id = 0; id < n; ++id) {
+    const Node& node = g.node(id);
+    switch (node.type) {
+      case NodeType::Op: {
+        if (op_bucket(node.label) == 0) {
+          for (const NetGraph::NodeId pred : g.predecessors(id)) {
+            if (g.node(pred).type == NodeType::Const && g.node(pred).width >= 8) {
+              wide_eq_const += 1.0;
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case NodeType::Mux: {
+        mux_count += 1.0;
+        const auto& preds = g.predecessors(id);
+        if (!preds.empty() && g.out_degree(preds.front()) == 1) {
+          mux_rare_select += 1.0;
+        }
+        break;
+      }
+      case NodeType::Reg: {
+        if (node.width >= 16) wide_regs += 1.0;
+        for (const NetGraph::NodeId succ : g.successors(id)) {
+          if (succ == id) {
+            reg_feedback += 1.0;
+            break;
+          }
+        }
+        break;
+      }
+      case NodeType::Const:
+        const_nodes += 1.0;
+        break;
+      default:
+        break;
+    }
+  }
+  const double denom = n == 0 ? 1.0 : static_cast<double>(n);
+  features.push_back(wide_eq_const / denom);
+  features.push_back(mux_count / denom);
+  features.push_back(mux_rare_select / denom);
+  features.push_back(wide_regs / denom);
+  features.push_back(const_nodes / denom);
+  features.push_back(reg_feedback / denom);
+
+  if (features.size() != kGraphFeatureDim) {
+    throw std::logic_error("graph_features: dimension drift");
+  }
+  return features;
+}
+
+const std::vector<std::string>& graph_feature_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < kNodeTypeCount; ++i) {
+      out.push_back(std::string("type_frac_") + to_string(static_cast<NodeType>(i)));
+    }
+    const char* buckets[] = {"eq", "rel", "xor", "and", "or",
+                             "addsub", "muldiv", "shift", "not", "other"};
+    for (const char* b : buckets) out.push_back(std::string("op_frac_") + b);
+    out.insert(out.end(), {"mean_in_degree", "mean_out_degree", "log_max_in_degree",
+                           "log_max_out_degree", "out_degree_stddev",
+                           "single_fanout_frac"});
+    out.insert(out.end(), {"log_nodes", "log_edges", "density", "components",
+                           "log_depth"});
+    out.insert(out.end(), {"log_eig1", "log_eig2", "log_eig3"});
+    out.insert(out.end(), {"wide_eq_const_frac", "mux_frac", "mux_rare_select_frac",
+                           "wide_reg_frac", "const_frac", "reg_feedback_frac"});
+    return out;
+  }();
+  return names;
+}
+
+}  // namespace noodle::graph

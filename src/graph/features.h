@@ -1,0 +1,31 @@
+#pragma once
+// Fixed-length embedding of a NetGraph — the vector handed to the graph-
+// modality CNN. Deterministic, size kGraphFeatureDim, layout documented by
+// graph_feature_names().
+//
+// The embedding mixes:
+//  * node-type composition (what the circuit is made of),
+//  * operator mix (comparators, XORs, muxes — Trojan triggers skew these),
+//  * degree/fanout topology statistics,
+//  * global structure (size, density, depth, components),
+//  * a spectral sketch (top eigenvalues of the symmetrized adjacency),
+//  * trigger-motif counts: wide equality-against-constant comparators and
+//    muxes selected by low-fanout nets, the structural fingerprints of
+//    time bombs and cheat codes.
+
+#include <string>
+#include <vector>
+
+#include "graph/netgraph.h"
+
+namespace noodle::graph {
+
+inline constexpr std::size_t kGraphFeatureDim = 40;
+
+/// Embeds a graph into R^kGraphFeatureDim.
+std::vector<double> graph_features(const NetGraph& g);
+
+/// Human-readable name of each embedding dimension (size kGraphFeatureDim).
+const std::vector<std::string>& graph_feature_names();
+
+}  // namespace noodle::graph

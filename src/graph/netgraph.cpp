@@ -1,0 +1,159 @@
+#include "graph/netgraph.h"
+
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace noodle::graph {
+
+const char* to_string(NodeType type) noexcept {
+  switch (type) {
+    case NodeType::Input: return "input";
+    case NodeType::Output: return "output";
+    case NodeType::Wire: return "wire";
+    case NodeType::Reg: return "reg";
+    case NodeType::Const: return "const";
+    case NodeType::Op: return "op";
+    case NodeType::Mux: return "mux";
+    case NodeType::Concat: return "concat";
+    case NodeType::Select: return "select";
+    case NodeType::Instance: return "instance";
+  }
+  return "unknown";
+}
+
+NetGraph::NodeId NetGraph::add_node(NodeType type, std::string label, int width) {
+  nodes_.push_back(Node{type, std::move(label), width});
+  out_.emplace_back();
+  in_.emplace_back();
+  return nodes_.size() - 1;
+}
+
+void NetGraph::add_edge(NodeId src, NodeId dst) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    throw std::out_of_range("NetGraph::add_edge: invalid node id");
+  }
+  out_[src].push_back(dst);
+  in_[dst].push_back(src);
+  ++edge_count_;
+}
+
+std::vector<NetGraph::NodeId> NetGraph::nodes_of_type(NodeType type) const {
+  std::vector<NodeId> result;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].type == type) result.push_back(id);
+  }
+  return result;
+}
+
+std::size_t NetGraph::component_count() const {
+  if (nodes_.empty()) return 0;
+  std::vector<bool> seen(nodes_.size(), false);
+  std::size_t components = 0;
+  for (NodeId start = 0; start < nodes_.size(); ++start) {
+    if (seen[start]) continue;
+    ++components;
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    seen[start] = true;
+    while (!frontier.empty()) {
+      const NodeId id = frontier.front();
+      frontier.pop();
+      for (const NodeId next : out_[id]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          frontier.push(next);
+        }
+      }
+      for (const NodeId next : in_[id]) {
+        if (!seen[next]) {
+          seen[next] = true;
+          frontier.push(next);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+std::size_t NetGraph::depth_from_inputs() const {
+  std::vector<std::size_t> dist(nodes_.size(), static_cast<std::size_t>(-1));
+  std::queue<NodeId> frontier;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (nodes_[id].type == NodeType::Input) {
+      dist[id] = 0;
+      frontier.push(id);
+    }
+  }
+  std::size_t depth = 0;
+  while (!frontier.empty()) {
+    const NodeId id = frontier.front();
+    frontier.pop();
+    depth = std::max(depth, dist[id]);
+    for (const NodeId next : out_[id]) {
+      if (dist[next] == static_cast<std::size_t>(-1)) {
+        dist[next] = dist[id] + 1;
+        frontier.push(next);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<double> NetGraph::type_histogram() const {
+  std::vector<double> histogram(kNodeTypeCount, 0.0);
+  if (nodes_.empty()) return histogram;
+  for (const Node& n : nodes_) {
+    histogram[static_cast<std::size_t>(n.type)] += 1.0;
+  }
+  for (double& bin : histogram) bin /= static_cast<double>(nodes_.size());
+  return histogram;
+}
+
+std::vector<double> NetGraph::spectral_sketch(std::size_t count,
+                                              std::size_t iterations) const {
+  std::vector<double> eigenvalues;
+  const std::size_t n = nodes_.size();
+  if (n == 0 || count == 0) return std::vector<double>(count, 0.0);
+
+  // Power iteration with deflation on the symmetrized adjacency A + A^T.
+  // Deterministic start vectors (index-based) keep results reproducible.
+  std::vector<std::vector<double>> found;
+  for (std::size_t k = 0; k < count; ++k) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = 1.0 + 0.1 * static_cast<double>((i + k + 1) % 7);
+    }
+    double eigenvalue = 0.0;
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+      // Orthogonalize against previously found eigenvectors (deflation).
+      for (const auto& u : found) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) dot += v[i] * u[i];
+        for (std::size_t i = 0; i < n; ++i) v[i] -= dot * u[i];
+      }
+      std::vector<double> w(n, 0.0);
+      for (NodeId src = 0; src < n; ++src) {
+        for (const NodeId dst : out_[src]) {
+          w[dst] += v[src];
+          w[src] += v[dst];  // symmetrize
+        }
+      }
+      double norm = 0.0;
+      for (const double x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) {
+        eigenvalue = 0.0;
+        v.assign(n, 0.0);
+        break;
+      }
+      eigenvalue = norm;
+      for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / norm;
+    }
+    eigenvalues.push_back(eigenvalue);
+    found.push_back(v);
+  }
+  return eigenvalues;
+}
+
+}  // namespace noodle::graph

@@ -1,0 +1,87 @@
+#pragma once
+// Typed data-flow graph (DFG) lowered from a Verilog module — the graph
+// modality of NOODLE, mirroring what hw2vec extracts from RTL. Nodes are
+// signals, constants, and operator occurrences; directed edges follow data
+// flow (operand -> operator -> assigned signal) plus control edges from
+// branch conditions to the signals assigned under them.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace noodle::graph {
+
+enum class NodeType {
+  Input,     // module input port
+  Output,    // module output port
+  Wire,      // internal wire
+  Reg,       // internal register
+  Const,     // literal constant occurrence
+  Op,        // unary/binary operator occurrence (label = spelling)
+  Mux,       // ternary / conditional
+  Concat,    // concatenation / replication
+  Select,    // bit/part select
+  Instance,  // submodule instance
+};
+
+const char* to_string(NodeType type) noexcept;
+
+/// Number of distinct NodeType values (histogram size).
+inline constexpr std::size_t kNodeTypeCount = 10;
+
+struct Node {
+  NodeType type = NodeType::Wire;
+  std::string label;  // signal name, operator spelling, or constant text
+  int width = 1;      // bit width where known (signals, constants)
+};
+
+/// Directed multigraph with stable integer node ids.
+class NetGraph {
+ public:
+  using NodeId = std::size_t;
+
+  NodeId add_node(NodeType type, std::string label, int width = 1);
+
+  /// Adds a directed edge src -> dst. Parallel edges are allowed (a signal
+  /// can feed the same operator twice); self-loops are allowed (feedback
+  /// registers). Throws std::out_of_range on invalid ids.
+  void add_edge(NodeId src, NodeId dst);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  const std::vector<NodeId>& successors(NodeId id) const { return out_.at(id); }
+  const std::vector<NodeId>& predecessors(NodeId id) const { return in_.at(id); }
+
+  std::size_t out_degree(NodeId id) const { return out_.at(id).size(); }
+  std::size_t in_degree(NodeId id) const { return in_.at(id).size(); }
+
+  /// All node ids of a given type.
+  std::vector<NodeId> nodes_of_type(NodeType type) const;
+
+  // --- analyses ---
+
+  /// Number of weakly connected components.
+  std::size_t component_count() const;
+
+  /// Longest shortest-path distance (in edges) from any Input node,
+  /// following edge direction; a proxy for logic depth. 0 for graphs
+  /// without inputs.
+  std::size_t depth_from_inputs() const;
+
+  /// Histogram of node types, normalized to sum 1 (all zeros when empty).
+  std::vector<double> type_histogram() const;
+
+  /// Largest eigenvalue estimates of the symmetrized adjacency matrix via
+  /// deflated power iteration; a cheap spectral signature of the topology.
+  std::vector<double> spectral_sketch(std::size_t count, std::size_t iterations = 50) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace noodle::graph

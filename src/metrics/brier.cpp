@@ -1,0 +1,86 @@
+#include "metrics/brier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace noodle::metrics {
+
+namespace {
+
+void check(std::span<const double> predicted, std::span<const int> observed) {
+  if (predicted.size() != observed.size()) {
+    throw std::invalid_argument("brier: size mismatch");
+  }
+  if (predicted.empty()) throw std::invalid_argument("brier: empty input");
+  for (const int o : observed) {
+    if (o != 0 && o != 1) throw std::invalid_argument("brier: outcomes must be 0/1");
+  }
+}
+
+}  // namespace
+
+double brier_score(std::span<const double> predicted, std::span<const int> observed) {
+  check(predicted, observed);
+  double total = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - static_cast<double>(observed[i]);
+    total += d * d;
+  }
+  return total / static_cast<double>(predicted.size());
+}
+
+BrierDecomposition brier_decomposition(std::span<const double> predicted,
+                                       std::span<const int> observed,
+                                       std::size_t bins) {
+  check(predicted, observed);
+  if (bins == 0) throw std::invalid_argument("brier_decomposition: bins == 0");
+
+  const double n = static_cast<double>(predicted.size());
+  double base_rate = 0.0;
+  for (const int o : observed) base_rate += static_cast<double>(o);
+  base_rate /= n;
+
+  struct Bin {
+    double count = 0.0;
+    double sum_pred = 0.0;
+    double sum_obs = 0.0;
+  };
+  std::vector<Bin> table(bins);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    auto b = static_cast<std::size_t>(std::clamp(predicted[i], 0.0, 1.0) *
+                                      static_cast<double>(bins));
+    if (b == bins) b = bins - 1;
+    table[b].count += 1.0;
+    table[b].sum_pred += predicted[i];
+    table[b].sum_obs += static_cast<double>(observed[i]);
+  }
+
+  BrierDecomposition out;
+  out.brier = brier_score(predicted, observed);
+  out.uncertainty = base_rate * (1.0 - base_rate);
+  for (const Bin& bin : table) {
+    if (bin.count == 0.0) continue;
+    const double mean_pred = bin.sum_pred / bin.count;
+    const double mean_obs = bin.sum_obs / bin.count;
+    out.reliability += bin.count / n * (mean_pred - mean_obs) * (mean_pred - mean_obs);
+    out.resolution += bin.count / n * (mean_obs - base_rate) * (mean_obs - base_rate);
+  }
+  out.refinement = out.uncertainty - out.resolution;
+  return out;
+}
+
+double brier_skill_score(std::span<const double> predicted,
+                         std::span<const int> observed) {
+  check(predicted, observed);
+  const double n = static_cast<double>(predicted.size());
+  double base_rate = 0.0;
+  for (const int o : observed) base_rate += static_cast<double>(o);
+  base_rate /= n;
+  const double reference = base_rate * (1.0 - base_rate);
+  if (reference <= 0.0) return 0.0;  // single-class data: skill undefined
+  return 1.0 - brier_score(predicted, observed) / reference;
+}
+
+}  // namespace noodle::metrics

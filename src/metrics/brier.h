@@ -1,0 +1,40 @@
+#pragma once
+// Brier score and its Murphy decomposition — the paper's headline metric
+// (Table I, Fig. 2) chosen precisely because accuracy misleads on the
+// imbalanced TF/TI distribution.
+
+#include <span>
+
+namespace noodle::metrics {
+
+/// Mean squared difference between predicted probability of the positive
+/// class and the 0/1 outcome (Eq. 5). Range [0, 1], lower is better.
+double brier_score(std::span<const double> predicted, std::span<const int> observed);
+
+/// Murphy (1973) three-way decomposition over K probability bins:
+///   BS = reliability - resolution + uncertainty
+/// reliability: within-bin squared miscalibration (lower = better),
+/// resolution:  how far bin outcomes deviate from the base rate (higher =
+///              better discrimination),
+/// uncertainty: base-rate variance o(1-o), a property of the data.
+/// refinement = uncertainty - resolution (lower = sharper); the radar plot
+/// reports refinement loss.
+struct BrierDecomposition {
+  double brier = 0.0;
+  double reliability = 0.0;
+  double resolution = 0.0;
+  double uncertainty = 0.0;
+  double refinement = 0.0;
+};
+
+BrierDecomposition brier_decomposition(std::span<const double> predicted,
+                                       std::span<const int> observed,
+                                       std::size_t bins = 10);
+
+/// Brier skill score: 1 - BS / BS_climatology, where the reference forecast
+/// always predicts the base rate. Positive = better than climatology;
+/// 0 when the data is single-class (no skill measurable).
+double brier_skill_score(std::span<const double> predicted,
+                         std::span<const int> observed);
+
+}  // namespace noodle::metrics

@@ -1,0 +1,68 @@
+#include "metrics/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace noodle::metrics {
+
+CalibrationCurve calibration_curve(std::span<const double> predicted,
+                                   std::span<const int> observed, std::size_t bins) {
+  if (predicted.size() != observed.size()) {
+    throw std::invalid_argument("calibration_curve: size mismatch");
+  }
+  if (predicted.empty()) throw std::invalid_argument("calibration_curve: empty input");
+  if (bins == 0) throw std::invalid_argument("calibration_curve: bins == 0");
+
+  struct Accumulator {
+    std::size_t count = 0;
+    double sum_pred = 0.0;
+    double sum_obs = 0.0;
+  };
+  std::vector<Accumulator> acc(bins);
+
+  double mean_pred = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (observed[i] != 0 && observed[i] != 1) {
+      throw std::invalid_argument("calibration_curve: outcomes must be 0/1");
+    }
+    const double p = std::clamp(predicted[i], 0.0, 1.0);
+    auto b = static_cast<std::size_t>(p * static_cast<double>(bins));
+    if (b == bins) b = bins - 1;
+    ++acc[b].count;
+    acc[b].sum_pred += p;
+    acc[b].sum_obs += static_cast<double>(observed[i]);
+    mean_pred += p;
+  }
+  mean_pred /= static_cast<double>(predicted.size());
+
+  CalibrationCurve curve;
+  curve.sharpness_histogram.resize(bins);
+  const double width = 1.0 / static_cast<double>(bins);
+  const double n = static_cast<double>(predicted.size());
+  for (std::size_t b = 0; b < bins; ++b) {
+    curve.sharpness_histogram[b] = acc[b].count;
+    if (acc[b].count == 0) continue;
+    CalibrationBin bin;
+    bin.bin_low = static_cast<double>(b) * width;
+    bin.bin_high = bin.bin_low + width;
+    bin.count = acc[b].count;
+    bin.mean_predicted = acc[b].sum_pred / static_cast<double>(acc[b].count);
+    bin.observed_rate = acc[b].sum_obs / static_cast<double>(acc[b].count);
+    curve.bins.push_back(bin);
+
+    const double gap = std::abs(bin.mean_predicted - bin.observed_rate);
+    curve.expected_calibration_error += static_cast<double>(bin.count) / n * gap;
+    curve.max_calibration_error = std::max(curve.max_calibration_error, gap);
+  }
+
+  double variance = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double p = std::clamp(predicted[i], 0.0, 1.0);
+    variance += (p - mean_pred) * (p - mean_pred);
+  }
+  curve.sharpness = variance / n;
+  return curve;
+}
+
+}  // namespace noodle::metrics

@@ -1,0 +1,32 @@
+#pragma once
+// Confidence calibration curve (reliability diagram) + sharpness histogram
+// — Fig. 3 of the paper.
+
+#include <span>
+#include <vector>
+
+namespace noodle::metrics {
+
+struct CalibrationBin {
+  double bin_low = 0.0;
+  double bin_high = 0.0;
+  std::size_t count = 0;
+  double mean_predicted = 0.0;  // x coordinate of the curve point
+  double observed_rate = 0.0;   // y coordinate
+};
+
+struct CalibrationCurve {
+  std::vector<CalibrationBin> bins;             // only non-empty bins carry points
+  std::vector<std::size_t> sharpness_histogram; // all bins, raw counts (Fig. 3 bottom)
+  double expected_calibration_error = 0.0;      // count-weighted |pred - obs|
+  double max_calibration_error = 0.0;
+  double sharpness = 0.0;                        // variance of the predictions
+};
+
+/// Computes the reliability diagram over `bins` equal-width probability
+/// bins. Outcomes must be 0/1; predictions are clamped to [0, 1].
+CalibrationCurve calibration_curve(std::span<const double> predicted,
+                                   std::span<const int> observed,
+                                   std::size_t bins = 10);
+
+}  // namespace noodle::metrics

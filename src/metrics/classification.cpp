@@ -1,0 +1,102 @@
+#include "metrics/classification.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "metrics/brier.h"
+#include "metrics/roc.h"
+
+namespace noodle::metrics {
+
+namespace {
+
+double ratio(std::size_t numerator, std::size_t denominator) {
+  return denominator == 0
+             ? 0.0
+             : static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
+}  // namespace
+
+double ConfusionMatrix::accuracy() const noexcept {
+  return ratio(true_positive + true_negative, total());
+}
+double ConfusionMatrix::sensitivity() const noexcept {
+  return ratio(true_positive, true_positive + false_negative);
+}
+double ConfusionMatrix::specificity() const noexcept {
+  return ratio(true_negative, true_negative + false_positive);
+}
+double ConfusionMatrix::precision() const noexcept {
+  return ratio(true_positive, true_positive + false_positive);
+}
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = sensitivity();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+double ConfusionMatrix::balanced_accuracy() const noexcept {
+  return (sensitivity() + specificity()) / 2.0;
+}
+
+ConfusionMatrix confusion_at(std::span<const double> predicted,
+                             std::span<const int> observed, double threshold) {
+  if (predicted.size() != observed.size()) {
+    throw std::invalid_argument("confusion_at: size mismatch");
+  }
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const bool positive = predicted[i] > threshold;
+    if (observed[i] == 1) {
+      positive ? ++cm.true_positive : ++cm.false_negative;
+    } else if (observed[i] == 0) {
+      positive ? ++cm.false_positive : ++cm.true_negative;
+    } else {
+      throw std::invalid_argument("confusion_at: labels must be 0/1");
+    }
+  }
+  return cm;
+}
+
+ConsolidatedMetrics consolidated_metrics(std::span<const double> predicted,
+                                         std::span<const int> observed,
+                                         double threshold) {
+  ConsolidatedMetrics m;
+  m.auc = roc_auc(predicted, observed);
+  const BrierDecomposition decomposition = brier_decomposition(predicted, observed);
+  m.resolution = decomposition.resolution;
+  m.refinement_loss = decomposition.refinement;
+  m.brier = decomposition.brier;
+  m.brier_skill = brier_skill_score(predicted, observed);
+  const ConfusionMatrix cm = confusion_at(predicted, observed, threshold);
+  m.sensitivity = cm.sensitivity();
+  m.specificity = cm.specificity();
+  m.accuracy = cm.accuracy();
+  return m;
+}
+
+const std::vector<std::string>& radar_axis_names() {
+  static const std::vector<std::string> names = {
+      "AUC",         "Resolution", "Refinement loss", "Brier score",
+      "Brier skill", "Sensitivity", "Specificity",    "Accuracy",
+  };
+  return names;
+}
+
+std::vector<double> radar_values(const ConsolidatedMetrics& m) {
+  // All axes normalized to [0,1], larger = better, as the paper does
+  // ("some variables have been normalized to conform to the 0-1 range").
+  auto clamp01 = [](double x) { return std::clamp(x, 0.0, 1.0); };
+  return {
+      clamp01(m.auc),
+      clamp01(m.resolution / 0.25),       // resolution is bounded by uncertainty <= 1/4
+      clamp01(1.0 - m.refinement_loss / 0.25),
+      clamp01(1.0 - m.brier),
+      clamp01((m.brier_skill + 1.0) / 2.0),  // skill in [-1, 1] -> [0, 1]
+      clamp01(m.sensitivity),
+      clamp01(m.specificity),
+      clamp01(m.accuracy),
+  };
+}
+
+}  // namespace noodle::metrics

@@ -1,0 +1,59 @@
+#pragma once
+// Threshold classification metrics and the consolidated radar-plot bundle
+// (Fig. 5).
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace noodle::metrics {
+
+struct ConfusionMatrix {
+  std::size_t true_positive = 0;
+  std::size_t false_positive = 0;
+  std::size_t true_negative = 0;
+  std::size_t false_negative = 0;
+
+  std::size_t total() const noexcept {
+    return true_positive + false_positive + true_negative + false_negative;
+  }
+  double accuracy() const noexcept;
+  double sensitivity() const noexcept;  // recall on TI
+  double specificity() const noexcept;  // recall on TF
+  double precision() const noexcept;
+  double f1() const noexcept;
+  double balanced_accuracy() const noexcept;
+};
+
+/// Confusion matrix of thresholded probabilities (predict TI when
+/// probability > threshold).
+ConfusionMatrix confusion_at(std::span<const double> predicted,
+                             std::span<const int> observed, double threshold = 0.5);
+
+/// The metric bundle rendered in the paper's radar plot, in its axis order:
+/// discrimination first (AUC, resolution, refinement loss), then combined
+/// calibration+discrimination (Brier, Brier skill), then threshold metrics.
+struct ConsolidatedMetrics {
+  double auc = 0.0;
+  double resolution = 0.0;
+  double refinement_loss = 0.0;
+  double brier = 0.0;
+  double brier_skill = 0.0;
+  double sensitivity = 0.0;
+  double specificity = 0.0;
+  double accuracy = 0.0;
+};
+
+ConsolidatedMetrics consolidated_metrics(std::span<const double> predicted,
+                                         std::span<const int> observed,
+                                         double threshold = 0.5);
+
+/// Radar axes in display order.
+const std::vector<std::string>& radar_axis_names();
+
+/// Values normalized to [0,1] "bigger is better" for the radar plot:
+/// loss-like axes (Brier, refinement loss) are inverted as 1-x; resolution
+/// and Brier skill are scaled against their attainable bounds.
+std::vector<double> radar_values(const ConsolidatedMetrics& m);
+
+}  // namespace noodle::metrics

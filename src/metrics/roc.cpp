@@ -1,0 +1,78 @@
+#include "metrics/roc.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace noodle::metrics {
+
+namespace {
+
+void check(std::span<const double> scores, std::span<const int> labels) {
+  if (scores.size() != labels.size()) throw std::invalid_argument("roc: size mismatch");
+  if (scores.empty()) throw std::invalid_argument("roc: empty input");
+  for (const int y : labels) {
+    if (y != 0 && y != 1) throw std::invalid_argument("roc: labels must be 0/1");
+  }
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const int> labels) {
+  check(scores, labels);
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&scores](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  double positives = 0.0, negatives = 0.0;
+  for (const int y : labels) (y == 1 ? positives : negatives) += 1.0;
+
+  std::vector<RocPoint> curve;
+  curve.push_back({std::numeric_limits<double>::infinity(), 0.0, 0.0});
+  double tp = 0.0, fp = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double threshold = scores[order[i]];
+    // Consume the whole tie group before emitting a point.
+    while (i < order.size() && scores[order[i]] == threshold) {
+      if (labels[order[i]] == 1) tp += 1.0;
+      else fp += 1.0;
+      ++i;
+    }
+    curve.push_back({threshold, negatives == 0.0 ? 0.0 : fp / negatives,
+                     positives == 0.0 ? 0.0 : tp / positives});
+  }
+  return curve;
+}
+
+double roc_auc(std::span<const double> scores, std::span<const int> labels) {
+  check(scores, labels);
+  // Rank-sum with midranks for ties.
+  std::vector<std::size_t> order(scores.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&scores](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  double positives = 0.0, negatives = 0.0;
+  for (const int y : labels) (y == 1 ? positives : negatives) += 1.0;
+  if (positives == 0.0 || negatives == 0.0) return 0.5;
+
+  double rank_sum_positive = 0.0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && scores[order[j]] == scores[order[i]]) ++j;
+    // Midrank of the tie group [i, j): ranks are 1-based.
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]] == 1) rank_sum_positive += midrank;
+    }
+    i = j;
+  }
+  const double u = rank_sum_positive - positives * (positives + 1.0) / 2.0;
+  return u / (positives * negatives);
+}
+
+}  // namespace noodle::metrics

@@ -1,0 +1,25 @@
+#pragma once
+// ROC curve and AUC (Fig. 4). AUC is computed by the Mann-Whitney rank
+// statistic so ties contribute 1/2 — exact, not trapezoid-approximate.
+
+#include <span>
+#include <vector>
+
+namespace noodle::metrics {
+
+struct RocPoint {
+  double threshold = 0.0;
+  double false_positive_rate = 0.0;
+  double true_positive_rate = 0.0;
+};
+
+/// Full ROC sweep: one point per distinct score threshold, endpoints
+/// (0,0) and (1,1) included, ordered by increasing FPR.
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const int> labels);
+
+/// Area under the ROC curve via the rank-sum formulation; 0.5 when either
+/// class is absent (no ranking information).
+double roc_auc(std::span<const double> scores, std::span<const int> labels);
+
+}  // namespace noodle::metrics

@@ -1,0 +1,54 @@
+#pragma once
+// Layer interface for the sequential network. Each layer owns its
+// parameters and parameter gradients; optimizers see them through the
+// ParamView list. Backward passes consume the gradient w.r.t. the layer's
+// output and return the gradient w.r.t. its input, accumulating parameter
+// gradients on the way (zeroed by Model::zero_grad).
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "util/rng.h"
+
+namespace noodle::nn {
+
+/// Non-owning view of one parameter buffer and its gradient buffer.
+struct ParamView {
+  double* values = nullptr;
+  double* grads = nullptr;
+  std::size_t size = 0;
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `train` toggles dropout/batch-norm behaviour.
+  virtual Matrix forward(const Matrix& input, bool train) = 0;
+
+  /// Backward pass for the most recent forward call.
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Parameter buffers (empty for stateless layers).
+  virtual std::vector<ParamView> params() { return {}; }
+
+  virtual std::string name() const = 0;
+
+  /// Output width for a given input width; throws std::invalid_argument if
+  /// the layer cannot accept that width. Lets Sequential validate shapes at
+  /// construction instead of at first forward.
+  virtual std::size_t output_cols(std::size_t input_cols) const = 0;
+
+  void zero_grad() {
+    for (ParamView p : params()) {
+      std::fill(p.grads, p.grads + p.size, 0.0);
+    }
+  }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace noodle::nn

@@ -1,0 +1,371 @@
+#include "nn/layers.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace noodle::nn {
+
+namespace {
+
+void check_cols(const Matrix& m, std::size_t expected, const char* who) {
+  if (m.cols() != expected) {
+    throw std::invalid_argument(std::string(who) + ": expected " +
+                                std::to_string(expected) + " columns, got " +
+                                std::to_string(m.cols()));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      weight_(in_features * out_features),
+      weight_grad_(in_features * out_features, 0.0),
+      bias_(out_features, 0.0),
+      bias_grad_(out_features, 0.0) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Dense: zero-sized layer");
+  }
+  // He initialization (this library pairs Dense with rectifiers).
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_features));
+  for (double& v : weight_) v = rng.normal(0.0, scale);
+}
+
+Matrix Dense::forward(const Matrix& input, bool /*train*/) {
+  check_cols(input, in_, "Dense::forward");
+  input_ = input;
+  Matrix out(input.rows(), out_);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    for (std::size_t o = 0; o < out_; ++o) {
+      double acc = bias_[o];
+      const double* w_row = weight_.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) acc += w_row[i] * input(r, i);
+      out(r, o) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  check_cols(grad_output, out_, "Dense::backward");
+  if (grad_output.rows() != input_.rows()) {
+    throw std::invalid_argument("Dense::backward: batch size mismatch");
+  }
+  Matrix grad_in(input_.rows(), in_);
+  for (std::size_t r = 0; r < input_.rows(); ++r) {
+    for (std::size_t o = 0; o < out_; ++o) {
+      const double g = grad_output(r, o);
+      bias_grad_[o] += g;
+      double* wg_row = weight_grad_.data() + o * in_;
+      const double* w_row = weight_.data() + o * in_;
+      for (std::size_t i = 0; i < in_; ++i) {
+        wg_row[i] += g * input_(r, i);
+        grad_in(r, i) += g * w_row[i];
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamView> Dense::params() {
+  return {{weight_.data(), weight_grad_.data(), weight_.size()},
+          {bias_.data(), bias_grad_.data(), bias_.size()}};
+}
+
+std::size_t Dense::output_cols(std::size_t input_cols) const {
+  if (input_cols != in_) {
+    throw std::invalid_argument("Dense: input width " + std::to_string(input_cols) +
+                                " != " + std::to_string(in_));
+  }
+  return out_;
+}
+
+// ---------------------------------------------------------------------------
+// Conv1D
+// ---------------------------------------------------------------------------
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t in_len, std::size_t out_channels,
+               std::size_t kernel, util::Rng& rng)
+    : in_channels_(in_channels),
+      in_len_(in_len),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      weight_(out_channels * in_channels * kernel),
+      weight_grad_(out_channels * in_channels * kernel, 0.0),
+      bias_(out_channels, 0.0),
+      bias_grad_(out_channels, 0.0) {
+  if (kernel == 0 || kernel > in_len) {
+    throw std::invalid_argument("Conv1D: kernel must be in [1, in_len]");
+  }
+  if (in_channels == 0 || out_channels == 0) {
+    throw std::invalid_argument("Conv1D: zero channels");
+  }
+  const double fan_in = static_cast<double>(in_channels * kernel);
+  const double scale = std::sqrt(2.0 / fan_in);
+  for (double& v : weight_) v = rng.normal(0.0, scale);
+}
+
+Matrix Conv1D::forward(const Matrix& input, bool /*train*/) {
+  check_cols(input, in_channels_ * in_len_, "Conv1D::forward");
+  input_ = input;
+  const std::size_t olen = out_len();
+  Matrix out(input.rows(), out_channels_ * olen);
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t t = 0; t < olen; ++t) {
+        double acc = bias_[oc];
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            acc += w(oc, ic, k) * input(r, ic * in_len_ + t + k);
+          }
+        }
+        out(r, oc * olen + t) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Conv1D::backward(const Matrix& grad_output) {
+  const std::size_t olen = out_len();
+  check_cols(grad_output, out_channels_ * olen, "Conv1D::backward");
+  Matrix grad_in(input_.rows(), in_channels_ * in_len_);
+  for (std::size_t r = 0; r < input_.rows(); ++r) {
+    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+      for (std::size_t t = 0; t < olen; ++t) {
+        const double g = grad_output(r, oc * olen + t);
+        bias_grad_[oc] += g;
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            wg(oc, ic, k) += g * input_(r, ic * in_len_ + t + k);
+            grad_in(r, ic * in_len_ + t + k) += g * w(oc, ic, k);
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamView> Conv1D::params() {
+  return {{weight_.data(), weight_grad_.data(), weight_.size()},
+          {bias_.data(), bias_grad_.data(), bias_.size()}};
+}
+
+std::size_t Conv1D::output_cols(std::size_t input_cols) const {
+  if (input_cols != in_channels_ * in_len_) {
+    throw std::invalid_argument("Conv1D: input width mismatch");
+  }
+  return out_channels_ * out_len();
+}
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+Matrix ReLU::forward(const Matrix& input, bool /*train*/) {
+  input_ = input;
+  Matrix out = input;
+  for (double& v : out.data()) v = v > 0.0 ? v : 0.0;
+  return out;
+}
+
+Matrix ReLU::backward(const Matrix& grad_output) {
+  Matrix grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (input_.data()[i] <= 0.0) grad_in.data()[i] = 0.0;
+  }
+  return grad_in;
+}
+
+Matrix LeakyReLU::forward(const Matrix& input, bool /*train*/) {
+  input_ = input;
+  Matrix out = input;
+  for (double& v : out.data()) v = v > 0.0 ? v : alpha_ * v;
+  return out;
+}
+
+Matrix LeakyReLU::backward(const Matrix& grad_output) {
+  Matrix grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    if (input_.data()[i] <= 0.0) grad_in.data()[i] *= alpha_;
+  }
+  return grad_in;
+}
+
+Matrix Sigmoid::forward(const Matrix& input, bool /*train*/) {
+  Matrix out = input;
+  for (double& v : out.data()) v = 1.0 / (1.0 + std::exp(-v));
+  output_ = out;
+  return out;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_output) {
+  Matrix grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    const double s = output_.data()[i];
+    grad_in.data()[i] *= s * (1.0 - s);
+  }
+  return grad_in;
+}
+
+Matrix Tanh::forward(const Matrix& input, bool /*train*/) {
+  Matrix out = input;
+  for (double& v : out.data()) v = std::tanh(v);
+  output_ = out;
+  return out;
+}
+
+Matrix Tanh::backward(const Matrix& grad_output) {
+  Matrix grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    const double t = output_.data()[i];
+    grad_in.data()[i] *= 1.0 - t * t;
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// Dropout
+// ---------------------------------------------------------------------------
+
+Dropout::Dropout(double rate, util::Rng& rng) : rate_(rate), rng_(rng.split()) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Matrix Dropout::forward(const Matrix& input, bool train) {
+  if (!train || rate_ == 0.0) {
+    mask_ = Matrix();
+    return input;
+  }
+  mask_ = Matrix(input.rows(), input.cols(), 0.0);
+  Matrix out = input;
+  const double keep = 1.0 - rate_;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (rng_.uniform() < keep) {
+      mask_.data()[i] = 1.0 / keep;
+      out.data()[i] *= 1.0 / keep;
+    } else {
+      out.data()[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+Matrix Dropout::backward(const Matrix& grad_output) {
+  if (mask_.empty()) return grad_output;
+  Matrix grad_in = grad_output;
+  for (std::size_t i = 0; i < grad_in.size(); ++i) {
+    grad_in.data()[i] *= mask_.data()[i];
+  }
+  return grad_in;
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm1d
+// ---------------------------------------------------------------------------
+
+BatchNorm1d::BatchNorm1d(std::size_t features, double momentum, double eps)
+    : features_(features),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(features, 1.0),
+      gamma_grad_(features, 0.0),
+      beta_(features, 0.0),
+      beta_grad_(features, 0.0),
+      running_mean_(features, 0.0),
+      running_var_(features, 1.0) {
+  if (features == 0) throw std::invalid_argument("BatchNorm1d: zero features");
+}
+
+Matrix BatchNorm1d::forward(const Matrix& input, bool train) {
+  check_cols(input, features_, "BatchNorm1d::forward");
+  const std::size_t n = input.rows();
+  Matrix out(n, features_);
+
+  if (train && n > 1) {
+    batch_mean_.assign(features_, 0.0);
+    batch_inv_std_.assign(features_, 0.0);
+    std::vector<double> var(features_, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < features_; ++c) batch_mean_[c] += input(r, c);
+    }
+    for (double& m : batch_mean_) m /= static_cast<double>(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < features_; ++c) {
+        const double d = input(r, c) - batch_mean_[c];
+        var[c] += d * d;
+      }
+    }
+    for (std::size_t c = 0; c < features_; ++c) {
+      var[c] /= static_cast<double>(n);
+      batch_inv_std_[c] = 1.0 / std::sqrt(var[c] + eps_);
+      running_mean_[c] = (1.0 - momentum_) * running_mean_[c] + momentum_ * batch_mean_[c];
+      running_var_[c] = (1.0 - momentum_) * running_var_[c] + momentum_ * var[c];
+    }
+    normalized_ = Matrix(n, features_);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < features_; ++c) {
+        normalized_(r, c) = (input(r, c) - batch_mean_[c]) * batch_inv_std_[c];
+        out(r, c) = gamma_[c] * normalized_(r, c) + beta_[c];
+      }
+    }
+  } else {
+    normalized_ = Matrix();  // eval mode: no cached batch stats
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < features_; ++c) {
+        const double inv = 1.0 / std::sqrt(running_var_[c] + eps_);
+        out(r, c) = gamma_[c] * (input(r, c) - running_mean_[c]) * inv + beta_[c];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix BatchNorm1d::backward(const Matrix& grad_output) {
+  check_cols(grad_output, features_, "BatchNorm1d::backward");
+  if (normalized_.empty()) {
+    throw std::logic_error("BatchNorm1d::backward: no cached training forward");
+  }
+  const std::size_t n = grad_output.rows();
+  const double dn = static_cast<double>(n);
+  Matrix grad_in(n, features_);
+
+  for (std::size_t c = 0; c < features_; ++c) {
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double g = grad_output(r, c);
+      sum_g += g;
+      sum_gx += g * normalized_(r, c);
+      gamma_grad_[c] += g * normalized_(r, c);
+      beta_grad_[c] += g;
+    }
+    for (std::size_t r = 0; r < n; ++r) {
+      const double g = grad_output(r, c);
+      grad_in(r, c) = gamma_[c] * batch_inv_std_[c] *
+                      (g - sum_g / dn - normalized_(r, c) * sum_gx / dn);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamView> BatchNorm1d::params() {
+  return {{gamma_.data(), gamma_grad_.data(), gamma_.size()},
+          {beta_.data(), beta_grad_.data(), beta_.size()}};
+}
+
+std::size_t BatchNorm1d::output_cols(std::size_t input_cols) const {
+  if (input_cols != features_) {
+    throw std::invalid_argument("BatchNorm1d: input width mismatch");
+  }
+  return features_;
+}
+
+}  // namespace noodle::nn

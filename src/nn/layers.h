@@ -1,0 +1,145 @@
+#pragma once
+// Concrete layers: Dense, Conv1D, activations, Dropout, BatchNorm1d.
+// Initialization is deterministic from the Rng handed to each constructor
+// (He initialization for rectifier layers, Glorot for the rest).
+
+#include "nn/layer.h"
+
+namespace noodle::nn {
+
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "dense"; }
+  std::size_t output_cols(std::size_t input_cols) const override;
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  std::vector<double> weight_, weight_grad_;  // (out, in) row-major
+  std::vector<double> bias_, bias_grad_;
+  Matrix input_;  // cached for backward
+};
+
+/// 1D valid convolution. The input row layout is channels-major:
+/// [c0 t0..tL-1 | c1 t0..tL-1 | ...]; output layout likewise with
+/// out_len = in_len - kernel + 1.
+class Conv1D : public Layer {
+ public:
+  Conv1D(std::size_t in_channels, std::size_t in_len, std::size_t out_channels,
+         std::size_t kernel, util::Rng& rng);
+
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "conv1d"; }
+  std::size_t output_cols(std::size_t input_cols) const override;
+
+  std::size_t out_len() const noexcept { return in_len_ - kernel_ + 1; }
+  std::size_t out_channels() const noexcept { return out_channels_; }
+
+ private:
+  std::size_t in_channels_, in_len_, out_channels_, kernel_;
+  std::vector<double> weight_, weight_grad_;  // (out_c, in_c, k)
+  std::vector<double> bias_, bias_grad_;      // (out_c)
+  Matrix input_;
+
+  double& w(std::size_t oc, std::size_t ic, std::size_t k) {
+    return weight_[(oc * in_channels_ + ic) * kernel_ + k];
+  }
+  double& wg(std::size_t oc, std::size_t ic, std::size_t k) {
+    return weight_grad_[(oc * in_channels_ + ic) * kernel_ + k];
+  }
+};
+
+class ReLU : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "relu"; }
+  std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
+
+ private:
+  Matrix input_;
+};
+
+class LeakyReLU : public Layer {
+ public:
+  explicit LeakyReLU(double alpha = 0.2) : alpha_(alpha) {}
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "leaky_relu"; }
+  std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
+
+ private:
+  double alpha_;
+  Matrix input_;
+};
+
+class Sigmoid : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "sigmoid"; }
+  std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
+
+ private:
+  Matrix output_;
+};
+
+class Tanh : public Layer {
+ public:
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "tanh"; }
+  std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
+
+ private:
+  Matrix output_;
+};
+
+/// Inverted dropout: activations are scaled by 1/(1-p) at train time so
+/// evaluation needs no rescaling.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, util::Rng& rng);
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::string name() const override { return "dropout"; }
+  std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  Matrix mask_;
+};
+
+/// Per-feature batch normalization with learned scale/shift and running
+/// statistics for evaluation.
+class BatchNorm1d : public Layer {
+ public:
+  explicit BatchNorm1d(std::size_t features, double momentum = 0.1, double eps = 1e-5);
+  Matrix forward(const Matrix& input, bool train) override;
+  Matrix backward(const Matrix& grad_output) override;
+  std::vector<ParamView> params() override;
+  std::string name() const override { return "batchnorm1d"; }
+  std::size_t output_cols(std::size_t input_cols) const override;
+
+ private:
+  std::size_t features_;
+  double momentum_, eps_;
+  std::vector<double> gamma_, gamma_grad_, beta_, beta_grad_;
+  std::vector<double> running_mean_, running_var_;
+  // Cached forward state.
+  Matrix normalized_;
+  std::vector<double> batch_mean_, batch_inv_std_;
+};
+
+}  // namespace noodle::nn

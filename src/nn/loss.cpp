@@ -1,0 +1,81 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace noodle::nn {
+
+namespace {
+
+void check_binary_shapes(const Matrix& predictions, std::span<const int> targets,
+                         const char* who) {
+  if (predictions.cols() != 1) {
+    throw std::invalid_argument(std::string(who) + ": predictions must be (n, 1)");
+  }
+  if (predictions.rows() != targets.size()) {
+    throw std::invalid_argument(std::string(who) + ": target count mismatch");
+  }
+  for (const int t : targets) {
+    if (t != 0 && t != 1) {
+      throw std::invalid_argument(std::string(who) + ": targets must be 0/1");
+    }
+  }
+}
+
+}  // namespace
+
+double bce_loss(const Matrix& predictions, std::span<const int> targets,
+                Matrix& grad_out, double eps) {
+  check_binary_shapes(predictions, targets, "bce_loss");
+  const std::size_t n = predictions.rows();
+  grad_out = Matrix(n, 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = std::clamp(predictions(i, 0), eps, 1.0 - eps);
+    const double y = static_cast<double>(targets[i]);
+    total += -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+    grad_out(i, 0) = (p - y) / (p * (1.0 - p)) / static_cast<double>(n);
+  }
+  return total / static_cast<double>(n);
+}
+
+double bce_with_logits_loss(const Matrix& logits, std::span<const int> targets,
+                            Matrix& grad_out) {
+  check_binary_shapes(logits, targets, "bce_with_logits_loss");
+  const std::size_t n = logits.rows();
+  grad_out = Matrix(n, 1);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = logits(i, 0);
+    const double y = static_cast<double>(targets[i]);
+    // log(1 + exp(-|z|)) + max(z, 0) - z*y is the stable form.
+    total += std::log1p(std::exp(-std::abs(z))) + std::max(z, 0.0) - z * y;
+    const double p = 1.0 / (1.0 + std::exp(-z));
+    grad_out(i, 0) = (p - y) / static_cast<double>(n);
+  }
+  return total / static_cast<double>(n);
+}
+
+double mse_loss(const Matrix& predictions, const Matrix& targets, Matrix& grad_out) {
+  if (predictions.rows() != targets.rows() || predictions.cols() != targets.cols()) {
+    throw std::invalid_argument("mse_loss: shape mismatch");
+  }
+  const double count = static_cast<double>(predictions.size());
+  grad_out = Matrix(predictions.rows(), predictions.cols());
+  double total = 0.0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions.data()[i] - targets.data()[i];
+    total += d * d;
+    grad_out.data()[i] = 2.0 * d / count;
+  }
+  return total / count;
+}
+
+Matrix sigmoid(const Matrix& logits) {
+  Matrix out = logits;
+  for (double& v : out.data()) v = 1.0 / (1.0 + std::exp(-v));
+  return out;
+}
+
+}  // namespace noodle::nn

@@ -1,0 +1,28 @@
+#pragma once
+// Loss functions. Each returns the mean loss over the batch and fills the
+// gradient w.r.t. the predictions (already divided by batch size, so it can
+// be fed straight into Sequential::backward).
+
+#include <span>
+
+#include "nn/matrix.h"
+
+namespace noodle::nn {
+
+/// Binary cross-entropy on probabilities in (0, 1); predictions are clamped
+/// to [eps, 1-eps] for numerical safety. `predictions` must be (n, 1).
+double bce_loss(const Matrix& predictions, std::span<const int> targets,
+                Matrix& grad_out, double eps = 1e-7);
+
+/// Binary cross-entropy on raw logits (numerically stable log-sum-exp
+/// form). `logits` must be (n, 1).
+double bce_with_logits_loss(const Matrix& logits, std::span<const int> targets,
+                            Matrix& grad_out);
+
+/// Mean squared error against a dense target matrix of identical shape.
+double mse_loss(const Matrix& predictions, const Matrix& targets, Matrix& grad_out);
+
+/// Element-wise logistic sigmoid.
+Matrix sigmoid(const Matrix& logits);
+
+}  // namespace noodle::nn

@@ -1,0 +1,28 @@
+#include "nn/matrix.h"
+
+namespace noodle::nn {
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != m.cols()) {
+      throw std::invalid_argument("Matrix::from_rows: ragged rows");
+    }
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    if (indices[i] >= rows_) {
+      throw std::out_of_range("Matrix::gather_rows: row index out of range");
+    }
+    for (std::size_t c = 0; c < cols_; ++c) out(i, c) = (*this)(indices[i], c);
+  }
+  return out;
+}
+
+}  // namespace noodle::nn

@@ -1,0 +1,69 @@
+#pragma once
+// Dense row-major matrix used as the batch container throughout noodle::nn:
+// rows = samples, cols = features (Conv1D layers interpret cols as
+// channels x length internally). Double precision keeps finite-difference
+// gradient checks tight; networks here are tiny, so throughput is not a
+// concern.
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace noodle::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from per-row vectors; rows must have equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) noexcept { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    check(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    check(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::vector<double>& data() noexcept { return data_; }
+  const std::vector<double>& data() const noexcept { return data_; }
+
+  /// Extracts the given rows into a new matrix (mini-batch gather).
+  Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || (cols_ != 0 && c >= cols_)) {
+      throw std::out_of_range("Matrix: index out of range");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace noodle::nn

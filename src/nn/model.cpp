@@ -1,0 +1,92 @@
+#include "nn/model.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace noodle::nn {
+
+Matrix Sequential::forward(const Matrix& input, bool train) {
+  Matrix x = input;
+  for (auto& layer : layers_) x = layer->forward(x, train);
+  return x;
+}
+
+Matrix Sequential::backward(const Matrix& grad_output) {
+  Matrix g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::vector<ParamView> Sequential::params() {
+  std::vector<ParamView> all;
+  for (auto& layer : layers_) {
+    for (ParamView p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t count = 0;
+  for (ParamView p : params()) count += p.size;
+  return count;
+}
+
+std::size_t Sequential::output_cols(std::size_t input_cols) const {
+  std::size_t cols = input_cols;
+  for (const auto& layer : layers_) cols = layer->output_cols(cols);
+  return cols;
+}
+
+namespace {
+constexpr std::uint64_t kWeightsMagic = 0x4e4f4f444c453031ULL;  // "NOODLE01"
+}
+
+void Sequential::save_weights(const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("save_weights: cannot open " + path.string());
+  const auto views = params();
+  const std::uint64_t count = views.size();
+  os.write(reinterpret_cast<const char*>(&kWeightsMagic), sizeof(kWeightsMagic));
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const ParamView& p : views) {
+    const std::uint64_t size = p.size;
+    os.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    os.write(reinterpret_cast<const char*>(p.values),
+             static_cast<std::streamsize>(p.size * sizeof(double)));
+  }
+  if (!os) throw std::runtime_error("save_weights: write failed for " + path.string());
+}
+
+void Sequential::load_weights(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_weights: cannot open " + path.string());
+  std::uint64_t magic = 0, count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is || magic != kWeightsMagic) {
+    throw std::runtime_error("load_weights: bad header in " + path.string());
+  }
+  const auto views = params();
+  if (count != views.size()) {
+    throw std::runtime_error("load_weights: architecture mismatch (buffer count)");
+  }
+  for (const ParamView& p : views) {
+    std::uint64_t size = 0;
+    is.read(reinterpret_cast<char*>(&size), sizeof(size));
+    if (!is || size != p.size) {
+      throw std::runtime_error("load_weights: architecture mismatch (buffer size)");
+    }
+    is.read(reinterpret_cast<char*>(p.values),
+            static_cast<std::streamsize>(p.size * sizeof(double)));
+  }
+  if (!is) throw std::runtime_error("load_weights: truncated file " + path.string());
+}
+
+}  // namespace noodle::nn

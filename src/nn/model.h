@@ -1,0 +1,44 @@
+#pragma once
+// Sequential container plus weight (de)serialization.
+
+#include <filesystem>
+
+#include "nn/layer.h"
+
+namespace noodle::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<LayerPtr> layers) : layers_(std::move(layers)) {}
+
+  void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Matrix forward(const Matrix& input, bool train = false);
+
+  /// Backward through all layers; returns gradient w.r.t. the input.
+  Matrix backward(const Matrix& grad_output);
+
+  void zero_grad();
+
+  std::vector<ParamView> params();
+
+  std::size_t parameter_count();
+
+  /// Validates the layer chain for the given input width and returns the
+  /// final output width. Throws std::invalid_argument on a shape break.
+  std::size_t output_cols(std::size_t input_cols) const;
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Saves / restores all parameter buffers (binary little-endian doubles
+  /// with a small header). Architectures must match on load.
+  void save_weights(const std::filesystem::path& path);
+  void load_weights(const std::filesystem::path& path);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace noodle::nn

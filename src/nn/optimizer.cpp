@@ -1,0 +1,68 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace noodle::nn {
+
+namespace {
+
+void ensure_state(std::vector<std::vector<double>>& state,
+                  const std::vector<ParamView>& params) {
+  if (state.empty()) {
+    state.reserve(params.size());
+    for (const ParamView& p : params) state.emplace_back(p.size, 0.0);
+    return;
+  }
+  if (state.size() != params.size()) {
+    throw std::invalid_argument("optimizer: parameter list changed between steps");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (state[i].size() != params[i].size) {
+      throw std::invalid_argument("optimizer: parameter buffer size changed");
+    }
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
+    : lr_(learning_rate), momentum_(momentum), weight_decay_(weight_decay) {}
+
+void Sgd::step(const std::vector<ParamView>& params) {
+  ensure_state(velocity_, params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const ParamView& p = params[i];
+    for (std::size_t j = 0; j < p.size; ++j) {
+      const double g = p.grads[j] + weight_decay_ * p.values[j];
+      velocity_[i][j] = momentum_ * velocity_[i][j] - lr_ * g;
+      p.values[j] += velocity_[i][j];
+    }
+  }
+}
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double eps,
+           double weight_decay)
+    : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(eps),
+      weight_decay_(weight_decay) {}
+
+void Adam::step(const std::vector<ParamView>& params) {
+  ensure_state(m_, params);
+  ensure_state(v_, params);
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const ParamView& p = params[i];
+    for (std::size_t j = 0; j < p.size; ++j) {
+      const double g = p.grads[j] + weight_decay_ * p.values[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0 - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0 - beta2_) * g * g;
+      const double m_hat = m_[i][j] / bias1;
+      const double v_hat = v_[i][j] / bias2;
+      p.values[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace noodle::nn

@@ -1,0 +1,40 @@
+#pragma once
+// First-order optimizers over ParamView buffers. State (momentum / Adam
+// moments) is keyed by buffer order, so a given optimizer instance must
+// always be stepped with the same parameter list (Model::params()).
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace noodle::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(const std::vector<ParamView>& params) = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0, double weight_decay = 0.0);
+  void step(const std::vector<ParamView>& params) override;
+
+ private:
+  double lr_, momentum_, weight_decay_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8, double weight_decay = 0.0);
+  void step(const std::vector<ParamView>& params) override;
+
+ private:
+  double lr_, beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+  std::vector<std::vector<double>> m_, v_;
+};
+
+}  // namespace noodle::nn

@@ -1,0 +1,137 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/layers.h"
+#include "nn/loss.h"
+
+namespace noodle::nn {
+
+TrainResult train_binary_classifier(Sequential& model, const Matrix& inputs,
+                                    std::span<const int> labels,
+                                    const TrainConfig& config) {
+  if (inputs.rows() == 0) throw std::invalid_argument("train: empty input");
+  if (inputs.rows() != labels.size()) {
+    throw std::invalid_argument("train: label count mismatch");
+  }
+  if (config.batch_size == 0) throw std::invalid_argument("train: batch_size == 0");
+
+  util::Rng rng(config.seed);
+
+  // Optional validation split for early stopping.
+  std::vector<std::size_t> order(inputs.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.shuffle(order);
+
+  std::size_t n_val = 0;
+  if (config.validation_fraction > 0.0 && inputs.rows() >= 10) {
+    n_val = static_cast<std::size_t>(config.validation_fraction *
+                                     static_cast<double>(inputs.rows()));
+    n_val = std::min(n_val, inputs.rows() - 1);
+  }
+  std::vector<std::size_t> val_idx(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(n_val));
+  std::vector<std::size_t> train_idx(order.begin() + static_cast<std::ptrdiff_t>(n_val), order.end());
+
+  const Matrix val_x = inputs.gather_rows(val_idx);
+  std::vector<int> val_y;
+  val_y.reserve(val_idx.size());
+  for (const std::size_t i : val_idx) val_y.push_back(labels[i]);
+
+  Adam optimizer(config.learning_rate, 0.9, 0.999, 1e-8, config.weight_decay);
+  TrainResult result;
+  result.best_validation_loss = std::numeric_limits<double>::infinity();
+  std::size_t epochs_since_best = 0;
+
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(train_idx);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < train_idx.size(); start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, train_idx.size());
+      const std::span<const std::size_t> batch(train_idx.data() + start, end - start);
+
+      const Matrix x = inputs.gather_rows(batch);
+      std::vector<int> y;
+      y.reserve(batch.size());
+      for (const std::size_t i : batch) y.push_back(labels[i]);
+
+      model.zero_grad();
+      const Matrix logits = model.forward(x, /*train=*/true);
+      Matrix grad;
+      epoch_loss += bce_with_logits_loss(logits, y, grad);
+      model.backward(grad);
+      optimizer.step(model.params());
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(1, batches));
+    result.train_loss_curve.push_back(epoch_loss);
+    result.final_train_loss = epoch_loss;
+    ++result.epochs_run;
+
+    if (n_val > 0) {
+      const Matrix val_logits = model.forward(val_x, /*train=*/false);
+      Matrix ignored;
+      const double val_loss = bce_with_logits_loss(val_logits, val_y, ignored);
+      result.validation_loss_curve.push_back(val_loss);
+      if (val_loss + 1e-9 < result.best_validation_loss) {
+        result.best_validation_loss = val_loss;
+        epochs_since_best = 0;
+      } else if (++epochs_since_best >= config.patience) {
+        break;  // early stop
+      }
+    }
+  }
+  if (n_val == 0) result.best_validation_loss = result.final_train_loss;
+  return result;
+}
+
+std::vector<double> predict_proba(Sequential& model, const Matrix& inputs) {
+  const Matrix logits = model.forward(inputs, /*train=*/false);
+  if (logits.cols() != 1) {
+    throw std::invalid_argument("predict_proba: model must emit one logit");
+  }
+  std::vector<double> probs;
+  probs.reserve(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    probs.push_back(1.0 / (1.0 + std::exp(-logits(i, 0))));
+  }
+  return probs;
+}
+
+Sequential make_cnn(std::size_t input_dim, util::Rng& rng) {
+  if (input_dim < 8) throw std::invalid_argument("make_cnn: input too narrow");
+  Sequential model;
+  // Stage 1: 1 channel -> 8 channels, kernel 5.
+  model.add(std::make_unique<Conv1D>(1, input_dim, 8, 5, rng));
+  model.add(std::make_unique<ReLU>());
+  const std::size_t len1 = input_dim - 5 + 1;
+  // Stage 2: 8 -> 4 channels, kernel 3.
+  model.add(std::make_unique<Conv1D>(8, len1, 4, 3, rng));
+  model.add(std::make_unique<ReLU>());
+  const std::size_t len2 = len1 - 3 + 1;
+  // Dense head.
+  model.add(std::make_unique<Dense>(4 * len2, 32, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dropout>(0.25, rng));
+  model.add(std::make_unique<Dense>(32, 1, rng));
+  return model;
+}
+
+Sequential make_mlp(std::size_t input_dim, std::vector<std::size_t> hidden,
+                    std::size_t output_dim, util::Rng& rng) {
+  Sequential model;
+  std::size_t width = input_dim;
+  for (const std::size_t h : hidden) {
+    model.add(std::make_unique<Dense>(width, h, rng));
+    model.add(std::make_unique<LeakyReLU>(0.2));
+    width = h;
+  }
+  model.add(std::make_unique<Dense>(width, output_dim, rng));
+  return model;
+}
+
+}  // namespace noodle::nn

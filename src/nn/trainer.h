@@ -1,0 +1,55 @@
+#pragma once
+// Mini-batch training loop for binary classifiers, plus the CNN factory
+// used for every modality in the paper ("the same CNN-based deep learning
+// model with identical hyperparameters" — Sec. IV-B).
+
+#include <span>
+
+#include "nn/model.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace noodle::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 150;
+  std::size_t batch_size = 16;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-4;
+  /// Fraction of the training data held out for early stopping (0 disables
+  /// the validation split and early stopping).
+  double validation_fraction = 0.15;
+  std::size_t patience = 25;
+  std::uint64_t seed = 17;
+};
+
+struct TrainResult {
+  std::size_t epochs_run = 0;
+  double final_train_loss = 0.0;
+  double best_validation_loss = 0.0;
+  std::vector<double> train_loss_curve;
+  std::vector<double> validation_loss_curve;
+};
+
+/// Trains `model` (logit output, shape (n,1)) with Adam on BCE-with-logits.
+/// Deterministic given config.seed. Throws std::invalid_argument on empty
+/// or mismatched inputs.
+TrainResult train_binary_classifier(Sequential& model, const Matrix& inputs,
+                                    std::span<const int> labels,
+                                    const TrainConfig& config);
+
+/// P(label == 1) for each row: sigmoid of the model's logit output.
+std::vector<double> predict_proba(Sequential& model, const Matrix& inputs);
+
+/// The paper's CNN: two Conv1D+ReLU stages over the feature vector treated
+/// as a 1-channel sequence, then a dense head with dropout, ending in one
+/// logit. Identical hyperparameters regardless of input width, as in the
+/// paper's per-modality comparison.
+Sequential make_cnn(std::size_t input_dim, util::Rng& rng);
+
+/// Small MLP factory (used by the GAN and by baseline experiments):
+/// hidden layers with LeakyReLU, linear output.
+Sequential make_mlp(std::size_t input_dim, std::vector<std::size_t> hidden,
+                    std::size_t output_dim, util::Rng& rng);
+
+}  // namespace noodle::nn

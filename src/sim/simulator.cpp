@@ -1,0 +1,461 @@
+#include "sim/simulator.h"
+
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace noodle::sim {
+
+using verilog::EdgeKind;
+using verilog::Expr;
+using verilog::ExprKind;
+using verilog::Module;
+using verilog::NetKind;
+using verilog::PortDir;
+using verilog::Stmt;
+using verilog::StmtKind;
+
+namespace {
+
+int expr_result_width(const Expr& e, const std::map<std::string, int>& widths);
+
+/// Width of a concat/replicate, needed for correct part placement.
+int concat_width(const Expr& e, const std::map<std::string, int>& widths) {
+  int total = 0;
+  if (e.kind == ExprKind::Replicate) {
+    const int count = static_cast<int>(e.operands[0]->value);
+    return count * expr_result_width(*e.operands[1], widths);
+  }
+  for (const auto& part : e.operands) total += expr_result_width(*part, widths);
+  return total;
+}
+
+int expr_result_width(const Expr& e, const std::map<std::string, int>& widths) {
+  switch (e.kind) {
+    case ExprKind::Number:
+      return e.width > 0 ? e.width : 32;
+    case ExprKind::Identifier: {
+      const auto it = widths.find(e.name);
+      return it != widths.end() ? it->second : 1;
+    }
+    case ExprKind::Index:
+      return 1;
+    case ExprKind::Range: {
+      const auto msb = static_cast<int>(e.operands[1]->value);
+      const auto lsb = static_cast<int>(e.operands[2]->value);
+      return msb - lsb + 1;
+    }
+    case ExprKind::Concat:
+    case ExprKind::Replicate:
+      return concat_width(e, widths);
+    case ExprKind::Unary:
+      if (e.name == "!" || e.name == "&" || e.name == "|" || e.name == "^" ||
+          e.name == "~&" || e.name == "~|" || e.name == "~^") {
+        return 1;
+      }
+      return expr_result_width(*e.operands[0], widths);
+    case ExprKind::Binary: {
+      const std::string& op = e.name;
+      if (op == "==" || op == "!=" || op == "===" || op == "!==" || op == "<" ||
+          op == "<=" || op == ">" || op == ">=" || op == "&&" || op == "||") {
+        return 1;
+      }
+      return std::max(expr_result_width(*e.operands[0], widths),
+                      expr_result_width(*e.operands[1], widths));
+    }
+    case ExprKind::Ternary:
+      return std::max(expr_result_width(*e.operands[1], widths),
+                      expr_result_width(*e.operands[2], widths));
+  }
+  return 1;
+}
+
+std::uint64_t width_mask(int width) {
+  return width >= 64 ? ~0ULL : ((1ULL << width) - 1ULL);
+}
+
+}  // namespace
+
+Simulator::Simulator(const Module& m) : module_(m) {
+  for (const auto& port : m.ports) {
+    widths_[port.name] = port.range ? port.range->width() : 1;
+    state_[port.name] = 0;
+  }
+  for (const auto& net : m.nets) {
+    if (widths_.count(net.name)) continue;
+    widths_[net.name] =
+        net.range ? net.range->width() : (net.kind == NetKind::Integer ? 32 : 1);
+    state_[net.name] = 0;
+  }
+  for (const auto& block : m.always_blocks) {
+    if (block.is_sequential()) sequential_ = true;
+  }
+  settle();
+}
+
+int Simulator::width_of(const std::string& name) const {
+  const auto it = widths_.find(name);
+  return it != widths_.end() ? it->second : 1;
+}
+
+std::uint64_t Simulator::masked(std::uint64_t value, int width) const {
+  return value & width_mask(width);
+}
+
+std::uint64_t Simulator::eval(const Expr& e) const {
+  switch (e.kind) {
+    case ExprKind::Number:
+      return e.value;
+    case ExprKind::Identifier: {
+      const auto it = state_.find(e.name);
+      if (it == state_.end()) {
+        throw std::out_of_range("Simulator: unknown signal '" + e.name + "'");
+      }
+      return it->second;
+    }
+    case ExprKind::Unary: {
+      const std::uint64_t v = eval(*e.operands[0]);
+      const int w = expr_result_width(*e.operands[0], widths_);
+      const std::uint64_t mask = width_mask(w);
+      if (e.name == "!") return v == 0 ? 1 : 0;
+      if (e.name == "~") return (~v) & mask;
+      if (e.name == "-") return (~v + 1) & mask;
+      if (e.name == "+") return v;
+      if (e.name == "&") return (v & mask) == mask ? 1 : 0;
+      if (e.name == "~&") return (v & mask) == mask ? 0 : 1;
+      if (e.name == "|") return v != 0 ? 1 : 0;
+      if (e.name == "~|") return v != 0 ? 0 : 1;
+      if (e.name == "^" || e.name == "~^") {
+        const int parity = __builtin_popcountll(v & mask) & 1;
+        return e.name == "^" ? static_cast<std::uint64_t>(parity)
+                             : static_cast<std::uint64_t>(parity ^ 1);
+      }
+      throw std::logic_error("Simulator: unary op " + e.name);
+    }
+    case ExprKind::Binary: {
+      const std::uint64_t a = eval(*e.operands[0]);
+      const std::uint64_t b = eval(*e.operands[1]);
+      const int w = expr_result_width(e, widths_);
+      const std::uint64_t mask = width_mask(w);
+      const std::string& op = e.name;
+      if (op == "+") return (a + b) & mask;
+      if (op == "-") return (a - b) & mask;
+      if (op == "*") return (a * b) & mask;
+      if (op == "/") return b == 0 ? mask : (a / b) & mask;  // x -> all ones
+      if (op == "%") return b == 0 ? mask : (a % b) & mask;
+      if (op == "&") return (a & b) & mask;
+      if (op == "|") return (a | b) & mask;
+      if (op == "^") return (a ^ b) & mask;
+      if (op == "~^" || op == "^~") return (~(a ^ b)) & mask;
+      if (op == "<<" || op == "<<<") return b >= 64 ? 0 : (a << b) & mask;
+      if (op == ">>" || op == ">>>") return b >= 64 ? 0 : (a >> b);
+      if (op == "==" || op == "===") return a == b ? 1 : 0;
+      if (op == "!=" || op == "!==") return a != b ? 1 : 0;
+      if (op == "<") return a < b ? 1 : 0;
+      if (op == "<=") return a <= b ? 1 : 0;
+      if (op == ">") return a > b ? 1 : 0;
+      if (op == ">=") return a >= b ? 1 : 0;
+      if (op == "&&") return (a != 0 && b != 0) ? 1 : 0;
+      if (op == "||") return (a != 0 || b != 0) ? 1 : 0;
+      throw std::logic_error("Simulator: binary op " + op);
+    }
+    case ExprKind::Ternary:
+      return eval(*e.operands[0]) != 0 ? eval(*e.operands[1]) : eval(*e.operands[2]);
+    case ExprKind::Index: {
+      const std::uint64_t base = eval(*e.operands[0]);
+      const std::uint64_t bit = eval(*e.operands[1]);
+      return bit >= 64 ? 0 : (base >> bit) & 1ULL;
+    }
+    case ExprKind::Range: {
+      const std::uint64_t base = eval(*e.operands[0]);
+      const auto msb = static_cast<int>(eval(*e.operands[1]));
+      const auto lsb = static_cast<int>(eval(*e.operands[2]));
+      const int w = msb - lsb + 1;
+      return (base >> lsb) & width_mask(w);
+    }
+    case ExprKind::Concat: {
+      std::uint64_t out = 0;
+      for (const auto& part : e.operands) {
+        const int w = expr_result_width(*part, widths_);
+        out = (out << w) | (eval(*part) & width_mask(w));
+      }
+      return out;
+    }
+    case ExprKind::Replicate: {
+      const auto count = static_cast<int>(eval(*e.operands[0]));
+      const int w = expr_result_width(*e.operands[1], widths_);
+      const std::uint64_t v = eval(*e.operands[1]) & width_mask(w);
+      std::uint64_t out = 0;
+      for (int i = 0; i < count && i * w < 64; ++i) out = (out << w) | v;
+      return out;
+    }
+  }
+  throw std::logic_error("Simulator: unreachable expression kind");
+}
+
+void Simulator::assign_lvalue(const Expr& lhs, std::uint64_t value) {
+  assign_lvalue_into(lhs, value, state_);
+}
+
+void Simulator::assign_lvalue_into(const Expr& lhs, std::uint64_t value,
+                                   std::map<std::string, std::uint64_t>& target) {
+  switch (lhs.kind) {
+    case ExprKind::Identifier: {
+      target[lhs.name] = masked(value, width_of(lhs.name));
+      return;
+    }
+    case ExprKind::Index: {
+      const std::string& name = lhs.operands[0]->name;
+      const std::uint64_t bit = eval(*lhs.operands[1]);
+      if (bit >= 64) return;
+      const std::uint64_t current =
+          target.count(name) ? target[name] : state_.at(name);
+      const std::uint64_t cleared = current & ~(1ULL << bit);
+      target[name] = masked(cleared | ((value & 1ULL) << bit), width_of(name));
+      return;
+    }
+    case ExprKind::Range: {
+      const std::string& name = lhs.operands[0]->name;
+      const auto msb = static_cast<int>(eval(*lhs.operands[1]));
+      const auto lsb = static_cast<int>(eval(*lhs.operands[2]));
+      const std::uint64_t mask = width_mask(msb - lsb + 1) << lsb;
+      const std::uint64_t current =
+          target.count(name) ? target[name] : state_.at(name);
+      target[name] =
+          masked((current & ~mask) | ((value << lsb) & mask), width_of(name));
+      return;
+    }
+    case ExprKind::Concat: {
+      // Assign from the rightmost (least significant) part upward.
+      int offset = 0;
+      for (auto it = lhs.operands.rbegin(); it != lhs.operands.rend(); ++it) {
+        const int w = expr_result_width(**it, widths_);
+        assign_lvalue_into(**it, (value >> offset) & width_mask(w), target);
+        offset += w;
+      }
+      return;
+    }
+    default:
+      throw std::logic_error("Simulator: unsupported lvalue");
+  }
+}
+
+void Simulator::exec_blocking(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::Block:
+      for (const auto& child : s.body) exec_blocking(*child);
+      return;
+    case StmtKind::If:
+      if (eval(*s.cond) != 0) {
+        exec_blocking(*s.then_branch);
+      } else if (s.else_branch) {
+        exec_blocking(*s.else_branch);
+      }
+      return;
+    case StmtKind::Case: {
+      const std::uint64_t subject = eval(*s.cond);
+      const verilog::CaseItem* default_item = nullptr;
+      for (const auto& item : s.case_items) {
+        if (item.labels.empty()) {
+          default_item = &item;
+          continue;
+        }
+        for (const auto& label : item.labels) {
+          if (eval(*label) == subject) {
+            exec_blocking(*item.body);
+            return;
+          }
+        }
+      }
+      if (default_item) exec_blocking(*default_item->body);
+      return;
+    }
+    case StmtKind::For: {
+      exec_blocking(*s.for_init);
+      std::size_t guard = 0;
+      while (eval(*s.cond) != 0 && guard++ < kMaxLoopIterations) {
+        for (const auto& child : s.body) exec_blocking(*child);
+        exec_blocking(*s.for_step);
+      }
+      return;
+    }
+    case StmtKind::BlockingAssign:
+    case StmtKind::NonBlockingAssign:
+      // Inside combinational blocks, NBAs behave as blocking for our
+      // single-pass settle model.
+      assign_lvalue(*s.lhs, eval(*s.rhs));
+      return;
+    case StmtKind::Null:
+      return;
+  }
+}
+
+void Simulator::exec_nonblocking(const Stmt& s,
+                                 std::map<std::string, std::uint64_t>& pending) {
+  switch (s.kind) {
+    case StmtKind::Block:
+      for (const auto& child : s.body) exec_nonblocking(*child, pending);
+      return;
+    case StmtKind::If:
+      if (eval(*s.cond) != 0) {
+        exec_nonblocking(*s.then_branch, pending);
+      } else if (s.else_branch) {
+        exec_nonblocking(*s.else_branch, pending);
+      }
+      return;
+    case StmtKind::Case: {
+      const std::uint64_t subject = eval(*s.cond);
+      const verilog::CaseItem* default_item = nullptr;
+      for (const auto& item : s.case_items) {
+        if (item.labels.empty()) {
+          default_item = &item;
+          continue;
+        }
+        for (const auto& label : item.labels) {
+          if (eval(*label) == subject) {
+            exec_nonblocking(*item.body, pending);
+            return;
+          }
+        }
+      }
+      if (default_item) exec_nonblocking(*default_item->body, pending);
+      return;
+    }
+    case StmtKind::For: {
+      // For loops in sequential blocks: execute with immediate init/step
+      // (loop variables are integers) but nonblocking body assignments.
+      exec_blocking(*s.for_init);
+      std::size_t guard = 0;
+      while (eval(*s.cond) != 0 && guard++ < kMaxLoopIterations) {
+        for (const auto& child : s.body) exec_nonblocking(*child, pending);
+        exec_blocking(*s.for_step);
+      }
+      return;
+    }
+    case StmtKind::BlockingAssign:
+      assign_lvalue(*s.lhs, eval(*s.rhs));
+      return;
+    case StmtKind::NonBlockingAssign:
+      assign_lvalue_into(*s.lhs, eval(*s.rhs), pending);
+      return;
+    case StmtKind::Null:
+      return;
+  }
+}
+
+void Simulator::set_input(const std::string& name, std::uint64_t value) {
+  const verilog::PortDecl* port = module_.find_port(name);
+  if (port == nullptr || port->dir != PortDir::Input) {
+    throw std::invalid_argument("Simulator::set_input: '" + name +
+                                "' is not an input port");
+  }
+  state_[name] = masked(value, width_of(name));
+}
+
+void Simulator::settle() {
+  for (std::size_t iteration = 0; iteration < kMaxSettleIterations; ++iteration) {
+    const auto before = state_;
+    for (const auto& net : module_.nets) {
+      if (net.init) assign_lvalue_into(*Expr::ident(net.name), eval(*net.init), state_);
+    }
+    for (const auto& assign : module_.assigns) {
+      assign_lvalue(*assign.lhs, eval(*assign.rhs));
+    }
+    for (const auto& block : module_.always_blocks) {
+      if (!block.is_sequential() && block.body) exec_blocking(*block.body);
+    }
+    if (state_ == before) return;
+  }
+  // Combinational oscillation (possible with pathological feedback): leave
+  // the last state; detection features never depend on simulation, so this
+  // is acceptable for a QA tool.
+}
+
+void Simulator::step(std::size_t cycles) {
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    settle();
+    std::map<std::string, std::uint64_t> pending;
+    for (const auto& block : module_.always_blocks) {
+      if (block.is_sequential() && block.body) {
+        exec_nonblocking(*block.body, pending);
+      }
+    }
+    for (const auto& [name, value] : pending) {
+      state_[name] = masked(value, width_of(name));
+    }
+    settle();
+  }
+}
+
+std::uint64_t Simulator::get(const std::string& name) const {
+  const auto it = state_.find(name);
+  if (it == state_.end()) {
+    throw std::out_of_range("Simulator::get: unknown signal '" + name + "'");
+  }
+  return it->second;
+}
+
+void Simulator::pulse_reset(const std::string& reset_name, std::size_t cycles) {
+  set_input(reset_name, 1);
+  step(cycles);
+  set_input(reset_name, 0);
+  settle();
+}
+
+std::size_t count_output_divergences(const Module& a, const Module& b,
+                                     std::uint64_t seed, std::size_t cycles) {
+  Simulator sim_a(a), sim_b(b);
+  util::Rng rng(seed);
+
+  // Shared outputs by name.
+  std::vector<std::string> outputs;
+  for (const auto& port : a.ports) {
+    if (port.dir == PortDir::Output && b.find_port(port.name) != nullptr) {
+      outputs.push_back(port.name);
+    }
+  }
+  // Shared data inputs driven identically; clock/reset are handled by the
+  // step() protocol, not random stimulus.
+  const auto is_clock_or_reset = [](const std::string& name) {
+    return name == "clk" || name == "clock" || name == "rst" || name == "reset" ||
+           name == "rst_n" || name == "resetn";
+  };
+  std::vector<const verilog::PortDecl*> inputs;
+  for (const auto& port : a.ports) {
+    if (port.dir == PortDir::Input && b.find_port(port.name) != nullptr &&
+        !is_clock_or_reset(port.name)) {
+      inputs.push_back(&port);
+    }
+  }
+  for (const auto& port : a.ports) {
+    if (port.dir == PortDir::Input && (port.name == "rst" || port.name == "reset")) {
+      sim_a.pulse_reset(port.name);
+      sim_b.pulse_reset(port.name);
+    }
+  }
+
+  std::size_t divergences = 0;
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    for (const auto* port : inputs) {
+      const std::uint64_t value = rng();
+      sim_a.set_input(port->name, value);
+      sim_b.set_input(port->name, value);
+    }
+    if (sim_a.is_sequential()) {
+      sim_a.step();
+      sim_b.step();
+    } else {
+      sim_a.settle();
+      sim_b.settle();
+    }
+    for (const auto& name : outputs) {
+      if (sim_a.get(name) != sim_b.get(name)) {
+        ++divergences;
+        break;
+      }
+    }
+  }
+  return divergences;
+}
+
+}  // namespace noodle::sim

@@ -1,0 +1,83 @@
+#pragma once
+// Two-state (0/1) cycle-accurate simulator for the supported Verilog
+// subset. This is the functional-validation substrate for the Trojan
+// engine: it executes both the clean and the infected variant of a design
+// and shows that they behave identically until the trigger condition
+// occurs, and differ exactly when it fires — the defining property of a
+// hardware Trojan that feature-level tests cannot check.
+//
+// Semantics implemented:
+//  * values are unsigned bit vectors up to 64 bits, masked to their width;
+//  * continuous assigns and always @(*) blocks settle to a fixed point
+//    after every input change and every clock edge;
+//  * edge-triggered always blocks use nonblocking semantics: all RHS are
+//    evaluated against pre-edge state, then committed together;
+//  * blocking assignments inside a block update immediately (local order);
+//  * for loops run at most kMaxLoopIterations to bound elaboration.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "verilog/ast.h"
+
+namespace noodle::sim {
+
+class Simulator {
+ public:
+  /// Binds to a module (kept by reference — must outlive the simulator).
+  /// All signals start at 0; call settle() or step() before reading.
+  explicit Simulator(const verilog::Module& m);
+
+  /// Sets an input port (value is masked to the port width). Throws
+  /// std::invalid_argument for non-input names.
+  void set_input(const std::string& name, std::uint64_t value);
+
+  /// Propagates combinational logic to a fixed point.
+  void settle();
+
+  /// One clock cycle: fires every edge-triggered always block once
+  /// (posedge semantics), then settles combinational logic. Inputs hold
+  /// their last set value.
+  void step(std::size_t cycles = 1);
+
+  /// Current value of any signal (port or internal). Throws
+  /// std::out_of_range for unknown names.
+  std::uint64_t get(const std::string& name) const;
+
+  /// True if the module has at least one edge-triggered always block.
+  bool is_sequential() const noexcept { return sequential_; }
+
+  /// Convenience: pulse an active-high reset input for `cycles` cycles
+  /// (sets it to 1, steps, sets back to 0, settles).
+  void pulse_reset(const std::string& reset_name, std::size_t cycles = 2);
+
+  static constexpr std::size_t kMaxLoopIterations = 4096;
+  static constexpr std::size_t kMaxSettleIterations = 64;
+
+ private:
+  std::uint64_t eval(const verilog::Expr& e) const;
+  void exec_blocking(const verilog::Stmt& s);
+  void exec_nonblocking(const verilog::Stmt& s,
+                        std::map<std::string, std::uint64_t>& pending);
+  void assign_lvalue(const verilog::Expr& lhs, std::uint64_t value);
+  void assign_lvalue_into(const verilog::Expr& lhs, std::uint64_t value,
+                          std::map<std::string, std::uint64_t>& target);
+  int width_of(const std::string& name) const;
+  std::uint64_t masked(std::uint64_t value, int width) const;
+
+  const verilog::Module& module_;
+  std::map<std::string, std::uint64_t> state_;
+  std::map<std::string, int> widths_;
+  bool sequential_ = false;
+};
+
+/// Functional-equivalence probe used by the Trojan validation tests and the
+/// corpus QA example: drives both modules with the same `cycles` random
+/// input cycles (seeded) and returns the number of cycles on which any
+/// shared output differed.
+std::size_t count_output_divergences(const verilog::Module& a,
+                                     const verilog::Module& b,
+                                     std::uint64_t seed, std::size_t cycles);
+
+}  // namespace noodle::sim

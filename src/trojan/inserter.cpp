@@ -1,0 +1,560 @@
+#include "trojan/inserter.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace noodle::trojan {
+
+using verilog::AlwaysBlock;
+using verilog::BitRange;
+using verilog::CaseItem;
+using verilog::ContAssign;
+using verilog::EdgeKind;
+using verilog::Expr;
+using verilog::ExprKind;
+using verilog::ExprPtr;
+using verilog::Module;
+using verilog::NetDecl;
+using verilog::NetKind;
+using verilog::PortDecl;
+using verilog::PortDir;
+using verilog::SensItem;
+using verilog::Stmt;
+using verilog::StmtPtr;
+
+const char* to_string(TriggerKind kind) noexcept {
+  switch (kind) {
+    case TriggerKind::TimeBomb: return "time_bomb";
+    case TriggerKind::CheatCode: return "cheat_code";
+    case TriggerKind::Sequence: return "sequence";
+  }
+  return "unknown";
+}
+
+const char* to_string(PayloadKind kind) noexcept {
+  switch (kind) {
+    case PayloadKind::Corrupt: return "corrupt";
+    case PayloadKind::Leak: return "leak";
+    case PayloadKind::Disable: return "disable";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Mutable identifier renaming across the whole module
+// ---------------------------------------------------------------------------
+
+void rename_in_expr(Expr& e, const std::string& from, const std::string& to) {
+  if (e.kind == ExprKind::Identifier && e.name == from) e.name = to;
+  for (auto& child : e.operands) {
+    if (child) rename_in_expr(*child, from, to);
+  }
+}
+
+void rename_in_stmt(Stmt& s, const std::string& from, const std::string& to) {
+  if (s.cond) rename_in_expr(*s.cond, from, to);
+  if (s.lhs) rename_in_expr(*s.lhs, from, to);
+  if (s.rhs) rename_in_expr(*s.rhs, from, to);
+  if (s.then_branch) rename_in_stmt(*s.then_branch, from, to);
+  if (s.else_branch) rename_in_stmt(*s.else_branch, from, to);
+  for (auto& child : s.body) {
+    if (child) rename_in_stmt(*child, from, to);
+  }
+  for (auto& item : s.case_items) {
+    for (auto& label : item.labels) {
+      if (label) rename_in_expr(*label, from, to);
+    }
+    if (item.body) rename_in_stmt(*item.body, from, to);
+  }
+  if (s.for_init) rename_in_stmt(*s.for_init, from, to);
+  if (s.for_step) rename_in_stmt(*s.for_step, from, to);
+}
+
+void rename_identifier(Module& m, const std::string& from, const std::string& to) {
+  for (auto& net : m.nets) {
+    if (net.init) rename_in_expr(*net.init, from, to);
+  }
+  for (auto& assign : m.assigns) {
+    rename_in_expr(*assign.lhs, from, to);
+    rename_in_expr(*assign.rhs, from, to);
+  }
+  for (auto& block : m.always_blocks) {
+    for (auto& item : block.sensitivity) {
+      if (item.signal == from) item.signal = to;
+    }
+    if (block.body) rename_in_stmt(*block.body, from, to);
+  }
+  for (auto& block : m.initial_blocks) {
+    if (block.body) rename_in_stmt(*block.body, from, to);
+  }
+  for (auto& inst : m.instances) {
+    for (auto& conn : inst.connections) {
+      if (conn.actual) rename_in_expr(*conn.actual, from, to);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural queries
+// ---------------------------------------------------------------------------
+
+bool name_taken(const Module& m, const std::string& name) {
+  return m.find_port(name) != nullptr || m.find_net(name) != nullptr;
+}
+
+std::string fresh_name(const Module& m, const std::string& stem) {
+  if (!name_taken(m, stem)) return stem;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string candidate = stem + "_" + std::to_string(i);
+    if (!name_taken(m, candidate)) return candidate;
+  }
+  throw std::runtime_error("fresh_name: cannot find unused name for " + stem);
+}
+
+bool is_reset_name(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  return lower == "rst" || lower == "reset" || lower == "rst_n" || lower == "resetn" ||
+         lower == "arst";
+}
+
+bool is_clock_name(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  return lower == "clk" || lower == "clock";
+}
+
+/// Data inputs: inputs that are neither clock nor reset.
+std::vector<const PortDecl*> data_inputs(const Module& m) {
+  std::vector<const PortDecl*> inputs;
+  for (const auto& port : m.ports) {
+    if (port.dir != PortDir::Input) continue;
+    if (is_clock_name(port.name) || is_reset_name(port.name)) continue;
+    inputs.push_back(&port);
+  }
+  return inputs;
+}
+
+int port_width(const PortDecl& port) { return port.range ? port.range->width() : 1; }
+
+std::uint64_t mask_to_width(std::uint64_t value, int width) {
+  if (width >= 64) return value;
+  return value & ((1ULL << width) - 1ULL);
+}
+
+/// Random nonzero constant of the given width.
+std::uint64_t random_magic(util::Rng& rng, int width) {
+  const std::uint64_t value = mask_to_width(rng(), width);
+  return value == 0 ? 1 : value;
+}
+
+/// Wraps a statement body with `if (rst) <reset_assigns> else <body>` when a
+/// reset exists; otherwise returns the body unchanged.
+StmtPtr with_reset(const std::string& reset, StmtPtr reset_branch, StmtPtr body) {
+  if (reset.empty()) return body;
+  ExprPtr cond = Expr::ident(reset);
+  if (util::ends_with(reset, "_n") || util::ends_with(reset, "n")) {
+    // Active-low resets in our corpora end in _n / n (rst_n, resetn).
+    if (is_reset_name(reset) && (util::ends_with(reset, "_n") || reset == "resetn")) {
+      cond = Expr::unary("!", std::move(cond));
+    }
+  }
+  return Stmt::if_stmt(std::move(cond), std::move(reset_branch), std::move(body));
+}
+
+struct TriggerResult {
+  std::string trig_net;
+  std::vector<std::string> added_nets;
+  /// Registers added by the trigger, usable as leak sources.
+  std::vector<std::string> state_regs;
+};
+
+// ---------------------------------------------------------------------------
+// Triggers
+// ---------------------------------------------------------------------------
+
+TriggerResult build_time_bomb(Module& m, const TrojanConfig& config, util::Rng& rng) {
+  const std::string clk = find_clock(m);
+  const std::string rst = find_reset(m);
+  const int width = std::clamp(config.counter_width, 8, 62);
+
+  TriggerResult result;
+  const std::string counter = fresh_name(m, "tj_cnt");
+  const std::string trig = fresh_name(m, "tj_trig");
+
+  NetDecl counter_decl;
+  counter_decl.kind = NetKind::Reg;
+  counter_decl.name = counter;
+  counter_decl.range = BitRange{width - 1, 0};
+  m.nets.push_back(std::move(counter_decl));
+
+  NetDecl trig_decl;
+  trig_decl.kind = NetKind::Wire;
+  trig_decl.name = trig;
+  m.nets.push_back(std::move(trig_decl));
+
+  // always @(posedge clk) if (rst) tj_cnt <= 0; else tj_cnt <= tj_cnt + 1;
+  StmtPtr increment = Stmt::non_blocking(
+      Expr::ident(counter), Expr::binary("+", Expr::ident(counter), Expr::number(1)));
+  StmtPtr body = with_reset(
+      rst, Stmt::non_blocking(Expr::ident(counter), Expr::number(0, width)),
+      std::move(increment));
+
+  AlwaysBlock block;
+  block.sensitivity.push_back(SensItem{EdgeKind::Posedge, clk});
+  block.body = Stmt::block([&] {
+    std::vector<StmtPtr> stmts;
+    stmts.push_back(std::move(body));
+    return stmts;
+  }());
+  m.always_blocks.push_back(std::move(block));
+
+  // assign tj_trig = tj_cnt == MAGIC;
+  const std::uint64_t magic = random_magic(rng, width);
+  ContAssign assign;
+  assign.lhs = Expr::ident(trig);
+  assign.rhs = Expr::binary("==", Expr::ident(counter), Expr::number(magic, width));
+  m.assigns.push_back(std::move(assign));
+
+  result.trig_net = trig;
+  result.added_nets = {counter, trig};
+  result.state_regs = {counter};
+  return result;
+}
+
+/// Builds the comparison `inputs == magic` over a concatenation of data
+/// inputs wide enough (>= 4 bits when possible) to keep activation rare.
+ExprPtr build_input_match(util::Rng& rng,
+                          const std::vector<const PortDecl*>& inputs) {
+  std::vector<const PortDecl*> chosen;
+  int total_width = 0;
+  std::vector<std::size_t> order = rng.sample_indices(inputs.size(), inputs.size());
+  for (const std::size_t idx : order) {
+    chosen.push_back(inputs[idx]);
+    total_width += port_width(*inputs[idx]);
+    if (total_width >= 8 || chosen.size() >= 3) break;
+  }
+
+  ExprPtr subject;
+  if (chosen.size() == 1) {
+    subject = Expr::ident(chosen[0]->name);
+  } else {
+    std::vector<ExprPtr> parts;
+    parts.reserve(chosen.size());
+    for (const PortDecl* port : chosen) parts.push_back(Expr::ident(port->name));
+    subject = Expr::concat(std::move(parts));
+  }
+  const int width = std::min(total_width, 62);
+  const std::uint64_t magic = random_magic(rng, width);
+  return Expr::binary("==", std::move(subject), Expr::number(magic, width));
+}
+
+TriggerResult build_cheat_code(Module& m, util::Rng& rng) {
+  const auto inputs = data_inputs(m);
+  if (inputs.empty()) throw std::runtime_error("cheat_code trigger: no data inputs");
+
+  TriggerResult result;
+  const std::string trig = fresh_name(m, "tj_trig");
+  ExprPtr match = build_input_match(rng, inputs);
+
+  const bool armed = has_clock(m) && rng.bernoulli(0.5);
+  if (armed) {
+    // Two-stage cheat code: a first magic value arms a register, a second
+    // fires the trigger. Harder to hit in random functional test.
+    const std::string clk = find_clock(m);
+    const std::string rst = find_reset(m);
+    const std::string arm = fresh_name(m, "tj_arm");
+
+    NetDecl arm_decl;
+    arm_decl.kind = NetKind::Reg;
+    arm_decl.name = arm;
+    m.nets.push_back(std::move(arm_decl));
+
+    ExprPtr arm_match = build_input_match(rng, inputs);
+    StmtPtr set_arm = Stmt::if_stmt(std::move(arm_match),
+                                    Stmt::non_blocking(Expr::ident(arm), Expr::number(1, 1)));
+    StmtPtr body = with_reset(rst,
+                              Stmt::non_blocking(Expr::ident(arm), Expr::number(0, 1)),
+                              std::move(set_arm));
+    AlwaysBlock block;
+    block.sensitivity.push_back(SensItem{EdgeKind::Posedge, clk});
+    std::vector<StmtPtr> stmts;
+    stmts.push_back(std::move(body));
+    block.body = Stmt::block(std::move(stmts));
+    m.always_blocks.push_back(std::move(block));
+
+    match = Expr::binary("&&", Expr::ident(arm), std::move(match));
+    result.added_nets.push_back(arm);
+    result.state_regs.push_back(arm);
+  }
+
+  NetDecl trig_decl;
+  trig_decl.kind = NetKind::Wire;
+  trig_decl.name = trig;
+  m.nets.push_back(std::move(trig_decl));
+
+  ContAssign assign;
+  assign.lhs = Expr::ident(trig);
+  assign.rhs = std::move(match);
+  m.assigns.push_back(std::move(assign));
+
+  result.trig_net = trig;
+  result.added_nets.push_back(trig);
+  return result;
+}
+
+TriggerResult build_sequence(Module& m, const TrojanConfig& config, util::Rng& rng) {
+  const auto inputs = data_inputs(m);
+  if (inputs.empty()) throw std::runtime_error("sequence trigger: no data inputs");
+  const std::string clk = find_clock(m);
+  const std::string rst = find_reset(m);
+
+  // Follow a single data input through K magic values.
+  const PortDecl* input = inputs[rng.sample_indices(inputs.size(), 1)[0]];
+  const int in_width = std::min(port_width(*input), 62);
+  const int length = std::clamp(config.sequence_length, 2, 4);
+
+  TriggerResult result;
+  const std::string state = fresh_name(m, "tj_seq");
+  const std::string trig = fresh_name(m, "tj_trig");
+  const int state_width = 3;  // up to 4 matched stages + fired state
+
+  NetDecl state_decl;
+  state_decl.kind = NetKind::Reg;
+  state_decl.name = state;
+  state_decl.range = BitRange{state_width - 1, 0};
+  m.nets.push_back(std::move(state_decl));
+
+  NetDecl trig_decl;
+  trig_decl.kind = NetKind::Wire;
+  trig_decl.name = trig;
+  m.nets.push_back(std::move(trig_decl));
+
+  std::vector<std::uint64_t> sequence(static_cast<std::size_t>(length));
+  for (auto& v : sequence) v = random_magic(rng, in_width);
+
+  // case (tj_seq)
+  //   i: tj_seq <= (in == V_i) ? i+1 : ((in == V_0) ? 1 : 0);
+  //   length: tj_seq <= length;   // latched fired state
+  //   default: tj_seq <= 0;
+  std::vector<CaseItem> items;
+  for (int i = 0; i < length; ++i) {
+    CaseItem item;
+    item.labels.push_back(Expr::number(static_cast<std::uint64_t>(i), state_width));
+    ExprPtr on_match = Expr::number(static_cast<std::uint64_t>(i + 1), state_width);
+    ExprPtr restart = Expr::ternary(
+        Expr::binary("==", Expr::ident(input->name), Expr::number(sequence[0], in_width)),
+        Expr::number(1, state_width), Expr::number(0, state_width));
+    ExprPtr next = Expr::ternary(
+        Expr::binary("==", Expr::ident(input->name), Expr::number(sequence[static_cast<std::size_t>(i)], in_width)),
+        std::move(on_match), std::move(restart));
+    item.body = Stmt::non_blocking(Expr::ident(state), std::move(next));
+    items.push_back(std::move(item));
+  }
+  {
+    CaseItem fired;
+    fired.labels.push_back(Expr::number(static_cast<std::uint64_t>(length), state_width));
+    fired.body = Stmt::non_blocking(Expr::ident(state),
+                                    Expr::number(static_cast<std::uint64_t>(length), state_width));
+    items.push_back(std::move(fired));
+  }
+  {
+    CaseItem dflt;
+    dflt.body = Stmt::non_blocking(Expr::ident(state), Expr::number(0, state_width));
+    items.push_back(std::move(dflt));
+  }
+
+  StmtPtr fsm = Stmt::case_stmt(Expr::ident(state), std::move(items));
+  StmtPtr body = with_reset(
+      rst, Stmt::non_blocking(Expr::ident(state), Expr::number(0, state_width)),
+      std::move(fsm));
+
+  AlwaysBlock block;
+  block.sensitivity.push_back(SensItem{EdgeKind::Posedge, clk});
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(std::move(body));
+  block.body = Stmt::block(std::move(stmts));
+  m.always_blocks.push_back(std::move(block));
+
+  ContAssign assign;
+  assign.lhs = Expr::ident(trig);
+  assign.rhs = Expr::binary("==", Expr::ident(state),
+                            Expr::number(static_cast<std::uint64_t>(length), state_width));
+  m.assigns.push_back(std::move(assign));
+
+  result.trig_net = trig;
+  result.added_nets = {state, trig};
+  result.state_regs = {state};
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Payloads
+// ---------------------------------------------------------------------------
+
+const PortDecl* pick_victim_output(const Module& m, util::Rng& rng) {
+  std::vector<const PortDecl*> outputs;
+  for (const auto& port : m.ports) {
+    if (port.dir == PortDir::Output) outputs.push_back(&port);
+  }
+  if (outputs.empty()) return nullptr;
+  // Prefer vector outputs: corrupting a bus is the common Trust-Hub pattern.
+  std::vector<const PortDecl*> buses;
+  for (const PortDecl* port : outputs) {
+    if (port_width(*port) > 1) buses.push_back(port);
+  }
+  const auto& pool = buses.empty() ? outputs : buses;
+  return pool[rng.sample_indices(pool.size(), 1)[0]];
+}
+
+/// XOR source used by the Leak payload: one bit of internal Trojan state,
+/// replicated across the victim width.
+ExprPtr leak_expr(const Module& m, const std::string& source_reg,
+                  const std::string& carrier, int width) {
+  ExprPtr bit;
+  const int source_width = m.width_of(source_reg);
+  if (source_width > 1) {
+    bit = Expr::index(Expr::ident(source_reg), Expr::number(0));
+  } else {
+    bit = Expr::ident(source_reg);
+  }
+  ExprPtr mask;
+  if (width > 1) {
+    mask = Expr::replicate(Expr::number(static_cast<std::uint64_t>(width)), std::move(bit));
+  } else {
+    mask = std::move(bit);
+  }
+  return Expr::binary("^", Expr::ident(carrier), std::move(mask));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+bool has_clock(const verilog::Module& m) {
+  for (const auto& port : m.ports) {
+    if (port.dir == PortDir::Input && port_width(port) == 1 && is_clock_name(port.name))
+      return true;
+  }
+  return false;
+}
+
+std::string find_clock(const verilog::Module& m) {
+  for (const auto& port : m.ports) {
+    if (port.dir == PortDir::Input && port_width(port) == 1 && is_clock_name(port.name))
+      return port.name;
+  }
+  for (const auto& port : m.ports) {
+    if (port.dir == PortDir::Input && port_width(port) == 1) return port.name;
+  }
+  throw std::runtime_error("find_clock: module '" + m.name + "' has no scalar input");
+}
+
+std::string find_reset(const verilog::Module& m) {
+  for (const auto& port : m.ports) {
+    if (port.dir == PortDir::Input && port_width(port) == 1 && is_reset_name(port.name))
+      return port.name;
+  }
+  return {};
+}
+
+std::string redirect_output(verilog::Module& m, const std::string& port_name) {
+  PortDecl* port = nullptr;
+  for (auto& p : m.ports) {
+    if (p.name == port_name) {
+      port = &p;
+      break;
+    }
+  }
+  if (port == nullptr || port->dir != PortDir::Output) {
+    throw std::runtime_error("redirect_output: '" + port_name + "' is not an output");
+  }
+
+  const std::string internal = fresh_name(m, port_name + "_pre");
+  rename_identifier(m, port_name, internal);
+
+  bool had_net_decl = false;
+  for (auto& net : m.nets) {
+    if (net.name == port_name) {
+      net.name = internal;
+      had_net_decl = true;
+      break;
+    }
+  }
+  if (!had_net_decl) {
+    NetDecl decl;
+    decl.kind = NetKind::Wire;
+    decl.name = internal;
+    decl.range = port->range;
+    m.nets.push_back(std::move(decl));
+  }
+  port->net = NetKind::Wire;  // now driven by the tap assign
+  return internal;
+}
+
+TrojanReport insert_trojan(verilog::Module& m, const TrojanConfig& config,
+                           util::Rng& rng) {
+  TrojanReport report;
+  report.payload = config.payload;
+
+  // Sequential triggers need a clock; degrade gracefully to a cheat code.
+  TriggerKind trigger = config.trigger;
+  if (!has_clock(m) &&
+      (trigger == TriggerKind::TimeBomb || trigger == TriggerKind::Sequence)) {
+    trigger = TriggerKind::CheatCode;
+  }
+  report.trigger = trigger;
+
+  const PortDecl* victim = pick_victim_output(m, rng);
+  if (victim == nullptr) {
+    throw std::runtime_error("insert_trojan: module '" + m.name + "' has no output port");
+  }
+  report.victim_output = victim->name;
+  const int width = port_width(*victim);
+
+  TriggerResult trig;
+  switch (trigger) {
+    case TriggerKind::TimeBomb: trig = build_time_bomb(m, config, rng); break;
+    case TriggerKind::CheatCode: trig = build_cheat_code(m, rng); break;
+    case TriggerKind::Sequence: trig = build_sequence(m, config, rng); break;
+  }
+  report.trigger_net = trig.trig_net;
+  report.added_nets = trig.added_nets;
+
+  const std::string carrier = redirect_output(m, report.victim_output);
+  report.added_nets.push_back(carrier);
+
+  ExprPtr when_triggered;
+  switch (config.payload) {
+    case PayloadKind::Corrupt: {
+      const std::uint64_t mask = random_magic(rng, std::min(width, 62));
+      when_triggered = Expr::binary("^", Expr::ident(carrier),
+                                    Expr::number(mask, std::min(width, 62)));
+      break;
+    }
+    case PayloadKind::Leak: {
+      // Leak internal Trojan state; cheat-code triggers without state fall
+      // back to leaking the trigger wire itself (still data-dependent).
+      const std::string source =
+          trig.state_regs.empty() ? trig.trig_net : trig.state_regs.front();
+      when_triggered = leak_expr(m, source, carrier, width);
+      break;
+    }
+    case PayloadKind::Disable:
+      when_triggered = Expr::number(0, width);
+      break;
+  }
+
+  ContAssign tap;
+  tap.lhs = Expr::ident(report.victim_output);
+  tap.rhs = Expr::ternary(Expr::ident(trig.trig_net), std::move(when_triggered),
+                          Expr::ident(carrier));
+  m.assigns.push_back(std::move(tap));
+  return report;
+}
+
+}  // namespace noodle::trojan

@@ -1,0 +1,78 @@
+#pragma once
+// AST-level hardware-Trojan insertion engine.
+//
+// This is the corpus side of the Trust-Hub substitution (see DESIGN.md):
+// given a Trojan-free module, it plants a stealthy trigger + payload pair of
+// the kinds the Trust-Hub RTL benchmarks exhibit:
+//
+//   Triggers  — TimeBomb   : free-running counter compared against a rare
+//                            constant (classic time bomb),
+//               CheatCode  : input vector compared against a magic constant,
+//                            optionally with a registered arming stage,
+//               Sequence   : small FSM that fires only after a specific
+//                            multi-cycle input sequence.
+//   Payloads  — Corrupt    : XORs a victim output with a constant mask,
+//               Leak       : XORs internal state into a victim output
+//                            (information leakage),
+//               Disable    : forces a victim output to zero (denial).
+//
+// All insertions are pure AST rewrites; the result re-prints as valid
+// Verilog, so downstream feature extraction sees exactly what it would see
+// on a real infected netlist: extra low-activity nets, one more always
+// block, and a rare branch guarding the payload mux.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "verilog/ast.h"
+
+namespace noodle::trojan {
+
+enum class TriggerKind { TimeBomb, CheatCode, Sequence };
+enum class PayloadKind { Corrupt, Leak, Disable };
+
+const char* to_string(TriggerKind kind) noexcept;
+const char* to_string(PayloadKind kind) noexcept;
+
+struct TrojanConfig {
+  TriggerKind trigger = TriggerKind::TimeBomb;
+  PayloadKind payload = PayloadKind::Corrupt;
+  /// TimeBomb counter width; wider means rarer activation.
+  int counter_width = 24;
+  /// Sequence trigger length (number of matched input values), 2..4.
+  int sequence_length = 3;
+};
+
+/// What was inserted, for labeling and for tests that assert structure.
+struct TrojanReport {
+  TriggerKind trigger = TriggerKind::TimeBomb;
+  PayloadKind payload = PayloadKind::Corrupt;
+  std::string trigger_net;             // combinational trigger wire
+  std::string victim_output;           // corrupted output port
+  std::vector<std::string> added_nets; // every net the Trojan introduced
+};
+
+/// True if the module has an edge-usable clock input (required by the
+/// sequential triggers). The inserter falls back to CheatCode otherwise.
+bool has_clock(const verilog::Module& m);
+
+/// Name of the clock input ("clk"/"clock", else the first scalar input).
+/// Throws std::runtime_error if the module has no scalar input at all.
+std::string find_clock(const verilog::Module& m);
+
+/// Optional synchronous reset input name ("rst"/"reset"/"rst_n"), or empty.
+std::string find_reset(const verilog::Module& m);
+
+/// Inserts a Trojan into `m` in place. Throws std::runtime_error when the
+/// module has no output port to victimize or no inputs to trigger from.
+TrojanReport insert_trojan(verilog::Module& m, const TrojanConfig& config,
+                           util::Rng& rng);
+
+/// Reroutes output port `port` through a fresh internal net: every existing
+/// occurrence of the name is renamed to the returned internal net, the port
+/// becomes a plain wire output, and callers add `assign port = ...` taps.
+/// Exposed for tests and for building custom payloads.
+std::string redirect_output(verilog::Module& m, const std::string& port);
+
+}  // namespace noodle::trojan

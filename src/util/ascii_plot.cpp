@@ -1,0 +1,149 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace noodle::util {
+
+namespace {
+
+double span_min(std::span<const double> xs, double fallback) {
+  return xs.empty() ? fallback : *std::min_element(xs.begin(), xs.end());
+}
+
+double span_max(std::span<const double> xs, double fallback) {
+  return xs.empty() ? fallback : *std::max_element(xs.begin(), xs.end());
+}
+
+}  // namespace
+
+std::string ascii_xy_plot(std::span<const double> xs, std::span<const double> ys,
+                          std::size_t width, std::size_t height, char mark,
+                          bool draw_diagonal) {
+  if (xs.size() != ys.size()) throw std::invalid_argument("ascii_xy_plot: size mismatch");
+  if (width < 2 || height < 2) throw std::invalid_argument("ascii_xy_plot: grid too small");
+
+  double xlo = span_min(xs, 0.0), xhi = span_max(xs, 1.0);
+  double ylo = span_min(ys, 0.0), yhi = span_max(ys, 1.0);
+  if (xlo == xhi) xhi = xlo + 1.0;
+  if (ylo == yhi) yhi = ylo + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+
+  auto col_of = [&](double x) {
+    const double t = (x - xlo) / (xhi - xlo);
+    return static_cast<std::size_t>(std::clamp(
+        t * static_cast<double>(width - 1), 0.0, static_cast<double>(width - 1)));
+  };
+  auto row_of = [&](double y) {
+    const double t = (y - ylo) / (yhi - ylo);
+    const auto from_bottom = static_cast<std::size_t>(std::clamp(
+        t * static_cast<double>(height - 1), 0.0, static_cast<double>(height - 1)));
+    return height - 1 - from_bottom;
+  };
+
+  if (draw_diagonal) {
+    for (std::size_t i = 0; i < std::min(width, height) * 4; ++i) {
+      const double t = static_cast<double>(i) / static_cast<double>(std::min(width, height) * 4 - 1);
+      const std::size_t c = col_of(xlo + t * (xhi - xlo));
+      const std::size_t r = row_of(ylo + t * (yhi - ylo));
+      if (grid[r][c] == ' ') grid[r][c] = '.';
+    }
+  }
+
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    grid[row_of(ys[i])][col_of(xs[i])] = mark;
+  }
+
+  std::ostringstream os;
+  os << format_fixed(yhi, 3) << " +" << std::string(width, '-') << "+\n";
+  for (const auto& line : grid) os << "      |" << line << "|\n";
+  os << format_fixed(ylo, 3) << " +" << std::string(width, '-') << "+\n";
+  os << "       " << format_fixed(xlo, 3)
+     << std::string(width > 12 ? width - 12 : 1, ' ') << format_fixed(xhi, 3) << "\n";
+  return os.str();
+}
+
+std::string ascii_bar_chart(std::span<const std::string> labels,
+                            std::span<const double> values, std::size_t width) {
+  if (labels.size() != values.size())
+    throw std::invalid_argument("ascii_bar_chart: size mismatch");
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+  const double vmax = values.empty() ? 1.0 : std::max(1e-12, span_max(values, 1.0));
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        std::round(std::clamp(values[i] / vmax, 0.0, 1.0) * static_cast<double>(width)));
+    os << labels[i] << std::string(label_width - labels[i].size(), ' ') << " | "
+       << std::string(bar, '#') << std::string(width - bar, ' ') << " "
+       << format_fixed(values[i], 4) << "\n";
+  }
+  return os.str();
+}
+
+std::string ascii_box_plot(std::span<const std::string> labels,
+                           const std::vector<std::vector<double>>& samples,
+                           std::size_t width) {
+  if (labels.size() != samples.size())
+    throw std::invalid_argument("ascii_box_plot: size mismatch");
+  double lo = 1e300, hi = -1e300;
+  for (const auto& s : samples) {
+    if (s.empty()) throw std::invalid_argument("ascii_box_plot: empty sample");
+    lo = std::min(lo, min_value(s));
+    hi = std::max(hi, max_value(s));
+  }
+  if (lo == hi) hi = lo + 1.0;
+
+  std::size_t label_width = 0;
+  for (const auto& l : labels) label_width = std::max(label_width, l.size());
+
+  auto col_of = [&](double v) {
+    const double t = (v - lo) / (hi - lo);
+    return static_cast<std::size_t>(std::clamp(
+        t * static_cast<double>(width - 1), 0.0, static_cast<double>(width - 1)));
+  };
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Summary s = summarize(samples[i]);
+    std::string line(width, ' ');
+    for (std::size_t c = col_of(s.min); c <= col_of(s.max); ++c) line[c] = '-';
+    for (std::size_t c = col_of(s.q25); c <= col_of(s.q75); ++c) line[c] = '=';
+    line[col_of(s.min)] = '|';
+    line[col_of(s.max)] = '|';
+    line[col_of(s.median)] = 'M';
+    os << labels[i] << std::string(label_width - labels[i].size(), ' ') << " ["
+       << line << "]  mean=" << format_fixed(s.mean, 4) << " +/- "
+       << format_fixed(s.ci95_half_width, 4) << "\n";
+  }
+  os << std::string(label_width, ' ') << "  " << format_fixed(lo, 4)
+     << std::string(width > 14 ? width - 14 : 1, ' ') << format_fixed(hi, 4) << "\n";
+  return os.str();
+}
+
+std::string ascii_radar(std::span<const std::string> axes,
+                        std::span<const double> values01, std::size_t width) {
+  if (axes.size() != values01.size())
+    throw std::invalid_argument("ascii_radar: size mismatch");
+  std::size_t label_width = 0;
+  for (const auto& a : axes) label_width = std::max(label_width, a.size());
+
+  std::ostringstream os;
+  for (std::size_t i = 0; i < axes.size(); ++i) {
+    const double v = std::clamp(values01[i], 0.0, 1.0);
+    const auto filled = static_cast<std::size_t>(std::round(v * static_cast<double>(width)));
+    os << axes[i] << std::string(label_width - axes[i].size(), ' ') << " ["
+       << std::string(filled, '=') << std::string(width - filled, '.') << "] "
+       << format_fixed(v, 3) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace noodle::util

@@ -1,0 +1,36 @@
+#pragma once
+// Terminal renderings of the paper's figures. Each bench prints the exact
+// numeric series as CSV *and* an ASCII sketch so the figure's shape (ROC bow,
+// calibration diagonal, radar polygon, Brier box plots) is visible without
+// leaving the terminal.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace noodle::util {
+
+/// Scatter/step plot of y(x) on a character grid. Both axes are annotated
+/// with their data ranges. Points are clamped into the plotting area.
+std::string ascii_xy_plot(std::span<const double> xs, std::span<const double> ys,
+                          std::size_t width = 61, std::size_t height = 21,
+                          char mark = '*', bool draw_diagonal = false);
+
+/// Horizontal bar chart: one labeled bar per entry, scaled to max value.
+std::string ascii_bar_chart(std::span<const std::string> labels,
+                            std::span<const double> values,
+                            std::size_t width = 50);
+
+/// Box-and-whisker summary line per labeled sample (Fig. 2 style):
+///   label |----[==M==]----| min/q25/median/q75/max mapped onto [lo, hi].
+std::string ascii_box_plot(std::span<const std::string> labels,
+                           const std::vector<std::vector<double>>& samples,
+                           std::size_t width = 60);
+
+/// Radar plot substitute (Fig. 5): one spoke per metric rendered as a
+/// 0..1 gauge, which preserves the radar's at-a-glance profile comparison.
+std::string ascii_radar(std::span<const std::string> axes,
+                        std::span<const double> values01,
+                        std::size_t width = 40);
+
+}  // namespace noodle::util

@@ -1,0 +1,53 @@
+#pragma once
+// Small descriptive-statistics toolkit used across metrics, benches, and
+// the experiment harness (Brier score distributions, confidence intervals,
+// feature standardization, histograms for the sharpness plot in Fig. 3).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace noodle::util {
+
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Requires a non-empty span.
+double quantile(std::span<const double> xs, double q);
+
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Summary of a sample used for Fig. 2 style "distribution with mean
+/// interval" reporting.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  /// Half-width of the normal-approximation 95% confidence interval on the
+  /// mean (1.96 * stddev / sqrt(n)); 0 for n < 2.
+  double ci95_half_width = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Equal-width histogram over [lo, hi]; values outside are clamped into the
+/// boundary bins. Returns per-bin counts.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo, double hi,
+                                   std::size_t bins);
+
+}  // namespace noodle::util

@@ -1,0 +1,255 @@
+#include "verilog/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace noodle::verilog {
+
+namespace {
+
+constexpr std::array kKeywords = {
+    "module",   "endmodule", "input",  "output", "inout",     "wire",
+    "reg",      "assign",    "always", "initial", "begin",    "end",
+    "if",       "else",      "case",   "casez",  "casex",     "endcase",
+    "default",  "for",       "posedge", "negedge", "or",      "parameter",
+    "localparam", "integer", "signed", "and",    "not",       "nand",
+    "nor",      "xor",       "xnor",   "buf",    "function",  "endfunction",
+    "generate", "endgenerate",
+};
+
+// Multi-character punctuation, longest first so maximal munch works.
+constexpr std::array kPuncts = {
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "<<",
+    ">>",  "~&",  "~|",  "~^",  "^~", "+",  "-",  "*",  "/",  "%",  "!",
+    "~",   "&",   "|",   "^",   "<",  ">",  "=",  "?",  ":",  ";",  ",",
+    ".",   "(",   ")",   "[",   "]",  "{",  "}",  "@",  "#",
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+int base_digit_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool done() const noexcept { return pos_ >= text_.size(); }
+  char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  bool consume(std::string_view expected) noexcept {
+    if (text_.substr(pos_).substr(0, expected.size()) != expected) return false;
+    for (std::size_t i = 0; i < expected.size(); ++i) advance();
+    return true;
+  }
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+LexError::LexError(const std::string& message, int line, int column)
+    : std::runtime_error(message + " at line " + std::to_string(line) + ", column " +
+                         std::to_string(column)),
+      line_(line),
+      column_(column) {}
+
+bool is_verilog_keyword(const std::string& word) {
+  for (const char* kw : kKeywords) {
+    if (word == kw) return true;
+  }
+  return false;
+}
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  Cursor cur(source);
+
+  const auto skip_trivia = [&] {
+    while (!cur.done()) {
+      const char c = cur.peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        cur.advance();
+      } else if (c == '/' && cur.peek(1) == '/') {
+        while (!cur.done() && cur.peek() != '\n') cur.advance();
+      } else if (c == '/' && cur.peek(1) == '*') {
+        const int line = cur.line(), col = cur.column();
+        cur.advance();
+        cur.advance();
+        while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/')) cur.advance();
+        if (cur.done()) throw LexError("unterminated block comment", line, col);
+        cur.advance();
+        cur.advance();
+      } else if (c == '`') {
+        // Compiler directives (`timescale, `define) — skip to end of line.
+        while (!cur.done() && cur.peek() != '\n') cur.advance();
+      } else {
+        return;
+      }
+    }
+  };
+
+  const auto lex_based_number = [&](Token& tok, std::uint64_t size_prefix, bool sized) {
+    // cur points at the apostrophe.
+    cur.advance();  // '
+    if (cur.peek() == 's' || cur.peek() == 'S') cur.advance();
+    const char base_char = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(cur.advance())));
+    int base = 0;
+    switch (base_char) {
+      case 'b': base = 2; break;
+      case 'o': base = 8; break;
+      case 'd': base = 10; break;
+      case 'h': base = 16; break;
+      default:
+        throw LexError(std::string("invalid number base '") + base_char + "'", tok.line,
+                       tok.column);
+    }
+    std::uint64_t value = 0;
+    bool any_digit = false;
+    std::string spelling;
+    while (!cur.done()) {
+      const char c = cur.peek();
+      if (c == '_') {
+        cur.advance();
+        continue;
+      }
+      const int digit = base_digit_value(c);
+      if (digit < 0 || digit >= base) {
+        // x/z digits are outside the supported subset: treat as error so the
+        // corpus generator can never silently emit 4-state literals.
+        if (c == 'x' || c == 'z' || c == 'X' || c == 'Z')
+          throw LexError("4-state literals (x/z) are not supported", tok.line, tok.column);
+        break;
+      }
+      value = value * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(digit);
+      spelling += c;
+      any_digit = true;
+      cur.advance();
+    }
+    if (!any_digit) throw LexError("number literal missing digits", tok.line, tok.column);
+    tok.kind = TokenKind::Number;
+    tok.value = value;
+    tok.width = sized ? static_cast<int>(size_prefix) : 0;
+  };
+
+  while (true) {
+    skip_trivia();
+    Token tok;
+    tok.line = cur.line();
+    tok.column = cur.column();
+    if (cur.done()) {
+      tok.kind = TokenKind::End;
+      tokens.push_back(tok);
+      return tokens;
+    }
+
+    const char c = cur.peek();
+    if (is_ident_start(c)) {
+      std::string word;
+      while (!cur.done() && is_ident_char(cur.peek())) word += cur.advance();
+      tok.text = word;
+      tok.kind = is_verilog_keyword(word) ? TokenKind::Keyword : TokenKind::Identifier;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '$') {
+      std::string word;
+      word += cur.advance();
+      while (!cur.done() && is_ident_char(cur.peek())) word += cur.advance();
+      tok.text = word;
+      tok.kind = TokenKind::SystemName;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t value = 0;
+      std::string digits;
+      while (!cur.done() &&
+             (std::isdigit(static_cast<unsigned char>(cur.peek())) || cur.peek() == '_')) {
+        const char d = cur.advance();
+        if (d == '_') continue;
+        digits += d;
+        value = value * 10 + static_cast<std::uint64_t>(d - '0');
+      }
+      if (cur.peek() == '\'') {
+        lex_based_number(tok, value, /*sized=*/true);
+        tok.text = digits;  // keep the size prefix spelling for diagnostics
+      } else {
+        tok.kind = TokenKind::Number;
+        tok.value = value;
+        tok.width = 0;
+        tok.text = digits;
+      }
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '\'') {
+      lex_based_number(tok, 0, /*sized=*/false);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    if (c == '"') {
+      // String literals appear only in $display arguments; lex and discard
+      // content, representing them as a SystemName-like punct token.
+      cur.advance();
+      std::string body;
+      while (!cur.done() && cur.peek() != '"') body += cur.advance();
+      if (cur.done()) throw LexError("unterminated string literal", tok.line, tok.column);
+      cur.advance();
+      tok.kind = TokenKind::Punct;
+      tok.text = "\"" + body + "\"";
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      if (cur.consume(p)) {
+        tok.kind = TokenKind::Punct;
+        tok.text = p;
+        tokens.push_back(std::move(tok));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      throw LexError(std::string("unexpected character '") + c + "'", tok.line, tok.column);
+    }
+  }
+}
+
+}  // namespace noodle::verilog

@@ -1,0 +1,32 @@
+#pragma once
+// Hand-written lexer for the supported Verilog subset. Produces the full
+// token stream eagerly; circuits in this domain are small (kilobytes), so
+// the simplicity of a materialized vector outweighs streaming.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verilog/token.h"
+
+namespace noodle::verilog {
+
+/// Thrown on malformed input (unterminated comment, bad number, stray char).
+/// The message includes line/column of the offending text.
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line, int column);
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Tokenizes `source`; the final token is always TokenKind::End.
+/// Line (//) and block comments are skipped; block comments may span lines.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace noodle::verilog

@@ -1,0 +1,603 @@
+#include "verilog/parser.h"
+
+#include <map>
+#include <utility>
+
+#include "verilog/lexer.h"
+
+namespace noodle::verilog {
+
+ParseError::ParseError(const std::string& message, int line, int column)
+    : std::runtime_error(message + " at line " + std::to_string(line) + ", column " +
+                         std::to_string(column)),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+/// Binding powers for binary operators, higher binds tighter. Mirrors the
+/// Verilog-2001 precedence table for the supported operator set.
+int binary_precedence(const std::string& op) {
+  if (op == "||") return 1;
+  if (op == "&&") return 2;
+  if (op == "|") return 3;
+  if (op == "^" || op == "~^" || op == "^~") return 4;
+  if (op == "&") return 5;
+  if (op == "==" || op == "!=" || op == "===" || op == "!==") return 6;
+  if (op == "<" || op == "<=" || op == ">" || op == ">=") return 7;
+  if (op == "<<" || op == ">>" || op == "<<<" || op == ">>>") return 8;
+  if (op == "+" || op == "-") return 9;
+  if (op == "*" || op == "/" || op == "%") return 10;
+  return 0;  // not a binary operator
+}
+
+bool is_unary_op(const std::string& op) {
+  return op == "!" || op == "~" || op == "&" || op == "|" || op == "^" || op == "~&" ||
+         op == "~|" || op == "~^" || op == "-" || op == "+";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(lex(source)) {}
+
+  SourceFile parse_file() {
+    SourceFile file;
+    while (!peek().is(TokenKind::End)) {
+      file.modules.push_back(parse_module_decl());
+    }
+    if (file.modules.empty()) {
+      throw ParseError("source contains no modules", 1, 1);
+    }
+    return file;
+  }
+
+ private:
+  // --- token plumbing ---
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    const Token& t = peek();
+    throw ParseError(message + " (got '" + (t.is(TokenKind::End) ? "<eof>" : t.text) + "')",
+                     t.line, t.column);
+  }
+  const Token& expect_punct(const std::string& p) {
+    if (!peek().is_punct(p)) fail("expected '" + p + "'");
+    return advance();
+  }
+  const Token& expect_keyword(const std::string& kw) {
+    if (!peek().is_keyword(kw)) fail("expected '" + kw + "'");
+    return advance();
+  }
+  std::string expect_identifier(const std::string& what) {
+    if (!peek().is(TokenKind::Identifier)) fail("expected " + what);
+    return advance().text;
+  }
+  bool accept_punct(const std::string& p) {
+    if (peek().is_punct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool accept_keyword(const std::string& kw) {
+    if (peek().is_keyword(kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+
+  // --- constant evaluation (for ranges and parameter values) ---
+  std::int64_t eval_const(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::Number:
+        return static_cast<std::int64_t>(e.value);
+      case ExprKind::Identifier: {
+        const auto it = param_values_.find(e.name);
+        if (it == param_values_.end()) {
+          throw ParseError("'" + e.name + "' is not a constant parameter", peek().line,
+                           peek().column);
+        }
+        return it->second;
+      }
+      case ExprKind::Unary: {
+        const std::int64_t v = eval_const(*e.operands[0]);
+        if (e.name == "-") return -v;
+        if (e.name == "+") return v;
+        if (e.name == "~") return ~v;
+        if (e.name == "!") return v == 0 ? 1 : 0;
+        break;
+      }
+      case ExprKind::Binary: {
+        const std::int64_t a = eval_const(*e.operands[0]);
+        const std::int64_t b = eval_const(*e.operands[1]);
+        if (e.name == "+") return a + b;
+        if (e.name == "-") return a - b;
+        if (e.name == "*") return a * b;
+        if (e.name == "/") return b == 0 ? 0 : a / b;
+        if (e.name == "%") return b == 0 ? 0 : a % b;
+        if (e.name == "<<") return a << b;
+        if (e.name == ">>") return a >> b;
+        break;
+      }
+      case ExprKind::Ternary:
+        return eval_const(*e.operands[0]) != 0 ? eval_const(*e.operands[1])
+                                               : eval_const(*e.operands[2]);
+      default:
+        break;
+    }
+    throw ParseError("expression is not constant", peek().line, peek().column);
+  }
+
+  // --- expressions ---
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    if (t.is(TokenKind::Number)) {
+      advance();
+      return Expr::number(t.value, t.width);
+    }
+    if (t.is(TokenKind::Identifier)) {
+      advance();
+      ExprPtr e = Expr::ident(t.text);
+      // Postfix selects: a[3], a[7:0], possibly chained (a[i][j] is outside
+      // the subset because memories are, but indexing a range result isn't).
+      while (peek().is_punct("[")) {
+        advance();
+        ExprPtr first = parse_expression();
+        if (accept_punct(":")) {
+          ExprPtr lsb = parse_expression();
+          expect_punct("]");
+          e = Expr::range(std::move(e), std::move(first), std::move(lsb));
+        } else {
+          expect_punct("]");
+          e = Expr::index(std::move(e), std::move(first));
+        }
+      }
+      return e;
+    }
+    if (t.is_punct("(")) {
+      advance();
+      ExprPtr e = parse_expression();
+      expect_punct(")");
+      return e;
+    }
+    if (t.is_punct("{")) {
+      advance();
+      ExprPtr first = parse_expression();
+      if (peek().is_punct("{")) {
+        // Replication {N{expr}}
+        advance();
+        ExprPtr part = parse_expression();
+        expect_punct("}");
+        expect_punct("}");
+        return Expr::replicate(std::move(first), std::move(part));
+      }
+      std::vector<ExprPtr> parts;
+      parts.push_back(std::move(first));
+      while (accept_punct(",")) parts.push_back(parse_expression());
+      expect_punct("}");
+      return Expr::concat(std::move(parts));
+    }
+    fail("expected expression");
+  }
+
+  ExprPtr parse_unary() {
+    const Token& t = peek();
+    if (t.is(TokenKind::Punct) && is_unary_op(t.text)) {
+      const std::string op = advance().text;
+      return Expr::unary(op, parse_unary());
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_binary(int min_precedence) {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      const Token& t = peek();
+      if (!t.is(TokenKind::Punct)) return lhs;
+      const int prec = binary_precedence(t.text);
+      if (prec == 0 || prec < min_precedence) return lhs;
+      const std::string op = advance().text;
+      ExprPtr rhs = parse_binary(prec + 1);  // left associative
+      lhs = Expr::binary(op, std::move(lhs), std::move(rhs));
+    }
+  }
+
+  ExprPtr parse_expression() {
+    ExprPtr cond = parse_binary(1);
+    if (accept_punct("?")) {
+      ExprPtr then_e = parse_expression();
+      expect_punct(":");
+      ExprPtr else_e = parse_expression();
+      return Expr::ternary(std::move(cond), std::move(then_e), std::move(else_e));
+    }
+    return cond;
+  }
+
+  // --- ranges / declarations ---
+  std::optional<BitRange> parse_optional_range() {
+    if (!peek().is_punct("[")) return std::nullopt;
+    advance();
+    ExprPtr msb_expr = parse_expression();
+    expect_punct(":");
+    ExprPtr lsb_expr = parse_expression();
+    expect_punct("]");
+    BitRange range;
+    range.msb = static_cast<int>(eval_const(*msb_expr));
+    range.lsb = static_cast<int>(eval_const(*lsb_expr));
+    return range;
+  }
+
+  // --- statements ---
+  StmtPtr parse_statement() {
+    const Token& t = peek();
+
+    if (t.is_keyword("begin")) {
+      advance();
+      std::vector<StmtPtr> stmts;
+      while (!peek().is_keyword("end")) {
+        if (peek().is(TokenKind::End)) fail("unterminated begin block");
+        stmts.push_back(parse_statement());
+      }
+      advance();  // end
+      return Stmt::block(std::move(stmts));
+    }
+
+    if (t.is_keyword("if")) {
+      advance();
+      expect_punct("(");
+      ExprPtr cond = parse_expression();
+      expect_punct(")");
+      StmtPtr then_branch = parse_statement();
+      StmtPtr else_branch;
+      if (accept_keyword("else")) else_branch = parse_statement();
+      return Stmt::if_stmt(std::move(cond), std::move(then_branch), std::move(else_branch));
+    }
+
+    if (t.is_keyword("case") || t.is_keyword("casez") || t.is_keyword("casex")) {
+      advance();
+      expect_punct("(");
+      ExprPtr subject = parse_expression();
+      expect_punct(")");
+      std::vector<CaseItem> items;
+      while (!peek().is_keyword("endcase")) {
+        if (peek().is(TokenKind::End)) fail("unterminated case statement");
+        CaseItem item;
+        if (accept_keyword("default")) {
+          accept_punct(":");
+        } else {
+          item.labels.push_back(parse_expression());
+          while (accept_punct(",")) item.labels.push_back(parse_expression());
+          expect_punct(":");
+        }
+        item.body = parse_statement();
+        items.push_back(std::move(item));
+      }
+      advance();  // endcase
+      return Stmt::case_stmt(std::move(subject), std::move(items));
+    }
+
+    if (t.is_keyword("for")) {
+      advance();
+      expect_punct("(");
+      StmtPtr init = parse_assign_core();
+      expect_punct(";");
+      ExprPtr cond = parse_expression();
+      expect_punct(";");
+      StmtPtr step = parse_assign_core();
+      expect_punct(")");
+      StmtPtr body = parse_statement();
+      return Stmt::for_stmt(std::move(init), std::move(cond), std::move(step),
+                            std::move(body));
+    }
+
+    if (t.is(TokenKind::SystemName)) {
+      // System tasks ($display, $finish, ...) carry no structural signal for
+      // detection; consume through the terminating semicolon.
+      advance();
+      if (accept_punct("(")) {
+        int depth = 1;
+        while (depth > 0) {
+          if (peek().is(TokenKind::End)) fail("unterminated system task call");
+          if (peek().is_punct("(")) ++depth;
+          if (peek().is_punct(")")) --depth;
+          advance();
+        }
+      }
+      expect_punct(";");
+      return Stmt::null_stmt();
+    }
+
+    if (t.is_punct(";")) {
+      advance();
+      return Stmt::null_stmt();
+    }
+
+    StmtPtr assign = parse_assign_core();
+    expect_punct(";");
+    return assign;
+  }
+
+  /// Parses `lhs = rhs` or `lhs <= rhs` without the trailing semicolon
+  /// (shared by statements and for-loop init/step).
+  StmtPtr parse_assign_core() {
+    ExprPtr lhs = parse_primary();  // identifier/select/concat targets
+    if (accept_punct("=")) {
+      return Stmt::blocking(std::move(lhs), parse_expression());
+    }
+    if (accept_punct("<=")) {
+      return Stmt::non_blocking(std::move(lhs), parse_expression());
+    }
+    fail("expected '=' or '<=' in assignment");
+  }
+
+  // --- module items ---
+  PortDir parse_port_dir() {
+    if (accept_keyword("input")) return PortDir::Input;
+    if (accept_keyword("output")) return PortDir::Output;
+    if (accept_keyword("inout")) return PortDir::Inout;
+    fail("expected port direction");
+  }
+
+  void parse_param_assignment(Module& module, bool local) {
+    ParamDecl param;
+    param.local = local;
+    param.name = expect_identifier("parameter name");
+    expect_punct("=");
+    param.value = parse_expression();
+    param_values_[param.name] = eval_const(*param.value);
+    module.params.push_back(std::move(param));
+  }
+
+  void parse_always_block(Module& module) {
+    AlwaysBlock block;
+    expect_punct("@");
+    if (accept_punct("*")) {
+      block.star = true;
+    } else {
+      expect_punct("(");
+      if (accept_punct("*")) {
+        block.star = true;
+      } else {
+        while (true) {
+          SensItem item;
+          if (accept_keyword("posedge")) item.edge = EdgeKind::Posedge;
+          else if (accept_keyword("negedge")) item.edge = EdgeKind::Negedge;
+          item.signal = expect_identifier("sensitivity signal");
+          block.sensitivity.push_back(std::move(item));
+          if (accept_keyword("or") || accept_punct(",")) continue;
+          break;
+        }
+      }
+      expect_punct(")");
+    }
+    block.body = parse_statement();
+    module.always_blocks.push_back(std::move(block));
+  }
+
+  void parse_net_decl(Module& module, NetKind kind) {
+    std::optional<BitRange> range;
+    if (kind != NetKind::Integer) {
+      accept_keyword("signed");
+      range = parse_optional_range();
+    }
+    while (true) {
+      NetDecl net;
+      net.kind = kind;
+      net.range = range;
+      net.name = expect_identifier("net name");
+      if (accept_punct("=")) net.init = parse_expression();
+      module.nets.push_back(std::move(net));
+      if (!accept_punct(",")) break;
+    }
+    expect_punct(";");
+  }
+
+  /// Non-ANSI in-body port direction declaration: `input [7:0] a, b;`
+  /// Also upgrades header-declared ports with their direction/range, and
+  /// registers an `output reg` as both port and reg net.
+  void parse_port_direction_decl(Module& module, PortDir dir) {
+    NetKind net = NetKind::Wire;
+    if (accept_keyword("reg")) net = NetKind::Reg;
+    else accept_keyword("wire");
+    accept_keyword("signed");
+    const std::optional<BitRange> range = parse_optional_range();
+    while (true) {
+      const std::string name = expect_identifier("port name");
+      bool found = false;
+      for (auto& port : module.ports) {
+        if (port.name == name) {
+          port.dir = dir;
+          port.net = net;
+          port.range = range;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        module.ports.push_back(PortDecl{dir, net, name, range});
+      }
+      if (net == NetKind::Reg) {
+        NetDecl decl;
+        decl.kind = NetKind::Reg;
+        decl.name = name;
+        decl.range = range;
+        module.nets.push_back(std::move(decl));
+      }
+      if (!accept_punct(",")) break;
+    }
+    expect_punct(";");
+  }
+
+  void parse_instance(Module& module) {
+    Instance inst;
+    inst.module_name = advance().text;  // already verified Identifier
+    inst.instance_name = expect_identifier("instance name");
+    expect_punct("(");
+    if (!peek().is_punct(")")) {
+      while (true) {
+        PortConnection conn;
+        if (accept_punct(".")) {
+          conn.port = expect_identifier("port name");
+          expect_punct("(");
+          if (!peek().is_punct(")")) conn.actual = parse_expression();
+          expect_punct(")");
+        } else {
+          conn.actual = parse_expression();  // positional
+        }
+        inst.connections.push_back(std::move(conn));
+        if (!accept_punct(",")) break;
+      }
+    }
+    expect_punct(")");
+    expect_punct(";");
+    module.instances.push_back(std::move(inst));
+  }
+
+  Module parse_module_decl() {
+    param_values_.clear();
+    expect_keyword("module");
+    Module module;
+    module.name = expect_identifier("module name");
+
+    // Optional parameter header: #(parameter W = 8, ...)
+    if (accept_punct("#")) {
+      expect_punct("(");
+      while (true) {
+        accept_keyword("parameter");
+        parse_param_assignment(module, /*local=*/false);
+        if (!accept_punct(",")) break;
+      }
+      expect_punct(")");
+    }
+
+    // Port header: ANSI declarations or a plain name list.
+    if (accept_punct("(")) {
+      if (!peek().is_punct(")")) {
+        bool ansi = peek().is(TokenKind::Keyword) &&
+                    (peek().is_keyword("input") || peek().is_keyword("output") ||
+                     peek().is_keyword("inout"));
+        if (ansi) {
+          PortDir dir = PortDir::Input;
+          NetKind net = NetKind::Wire;
+          std::optional<BitRange> range;
+          while (true) {
+            if (peek().is_keyword("input") || peek().is_keyword("output") ||
+                peek().is_keyword("inout")) {
+              dir = parse_port_dir();
+              net = NetKind::Wire;
+              if (accept_keyword("reg")) net = NetKind::Reg;
+              else accept_keyword("wire");
+              accept_keyword("signed");
+              range = parse_optional_range();
+            }
+            const std::string name = expect_identifier("port name");
+            module.ports.push_back(PortDecl{dir, net, name, range});
+            if (net == NetKind::Reg) {
+              NetDecl decl;
+              decl.kind = NetKind::Reg;
+              decl.name = name;
+              decl.range = range;
+              module.nets.push_back(std::move(decl));
+            }
+            if (!accept_punct(",")) break;
+          }
+        } else {
+          while (true) {
+            const std::string name = expect_identifier("port name");
+            module.ports.push_back(PortDecl{PortDir::Input, NetKind::Wire, name, std::nullopt});
+            if (!accept_punct(",")) break;
+          }
+        }
+      }
+      expect_punct(")");
+    }
+    expect_punct(";");
+
+    // Module body.
+    while (!peek().is_keyword("endmodule")) {
+      const Token& t = peek();
+      if (t.is(TokenKind::End)) fail("unterminated module");
+
+      if (t.is_keyword("parameter") || t.is_keyword("localparam")) {
+        const bool local = t.is_keyword("localparam");
+        advance();
+        while (true) {
+          parse_param_assignment(module, local);
+          if (!accept_punct(",")) break;
+        }
+        expect_punct(";");
+      } else if (t.is_keyword("input")) {
+        advance();
+        parse_port_direction_decl(module, PortDir::Input);
+      } else if (t.is_keyword("output")) {
+        advance();
+        parse_port_direction_decl(module, PortDir::Output);
+      } else if (t.is_keyword("inout")) {
+        advance();
+        parse_port_direction_decl(module, PortDir::Inout);
+      } else if (t.is_keyword("wire")) {
+        advance();
+        parse_net_decl(module, NetKind::Wire);
+      } else if (t.is_keyword("reg")) {
+        advance();
+        parse_net_decl(module, NetKind::Reg);
+      } else if (t.is_keyword("integer")) {
+        advance();
+        parse_net_decl(module, NetKind::Integer);
+      } else if (t.is_keyword("assign")) {
+        advance();
+        while (true) {
+          ContAssign assign;
+          assign.lhs = parse_primary();
+          expect_punct("=");
+          assign.rhs = parse_expression();
+          module.assigns.push_back(std::move(assign));
+          if (!accept_punct(",")) break;
+        }
+        expect_punct(";");
+      } else if (t.is_keyword("always")) {
+        advance();
+        parse_always_block(module);
+      } else if (t.is_keyword("initial")) {
+        advance();
+        InitialBlock block;
+        block.body = parse_statement();
+        module.initial_blocks.push_back(std::move(block));
+      } else if (t.is(TokenKind::Identifier)) {
+        parse_instance(module);
+      } else {
+        fail("unexpected token in module body");
+      }
+    }
+    advance();  // endmodule
+    return module;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, std::int64_t> param_values_;
+};
+
+}  // namespace
+
+SourceFile parse_source(std::string_view source) { return Parser(source).parse_file(); }
+
+Module parse_module(std::string_view source) {
+  SourceFile file = parse_source(source);
+  if (file.modules.size() != 1) {
+    throw ParseError("expected exactly one module, found " +
+                         std::to_string(file.modules.size()),
+                     1, 1);
+  }
+  return std::move(file.modules.front());
+}
+
+}  // namespace noodle::verilog

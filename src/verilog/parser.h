@@ -1,0 +1,38 @@
+#pragma once
+// Recursive-descent parser for the supported Verilog-2001 subset:
+// modules with ANSI or non-ANSI port declarations, wire/reg/integer nets,
+// parameters, continuous assigns, always/initial blocks (begin/end, if/else,
+// case/casez, for), module instantiation with named connections, and the
+// full synthesizable expression grammar with standard precedence.
+//
+// Out-of-subset constructs (4-state literals, memories, functions, generate)
+// raise ParseError with a source location; the corpus generator never emits
+// them, and user-supplied files get a clear diagnostic instead of a silently
+// wrong feature vector.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "verilog/ast.h"
+
+namespace noodle::verilog {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line, int column);
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Parses one source file (one or more modules). Throws LexError/ParseError.
+SourceFile parse_source(std::string_view source);
+
+/// Parses a file expected to contain exactly one module.
+Module parse_module(std::string_view source);
+
+}  // namespace noodle::verilog

@@ -1,0 +1,26 @@
+#pragma once
+// AST -> Verilog source emission. print(parse(text)) re-parses to an
+// equivalent AST (round-trip property covered by tests), which lets the
+// Trojan inserter operate on ASTs and still hand real Verilog text to the
+// rest of the pipeline — exactly what a Trust-Hub style corpus provides.
+
+#include <string>
+
+#include "verilog/ast.h"
+
+namespace noodle::verilog {
+
+/// Renders an expression with minimal parenthesization (children of a
+/// binary operator are parenthesized when their precedence is lower).
+std::string print_expr(const Expr& e);
+
+/// Renders a statement at the given indentation depth (2 spaces per level).
+std::string print_stmt(const Stmt& s, int indent = 0);
+
+/// Renders a complete module (ANSI port style).
+std::string print_module(const Module& m);
+
+/// Renders all modules in the file, separated by blank lines.
+std::string print_source(const SourceFile& file);
+
+}  // namespace noodle::verilog

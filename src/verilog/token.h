@@ -1,0 +1,38 @@
+#pragma once
+// Token definitions for the Verilog-2001 synthesizable-subset front end.
+
+#include <cstdint>
+#include <string>
+
+namespace noodle::verilog {
+
+enum class TokenKind {
+  End,          // end of input
+  Identifier,   // foo, _bar, a$b
+  Number,       // 42, 8'hFF, 4'b1010
+  Keyword,      // module, endmodule, input, ...
+  Punct,        // operators and punctuation, text holds the exact spelling
+  SystemName,   // $display etc. (recognized, skipped by the parser)
+};
+
+struct Token {
+  TokenKind kind = TokenKind::End;
+  std::string text;       // exact source spelling
+  std::uint64_t value = 0;  // numeric value for Number tokens
+  int width = 0;            // declared bit width for sized Numbers, 0 if unsized
+  int line = 0;             // 1-based source line, for diagnostics
+  int column = 0;           // 1-based source column
+
+  bool is(TokenKind k) const noexcept { return kind == k; }
+  bool is_keyword(const std::string& kw) const {
+    return kind == TokenKind::Keyword && text == kw;
+  }
+  bool is_punct(const std::string& p) const {
+    return kind == TokenKind::Punct && text == p;
+  }
+};
+
+/// True if `word` is a reserved word of the supported subset.
+bool is_verilog_keyword(const std::string& word);
+
+}  // namespace noodle::verilog

@@ -1,0 +1,101 @@
+#include "util/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace noodle::util {
+namespace {
+
+TEST(AsciiPlot, XyPlotContainsMarks) {
+  const std::vector<double> xs = {0.0, 0.5, 1.0};
+  const std::vector<double> ys = {0.0, 0.5, 1.0};
+  const std::string plot = ascii_xy_plot(xs, ys);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("1.000"), std::string::npos);
+  EXPECT_NE(plot.find("0.000"), std::string::npos);
+}
+
+TEST(AsciiPlot, XyPlotDiagonalDrawn) {
+  const std::vector<double> xs = {0.0, 1.0};
+  const std::vector<double> ys = {0.0, 1.0};
+  const std::string plot =
+      ascii_xy_plot(xs, ys, 31, 11, '*', /*draw_diagonal=*/true);
+  EXPECT_NE(plot.find('.'), std::string::npos);
+}
+
+TEST(AsciiPlot, XyPlotSizeMismatchThrows) {
+  const std::vector<double> xs = {0.0};
+  const std::vector<double> ys = {0.0, 1.0};
+  EXPECT_THROW(ascii_xy_plot(xs, ys), std::invalid_argument);
+}
+
+TEST(AsciiPlot, XyPlotTooSmallGridThrows) {
+  const std::vector<double> xs = {0.0};
+  const std::vector<double> ys = {0.0};
+  EXPECT_THROW(ascii_xy_plot(xs, ys, 1, 5), std::invalid_argument);
+}
+
+TEST(AsciiPlot, XyPlotConstantSeriesHandled) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 2.0, 2.0};
+  EXPECT_NO_THROW(ascii_xy_plot(xs, ys));
+}
+
+TEST(AsciiPlot, BarChartScalesToMax) {
+  const std::vector<std::string> labels = {"small", "big"};
+  const std::vector<double> values = {1.0, 2.0};
+  const std::string chart = ascii_bar_chart(labels, values, 20);
+  // The larger bar must contain more '#' characters.
+  const auto first_line = chart.substr(0, chart.find('\n'));
+  const auto second_line = chart.substr(chart.find('\n') + 1);
+  const auto count_hash = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_LT(count_hash(first_line), count_hash(second_line));
+}
+
+TEST(AsciiPlot, BarChartMismatchThrows) {
+  const std::vector<std::string> labels = {"a"};
+  const std::vector<double> values = {1.0, 2.0};
+  EXPECT_THROW(ascii_bar_chart(labels, values), std::invalid_argument);
+}
+
+TEST(AsciiPlot, BoxPlotShowsMedianAndMean) {
+  const std::vector<std::string> labels = {"arm"};
+  const std::vector<std::vector<double>> samples = {{0.1, 0.2, 0.3, 0.4, 0.5}};
+  const std::string plot = ascii_box_plot(labels, samples);
+  EXPECT_NE(plot.find('M'), std::string::npos);
+  EXPECT_NE(plot.find("mean=0.3000"), std::string::npos);
+}
+
+TEST(AsciiPlot, BoxPlotEmptySampleThrows) {
+  const std::vector<std::string> labels = {"arm"};
+  const std::vector<std::vector<double>> samples = {{}};
+  EXPECT_THROW(ascii_box_plot(labels, samples), std::invalid_argument);
+}
+
+TEST(AsciiPlot, RadarRendersAllAxes) {
+  const std::vector<std::string> axes = {"AUC", "Brier"};
+  const std::vector<double> values = {0.9, 0.2};
+  const std::string radar = ascii_radar(axes, values);
+  EXPECT_NE(radar.find("AUC"), std::string::npos);
+  EXPECT_NE(radar.find("Brier"), std::string::npos);
+  EXPECT_NE(radar.find("0.900"), std::string::npos);
+}
+
+TEST(AsciiPlot, RadarClampsOutOfRange) {
+  const std::vector<std::string> axes = {"x"};
+  const std::vector<double> values = {1.7};
+  const std::string radar = ascii_radar(axes, values);
+  EXPECT_NE(radar.find("1.000"), std::string::npos);
+}
+
+TEST(AsciiPlot, RadarMismatchThrows) {
+  const std::vector<std::string> axes = {"x", "y"};
+  const std::vector<double> values = {0.5};
+  EXPECT_THROW(ascii_radar(axes, values), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noodle::util

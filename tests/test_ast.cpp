@@ -1,0 +1,115 @@
+#include "verilog/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "verilog/parser.h"
+
+namespace noodle::verilog {
+namespace {
+
+const char* kSource =
+    "module m (input clk, input [3:0] a, output reg [3:0] q);\n"
+    "  wire [3:0] t = a ^ 4'h5;\n"
+    "  always @(posedge clk)\n"
+    "    if (t == 4'd0)\n"
+    "      q <= a;\n"
+    "    else\n"
+    "      q <= t;\n"
+    "endmodule\n";
+
+TEST(Ast, CloneIsDeep) {
+  Module m = parse_module(kSource);
+  Module copy = m.clone();
+  // Mutating the copy must not affect the original.
+  // nets[0] is q's reg declaration (from the ANSI header); "t" follows.
+  copy.nets[1].name = "renamed";
+  copy.always_blocks[0].body->cond->name = "changed";
+  EXPECT_EQ(m.nets[1].name, "t");
+  EXPECT_EQ(m.always_blocks[0].body->cond->name, "==");
+}
+
+TEST(Ast, ExprCloneDeep) {
+  auto e = Expr::binary("+", Expr::ident("a"), Expr::number(1, 4));
+  auto copy = e->clone();
+  copy->operands[0]->name = "b";
+  EXPECT_EQ(e->operands[0]->name, "a");
+}
+
+TEST(Ast, StmtCloneCoversAllFields) {
+  const Module m = parse_module(kSource);
+  const StmtPtr copy = m.always_blocks[0].body->clone();
+  EXPECT_EQ(copy->kind, StmtKind::If);
+  ASSERT_NE(copy->then_branch, nullptr);
+  ASSERT_NE(copy->else_branch, nullptr);
+}
+
+TEST(Ast, ForEachExprVisitsAllNodes) {
+  auto e = Expr::ternary(Expr::ident("c"),
+                         Expr::binary("+", Expr::ident("a"), Expr::number(1)),
+                         Expr::unary("~", Expr::ident("b")));
+  std::size_t count = 0;
+  for_each_expr(*e, [&count](const Expr&) { ++count; });
+  EXPECT_EQ(count, 7u);  // ternary, c, +, a, 1, ~, b
+}
+
+TEST(Ast, ForEachModuleExprSeesDeclInitsAndBodies) {
+  const Module m = parse_module(kSource);
+  std::size_t identifiers = 0;
+  for_each_module_expr(m, [&identifiers](const Expr& e) {
+    if (e.kind == ExprKind::Identifier) ++identifiers;
+  });
+  // t's init: a; if cond: t; then: q, a; else: q, t.
+  EXPECT_EQ(identifiers, 6u);
+}
+
+TEST(Ast, ForEachModuleStmtCountsStatements) {
+  const Module m = parse_module(kSource);
+  std::size_t assignments = 0;
+  for_each_module_stmt(m, [&assignments](const Stmt& s) {
+    if (s.kind == StmtKind::NonBlockingAssign) ++assignments;
+  });
+  EXPECT_EQ(assignments, 2u);
+}
+
+TEST(Ast, CollectIdentifiers) {
+  auto e = Expr::binary("&", Expr::ident("x"),
+                        Expr::index(Expr::ident("y"), Expr::ident("i")));
+  std::vector<std::string> names;
+  collect_identifiers(*e, names);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "x");
+}
+
+TEST(Ast, BitRangeWidth) {
+  EXPECT_EQ((BitRange{7, 0}).width(), 8);
+  EXPECT_EQ((BitRange{0, 0}).width(), 1);
+  EXPECT_TRUE((BitRange{0, 0}).is_scalar());
+  EXPECT_FALSE((BitRange{3, 1}).is_scalar());
+}
+
+TEST(Ast, SequentialDetection) {
+  AlwaysBlock comb;
+  comb.star = true;
+  EXPECT_FALSE(comb.is_sequential());
+  AlwaysBlock seq;
+  seq.sensitivity.push_back(SensItem{EdgeKind::Posedge, "clk"});
+  EXPECT_TRUE(seq.is_sequential());
+}
+
+TEST(Ast, FindModuleInSourceFile) {
+  const SourceFile f = parse_source(
+      "module a; endmodule\nmodule b; endmodule");
+  EXPECT_NE(f.find_module("a"), nullptr);
+  EXPECT_NE(f.find_module("b"), nullptr);
+  EXPECT_EQ(f.find_module("c"), nullptr);
+}
+
+TEST(Ast, SourceFileCloneIndependent) {
+  SourceFile f = parse_source("module a (input x); endmodule");
+  SourceFile copy = f.clone();
+  copy.modules[0].name = "changed";
+  EXPECT_EQ(f.modules[0].name, "a");
+}
+
+}  // namespace
+}  // namespace noodle::verilog

@@ -1,0 +1,146 @@
+#include "cp/combine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace noodle::cp {
+namespace {
+
+TEST(NormalDist, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(NormalDist, QuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.025), -1.959964, 1e-5);
+}
+
+TEST(NormalDist, QuantileInvertsCdf) {
+  for (const double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-7) << p;
+  }
+}
+
+TEST(NormalDist, QuantileRejectsBoundary) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(ChiSquared, SurvivalKnownValues) {
+  // 2 dof (k=1): S(x) = exp(-x/2).
+  EXPECT_NEAR(chi_squared_survival_even_dof(2.0, 1), std::exp(-1.0), 1e-12);
+  // 4 dof (k=2): S(x) = exp(-x/2)(1 + x/2).
+  EXPECT_NEAR(chi_squared_survival_even_dof(4.0, 2), std::exp(-2.0) * 3.0, 1e-12);
+}
+
+TEST(ChiSquared, SurvivalBoundaries) {
+  EXPECT_DOUBLE_EQ(chi_squared_survival_even_dof(0.0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(chi_squared_survival_even_dof(-1.0, 2), 1.0);
+  EXPECT_LT(chi_squared_survival_even_dof(100.0, 2), 1e-15);
+  EXPECT_THROW(chi_squared_survival_even_dof(1.0, 0), std::invalid_argument);
+}
+
+TEST(Combine, FisherUniformPair) {
+  // For p = (1, 1): statistic 0, combined p = 1.
+  const std::vector<double> ones = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(combine_p_values(ones, CombinationMethod::Fisher), 1.0);
+  // Small p-values combine to something smaller still.
+  const std::vector<double> small = {0.01, 0.02};
+  EXPECT_LT(combine_p_values(small, CombinationMethod::Fisher), 0.01);
+}
+
+TEST(Combine, FisherKnownValue) {
+  // T = -2(ln 0.1 + ln 0.1) = 9.2103; chi^2_4 survival = e^{-T/2}(1+T/2).
+  const std::vector<double> ps = {0.1, 0.1};
+  const double t = -2.0 * (std::log(0.1) + std::log(0.1));
+  const double expected = std::exp(-t / 2.0) * (1.0 + t / 2.0);
+  EXPECT_NEAR(combine_p_values(ps, CombinationMethod::Fisher), expected, 1e-12);
+}
+
+TEST(Combine, StoufferSymmetricPair) {
+  // (0.3, 0.7): z-scores cancel -> combined 0.5.
+  const std::vector<double> ps = {0.3, 0.7};
+  EXPECT_NEAR(combine_p_values(ps, CombinationMethod::Stouffer), 0.5, 1e-9);
+}
+
+TEST(Combine, StoufferAgreementAmplifies) {
+  const std::vector<double> ps = {0.05, 0.05};
+  // Two agreeing 0.05s are stronger evidence than one.
+  EXPECT_LT(combine_p_values(ps, CombinationMethod::Stouffer), 0.05);
+}
+
+TEST(Combine, MeanMinMaxFormulas) {
+  const std::vector<double> ps = {0.1, 0.3};
+  EXPECT_DOUBLE_EQ(combine_p_values(ps, CombinationMethod::ArithmeticMean),
+                   std::min(1.0, 2.0 * 0.2));
+  EXPECT_DOUBLE_EQ(combine_p_values(ps, CombinationMethod::Min),
+                   std::min(1.0, 2.0 * 0.1));
+  EXPECT_DOUBLE_EQ(combine_p_values(ps, CombinationMethod::Max), 0.3);
+}
+
+TEST(Combine, EmptyThrows) {
+  EXPECT_THROW(combine_p_values({}, CombinationMethod::Fisher),
+               std::invalid_argument);
+}
+
+TEST(Combine, AllMethodsListed) {
+  EXPECT_EQ(all_combination_methods().size(), 5u);
+  std::set<std::string> names;
+  for (const auto method : all_combination_methods()) {
+    names.insert(to_string(method));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+class CombinerProperties : public ::testing::TestWithParam<CombinationMethod> {};
+
+TEST_P(CombinerProperties, OutputInUnitInterval) {
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> ps;
+    for (int j = 0; j < 3; ++j) ps.push_back(rng.uniform());
+    const double combined = combine_p_values(ps, GetParam());
+    EXPECT_GE(combined, 0.0);
+    EXPECT_LE(combined, 1.0);
+  }
+}
+
+TEST_P(CombinerProperties, MonotoneInEachInput) {
+  // Raising any input p-value must not lower the combined p-value.
+  const std::vector<double> base = {0.2, 0.4};
+  const double combined_base = combine_p_values(base, GetParam());
+  const std::vector<double> higher = {0.3, 0.4};
+  EXPECT_GE(combine_p_values(higher, GetParam()), combined_base - 1e-12);
+}
+
+TEST_P(CombinerProperties, ValidUnderUniformNull) {
+  // With p_i ~ U(0,1) iid (the conformal null), P(combined <= alpha) must
+  // not exceed alpha by more than sampling noise.
+  util::Rng rng(17);
+  constexpr int kTrials = 5000;
+  constexpr double kAlpha = 0.1;
+  int rejections = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    const std::vector<double> ps = {rng.uniform(), rng.uniform()};
+    if (combine_p_values(ps, GetParam()) <= kAlpha) ++rejections;
+  }
+  const double rate = static_cast<double>(rejections) / kTrials;
+  const double slack = 3.0 * std::sqrt(kAlpha * (1 - kAlpha) / kTrials);
+  EXPECT_LE(rate, kAlpha + slack) << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, CombinerProperties,
+                         ::testing::Values(CombinationMethod::Fisher,
+                                           CombinationMethod::Stouffer,
+                                           CombinationMethod::ArithmeticMean,
+                                           CombinationMethod::Min,
+                                           CombinationMethod::Max));
+
+}  // namespace
+}  // namespace noodle::cp

@@ -1,0 +1,132 @@
+#include "data/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "verilog/parser.h"
+
+namespace noodle::data {
+namespace {
+
+CorpusSpec small_spec(std::uint64_t seed = 1) {
+  CorpusSpec spec;
+  spec.design_count = 36;
+  spec.infected_fraction = 0.4;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(Corpus, BuildsRequestedCount) {
+  const auto corpus = build_corpus(small_spec());
+  EXPECT_EQ(corpus.size(), 36u);
+}
+
+TEST(Corpus, EveryCircuitParses) {
+  for (const auto& circuit : build_corpus(small_spec(3))) {
+    EXPECT_NO_THROW(verilog::parse_module(circuit.verilog)) << circuit.name;
+  }
+}
+
+TEST(Corpus, InfectionRateNearSpec) {
+  CorpusSpec spec = small_spec(5);
+  spec.design_count = 400;
+  const auto corpus = build_corpus(spec);
+  std::size_t infected = 0;
+  for (const auto& c : corpus) infected += c.infected ? 1 : 0;
+  const double rate = static_cast<double>(infected) / 400.0;
+  EXPECT_NEAR(rate, 0.4, 0.07);
+}
+
+TEST(Corpus, FamiliesRotateRoundRobin) {
+  const auto corpus = build_corpus(small_spec());
+  EXPECT_EQ(corpus[0].family, all_design_families()[0]);
+  EXPECT_EQ(corpus[12].family, all_design_families()[0]);
+  EXPECT_EQ(corpus[1].family, all_design_families()[1]);
+}
+
+TEST(Corpus, NamesAreUnique) {
+  const auto corpus = build_corpus(small_spec());
+  std::set<std::string> names;
+  for (const auto& c : corpus) names.insert(c.name);
+  EXPECT_EQ(names.size(), corpus.size());
+}
+
+TEST(Corpus, DeterministicGivenSeed) {
+  const auto a = build_corpus(small_spec(9));
+  const auto b = build_corpus(small_spec(9));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].verilog, b[i].verilog);
+    EXPECT_EQ(a[i].infected, b[i].infected);
+  }
+}
+
+TEST(Corpus, SeedsProduceDifferentCorpora) {
+  const auto a = build_corpus(small_spec(1));
+  const auto b = build_corpus(small_spec(2));
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].verilog != b[i].verilog) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Corpus, TriggerPaletteRestrictionHolds) {
+  CorpusSpec spec = small_spec(7);
+  spec.design_count = 120;
+  spec.allowed_triggers = {trojan::TriggerKind::TimeBomb};
+  for (const auto& c : build_corpus(spec)) {
+    if (c.infected) {
+      // CheatCode is the legal fallback for clockless designs.
+      EXPECT_TRUE(c.trigger == trojan::TriggerKind::TimeBomb ||
+                  c.trigger == trojan::TriggerKind::CheatCode);
+    }
+  }
+}
+
+TEST(Corpus, ZeroInfectionFractionAllClean) {
+  CorpusSpec spec = small_spec();
+  spec.infected_fraction = 0.0;
+  for (const auto& c : build_corpus(spec)) EXPECT_FALSE(c.infected);
+}
+
+TEST(Corpus, FullInfectionFractionAllInfected) {
+  CorpusSpec spec = small_spec();
+  spec.infected_fraction = 1.0;
+  for (const auto& c : build_corpus(spec)) EXPECT_TRUE(c.infected);
+}
+
+TEST(Corpus, RejectsBadSpecs) {
+  CorpusSpec spec = small_spec();
+  spec.design_count = 0;
+  EXPECT_THROW(build_corpus(spec), std::invalid_argument);
+
+  spec = small_spec();
+  spec.infected_fraction = 1.5;
+  EXPECT_THROW(build_corpus(spec), std::invalid_argument);
+
+  spec = small_spec();
+  spec.allowed_triggers.clear();
+  EXPECT_THROW(build_corpus(spec), std::invalid_argument);
+}
+
+TEST(Corpus, LookalikesDoNotChangeLabels) {
+  CorpusSpec with = small_spec(13);
+  with.benign_lookalike_fraction = 1.0;
+  CorpusSpec without = small_spec(13);
+  without.benign_lookalike_fraction = 0.0;
+  const auto a = build_corpus(with);
+  const auto b = build_corpus(without);
+  // Same infection decisions (same seed-driven draws for labels)...
+  std::size_t infected_a = 0, infected_b = 0;
+  for (const auto& c : a) infected_a += c.infected;
+  for (const auto& c : b) infected_b += c.infected;
+  // ...labels may differ slightly because the RNG stream shifts, but both
+  // corpora must contain a mix of labels regardless of lookalikes.
+  EXPECT_GT(infected_a, 0u);
+  EXPECT_GT(infected_b, 0u);
+  EXPECT_LT(infected_a, a.size());
+  EXPECT_LT(infected_b, b.size());
+}
+
+}  // namespace
+}  // namespace noodle::data

@@ -1,0 +1,204 @@
+#include "cp/icp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+namespace noodle::cp {
+namespace {
+
+TEST(Nonconformity, InverseProbability) {
+  EXPECT_DOUBLE_EQ(nonconformity(0.8, 1, NonconformityKind::InverseProbability), 0.2);
+  EXPECT_DOUBLE_EQ(nonconformity(0.8, 0, NonconformityKind::InverseProbability), 0.8);
+}
+
+TEST(Nonconformity, Margin) {
+  // p(y)=0.8, p(other)=0.2 -> (1 - 0.8 + 0.2)/2 = 0.2.
+  EXPECT_DOUBLE_EQ(nonconformity(0.8, 1, NonconformityKind::Margin), 0.2);
+  EXPECT_DOUBLE_EQ(nonconformity(0.8, 0, NonconformityKind::Margin), 0.8);
+}
+
+TEST(Nonconformity, RejectsBadLabel) {
+  EXPECT_THROW(nonconformity(0.5, 2, NonconformityKind::Margin),
+               std::invalid_argument);
+}
+
+class IcpFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Calibration: class 1 gets high probs, class 0 low probs.
+    probs_ = {0.9, 0.8, 0.7, 0.95, 0.1, 0.2, 0.15, 0.3, 0.25, 0.05};
+    labels_ = {1, 1, 1, 1, 0, 0, 0, 0, 0, 0};
+    icp_.calibrate(probs_, labels_);
+  }
+  std::vector<double> probs_;
+  std::vector<int> labels_;
+  MondrianIcp icp_;
+};
+
+TEST_F(IcpFixture, CalibrationCountsPerClass) {
+  EXPECT_EQ(icp_.calibration_count(1), 4u);
+  EXPECT_EQ(icp_.calibration_count(0), 6u);
+  EXPECT_TRUE(icp_.calibrated());
+}
+
+TEST_F(IcpFixture, ConformingExampleGetsHighPValue) {
+  // prob1 = 0.97 conforms with class 1 better than every calibration point.
+  EXPECT_DOUBLE_EQ(icp_.p_value(0.97, 1), 1.0);
+  // And is maximally strange for class 0.
+  EXPECT_DOUBLE_EQ(icp_.p_value(0.97, 0), 1.0 / 7.0);
+}
+
+TEST_F(IcpFixture, PValueBoundsAndRange) {
+  for (const double prob : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    for (const int label : {0, 1}) {
+      const double p = icp_.p_value(prob, label);
+      EXPECT_GT(p, 0.0);
+      EXPECT_LE(p, 1.0);
+    }
+  }
+}
+
+TEST_F(IcpFixture, PValueMonotoneInConformity) {
+  // For class 1, higher prob1 = more conforming = higher p-value.
+  EXPECT_GE(icp_.p_value(0.9, 1), icp_.p_value(0.5, 1));
+  EXPECT_GE(icp_.p_value(0.5, 1), icp_.p_value(0.1, 1));
+}
+
+TEST_F(IcpFixture, SmoothedNeverExceedsDeterministic) {
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const double prob = 0.05 + 0.9 * static_cast<double>(i) / 49.0;
+    const double smoothed = icp_.smoothed_p_value(prob, 1, rng);
+    EXPECT_LE(smoothed, icp_.p_value(prob, 1) + 1e-12);
+    EXPECT_GT(smoothed, 0.0);
+  }
+}
+
+TEST(MondrianIcp, RequiresBothClasses) {
+  MondrianIcp icp;
+  const std::vector<double> probs = {0.1, 0.2};
+  const std::vector<int> labels = {0, 0};
+  EXPECT_THROW(icp.calibrate(probs, labels), std::invalid_argument);
+}
+
+TEST(MondrianIcp, RejectsSizeMismatchAndBadLabels) {
+  MondrianIcp icp;
+  const std::vector<double> probs = {0.1, 0.2};
+  const std::vector<int> short_labels = {0};
+  EXPECT_THROW(icp.calibrate(probs, short_labels), std::invalid_argument);
+  const std::vector<int> bad = {0, 3};
+  EXPECT_THROW(icp.calibrate(probs, bad), std::invalid_argument);
+}
+
+TEST(MondrianIcp, UncalibratedUseThrows) {
+  MondrianIcp icp;
+  EXPECT_THROW(icp.p_value(0.5, 1), std::logic_error);
+}
+
+/// Statistical validity: under exchangeability, P(p-value <= alpha) <= alpha
+/// per class. We simulate a well-specified model and check the empirical
+/// error of smoothed p-values across significance levels.
+class IcpValidity : public ::testing::TestWithParam<double> {};
+
+TEST_P(IcpValidity, LabelConditionalErrorBounded) {
+  const double alpha = GetParam();
+  util::Rng rng(1234);
+
+  // World: P(y=1)=0.3; model prob1 = true prob + noise, clamped.
+  const auto draw = [&rng](int& label, double& prob) {
+    label = rng.bernoulli(0.3) ? 1 : 0;
+    const double base = label == 1 ? 0.7 : 0.3;
+    prob = std::clamp(base + rng.normal(0.0, 0.15), 0.01, 0.99);
+  };
+
+  std::vector<double> cal_probs;
+  std::vector<int> cal_labels;
+  for (int i = 0; i < 400; ++i) {
+    int y;
+    double p;
+    draw(y, p);
+    cal_probs.push_back(p);
+    cal_labels.push_back(y);
+  }
+  MondrianIcp icp;
+  icp.calibrate(cal_probs, cal_labels);
+
+  std::array<std::size_t, 2> errors{0, 0}, counts{0, 0};
+  for (int i = 0; i < 2000; ++i) {
+    int y;
+    double p;
+    draw(y, p);
+    const double p_value = icp.smoothed_p_value(p, y, rng);
+    ++counts[static_cast<std::size_t>(y)];
+    if (p_value <= alpha) ++errors[static_cast<std::size_t>(y)];
+  }
+  for (const int label : {0, 1}) {
+    const auto idx = static_cast<std::size_t>(label);
+    const double rate = static_cast<double>(errors[idx]) / static_cast<double>(counts[idx]);
+    // Allow sampling slack: 3 standard errors of a binomial at alpha.
+    const double slack =
+        3.0 * std::sqrt(alpha * (1.0 - alpha) / static_cast<double>(counts[idx]));
+    EXPECT_LE(rate, alpha + slack + 0.02) << "label " << label << " alpha " << alpha;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, IcpValidity,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.3));
+
+TEST(Region, ContainsLabelsAbovethreshold) {
+  const PredictionRegion region = region_at_confidence({0.4, 0.05}, 0.9);
+  EXPECT_TRUE(region.contains[0]);   // 0.4 > 0.1
+  EXPECT_FALSE(region.contains[1]);  // 0.05 <= 0.1
+  EXPECT_TRUE(region.is_singleton());
+  EXPECT_EQ(region.point_prediction, 0);
+  EXPECT_DOUBLE_EQ(region.credibility, 0.4);
+  EXPECT_DOUBLE_EQ(region.confidence, 0.95);
+}
+
+TEST(Region, UncertainWhenBothPValuesHigh) {
+  const PredictionRegion region = region_at_confidence({0.5, 0.6}, 0.9);
+  EXPECT_TRUE(region.is_uncertain());
+  EXPECT_EQ(region.point_prediction, 1);
+}
+
+TEST(Region, EmptyWhenBothPValuesLow) {
+  const PredictionRegion region = region_at_confidence({0.01, 0.02}, 0.9);
+  EXPECT_TRUE(region.is_empty());
+}
+
+TEST(Region, RejectsBadConfidenceLevel) {
+  EXPECT_THROW(region_at_confidence({0.5, 0.5}, 0.0), std::invalid_argument);
+  EXPECT_THROW(region_at_confidence({0.5, 0.5}, 1.0), std::invalid_argument);
+}
+
+TEST(ConformalStats, AggregatesRegions) {
+  const std::vector<std::array<double, 2>> p_values = {
+      {0.9, 0.05},  // singleton TF, correct for label 0
+      {0.05, 0.9},  // singleton TI, correct for label 1
+      {0.5, 0.5},   // uncertain, contains both
+      {0.01, 0.02}, // empty, error for any label
+  };
+  const std::vector<int> labels = {0, 1, 0, 1};
+  const ConformalStats stats = evaluate_regions(p_values, labels, 0.9);
+  EXPECT_EQ(stats.total, 4u);
+  EXPECT_EQ(stats.singletons, 2u);
+  EXPECT_EQ(stats.uncertain, 1u);
+  EXPECT_EQ(stats.empty, 1u);
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_DOUBLE_EQ(stats.average_region_size, (1 + 1 + 2 + 0) / 4.0);
+  EXPECT_DOUBLE_EQ(stats.error_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(stats.error_rate_for(1), 0.5);
+  EXPECT_DOUBLE_EQ(stats.error_rate_for(0), 0.0);
+}
+
+TEST(ConformalStats, SizeMismatchThrows) {
+  const std::vector<std::array<double, 2>> p_values = {{0.5, 0.5}};
+  const std::vector<int> labels = {0, 1};
+  EXPECT_THROW(evaluate_regions(p_values, labels, 0.9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noodle::cp

@@ -1,0 +1,74 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace noodle::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("noodle_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, RoundTripSimpleTable) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  table.rows = {{"1", "2", "3"}, {"x", "y", "z"}};
+  write_csv(path_, table);
+  const CsvTable read = read_csv(path_);
+  EXPECT_EQ(read.header, table.header);
+  EXPECT_EQ(read.rows, table.rows);
+}
+
+TEST_F(CsvTest, RoundTripQuotedCells) {
+  CsvTable table;
+  table.header = {"text"};
+  table.rows = {{"hello, world"}, {"line\nbreak"}, {"quote\"inside"}};
+  write_csv(path_, table);
+  const CsvTable read = read_csv(path_);
+  EXPECT_EQ(read.rows, table.rows);
+}
+
+TEST_F(CsvTest, EmptyCellsPreserved) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{"", "v"}, {"v", ""}};
+  write_csv(path_, table);
+  EXPECT_EQ(read_csv(path_).rows, table.rows);
+}
+
+TEST_F(CsvTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/definitely/not/here.csv"), std::runtime_error);
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvTable table;
+  table.header = {"alpha", "beta"};
+  EXPECT_EQ(table.column("alpha"), 0u);
+  EXPECT_EQ(table.column("beta"), 1u);
+  EXPECT_THROW(table.column("gamma"), std::out_of_range);
+}
+
+TEST(Csv, EscapePlainCellUnchanged) { EXPECT_EQ(csv_escape("plain"), "plain"); }
+
+TEST(Csv, EscapeComma) { EXPECT_EQ(csv_escape("a,b"), "\"a,b\""); }
+
+TEST(Csv, EscapeQuotesDoubled) { EXPECT_EQ(csv_escape("a\"b"), "\"a\"\"b\""); }
+
+TEST(Csv, FormatFixedDigits) {
+  EXPECT_EQ(format_fixed(0.15894, 4), "0.1589");
+  EXPECT_EQ(format_fixed(1.0, 2), "1.00");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace noodle::util

@@ -1,0 +1,157 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "feat/tabular.h"
+#include "graph/features.h"
+
+namespace noodle::data {
+namespace {
+
+std::vector<CircuitSample> tiny_corpus() {
+  CorpusSpec spec;
+  spec.design_count = 24;
+  spec.infected_fraction = 0.5;
+  spec.seed = 2;
+  return build_corpus(spec);
+}
+
+TEST(Dataset, FeaturizeDimensions) {
+  const auto corpus = tiny_corpus();
+  const FeatureSample sample = featurize(corpus.front());
+  EXPECT_EQ(sample.graph.size(), graph::kGraphFeatureDim);
+  EXPECT_EQ(sample.tabular.size(), feat::kTabularFeatureDim);
+  EXPECT_FALSE(sample.graph_missing);
+  EXPECT_FALSE(sample.tabular_missing);
+}
+
+TEST(Dataset, FeaturizeCorpusPreservesOrderAndLabels) {
+  const auto corpus = tiny_corpus();
+  const FeatureDataset ds = featurize_corpus(corpus);
+  ASSERT_EQ(ds.size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(ds.samples[i].label,
+              corpus[i].infected ? kTrojanInfected : kTrojanFree);
+  }
+}
+
+TEST(Dataset, CountLabelMatchesLabels) {
+  const FeatureDataset ds = featurize_corpus(tiny_corpus());
+  EXPECT_EQ(ds.count_label(kTrojanFree) + ds.count_label(kTrojanInfected), ds.size());
+  const auto labels = ds.labels();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(labels.begin(), labels.end(), kTrojanInfected)),
+            ds.count_label(kTrojanInfected));
+}
+
+TEST(Dataset, DropModalitiesNeverDropsBoth) {
+  FeatureDataset ds = featurize_corpus(tiny_corpus());
+  util::Rng rng(5);
+  drop_modalities(ds, 0.9, 0.9, rng);
+  for (const auto& s : ds.samples) {
+    EXPECT_FALSE(s.graph_missing && s.tabular_missing);
+  }
+}
+
+TEST(Dataset, DropModalitiesRatesApproximate) {
+  FeatureDataset ds;
+  for (int i = 0; i < 4000; ++i) {
+    FeatureSample s;
+    s.graph = {0.0};
+    s.tabular = {0.0};
+    ds.samples.push_back(s);
+  }
+  util::Rng rng(6);
+  drop_modalities(ds, 0.2, 0.0, rng);
+  std::size_t dropped = 0;
+  for (const auto& s : ds.samples) dropped += s.graph_missing ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(dropped) / 4000.0, 0.2, 0.03);
+}
+
+class SplitFractions : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(SplitFractions, PartitionIsExactAndDisjoint) {
+  const auto [train_fraction, cal_fraction] = GetParam();
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) labels.push_back(i % 4 == 0 ? 1 : 0);
+  util::Rng rng(7);
+  const SplitIndices split = stratified_split(labels, train_fraction, cal_fraction, rng);
+
+  std::set<std::size_t> all;
+  for (const auto idx : split.train) all.insert(idx);
+  for (const auto idx : split.cal) all.insert(idx);
+  for (const auto idx : split.test) all.insert(idx);
+  EXPECT_EQ(all.size(), labels.size());  // disjoint and complete
+  EXPECT_EQ(split.train.size() + split.cal.size() + split.test.size(), labels.size());
+}
+
+TEST_P(SplitFractions, EveryPartHasBothClasses) {
+  const auto [train_fraction, cal_fraction] = GetParam();
+  std::vector<int> labels;
+  for (int i = 0; i < 200; ++i) labels.push_back(i % 4 == 0 ? 1 : 0);
+  util::Rng rng(8);
+  const SplitIndices split = stratified_split(labels, train_fraction, cal_fraction, rng);
+  for (const auto* part : {&split.train, &split.cal, &split.test}) {
+    std::set<int> classes;
+    for (const auto idx : *part) classes.insert(labels[idx]);
+    EXPECT_EQ(classes.size(), 2u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplitFractions,
+                         ::testing::Values(std::make_pair(0.5, 0.2),
+                                           std::make_pair(0.56, 0.22),
+                                           std::make_pair(0.7, 0.15),
+                                           std::make_pair(0.34, 0.33)));
+
+TEST(Dataset, StratifiedSplitProportionsRoughlyHold) {
+  std::vector<int> labels(1000, 0);
+  for (int i = 0; i < 300; ++i) labels[static_cast<std::size_t>(i)] = 1;
+  util::Rng rng(9);
+  const SplitIndices split = stratified_split(labels, 0.6, 0.2, rng);
+  std::size_t train_positive = 0;
+  for (const auto idx : split.train) train_positive += labels[idx];
+  // 60% of 300 positives ~ 180.
+  EXPECT_NEAR(static_cast<double>(train_positive), 180.0, 10.0);
+}
+
+TEST(Dataset, StratifiedSplitRejectsBadFractions) {
+  std::vector<int> labels = {0, 1, 0, 1};
+  util::Rng rng(1);
+  EXPECT_THROW(stratified_split(labels, 0.0, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(labels, 0.8, 0.3, rng), std::invalid_argument);
+}
+
+TEST(Dataset, StratifiedSplitGuaranteesCalAndTestPerClass) {
+  // 5 positives in 50: every part still sees the minority class.
+  std::vector<int> labels(50, 0);
+  for (int i = 0; i < 5; ++i) labels[static_cast<std::size_t>(i * 10)] = 1;
+  util::Rng rng(3);
+  const SplitIndices split = stratified_split(labels, 0.6, 0.2, rng);
+  auto count_positive = [&labels](const std::vector<std::size_t>& part) {
+    std::size_t n = 0;
+    for (const auto idx : part) n += static_cast<std::size_t>(labels[idx]);
+    return n;
+  };
+  EXPECT_GE(count_positive(split.cal), 1u);
+  EXPECT_GE(count_positive(split.test), 1u);
+}
+
+TEST(Dataset, SubsetSelectsByIndex) {
+  const FeatureDataset ds = featurize_corpus(tiny_corpus());
+  const FeatureDataset sub = subset(ds, {0, 2, 4});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_EQ(sub.samples[1].label, ds.samples[2].label);
+  EXPECT_EQ(sub.samples[1].graph, ds.samples[2].graph);
+}
+
+TEST(Dataset, SubsetThrowsOnBadIndex) {
+  const FeatureDataset ds = featurize_corpus(tiny_corpus());
+  EXPECT_THROW(subset(ds, {ds.size()}), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace noodle::data

@@ -1,0 +1,93 @@
+#include "data/decoys.h"
+
+#include <gtest/gtest.h>
+
+#include "data/designgen.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace noodle::data {
+namespace {
+
+verilog::Module make_design(DesignFamily family, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return verilog::parse_module(generate_design(family, "dut", rng));
+}
+
+class EveryDecoy : public ::testing::TestWithParam<DecoyKind> {};
+
+TEST_P(EveryDecoy, InsertsParseableStructure) {
+  verilog::Module m = make_design(DesignFamily::Counter, 1);
+  util::Rng rng(4);
+  const DecoyKind used = insert_decoy(m, GetParam(), rng);
+  EXPECT_EQ(used, GetParam());
+  EXPECT_NO_THROW(verilog::parse_module(verilog::print_module(m)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EveryDecoy,
+                         ::testing::Values(DecoyKind::Watchdog,
+                                           DecoyKind::AddressDecode,
+                                           DecoyKind::ErrorGate,
+                                           DecoyKind::StatusShadow));
+
+TEST(Decoys, CombinationalDesignFallsBackToErrorGate) {
+  verilog::Module m = make_design(DesignFamily::Shifter, 2);
+  util::Rng rng(9);
+  EXPECT_EQ(insert_decoy(m, DecoyKind::Watchdog, rng), DecoyKind::ErrorGate);
+}
+
+TEST(Decoys, WatchdogAddsAlwaysBlock) {
+  verilog::Module m = make_design(DesignFamily::Counter, 3);
+  const std::size_t before = m.always_blocks.size();
+  util::Rng rng(1);
+  insert_decoy(m, DecoyKind::Watchdog, rng);
+  EXPECT_EQ(m.always_blocks.size(), before + 1);
+}
+
+TEST(Decoys, ErrorGateTapsAnOutput) {
+  verilog::Module m = make_design(DesignFamily::Counter, 5);
+  util::Rng rng(2);
+  insert_decoy(m, DecoyKind::ErrorGate, rng);
+  // Some output is now driven by a ternary whose else-arm is a _pre net.
+  bool found_tap = false;
+  for (const auto& assign : m.assigns) {
+    if (assign.rhs->kind == verilog::ExprKind::Ternary) {
+      const auto& else_arm = assign.rhs->operands[2];
+      if (else_arm->kind == verilog::ExprKind::Identifier &&
+          else_arm->name.find("_pre") != std::string::npos) {
+        found_tap = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_tap);
+}
+
+TEST(Decoys, AddBenignDecoysBoundedCount) {
+  verilog::Module m = make_design(DesignFamily::Alu, 6);
+  const std::size_t nets_before = m.nets.size();
+  util::Rng rng(3);
+  add_benign_decoys(m, rng, /*max_decoys=*/3, /*first_decoy_probability=*/1.0);
+  // Each decoy adds at most 2 nets; at least one decoy was inserted.
+  EXPECT_GT(m.nets.size(), nets_before);
+  EXPECT_LE(m.nets.size(), nets_before + 6);
+}
+
+TEST(Decoys, ZeroProbabilityAddsNothing) {
+  verilog::Module m = make_design(DesignFamily::Alu, 7);
+  const std::string before = verilog::print_module(m);
+  util::Rng rng(4);
+  add_benign_decoys(m, rng, 3, 0.0);
+  EXPECT_EQ(verilog::print_module(m), before);
+}
+
+TEST(Decoys, DeterministicGivenRng) {
+  verilog::Module a = make_design(DesignFamily::Fsm, 8);
+  verilog::Module b = make_design(DesignFamily::Fsm, 8);
+  util::Rng ra(11), rb(11);
+  add_benign_decoys(a, ra);
+  add_benign_decoys(b, rb);
+  EXPECT_EQ(verilog::print_module(a), verilog::print_module(b));
+}
+
+}  // namespace
+}  // namespace noodle::data

@@ -1,0 +1,92 @@
+#include "data/designgen.h"
+
+#include <gtest/gtest.h>
+
+#include "trojan/inserter.h"
+#include "verilog/parser.h"
+
+namespace noodle::data {
+namespace {
+
+struct FamilySeed {
+  DesignFamily family;
+  std::uint64_t seed;
+};
+
+class EveryFamily : public ::testing::TestWithParam<FamilySeed> {};
+
+TEST_P(EveryFamily, GeneratesParseableVerilog) {
+  util::Rng rng(GetParam().seed);
+  const std::string source = generate_design(GetParam().family, "dut", rng);
+  const verilog::Module m = verilog::parse_module(source);
+  EXPECT_EQ(m.name, "dut");
+  EXPECT_FALSE(m.ports.empty());
+}
+
+TEST_P(EveryFamily, HasAtLeastOneOutput) {
+  util::Rng rng(GetParam().seed);
+  const verilog::Module m =
+      verilog::parse_module(generate_design(GetParam().family, "dut", rng));
+  bool any_output = false;
+  for (const auto& port : m.ports) {
+    if (port.dir == verilog::PortDir::Output) any_output = true;
+  }
+  EXPECT_TRUE(any_output);
+}
+
+TEST_P(EveryFamily, ClockMatchesCombinationalFlag) {
+  util::Rng rng(GetParam().seed);
+  const verilog::Module m =
+      verilog::parse_module(generate_design(GetParam().family, "dut", rng));
+  EXPECT_EQ(trojan::has_clock(m), !is_combinational(GetParam().family));
+}
+
+std::vector<FamilySeed> cases() {
+  std::vector<FamilySeed> out;
+  for (const auto family : all_design_families()) {
+    for (std::uint64_t seed : {1u, 7u, 99u}) out.push_back({family, seed});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, EveryFamily, ::testing::ValuesIn(cases()));
+
+TEST(DesignGen, DeterministicGivenSeed) {
+  util::Rng a(5), b(5);
+  EXPECT_EQ(generate_design(DesignFamily::Alu, "x", a),
+            generate_design(DesignFamily::Alu, "x", b));
+}
+
+TEST(DesignGen, SeedsVaryStructure) {
+  util::Rng a(1), b(2);
+  EXPECT_NE(generate_design(DesignFamily::Fsm, "x", a),
+            generate_design(DesignFamily::Fsm, "x", b));
+}
+
+TEST(DesignGen, FamilyNamesUnique) {
+  std::set<std::string> names;
+  for (const auto family : all_design_families()) {
+    names.insert(to_string(family));
+  }
+  EXPECT_EQ(names.size(), kDesignFamilyCount);
+}
+
+TEST(DesignGen, CombinationalFamiliesIdentified) {
+  EXPECT_TRUE(is_combinational(DesignFamily::Shifter));
+  EXPECT_TRUE(is_combinational(DesignFamily::ComparatorBank));
+  EXPECT_FALSE(is_combinational(DesignFamily::Counter));
+  EXPECT_FALSE(is_combinational(DesignFamily::UartTx));
+}
+
+TEST(DesignGen, SequentialFamiliesHaveAlwaysBlocks) {
+  for (const auto family : all_design_families()) {
+    if (is_combinational(family)) continue;
+    util::Rng rng(3);
+    const verilog::Module m =
+        verilog::parse_module(generate_design(family, "dut", rng));
+    EXPECT_FALSE(m.always_blocks.empty()) << to_string(family);
+  }
+}
+
+}  // namespace
+}  // namespace noodle::data

@@ -1,0 +1,185 @@
+#include "fusion/models.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/roc.h"
+
+namespace noodle::fusion {
+namespace {
+
+/// Synthetic bimodal dataset: graph features separate at +-1.5, tabular at
+/// -+1.0 (inverted), so both modalities carry signal.
+data::FeatureDataset blob_dataset(std::size_t per_class, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::FeatureDataset ds;
+  for (const int label : {0, 1}) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      data::FeatureSample s;
+      const double g = label == 1 ? 1.5 : -1.5;
+      const double t = label == 1 ? -1.0 : 1.0;
+      for (int d = 0; d < 10; ++d) s.graph.push_back(rng.normal(g, 1.0));
+      for (int d = 0; d < 9; ++d) s.tabular.push_back(rng.normal(t, 1.0));
+      s.label = label;
+      ds.samples.push_back(std::move(s));
+    }
+  }
+  // Interleave labels for realism.
+  util::Rng shuffle_rng(seed + 1);
+  shuffle_rng.shuffle(ds.samples);
+  return ds;
+}
+
+FusionConfig fast_config() {
+  FusionConfig config;
+  config.train.epochs = 25;
+  config.train.validation_fraction = 0.0;
+  config.seed = 7;
+  return config;
+}
+
+class ArmBehaviour : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    train_ = blob_dataset(40, 1);
+    cal_ = blob_dataset(15, 2);
+    test_ = blob_dataset(15, 3);
+  }
+  data::FeatureDataset train_, cal_, test_;
+};
+
+TEST_F(ArmBehaviour, SingleModalityGraphLearns) {
+  SingleModalityModel model(Modality::Graph, fast_config());
+  model.fit(train_, cal_);
+  const auto predictions = model.predict_all(test_);
+  std::vector<double> probs;
+  for (const auto& p : predictions) probs.push_back(p.probability);
+  EXPECT_GT(metrics::roc_auc(probs, test_.labels()), 0.85);
+}
+
+TEST_F(ArmBehaviour, SingleModalityTabularLearns) {
+  SingleModalityModel model(Modality::Tabular, fast_config());
+  model.fit(train_, cal_);
+  const auto predictions = model.predict_all(test_);
+  std::vector<double> probs;
+  for (const auto& p : predictions) probs.push_back(p.probability);
+  EXPECT_GT(metrics::roc_auc(probs, test_.labels()), 0.85);
+}
+
+TEST_F(ArmBehaviour, EarlyFusionLearns) {
+  EarlyFusionModel model(fast_config());
+  model.fit(train_, cal_);
+  const auto predictions = model.predict_all(test_);
+  std::vector<double> probs;
+  for (const auto& p : predictions) probs.push_back(p.probability);
+  EXPECT_GT(metrics::roc_auc(probs, test_.labels()), 0.9);
+}
+
+TEST_F(ArmBehaviour, LateFusionLearnsAndExposesModalities) {
+  LateFusionModel model(fast_config());
+  model.fit(train_, cal_);
+  std::vector<double> probs;
+  for (const auto& sample : test_.samples) {
+    const Prediction p = model.predict(sample);
+    probs.push_back(p.probability);
+    // Per-modality p-values exposed after each prediction.
+    const auto& per_modality = model.last_modality_p_values();
+    for (const auto& pv : per_modality) {
+      EXPECT_GT(pv[0], 0.0);
+      EXPECT_LE(pv[0], 1.0);
+      EXPECT_GT(pv[1], 0.0);
+      EXPECT_LE(pv[1], 1.0);
+    }
+  }
+  EXPECT_GT(metrics::roc_auc(probs, test_.labels()), 0.9);
+}
+
+TEST_F(ArmBehaviour, PredictionsWellFormed) {
+  for (const bool late : {false, true}) {
+    std::unique_ptr<ClassifierArm> arm;
+    if (late) arm = std::make_unique<LateFusionModel>(fast_config());
+    else arm = std::make_unique<EarlyFusionModel>(fast_config());
+    arm->fit(train_, cal_);
+    for (const auto& p : arm->predict_all(test_)) {
+      EXPECT_GE(p.probability, 0.0);
+      EXPECT_LE(p.probability, 1.0);
+      EXPECT_GT(p.p_values[0], 0.0);
+      EXPECT_LE(p.p_values[0], 1.0);
+      EXPECT_GT(p.p_values[1], 0.0);
+      EXPECT_LE(p.p_values[1], 1.0);
+    }
+  }
+}
+
+TEST_F(ArmBehaviour, MissingModalityRejected) {
+  train_.samples[0].graph_missing = true;
+  SingleModalityModel model(Modality::Graph, fast_config());
+  EXPECT_THROW(model.fit(train_, cal_), std::invalid_argument);
+}
+
+TEST_F(ArmBehaviour, DeterministicGivenConfig) {
+  SingleModalityModel a(Modality::Graph, fast_config());
+  SingleModalityModel b(Modality::Graph, fast_config());
+  a.fit(train_, cal_);
+  b.fit(train_, cal_);
+  const Prediction pa = a.predict(test_.samples[0]);
+  const Prediction pb = b.predict(test_.samples[0]);
+  EXPECT_DOUBLE_EQ(pa.probability, pb.probability);
+  EXPECT_EQ(pa.p_values, pb.p_values);
+}
+
+TEST(FusionHelpers, ModalityAndJointMatrices) {
+  const data::FeatureDataset ds = blob_dataset(3, 4);
+  const nn::Matrix g = modality_matrix(ds, Modality::Graph);
+  const nn::Matrix t = modality_matrix(ds, Modality::Tabular);
+  const nn::Matrix j = joint_matrix(ds);
+  EXPECT_EQ(g.cols(), 10u);
+  EXPECT_EQ(t.cols(), 9u);
+  EXPECT_EQ(j.cols(), 19u);
+  EXPECT_EQ(j.rows(), ds.size());
+  // Joint layout: graph first, then tabular.
+  EXPECT_DOUBLE_EQ(j(0, 0), g(0, 0));
+  EXPECT_DOUBLE_EQ(j(0, 10), t(0, 0));
+}
+
+TEST(FusionHelpers, PValueProbability) {
+  EXPECT_DOUBLE_EQ(p_value_probability({0.2, 0.8}), 0.8);
+  EXPECT_DOUBLE_EQ(p_value_probability({0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(p_value_probability({0.0, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(p_value_probability({1.0, 0.0}), 0.0);
+}
+
+TEST(FusionHelpers, ModalityNames) {
+  EXPECT_STREQ(to_string(Modality::Graph), "graph");
+  EXPECT_STREQ(to_string(Modality::Tabular), "tabular");
+  EXPECT_EQ(SingleModalityModel(Modality::Graph, FusionConfig{}).name(), "graph_only");
+}
+
+class CombinerSweep : public ::testing::TestWithParam<cp::CombinationMethod> {};
+
+TEST_P(CombinerSweep, LateFusionWorksWithEveryCombiner) {
+  FusionConfig config;
+  config.train.epochs = 15;
+  config.train.validation_fraction = 0.0;
+  config.combiner = GetParam();
+  LateFusionModel model(config);
+  const auto train = blob_dataset(30, 5);
+  const auto cal = blob_dataset(12, 6);
+  const auto test = blob_dataset(12, 7);
+  model.fit(train, cal);
+  std::vector<double> probs;
+  for (const auto& sample : test.samples) {
+    probs.push_back(model.predict(sample).probability);
+  }
+  EXPECT_GT(metrics::roc_auc(probs, test.labels()), 0.8)
+      << cp::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombiners, CombinerSweep,
+                         ::testing::Values(cp::CombinationMethod::Fisher,
+                                           cp::CombinationMethod::Stouffer,
+                                           cp::CombinationMethod::ArithmeticMean,
+                                           cp::CombinationMethod::Min,
+                                           cp::CombinationMethod::Max));
+
+}  // namespace
+}  // namespace noodle::fusion

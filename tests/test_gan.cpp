@@ -1,0 +1,217 @@
+#include "gan/augment.h"
+#include "gan/gan.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace noodle::gan {
+namespace {
+
+GanConfig fast_config() {
+  GanConfig config;
+  config.epochs = 60;
+  config.hidden = 24;
+  config.latent_dim = 8;
+  config.seed = 3;
+  return config;
+}
+
+std::vector<std::vector<double>> gaussian_rows(std::size_t n, double mean_x,
+                                               double mean_y, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<double>> rows;
+  rows.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows.push_back({rng.normal(mean_x, 1.0), rng.normal(mean_y, 0.5)});
+  }
+  return rows;
+}
+
+TEST(Gan, FitAndSampleShapes) {
+  TabularGan gan(2, fast_config());
+  EXPECT_FALSE(gan.trained());
+  gan.fit(gaussian_rows(64, 0.0, 0.0, 1));
+  EXPECT_TRUE(gan.trained());
+  const auto samples = gan.sample(10);
+  ASSERT_EQ(samples.size(), 10u);
+  for (const auto& row : samples) EXPECT_EQ(row.size(), 2u);
+}
+
+TEST(Gan, SamplesLandNearTrainingDistribution) {
+  TabularGan gan(2, fast_config());
+  gan.fit(gaussian_rows(128, 5.0, -3.0, 2));
+  const auto samples = gan.sample(200);
+  std::vector<double> xs, ys;
+  for (const auto& row : samples) {
+    xs.push_back(row[0]);
+    ys.push_back(row[1]);
+  }
+  // Generous tolerance: the point is gross distributional placement.
+  EXPECT_NEAR(util::mean(xs), 5.0, 1.5);
+  EXPECT_NEAR(util::mean(ys), -3.0, 1.5);
+}
+
+TEST(Gan, TraceHasPerEpochLosses) {
+  TabularGan gan(2, fast_config());
+  const GanTrainTrace trace = gan.fit(gaussian_rows(32, 0.0, 0.0, 4));
+  EXPECT_EQ(trace.discriminator_loss.size(), fast_config().epochs);
+  EXPECT_EQ(trace.generator_loss.size(), fast_config().epochs);
+  for (const double loss : trace.discriminator_loss) EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(Gan, SampleBeforeFitThrows) {
+  TabularGan gan(2, fast_config());
+  EXPECT_THROW(gan.sample(1), std::logic_error);
+}
+
+TEST(Gan, RejectsBadInput) {
+  EXPECT_THROW(TabularGan(0, fast_config()), std::invalid_argument);
+  TabularGan gan(3, fast_config());
+  EXPECT_THROW(gan.fit({}), std::invalid_argument);
+  EXPECT_THROW(gan.fit({{1.0, 2.0}}), std::invalid_argument);  // wrong dim
+}
+
+TEST(Gan, DeterministicGivenSeed) {
+  TabularGan a(2, fast_config()), b(2, fast_config());
+  const auto rows = gaussian_rows(48, 1.0, 1.0, 6);
+  a.fit(rows);
+  b.fit(rows);
+  EXPECT_EQ(a.sample(5), b.sample(5));
+}
+
+// ---------------------------------------------------------------------------
+// augment_with_gan
+// ---------------------------------------------------------------------------
+
+data::FeatureDataset tiny_dataset(std::size_t per_class, std::uint64_t seed) {
+  util::Rng rng(seed);
+  data::FeatureDataset ds;
+  for (const int label : {0, 1}) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      data::FeatureSample s;
+      const double center = label == 1 ? 2.0 : -2.0;
+      for (int d = 0; d < 5; ++d) s.graph.push_back(rng.normal(center, 1.0));
+      for (int d = 0; d < 3; ++d) s.tabular.push_back(rng.normal(-center, 1.0));
+      s.label = label;
+      ds.samples.push_back(std::move(s));
+    }
+  }
+  return ds;
+}
+
+TEST(Augment, GrowsEachClassToTarget) {
+  const auto ds = tiny_dataset(12, 7);
+  const auto grown = augment_with_gan(ds, 30, fast_config());
+  EXPECT_EQ(grown.count_label(0), 30u);
+  EXPECT_EQ(grown.count_label(1), 30u);
+  // Originals preserved at the front.
+  EXPECT_EQ(grown.samples[0].graph, ds.samples[0].graph);
+}
+
+TEST(Augment, SyntheticSamplesHaveRightShapeAndLabel) {
+  const auto ds = tiny_dataset(10, 8);
+  const auto grown = augment_with_gan(ds, 20, fast_config());
+  for (std::size_t i = ds.size(); i < grown.size(); ++i) {
+    EXPECT_EQ(grown.samples[i].graph.size(), 5u);
+    EXPECT_EQ(grown.samples[i].tabular.size(), 3u);
+    EXPECT_FALSE(grown.samples[i].graph_missing);
+  }
+}
+
+TEST(Augment, ClassAlreadyAtTargetUntouched) {
+  const auto ds = tiny_dataset(25, 9);
+  const auto grown = augment_with_gan(ds, 20, fast_config());
+  EXPECT_EQ(grown.size(), ds.size());
+}
+
+TEST(Augment, TooFewSamplesThrows) {
+  const auto ds = tiny_dataset(3, 10);
+  EXPECT_THROW(augment_with_gan(ds, 10, fast_config()), std::invalid_argument);
+}
+
+TEST(Augment, EmptyDatasetThrows) {
+  EXPECT_THROW(augment_with_gan(data::FeatureDataset{}, 10, fast_config()),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// CrossModalImputer
+// ---------------------------------------------------------------------------
+
+/// Dataset where tabular = -graph-center: cross-modal mapping is learnable.
+TEST(Imputer, RecoversCorrelatedModalities) {
+  const auto train = tiny_dataset(40, 11);
+  CrossModalImputer imputer(5);
+  imputer.fit(train);
+  EXPECT_TRUE(imputer.fitted());
+
+  // Build a probe set with graph present, tabular missing.
+  data::FeatureDataset probe = tiny_dataset(10, 12);
+  std::vector<std::vector<double>> truth;
+  for (auto& s : probe.samples) {
+    truth.push_back(s.tabular);
+    s.tabular.clear();
+    s.tabular_missing = true;
+  }
+  imputer.impute(probe);
+
+  // Imputed values must beat the trivial zero prediction on MSE.
+  double imputed_mse = 0.0, zero_mse = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < probe.samples.size(); ++i) {
+    EXPECT_FALSE(probe.samples[i].tabular_missing);
+    ASSERT_EQ(probe.samples[i].tabular.size(), truth[i].size());
+    for (std::size_t d = 0; d < truth[i].size(); ++d) {
+      const double e = probe.samples[i].tabular[d] - truth[i][d];
+      imputed_mse += e * e;
+      zero_mse += truth[i][d] * truth[i][d];
+      ++count;
+    }
+  }
+  EXPECT_LT(imputed_mse / count, zero_mse / count);
+}
+
+TEST(Imputer, ImputesGraphDirectionToo) {
+  const auto train = tiny_dataset(30, 13);
+  CrossModalImputer imputer(6);
+  imputer.fit(train);
+  data::FeatureDataset probe = tiny_dataset(4, 14);
+  for (auto& s : probe.samples) {
+    s.graph.clear();
+    s.graph_missing = true;
+  }
+  imputer.impute(probe);
+  for (const auto& s : probe.samples) {
+    EXPECT_FALSE(s.graph_missing);
+    EXPECT_EQ(s.graph.size(), 5u);
+  }
+}
+
+TEST(Imputer, UnfittedThrows) {
+  CrossModalImputer imputer;
+  data::FeatureDataset ds = tiny_dataset(2, 15);
+  EXPECT_THROW(imputer.impute(ds), std::logic_error);
+}
+
+TEST(Imputer, BothModalitiesMissingThrows) {
+  const auto train = tiny_dataset(30, 16);
+  CrossModalImputer imputer(7);
+  imputer.fit(train);
+  data::FeatureDataset probe = tiny_dataset(1, 17);
+  probe.samples[0].graph_missing = true;
+  probe.samples[0].tabular_missing = true;
+  EXPECT_THROW(imputer.impute(probe), std::invalid_argument);
+}
+
+TEST(Imputer, TooFewCompleteSamplesThrows) {
+  data::FeatureDataset ds = tiny_dataset(2, 18);
+  for (auto& s : ds.samples) s.graph_missing = true;
+  CrossModalImputer imputer;
+  EXPECT_THROW(imputer.fit(ds), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noodle::gan

@@ -1,0 +1,249 @@
+#include "graph/builder.h"
+#include "graph/features.h"
+#include "graph/netgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/designgen.h"
+#include "verilog/parser.h"
+
+namespace noodle::graph {
+namespace {
+
+TEST(NetGraph, AddNodesAndEdges) {
+  NetGraph g;
+  const auto a = g.add_node(NodeType::Input, "a");
+  const auto b = g.add_node(NodeType::Wire, "b");
+  g.add_edge(a, b);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+  EXPECT_EQ(g.successors(a).front(), b);
+  EXPECT_EQ(g.predecessors(b).front(), a);
+}
+
+TEST(NetGraph, ParallelEdgesAndSelfLoopsAllowed) {
+  NetGraph g;
+  const auto a = g.add_node(NodeType::Reg, "a");
+  g.add_edge(a, a);
+  g.add_edge(a, a);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.out_degree(a), 2u);
+}
+
+TEST(NetGraph, EdgeToInvalidNodeThrows) {
+  NetGraph g;
+  const auto a = g.add_node(NodeType::Wire, "a");
+  EXPECT_THROW(g.add_edge(a, a + 1), std::out_of_range);
+}
+
+TEST(NetGraph, ComponentCount) {
+  NetGraph g;
+  const auto a = g.add_node(NodeType::Wire, "a");
+  const auto b = g.add_node(NodeType::Wire, "b");
+  g.add_node(NodeType::Wire, "c");  // isolated
+  g.add_edge(a, b);
+  EXPECT_EQ(g.component_count(), 2u);
+  EXPECT_EQ(NetGraph{}.component_count(), 0u);
+}
+
+TEST(NetGraph, DepthFromInputs) {
+  NetGraph g;
+  const auto in = g.add_node(NodeType::Input, "in");
+  const auto mid = g.add_node(NodeType::Op, "+");
+  const auto out = g.add_node(NodeType::Output, "out");
+  g.add_edge(in, mid);
+  g.add_edge(mid, out);
+  EXPECT_EQ(g.depth_from_inputs(), 2u);
+}
+
+TEST(NetGraph, DepthZeroWithoutInputs) {
+  NetGraph g;
+  const auto a = g.add_node(NodeType::Wire, "a");
+  const auto b = g.add_node(NodeType::Wire, "b");
+  g.add_edge(a, b);
+  EXPECT_EQ(g.depth_from_inputs(), 0u);
+}
+
+TEST(NetGraph, TypeHistogramNormalized) {
+  NetGraph g;
+  g.add_node(NodeType::Input, "a");
+  g.add_node(NodeType::Input, "b");
+  g.add_node(NodeType::Output, "y");
+  g.add_node(NodeType::Op, "+");
+  const auto hist = g.type_histogram();
+  ASSERT_EQ(hist.size(), kNodeTypeCount);
+  EXPECT_DOUBLE_EQ(hist[static_cast<std::size_t>(NodeType::Input)], 0.5);
+  double total = 0.0;
+  for (const double h : hist) total += h;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(NetGraph, SpectralSketchKnownGraph) {
+  // Complete bipartite-ish star: center connected to 4 leaves. Symmetrized
+  // adjacency of a star K_{1,4} has top eigenvalue 2*sqrt(4)=4 (edges count
+  // twice because add_edge adds both directions to the symmetrized matrix).
+  NetGraph g;
+  const auto center = g.add_node(NodeType::Wire, "c");
+  for (int i = 0; i < 4; ++i) {
+    const auto leaf = g.add_node(NodeType::Wire, "l");
+    g.add_edge(center, leaf);
+  }
+  const auto spectrum = g.spectral_sketch(2, 200);
+  ASSERT_EQ(spectrum.size(), 2u);
+  EXPECT_NEAR(spectrum[0], 2.0, 0.05);  // star adjacency eigenvalue sqrt(n)=2
+  EXPECT_GE(spectrum[0], spectrum[1] - 1e-9);
+}
+
+TEST(NetGraph, SpectralSketchEmptyGraph) {
+  const auto spectrum = NetGraph{}.spectral_sketch(3);
+  ASSERT_EQ(spectrum.size(), 3u);
+  for (const double v : spectrum) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+TEST(Builder, SimpleAssignDataflow) {
+  const verilog::Module m = verilog::parse_module(
+      "module t (input a, input b, output y);\n  assign y = a & b;\nendmodule");
+  const NetGraph g = build_netgraph(m);
+  // Nodes: a, b, y, '&' op.
+  EXPECT_EQ(g.node_count(), 4u);
+  const auto ops = g.nodes_of_type(NodeType::Op);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(g.in_degree(ops[0]), 2u);
+  EXPECT_EQ(g.out_degree(ops[0]), 1u);
+}
+
+TEST(Builder, PortTypesMapped) {
+  const verilog::Module m = verilog::parse_module(
+      "module t (input [3:0] a, output y);\n  reg [7:0] r;\n  wire w;\nendmodule");
+  const NetGraph g = build_netgraph(m);
+  EXPECT_EQ(g.nodes_of_type(NodeType::Input).size(), 1u);
+  EXPECT_EQ(g.nodes_of_type(NodeType::Output).size(), 1u);
+  EXPECT_EQ(g.nodes_of_type(NodeType::Reg).size(), 1u);
+  EXPECT_EQ(g.nodes_of_type(NodeType::Wire).size(), 1u);
+  // Widths preserved on signal nodes.
+  const auto inputs = g.nodes_of_type(NodeType::Input);
+  EXPECT_EQ(g.node(inputs[0]).width, 4);
+}
+
+TEST(Builder, TernaryBecomesMux) {
+  const verilog::Module m = verilog::parse_module(
+      "module t (input s, input a, input b, output y);\n"
+      "  assign y = s ? a : b;\nendmodule");
+  const NetGraph g = build_netgraph(m);
+  const auto muxes = g.nodes_of_type(NodeType::Mux);
+  ASSERT_EQ(muxes.size(), 1u);
+  EXPECT_EQ(g.in_degree(muxes[0]), 3u);
+}
+
+TEST(Builder, ControlDependenciesFromIf) {
+  const verilog::Module m = verilog::parse_module(
+      "module t (input clk, input c, input d, output reg q);\n"
+      "  always @(posedge clk)\n"
+      "    if (c)\n      q <= d;\n"
+      "endmodule");
+  const NetGraph g = build_netgraph(m);
+  // q receives edges from: d (data), c (control), clk (sequential skeleton).
+  const auto outputs = g.nodes_of_type(NodeType::Output);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(g.in_degree(outputs[0]), 3u);
+}
+
+TEST(Builder, SequentialFeedbackSelfLoop) {
+  const verilog::Module m = verilog::parse_module(
+      "module t (input clk, output reg [3:0] q);\n"
+      "  always @(posedge clk) q <= q + 4'd1;\nendmodule");
+  const NetGraph g = build_netgraph(m);
+  // q feeds the adder, which feeds q: a cycle through the op node exists.
+  const auto ops = g.nodes_of_type(NodeType::Op);
+  ASSERT_EQ(ops.size(), 1u);
+  const auto outputs = g.nodes_of_type(NodeType::Output);
+  bool q_feeds_add = false;
+  for (const auto succ : g.successors(outputs[0])) {
+    if (succ == ops[0]) q_feeds_add = true;
+  }
+  EXPECT_TRUE(q_feeds_add);
+}
+
+TEST(Builder, InstanceNodeBidirectional) {
+  const verilog::Module m = verilog::parse_module(
+      "module t (input x, output z);\n  leaf u0 (.a(x), .y(z));\nendmodule");
+  const NetGraph g = build_netgraph(m);
+  const auto instances = g.nodes_of_type(NodeType::Instance);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(g.in_degree(instances[0]), 2u);
+  EXPECT_EQ(g.out_degree(instances[0]), 2u);
+}
+
+TEST(Builder, ConstantsBecomeConstNodes) {
+  const verilog::Module m = verilog::parse_module(
+      "module t (input [7:0] a, output y);\n  assign y = a == 8'hAB;\nendmodule");
+  const NetGraph g = build_netgraph(m);
+  const auto consts = g.nodes_of_type(NodeType::Const);
+  ASSERT_EQ(consts.size(), 1u);
+  EXPECT_EQ(g.node(consts[0]).width, 8);
+}
+
+TEST(Builder, UndeclaredIdentifierGetsImplicitWire) {
+  const verilog::Module m = verilog::parse_module(
+      "module t (output y);\n  assign y = mystery;\nendmodule");
+  EXPECT_NO_THROW(build_netgraph(m));
+}
+
+// ---------------------------------------------------------------------------
+// Features
+// ---------------------------------------------------------------------------
+
+TEST(GraphFeatures, DimensionAndNames) {
+  EXPECT_EQ(graph_feature_names().size(), kGraphFeatureDim);
+  std::set<std::string> unique(graph_feature_names().begin(),
+                               graph_feature_names().end());
+  EXPECT_EQ(unique.size(), kGraphFeatureDim);
+}
+
+TEST(GraphFeatures, EmptyGraphIsFiniteZeroish) {
+  const auto f = graph_features(NetGraph{});
+  ASSERT_EQ(f.size(), kGraphFeatureDim);
+  for (const double v : f) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(GraphFeatures, DeterministicForSameModule) {
+  util::Rng rng_a(4), rng_b(4);
+  const auto src_a = data::generate_design(data::DesignFamily::Crc, "d", rng_a);
+  const auto src_b = data::generate_design(data::DesignFamily::Crc, "d", rng_b);
+  const auto fa = graph_features(build_netgraph(verilog::parse_module(src_a)));
+  const auto fb = graph_features(build_netgraph(verilog::parse_module(src_b)));
+  EXPECT_EQ(fa, fb);
+}
+
+TEST(GraphFeatures, HistogramEntriesSumToOne) {
+  util::Rng rng(5);
+  const auto src = data::generate_design(data::DesignFamily::Alu, "d", rng);
+  const auto f = graph_features(build_netgraph(verilog::parse_module(src)));
+  double type_sum = 0.0;
+  for (std::size_t i = 0; i < kNodeTypeCount; ++i) type_sum += f[i];
+  EXPECT_NEAR(type_sum, 1.0, 1e-9);
+}
+
+TEST(GraphFeatures, AllFamiliesProduceFiniteFeatures) {
+  for (const auto family : data::all_design_families()) {
+    util::Rng rng(11);
+    const auto src = data::generate_design(family, "d", rng);
+    const auto f = graph_features(build_netgraph(verilog::parse_module(src)));
+    for (const double v : f) {
+      EXPECT_TRUE(std::isfinite(v)) << data::to_string(family);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace noodle::graph

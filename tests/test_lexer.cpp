@@ -1,0 +1,151 @@
+#include "verilog/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace noodle::verilog {
+namespace {
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].is(TokenKind::End));
+}
+
+TEST(Lexer, KeywordsRecognized) {
+  const auto tokens = lex("module endmodule always begin end");
+  ASSERT_EQ(tokens.size(), 6u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(tokens[i].is(TokenKind::Keyword)) << tokens[i].text;
+  }
+}
+
+TEST(Lexer, IdentifiersVsKeywords) {
+  const auto tokens = lex("module_x wired regs");
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_TRUE(tokens[i].is(TokenKind::Identifier)) << tokens[i].text;
+  }
+}
+
+TEST(Lexer, DollarIdentifiers) {
+  const auto tokens = lex("$display $finish");
+  EXPECT_TRUE(tokens[0].is(TokenKind::SystemName));
+  EXPECT_EQ(tokens[0].text, "$display");
+}
+
+TEST(Lexer, PlainDecimalNumber) {
+  const auto tokens = lex("42");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Number));
+  EXPECT_EQ(tokens[0].value, 42u);
+  EXPECT_EQ(tokens[0].width, 0);
+}
+
+TEST(Lexer, SizedHexNumber) {
+  const auto tokens = lex("8'hFF");
+  EXPECT_EQ(tokens[0].value, 255u);
+  EXPECT_EQ(tokens[0].width, 8);
+}
+
+TEST(Lexer, SizedBinaryNumber) {
+  const auto tokens = lex("4'b1010");
+  EXPECT_EQ(tokens[0].value, 10u);
+  EXPECT_EQ(tokens[0].width, 4);
+}
+
+TEST(Lexer, SizedDecimalNumber) {
+  const auto tokens = lex("16'd1234");
+  EXPECT_EQ(tokens[0].value, 1234u);
+  EXPECT_EQ(tokens[0].width, 16);
+}
+
+TEST(Lexer, SizedOctalNumber) {
+  const auto tokens = lex("6'o17");
+  EXPECT_EQ(tokens[0].value, 15u);
+  EXPECT_EQ(tokens[0].width, 6);
+}
+
+TEST(Lexer, UnderscoresInNumbers) {
+  const auto tokens = lex("32'hDEAD_BEEF");
+  EXPECT_EQ(tokens[0].value, 0xDEADBEEFu);
+}
+
+TEST(Lexer, SignedMarkerSkipped) {
+  const auto tokens = lex("8'sh7F");
+  EXPECT_EQ(tokens[0].value, 127u);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  const auto tokens = lex("a // comment here\n b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  const auto tokens = lex("a /* multi\nline */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, DirectivesSkipped) {
+  const auto tokens = lex("`timescale 1ns/1ps\nmodule");
+  EXPECT_TRUE(tokens[0].is_keyword("module"));
+}
+
+TEST(Lexer, MaximalMunchOperators) {
+  const auto tokens = lex("<= << <<< == === != & && ~^");
+  EXPECT_EQ(tokens[0].text, "<=");
+  EXPECT_EQ(tokens[1].text, "<<");
+  EXPECT_EQ(tokens[2].text, "<<<");
+  EXPECT_EQ(tokens[3].text, "==");
+  EXPECT_EQ(tokens[4].text, "===");
+  EXPECT_EQ(tokens[5].text, "!=");
+  EXPECT_EQ(tokens[6].text, "&");
+  EXPECT_EQ(tokens[7].text, "&&");
+  EXPECT_EQ(tokens[8].text, "~^");
+}
+
+TEST(Lexer, LineAndColumnTracked) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(Lexer, StringLiteralConsumed) {
+  const auto tokens = lex("\"hello world\" x");
+  EXPECT_TRUE(tokens[0].is(TokenKind::Punct));
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+struct BadInput {
+  const char* text;
+  const char* why;
+};
+
+class LexerRejects : public ::testing::TestWithParam<BadInput> {};
+
+TEST_P(LexerRejects, ThrowsLexError) {
+  EXPECT_THROW(lex(GetParam().text), LexError) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadInputs, LexerRejects,
+    ::testing::Values(BadInput{"/* unterminated", "unterminated block comment"},
+                      BadInput{"8'hxz", "4-state literal"},
+                      BadInput{"4'b", "missing digits"},
+                      BadInput{"8'q3", "bad base"},
+                      BadInput{"\"unterminated", "unterminated string"},
+                      BadInput{"#\x01", "stray control character"}));
+
+TEST(Lexer, ErrorCarriesLocation) {
+  try {
+    lex("a b\n  8'q1");
+    FAIL() << "expected LexError";
+  } catch (const LexError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_GT(e.column(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace noodle::verilog

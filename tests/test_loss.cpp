@@ -1,0 +1,130 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace noodle::nn {
+namespace {
+
+TEST(BceLoss, PerfectPredictionNearZero) {
+  Matrix pred(2, 1);
+  pred(0, 0) = 1.0 - 1e-9;
+  pred(1, 0) = 1e-9;
+  const std::vector<int> y = {1, 0};
+  Matrix grad;
+  EXPECT_LT(bce_loss(pred, y, grad), 1e-5);
+}
+
+TEST(BceLoss, KnownValue) {
+  Matrix pred(1, 1);
+  pred(0, 0) = 0.5;
+  const std::vector<int> y = {1};
+  Matrix grad;
+  EXPECT_NEAR(bce_loss(pred, y, grad), std::log(2.0), 1e-9);
+}
+
+TEST(BceLoss, GradientMatchesFiniteDifference) {
+  Matrix pred(3, 1);
+  pred(0, 0) = 0.3;
+  pred(1, 0) = 0.7;
+  pred(2, 0) = 0.5;
+  const std::vector<int> y = {1, 0, 1};
+  Matrix grad;
+  bce_loss(pred, y, grad);
+  constexpr double kEps = 1e-6;
+  for (std::size_t i = 0; i < 3; ++i) {
+    Matrix up = pred, down = pred;
+    up(i, 0) += kEps;
+    down(i, 0) -= kEps;
+    Matrix ignored;
+    const double numeric =
+        (bce_loss(up, y, ignored) - bce_loss(down, y, ignored)) / (2.0 * kEps);
+    EXPECT_NEAR(grad(i, 0), numeric, 1e-5);
+  }
+}
+
+TEST(BceLoss, RejectsBadInput) {
+  Matrix pred(1, 2);
+  const std::vector<int> one = {1};
+  Matrix grad;
+  EXPECT_THROW(bce_loss(pred, one, grad), std::invalid_argument);  // 2 columns
+  Matrix ok(1, 1);
+  const std::vector<int> bad_label = {2};
+  EXPECT_THROW(bce_loss(ok, bad_label, grad), std::invalid_argument);
+  const std::vector<int> two = {0, 1};
+  EXPECT_THROW(bce_loss(ok, two, grad), std::invalid_argument);  // count mismatch
+}
+
+TEST(BceWithLogits, AgreesWithSigmoidPlusBce) {
+  Matrix logits(3, 1);
+  logits(0, 0) = -1.3;
+  logits(1, 0) = 0.2;
+  logits(2, 0) = 2.5;
+  const std::vector<int> y = {0, 1, 1};
+  Matrix grad_a, grad_b;
+  const double direct = bce_with_logits_loss(logits, y, grad_a);
+  const double indirect = bce_loss(sigmoid(logits), y, grad_b);
+  EXPECT_NEAR(direct, indirect, 1e-9);
+}
+
+TEST(BceWithLogits, StableAtExtremeLogits) {
+  Matrix logits(2, 1);
+  logits(0, 0) = 500.0;
+  logits(1, 0) = -500.0;
+  const std::vector<int> y = {1, 0};
+  Matrix grad;
+  const double loss = bce_with_logits_loss(logits, y, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0, 1e-12);
+  // Wrong labels at extremes: loss ~ |z|, still finite.
+  const std::vector<int> wrong = {0, 1};
+  const double big = bce_with_logits_loss(logits, wrong, grad);
+  EXPECT_TRUE(std::isfinite(big));
+  EXPECT_NEAR(big, 500.0, 1e-9);
+}
+
+TEST(BceWithLogits, GradientIsSigmoidMinusTarget) {
+  Matrix logits(2, 1);
+  logits(0, 0) = 0.0;
+  logits(1, 0) = 1.0;
+  const std::vector<int> y = {1, 0};
+  Matrix grad;
+  bce_with_logits_loss(logits, y, grad);
+  EXPECT_NEAR(grad(0, 0), (0.5 - 1.0) / 2.0, 1e-12);
+  const double s1 = 1.0 / (1.0 + std::exp(-1.0));
+  EXPECT_NEAR(grad(1, 0), s1 / 2.0, 1e-12);
+}
+
+TEST(MseLoss, KnownValueAndGradient) {
+  Matrix pred(1, 2);
+  pred(0, 0) = 1.0;
+  pred(0, 1) = 3.0;
+  Matrix target(1, 2);
+  target(0, 0) = 0.0;
+  target(0, 1) = 0.0;
+  Matrix grad;
+  EXPECT_NEAR(mse_loss(pred, target, grad), (1.0 + 9.0) / 2.0, 1e-12);
+  EXPECT_NEAR(grad(0, 0), 2.0 * 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(grad(0, 1), 2.0 * 3.0 / 2.0, 1e-12);
+}
+
+TEST(MseLoss, ShapeMismatchThrows) {
+  Matrix a(1, 2), b(2, 1);
+  Matrix grad;
+  EXPECT_THROW(mse_loss(a, b, grad), std::invalid_argument);
+}
+
+TEST(SigmoidFn, KnownValues) {
+  Matrix logits(1, 3);
+  logits(0, 0) = 0.0;
+  logits(0, 1) = 100.0;
+  logits(0, 2) = -100.0;
+  const Matrix s = sigmoid(logits);
+  EXPECT_NEAR(s(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(s(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(s(0, 2), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace noodle::nn

@@ -1,0 +1,274 @@
+#include "metrics/brier.h"
+#include "metrics/calibration.h"
+#include "metrics/classification.h"
+#include "metrics/roc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace noodle::metrics {
+namespace {
+
+TEST(Brier, PerfectAndWorst) {
+  const std::vector<double> perfect = {1.0, 0.0};
+  const std::vector<int> y = {1, 0};
+  EXPECT_DOUBLE_EQ(brier_score(perfect, y), 0.0);
+  const std::vector<double> worst = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(brier_score(worst, y), 1.0);
+}
+
+TEST(Brier, HandComputedValue) {
+  const std::vector<double> p = {0.8, 0.3};
+  const std::vector<int> y = {1, 0};
+  // ((0.2)^2 + (0.3)^2) / 2 = 0.065.
+  EXPECT_NEAR(brier_score(p, y), 0.065, 1e-12);
+}
+
+TEST(Brier, RejectsBadInput) {
+  EXPECT_THROW(brier_score({}, {}), std::invalid_argument);
+  const std::vector<double> p = {0.5};
+  const std::vector<int> bad = {2};
+  EXPECT_THROW(brier_score(p, bad), std::invalid_argument);
+  const std::vector<int> two = {0, 1};
+  EXPECT_THROW(brier_score(p, two), std::invalid_argument);
+}
+
+TEST(BrierDecomposition, IdentityWithinBinConstantForecasts) {
+  // Forecasts exactly at bin centers: the Murphy identity
+  // BS = REL - RES + UNC is exact.
+  std::vector<double> p;
+  std::vector<int> y;
+  // 40 forecasts of 0.25 with 30% positives; 40 of 0.75 with 80% positives.
+  for (int i = 0; i < 40; ++i) {
+    p.push_back(0.25);
+    y.push_back(i < 12 ? 1 : 0);
+  }
+  for (int i = 0; i < 40; ++i) {
+    p.push_back(0.75);
+    y.push_back(i < 32 ? 1 : 0);
+  }
+  const BrierDecomposition d = brier_decomposition(p, y, 10);
+  EXPECT_NEAR(d.brier, d.reliability - d.resolution + d.uncertainty, 1e-12);
+  EXPECT_NEAR(d.refinement, d.uncertainty - d.resolution, 1e-12);
+  EXPECT_GT(d.resolution, 0.0);
+}
+
+TEST(BrierDecomposition, UncertaintyIsBaseRateVariance) {
+  const std::vector<double> p = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> y = {1, 0, 0, 0};
+  const BrierDecomposition d = brier_decomposition(p, y);
+  EXPECT_NEAR(d.uncertainty, 0.25 * 0.75, 1e-12);
+}
+
+TEST(BrierSkill, PerfectForecastIsOne) {
+  const std::vector<double> p = {1.0, 0.0, 0.0};
+  const std::vector<int> y = {1, 0, 0};
+  EXPECT_NEAR(brier_skill_score(p, y), 1.0, 1e-12);
+}
+
+TEST(BrierSkill, ClimatologyIsZero) {
+  const std::vector<double> p = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<int> y = {1, 0, 0, 0};
+  EXPECT_NEAR(brier_skill_score(p, y), 0.0, 1e-12);
+}
+
+TEST(BrierSkill, SingleClassDataReturnsZero) {
+  const std::vector<double> p = {0.1, 0.2};
+  const std::vector<int> y = {0, 0};
+  EXPECT_DOUBLE_EQ(brier_skill_score(p, y), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// ROC / AUC
+// ---------------------------------------------------------------------------
+
+TEST(Roc, PerfectSeparationAucOne) {
+  const std::vector<double> s = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> y = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(s, y), 1.0);
+}
+
+TEST(Roc, ReversedSeparationAucZero) {
+  const std::vector<double> s = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> y = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(s, y), 0.0);
+}
+
+TEST(Roc, AllTiedScoresAucHalf) {
+  const std::vector<double> s = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> y = {1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(s, y), 0.5);
+}
+
+TEST(Roc, SingleClassAucHalf) {
+  const std::vector<double> s = {0.5, 0.7};
+  const std::vector<int> y = {1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(s, y), 0.5);
+}
+
+TEST(Roc, HandComputedPartialOverlap) {
+  // Positives: 0.8, 0.4; negatives: 0.6, 0.2.
+  // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) -> 3/4.
+  const std::vector<double> s = {0.8, 0.4, 0.6, 0.2};
+  const std::vector<int> y = {1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(s, y), 0.75);
+}
+
+TEST(Roc, TiesCountHalf) {
+  // Positive at 0.5, negative at 0.5 -> AUC 0.5.
+  const std::vector<double> s = {0.5, 0.5, 0.9, 0.1};
+  const std::vector<int> y = {1, 0, 1, 0};
+  // Pairs: (p0.5 vs n0.5)=0.5, (p0.5 vs n0.1)=1, (p0.9 vs n0.5)=1, (p0.9 vs n0.1)=1.
+  EXPECT_DOUBLE_EQ(roc_auc(s, y), 3.5 / 4.0);
+}
+
+TEST(Roc, CurveEndpointsAndMonotonicity) {
+  util::Rng rng(3);
+  std::vector<double> s;
+  std::vector<int> y;
+  for (int i = 0; i < 200; ++i) {
+    y.push_back(rng.bernoulli(0.4) ? 1 : 0);
+    s.push_back(std::clamp((y.back() ? 0.6 : 0.4) + rng.normal(0.0, 0.2), 0.0, 1.0));
+  }
+  const auto curve = roc_curve(s, y);
+  ASSERT_GE(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.front().false_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().true_positive_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().false_positive_rate, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().true_positive_rate, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].false_positive_rate, curve[i - 1].false_positive_rate);
+    EXPECT_GE(curve[i].true_positive_rate, curve[i - 1].true_positive_rate);
+  }
+}
+
+TEST(Roc, RejectsBadInput) {
+  EXPECT_THROW(roc_auc({}, {}), std::invalid_argument);
+  const std::vector<double> s = {0.5};
+  const std::vector<int> bad = {7};
+  EXPECT_THROW(roc_auc(s, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration curve
+// ---------------------------------------------------------------------------
+
+TEST(Calibration, PerfectlyCalibratedBins) {
+  std::vector<double> p;
+  std::vector<int> y;
+  // Bin [0.2,0.3): forecasts 0.25, 25% positive (4 samples).
+  for (int i = 0; i < 4; ++i) {
+    p.push_back(0.25);
+    y.push_back(i == 0 ? 1 : 0);
+  }
+  const CalibrationCurve curve = calibration_curve(p, y, 10);
+  ASSERT_EQ(curve.bins.size(), 1u);
+  EXPECT_NEAR(curve.bins[0].mean_predicted, 0.25, 1e-12);
+  EXPECT_NEAR(curve.bins[0].observed_rate, 0.25, 1e-12);
+  EXPECT_NEAR(curve.expected_calibration_error, 0.0, 1e-12);
+}
+
+TEST(Calibration, MiscalibrationMeasured) {
+  const std::vector<double> p = {0.9, 0.9, 0.9, 0.9};
+  const std::vector<int> y = {1, 0, 0, 0};  // observed 25%, predicted 90%
+  const CalibrationCurve curve = calibration_curve(p, y, 10);
+  EXPECT_NEAR(curve.expected_calibration_error, 0.65, 1e-12);
+  EXPECT_NEAR(curve.max_calibration_error, 0.65, 1e-12);
+}
+
+TEST(Calibration, SharpnessIsPredictionVariance) {
+  const std::vector<double> p = {0.0, 1.0};
+  const std::vector<int> y = {0, 1};
+  const CalibrationCurve curve = calibration_curve(p, y, 10);
+  EXPECT_NEAR(curve.sharpness, 0.25, 1e-12);  // var of {0,1}
+}
+
+TEST(Calibration, HistogramCountsAllSamples) {
+  util::Rng rng(9);
+  std::vector<double> p;
+  std::vector<int> y;
+  for (int i = 0; i < 109; ++i) {
+    p.push_back(rng.uniform());
+    y.push_back(rng.bernoulli(0.3) ? 1 : 0);
+  }
+  const CalibrationCurve curve = calibration_curve(p, y, 10);
+  std::size_t total = 0;
+  for (const auto count : curve.sharpness_histogram) total += count;
+  EXPECT_EQ(total, 109u);
+}
+
+TEST(Calibration, RejectsBadInput) {
+  EXPECT_THROW(calibration_curve({}, {}, 10), std::invalid_argument);
+  const std::vector<double> p = {0.5};
+  const std::vector<int> y = {1};
+  EXPECT_THROW(calibration_curve(p, y, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Classification / consolidated
+// ---------------------------------------------------------------------------
+
+TEST(Confusion, CountsAndDerivedMetrics) {
+  const std::vector<double> p = {0.9, 0.8, 0.4, 0.2, 0.7, 0.1};
+  const std::vector<int> y = {1, 1, 1, 0, 0, 0};
+  const ConfusionMatrix cm = confusion_at(p, y, 0.5);
+  EXPECT_EQ(cm.true_positive, 2u);
+  EXPECT_EQ(cm.false_negative, 1u);
+  EXPECT_EQ(cm.false_positive, 1u);
+  EXPECT_EQ(cm.true_negative, 2u);
+  EXPECT_NEAR(cm.accuracy(), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(cm.sensitivity(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.specificity(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.precision(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.f1(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.balanced_accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Confusion, EmptyDenominatorsAreZero) {
+  ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.sensitivity(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+}
+
+TEST(Consolidated, AllFieldsPopulated) {
+  util::Rng rng(4);
+  std::vector<double> p;
+  std::vector<int> y;
+  for (int i = 0; i < 150; ++i) {
+    y.push_back(rng.bernoulli(0.3) ? 1 : 0);
+    p.push_back(std::clamp((y.back() ? 0.7 : 0.3) + rng.normal(0.0, 0.2), 0.0, 1.0));
+  }
+  const ConsolidatedMetrics m = consolidated_metrics(p, y);
+  EXPECT_GT(m.auc, 0.7);
+  EXPECT_GT(m.resolution, 0.0);
+  EXPECT_GT(m.brier, 0.0);
+  EXPECT_GT(m.sensitivity, 0.0);
+  EXPECT_GT(m.accuracy, 0.5);
+}
+
+TEST(Radar, AxesMatchValuesAndRange) {
+  ConsolidatedMetrics m;
+  m.auc = 0.93;
+  m.resolution = 0.1;
+  m.refinement_loss = 0.12;
+  m.brier = 0.16;
+  m.brier_skill = 0.2;
+  m.sensitivity = 0.6;
+  m.specificity = 0.9;
+  m.accuracy = 0.85;
+  const auto values = radar_values(m);
+  EXPECT_EQ(values.size(), radar_axis_names().size());
+  for (const double v : values) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Brier axis inverted: low Brier -> high radar value.
+  EXPECT_NEAR(values[3], 1.0 - 0.16, 1e-12);
+}
+
+}  // namespace
+}  // namespace noodle::metrics

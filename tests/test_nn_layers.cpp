@@ -1,0 +1,295 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/model.h"
+
+namespace noodle::nn {
+namespace {
+
+/// Finite-difference gradient check: for every input element and every
+/// parameter, compare the analytic gradient of a scalar loss L = sum(out^2)/2
+/// against the central difference.
+void gradient_check(Layer& layer, Matrix input, double tolerance = 1e-6) {
+  constexpr double kEps = 1e-5;
+
+  const auto loss_of = [&layer](const Matrix& x) {
+    // Dropout must be off / deterministic for the check: use train=true so
+    // BatchNorm uses batch stats, but callers avoid stochastic layers here.
+    Matrix out = layer.forward(x, /*train=*/true);
+    double total = 0.0;
+    for (const double v : out.data()) total += 0.5 * v * v;
+    return total;
+  };
+
+  // Analytic gradients.
+  layer.zero_grad();
+  Matrix out = layer.forward(input, /*train=*/true);
+  Matrix grad_out = out;  // dL/dout = out for L = sum(out^2)/2
+  const Matrix grad_in = layer.backward(grad_out);
+
+  // Input gradient check.
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    Matrix plus = input, minus = input;
+    plus.data()[i] += kEps;
+    minus.data()[i] -= kEps;
+    const double numeric = (loss_of(plus) - loss_of(minus)) / (2.0 * kEps);
+    EXPECT_NEAR(grad_in.data()[i], numeric, tolerance)
+        << "input grad mismatch at " << i;
+  }
+
+  // Parameter gradient check.
+  for (ParamView p : layer.params()) {
+    for (std::size_t j = 0; j < p.size; ++j) {
+      const double saved = p.values[j];
+      p.values[j] = saved + kEps;
+      const double up = loss_of(input);
+      p.values[j] = saved - kEps;
+      const double down = loss_of(input);
+      p.values[j] = saved;
+      const double numeric = (up - down) / (2.0 * kEps);
+      EXPECT_NEAR(p.grads[j], numeric, tolerance) << "param grad mismatch at " << j;
+    }
+  }
+}
+
+Matrix random_input(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.normal();
+  return m;
+}
+
+TEST(Dense, GradientCheck) {
+  util::Rng rng(1);
+  Dense layer(5, 3, rng);
+  gradient_check(layer, random_input(4, 5, 2));
+}
+
+TEST(Dense, ForwardShapeAndBias) {
+  util::Rng rng(1);
+  Dense layer(2, 1, rng);
+  // Zero the weights; output must equal the (zero) bias.
+  for (ParamView p : layer.params()) std::fill(p.values, p.values + p.size, 0.0);
+  const Matrix out = layer.forward(random_input(3, 2, 4), false);
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 1u);
+  for (const double v : out.data()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Dense, RejectsWrongWidth) {
+  util::Rng rng(1);
+  Dense layer(4, 2, rng);
+  EXPECT_THROW(layer.forward(random_input(1, 5, 3), false), std::invalid_argument);
+  EXPECT_THROW(layer.output_cols(5), std::invalid_argument);
+  EXPECT_EQ(layer.output_cols(4), 2u);
+}
+
+TEST(Dense, ZeroSizeThrows) {
+  util::Rng rng(1);
+  EXPECT_THROW(Dense(0, 3, rng), std::invalid_argument);
+}
+
+TEST(Conv1D, GradientCheck) {
+  util::Rng rng(3);
+  Conv1D layer(2, 6, 3, 3, rng);  // 2 channels x len 6 -> 3 channels x len 4
+  gradient_check(layer, random_input(2, 12, 5));
+}
+
+TEST(Conv1D, KnownConvolutionValue) {
+  util::Rng rng(1);
+  Conv1D layer(1, 4, 1, 2, rng);
+  // Set kernel = [1, -1], bias = 0: output is the discrete difference.
+  auto params = layer.params();
+  params[0].values[0] = 1.0;
+  params[0].values[1] = -1.0;
+  params[1].values[0] = 0.0;
+  Matrix input(1, 4);
+  input(0, 0) = 1.0;
+  input(0, 1) = 4.0;
+  input(0, 2) = 9.0;
+  input(0, 3) = 16.0;
+  const Matrix out = layer.forward(input, false);
+  ASSERT_EQ(out.cols(), 3u);
+  EXPECT_DOUBLE_EQ(out(0, 0), -3.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), -5.0);
+  EXPECT_DOUBLE_EQ(out(0, 2), -7.0);
+}
+
+TEST(Conv1D, OutputColsAndValidation) {
+  util::Rng rng(1);
+  Conv1D layer(2, 8, 4, 3, rng);
+  EXPECT_EQ(layer.output_cols(16), 4u * 6u);
+  EXPECT_THROW(layer.output_cols(15), std::invalid_argument);
+  EXPECT_THROW(Conv1D(1, 4, 1, 5, rng), std::invalid_argument);  // kernel > len
+  EXPECT_THROW(Conv1D(0, 4, 1, 2, rng), std::invalid_argument);
+}
+
+TEST(ReLU, ForwardClampsAndBackwardMasks) {
+  ReLU layer;
+  Matrix input(1, 4);
+  input(0, 0) = -2.0;
+  input(0, 1) = -0.5;
+  input(0, 2) = 0.5;
+  input(0, 3) = 2.0;
+  const Matrix out = layer.forward(input, true);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 3), 2.0);
+  Matrix grad(1, 4, 1.0);
+  const Matrix grad_in = layer.backward(grad);
+  EXPECT_DOUBLE_EQ(grad_in(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grad_in(0, 2), 1.0);
+}
+
+TEST(ReLU, GradientCheck) {
+  ReLU layer;
+  // Shift away from the kink to keep finite differences clean.
+  Matrix input = random_input(3, 6, 7);
+  for (double& v : input.data()) {
+    if (std::abs(v) < 0.1) v += 0.2;
+  }
+  gradient_check(layer, input);
+}
+
+TEST(LeakyReLU, NegativeSlope) {
+  LeakyReLU layer(0.1);
+  Matrix input(1, 2);
+  input(0, 0) = -10.0;
+  input(0, 1) = 10.0;
+  const Matrix out = layer.forward(input, true);
+  EXPECT_DOUBLE_EQ(out(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(out(0, 1), 10.0);
+}
+
+TEST(LeakyReLU, GradientCheck) {
+  LeakyReLU layer(0.2);
+  Matrix input = random_input(2, 5, 8);
+  for (double& v : input.data()) {
+    if (std::abs(v) < 0.1) v += 0.2;
+  }
+  gradient_check(layer, input);
+}
+
+TEST(Sigmoid, ForwardRangeAndGradient) {
+  Sigmoid layer;
+  const Matrix out = layer.forward(random_input(2, 4, 9), true);
+  for (const double v : out.data()) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+  Sigmoid fresh;
+  gradient_check(fresh, random_input(2, 4, 10));
+}
+
+TEST(Tanh, GradientCheck) {
+  Tanh layer;
+  gradient_check(layer, random_input(2, 4, 11));
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  util::Rng rng(1);
+  Dropout layer(0.5, rng);
+  const Matrix input = random_input(2, 8, 12);
+  const Matrix out = layer.forward(input, /*train=*/false);
+  EXPECT_EQ(out.data(), input.data());
+}
+
+TEST(Dropout, TrainModeZeroesApproxRate) {
+  util::Rng rng(2);
+  Dropout layer(0.4, rng);
+  const Matrix input(10, 100, 1.0);
+  const Matrix out = layer.forward(input, /*train=*/true);
+  std::size_t zeros = 0;
+  for (const double v : out.data()) zeros += v == 0.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.4, 0.06);
+  // Kept activations are scaled by 1/(1-rate).
+  for (const double v : out.data()) {
+    if (v != 0.0) EXPECT_NEAR(v, 1.0 / 0.6, 1e-12);
+  }
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  util::Rng rng(3);
+  Dropout layer(0.5, rng);
+  const Matrix input(1, 50, 1.0);
+  const Matrix out = layer.forward(input, true);
+  const Matrix grad_in = layer.backward(Matrix(1, 50, 1.0));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(grad_in.data()[i], out.data()[i]);  // same scaling/zeros
+  }
+}
+
+TEST(Dropout, RejectsBadRate) {
+  util::Rng rng(1);
+  EXPECT_THROW(Dropout(-0.1, rng), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0, rng), std::invalid_argument);
+}
+
+TEST(BatchNorm, NormalizesBatchInTraining) {
+  BatchNorm1d layer(2);
+  Matrix input(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    input(r, 0) = static_cast<double>(r) * 10.0;
+    input(r, 1) = 5.0;  // constant feature
+  }
+  const Matrix out = layer.forward(input, true);
+  double mean0 = 0.0;
+  for (std::size_t r = 0; r < 4; ++r) mean0 += out(r, 0);
+  EXPECT_NEAR(mean0 / 4.0, 0.0, 1e-9);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  BatchNorm1d layer(3);
+  gradient_check(layer, random_input(6, 3, 13), 1e-5);
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  BatchNorm1d layer(1, /*momentum=*/1.0);  // running stats = last batch
+  Matrix batch(4, 1);
+  batch(0, 0) = 0.0;
+  batch(1, 0) = 2.0;
+  batch(2, 0) = 4.0;
+  batch(3, 0) = 6.0;  // mean 3, var 5
+  layer.forward(batch, true);
+  Matrix probe(1, 1);
+  probe(0, 0) = 3.0;
+  const Matrix out = layer.forward(probe, false);
+  EXPECT_NEAR(out(0, 0), 0.0, 1e-6);  // (3 - 3)/sqrt(5+eps)
+}
+
+TEST(BatchNorm, BackwardWithoutTrainingForwardThrows) {
+  BatchNorm1d layer(2);
+  layer.forward(random_input(3, 2, 14), /*train=*/false);
+  EXPECT_THROW(layer.backward(Matrix(3, 2, 1.0)), std::logic_error);
+}
+
+TEST(Sequential, ChainsLayersAndValidatesShapes) {
+  util::Rng rng(5);
+  Sequential model;
+  model.add(std::make_unique<Dense>(4, 8, rng));
+  model.add(std::make_unique<ReLU>());
+  model.add(std::make_unique<Dense>(8, 1, rng));
+  EXPECT_EQ(model.output_cols(4), 1u);
+  EXPECT_THROW(model.output_cols(3), std::invalid_argument);
+  const Matrix out = model.forward(random_input(5, 4, 15), false);
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 1u);
+  EXPECT_GT(model.parameter_count(), 0u);
+}
+
+TEST(Matrix, FromRowsAndGather) {
+  const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  const std::vector<std::size_t> idx = {2, 0};
+  const Matrix g = m.gather_rows(idx);
+  EXPECT_DOUBLE_EQ(g(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2.0);
+  EXPECT_THROW(m.gather_rows(std::vector<std::size_t>{7}), std::out_of_range);
+  EXPECT_THROW(Matrix::from_rows({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noodle::nn

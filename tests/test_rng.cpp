@@ -1,0 +1,179 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace noodle::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(42);
+  double total = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all 6 values hit
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsMatchStandard) {
+  Rng rng(5);
+  constexpr int kN = 50000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaleShift) {
+  Rng rng(6);
+  constexpr int kN = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.02);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(13);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::array<int, 4> counts{};
+  constexpr int kN = 30000;
+  for (int i = 0; i < kN; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_EQ(counts[2], 0);  // zero weight never drawn
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.1, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kN, 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalTreatsNegativeAsZero) {
+  Rng rng(14);
+  const std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.categorical(weights), 1u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(22);
+  std::vector<int> values(50);
+  for (int i = 0; i < 50; ++i) values[i] = i;
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(31);
+  const auto sample = rng.sample_indices(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const auto idx : sample) EXPECT_LT(idx, 100u);
+}
+
+TEST(Rng, SampleIndicesFullSet) {
+  Rng rng(32);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleIndicesThrowsWhenKExceedsN) {
+  Rng rng(33);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(77);
+  Rng child = parent.split();
+  // The child stream must differ from the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace noodle::util

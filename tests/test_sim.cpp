@@ -1,0 +1,276 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/designgen.h"
+#include "trojan/inserter.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace noodle::sim {
+namespace {
+
+using verilog::parse_module;
+
+TEST(Simulator, CombinationalAssign) {
+  const auto m = parse_module(
+      "module t (input [3:0] a, input [3:0] b, output [3:0] s, output c);\n"
+      "  wire [4:0] sum;\n"
+      "  assign sum = {1'd0, a} + {1'd0, b};\n"
+      "  assign s = sum[3:0];\n"
+      "  assign c = sum[4];\nendmodule");
+  Simulator sim(m);
+  sim.set_input("a", 9);
+  sim.set_input("b", 10);
+  sim.settle();
+  EXPECT_EQ(sim.get("s"), 3u);  // 19 mod 16
+  EXPECT_EQ(sim.get("c"), 1u);
+}
+
+TEST(Simulator, OperatorSemantics) {
+  const auto m = parse_module(
+      "module t (input [7:0] a, input [7:0] b, output [7:0] x, output y, output z,"
+      " output p);\n"
+      "  assign x = (a & b) | (a ^ b);\n"
+      "  assign y = a >= b;\n"
+      "  assign z = &a;\n"
+      "  assign p = ^a;\nendmodule");
+  Simulator sim(m);
+  sim.set_input("a", 0xF0);
+  sim.set_input("b", 0x0F);
+  sim.settle();
+  EXPECT_EQ(sim.get("x"), 0xFFu);  // (a&b)|(a^b) == a|b
+  EXPECT_EQ(sim.get("y"), 1u);
+  EXPECT_EQ(sim.get("z"), 0u);
+  EXPECT_EQ(sim.get("p"), 0u);  // 4 ones -> even parity
+  sim.set_input("a", 0xFF);
+  sim.settle();
+  EXPECT_EQ(sim.get("z"), 1u);
+  EXPECT_EQ(sim.get("p"), 0u);
+}
+
+TEST(Simulator, TernaryAndSelects) {
+  const auto m = parse_module(
+      "module t (input s, input [7:0] v, output [3:0] hi, output b0);\n"
+      "  assign hi = s ? v[7:4] : v[3:0];\n"
+      "  assign b0 = v[0];\nendmodule");
+  Simulator sim(m);
+  sim.set_input("v", 0xA5);
+  sim.set_input("s", 1);
+  sim.settle();
+  EXPECT_EQ(sim.get("hi"), 0xAu);
+  EXPECT_EQ(sim.get("b0"), 1u);
+  sim.set_input("s", 0);
+  sim.settle();
+  EXPECT_EQ(sim.get("hi"), 0x5u);
+}
+
+TEST(Simulator, ConcatAndReplicate) {
+  const auto m = parse_module(
+      "module t (input [3:0] a, output [7:0] cc, output [7:0] rep);\n"
+      "  assign cc = {a, 4'h7};\n"
+      "  assign rep = {8{a[0]}};\nendmodule");
+  Simulator sim(m);
+  sim.set_input("a", 0x9);
+  sim.settle();
+  EXPECT_EQ(sim.get("cc"), 0x97u);
+  EXPECT_EQ(sim.get("rep"), 0xFFu);
+}
+
+TEST(Simulator, SequentialCounterCounts) {
+  util::Rng rng(1);
+  const auto m = parse_module(
+      data::generate_design(data::DesignFamily::Counter, "dut", rng));
+  Simulator sim(m);
+  EXPECT_TRUE(sim.is_sequential());
+  sim.pulse_reset("rst");
+  EXPECT_EQ(sim.get("count"), 0u);
+  sim.set_input("en", 1);
+  sim.step(5);
+  // Counter steps by a per-design constant; 5 cycles => 5 * step.
+  const std::uint64_t after5 = sim.get("count");
+  EXPECT_GT(after5, 0u);
+  sim.step(5);
+  EXPECT_EQ(sim.get("count"), 2 * after5);
+}
+
+TEST(Simulator, CounterLoadPath) {
+  util::Rng rng(2);
+  const auto m = parse_module(
+      data::generate_design(data::DesignFamily::Counter, "dut", rng));
+  Simulator sim(m);
+  sim.pulse_reset("rst");
+  sim.set_input("load", 1);
+  sim.set_input("load_value", 42);
+  sim.step();
+  EXPECT_EQ(sim.get("count"), 42u);
+}
+
+TEST(Simulator, LfsrAdvancesDeterministically) {
+  util::Rng rng(3);
+  const auto m = parse_module(
+      data::generate_design(data::DesignFamily::Lfsr, "dut", rng));
+  Simulator a(m), b(m);
+  a.pulse_reset("rst");
+  b.pulse_reset("rst");
+  a.set_input("en", 1);
+  b.set_input("en", 1);
+  a.step(20);
+  b.step(20);
+  EXPECT_EQ(a.get("value"), b.get("value"));
+  const std::uint64_t v20 = a.get("value");
+  a.step(1);
+  EXPECT_NE(a.get("value"), v20);  // LFSR state changes every enabled cycle
+}
+
+TEST(Simulator, NonblockingSemanticsSwapSafe) {
+  // Classic register swap: with NBA semantics both reads see pre-edge values.
+  const auto m = parse_module(
+      "module t (input clk, input set, output reg [3:0] x, output reg [3:0] y);\n"
+      "  always @(posedge clk)\n"
+      "    begin\n"
+      "      if (set)\n"
+      "        begin\n          x <= 4'd1;\n          y <= 4'd2;\n        end\n"
+      "      else\n"
+      "        begin\n          x <= y;\n          y <= x;\n        end\n"
+      "    end\n"
+      "endmodule");
+  Simulator sim(m);
+  sim.set_input("set", 1);
+  sim.step();
+  sim.set_input("set", 0);
+  sim.step();
+  EXPECT_EQ(sim.get("x"), 2u);
+  EXPECT_EQ(sim.get("y"), 1u);
+  sim.step();
+  EXPECT_EQ(sim.get("x"), 1u);
+  EXPECT_EQ(sim.get("y"), 2u);
+}
+
+TEST(Simulator, SetInputValidates) {
+  const auto m = parse_module("module t (input a, output y);\n  assign y = a;\nendmodule");
+  Simulator sim(m);
+  EXPECT_THROW(sim.set_input("y", 1), std::invalid_argument);
+  EXPECT_THROW(sim.set_input("nope", 1), std::invalid_argument);
+  EXPECT_THROW(sim.get("nope"), std::out_of_range);
+}
+
+TEST(Simulator, InputsMaskedToWidth) {
+  const auto m = parse_module(
+      "module t (input [3:0] a, output [3:0] y);\n  assign y = a;\nendmodule");
+  Simulator sim(m);
+  sim.set_input("a", 0x1234);
+  sim.settle();
+  EXPECT_EQ(sim.get("y"), 4u);  // 0x1234 & 0xF
+}
+
+// ---------------------------------------------------------------------------
+// Trojan functional validation: the property that makes a Trojan a Trojan.
+// ---------------------------------------------------------------------------
+
+struct TrojanCase {
+  data::DesignFamily family;
+  trojan::TriggerKind trigger;
+  trojan::PayloadKind payload;
+};
+
+class TrojanFunctional : public ::testing::TestWithParam<TrojanCase> {};
+
+TEST_P(TrojanFunctional, DormantUntilTriggered) {
+  util::Rng gen_rng(11);
+  const std::string source =
+      data::generate_design(GetParam().family, "dut", gen_rng);
+  const verilog::Module clean = parse_module(source);
+  verilog::Module infected = clean.clone();
+
+  trojan::TrojanConfig config;
+  config.trigger = GetParam().trigger;
+  config.payload = GetParam().payload;
+  config.counter_width = 8;  // time bombs fire within 256 cycles
+  util::Rng trojan_rng(7);
+  trojan::insert_trojan(infected, config, trojan_rng);
+
+  // Under bounded random stimulus, clean and infected outputs agree on the
+  // overwhelming majority of cycles (cheat codes can fire by chance only
+  // with probability ~2^-8 per cycle; time bombs fire deterministically
+  // after 2^8 cycles, beyond this horizon).
+  const std::size_t horizon = GetParam().trigger == trojan::TriggerKind::TimeBomb
+                                  ? 100   // below the 256-cycle bomb
+                                  : 200;
+  const std::size_t divergences =
+      count_output_divergences(clean, infected, 5, horizon);
+  EXPECT_LE(divergences, horizon / 20) << "Trojan is not dormant";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TrojanFunctional,
+    ::testing::Values(
+        TrojanCase{data::DesignFamily::Counter, trojan::TriggerKind::TimeBomb,
+                   trojan::PayloadKind::Corrupt},
+        TrojanCase{data::DesignFamily::Lfsr, trojan::TriggerKind::TimeBomb,
+                   trojan::PayloadKind::Disable},
+        TrojanCase{data::DesignFamily::Parity, trojan::TriggerKind::CheatCode,
+                   trojan::PayloadKind::Corrupt},
+        TrojanCase{data::DesignFamily::Alu, trojan::TriggerKind::Sequence,
+                   trojan::PayloadKind::Corrupt},
+        TrojanCase{data::DesignFamily::Shifter, trojan::TriggerKind::CheatCode,
+                   trojan::PayloadKind::Disable}));
+
+TEST(TrojanFunctionalTargeted, TimeBombFiresAtMagicCount) {
+  util::Rng gen_rng(13);
+  const std::string source =
+      data::generate_design(data::DesignFamily::Counter, "dut", gen_rng);
+  verilog::Module infected = parse_module(source);
+  trojan::TrojanConfig config;
+  config.trigger = trojan::TriggerKind::TimeBomb;
+  config.payload = trojan::PayloadKind::Disable;
+  config.counter_width = 8;
+  util::Rng trojan_rng(9);
+  const trojan::TrojanReport report = trojan::insert_trojan(infected, config, trojan_rng);
+
+  Simulator sim(infected);
+  sim.pulse_reset("rst");
+  bool fired = false;
+  for (int cycle = 0; cycle < 300 && !fired; ++cycle) {
+    sim.step();
+    if (sim.get(report.trigger_net) != 0) fired = true;
+  }
+  EXPECT_TRUE(fired) << "8-bit time bomb must fire within 256 cycles of reset";
+}
+
+TEST(TrojanFunctionalTargeted, DisablePayloadZeroesVictimWhenFired) {
+  util::Rng gen_rng(17);
+  const std::string source =
+      data::generate_design(data::DesignFamily::Parity, "dut", gen_rng);
+  verilog::Module infected = parse_module(source);
+  trojan::TrojanConfig config;
+  config.trigger = trojan::TriggerKind::TimeBomb;
+  config.payload = trojan::PayloadKind::Disable;
+  config.counter_width = 8;
+  util::Rng trojan_rng(3);
+  const trojan::TrojanReport report = trojan::insert_trojan(infected, config, trojan_rng);
+
+  Simulator sim(infected);
+  sim.pulse_reset("rst");
+  sim.set_input("valid", 1);
+  sim.set_input("word", 0xABCD);
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    sim.step();
+    if (sim.get(report.trigger_net) != 0) {
+      EXPECT_EQ(sim.get(report.victim_output), 0u)
+          << "disable payload must force the victim output to zero";
+      return;
+    }
+  }
+  FAIL() << "trigger never fired";
+}
+
+TEST(TrojanFunctionalTargeted, CleanDesignEquivalentToItself) {
+  util::Rng gen_rng(19);
+  const auto m = parse_module(
+      data::generate_design(data::DesignFamily::Crc, "dut", gen_rng));
+  EXPECT_EQ(count_output_divergences(m, m, 23, 100), 0u);
+}
+
+}  // namespace
+}  // namespace noodle::sim

@@ -1,0 +1,138 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace noodle::util {
+namespace {
+
+const std::vector<double> kSample = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+
+TEST(Stats, MeanOfKnownSample) { EXPECT_DOUBLE_EQ(mean(kSample), 5.0); }
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(Stats, VarianceUnbiased) {
+  // Sum of squared deviations = 32, n-1 = 7.
+  EXPECT_NEAR(variance(kSample), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Stats, VarianceOfSingletonIsZero) {
+  const std::vector<double> one = {3.14};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Stats, StddevIsSqrtVariance) {
+  EXPECT_NEAR(stddev(kSample), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  EXPECT_DOUBLE_EQ(min_value(kSample), 2.0);
+  EXPECT_DOUBLE_EQ(max_value(kSample), 9.0);
+}
+
+TEST(Stats, MinMaxThrowOnEmpty) {
+  EXPECT_THROW(min_value({}), std::invalid_argument);
+  EXPECT_THROW(max_value({}), std::invalid_argument);
+}
+
+TEST(Stats, MedianEvenCount) {
+  EXPECT_NEAR(median(kSample), 4.5, 1e-12);
+}
+
+TEST(Stats, MedianOddCount) {
+  const std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  EXPECT_DOUBLE_EQ(quantile(kSample, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(kSample, 1.0), 9.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_NEAR(quantile(xs, 0.25), 2.5, 1e-12);
+}
+
+TEST(Stats, QuantileRejectsBadInputs) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(kSample, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, PearsonPerfectPositive) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ys = {1, 2, 3};
+  EXPECT_THROW(pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Stats, SummaryFields) {
+  const Summary s = summarize(kSample);
+  EXPECT_EQ(s.count, kSample.size());
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_NEAR(s.median, 4.5, 1e-12);
+  EXPECT_GT(s.ci95_half_width, 0.0);
+  EXPECT_NEAR(s.ci95_half_width, 1.96 * s.stddev / std::sqrt(8.0), 1e-12);
+}
+
+TEST(Stats, SummaryOfEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.ci95_half_width, 0.0);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<double> xs = {-1.0, 0.05, 0.15, 0.15, 0.95, 2.0};
+  const auto counts = histogram(xs, 0.0, 1.0, 10);
+  ASSERT_EQ(counts.size(), 10u);
+  EXPECT_EQ(counts[0], 2u);  // -1.0 clamped into the first bin + 0.05
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[9], 2u);  // 0.95 and clamped 2.0
+  std::size_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(total, xs.size());
+}
+
+TEST(Stats, HistogramRejectsBadArgs) {
+  const std::vector<double> xs = {0.5};
+  EXPECT_THROW(histogram(xs, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(histogram(xs, 1.0, 0.0, 4), std::invalid_argument);
+}
+
+class QuantileMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotonicity, NonDecreasingInQ) {
+  const double q = GetParam();
+  if (q < 1.0) {
+    EXPECT_LE(quantile(kSample, q), quantile(kSample, std::min(1.0, q + 0.1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuantileMonotonicity,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0));
+
+}  // namespace
+}  // namespace noodle::util
