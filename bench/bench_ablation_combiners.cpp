@@ -10,13 +10,20 @@ using namespace noodle;
 int main() {
   bench::banner("Ablation A1: p-value combiner for late fusion");
 
-  util::CsvTable csv;
-  csv.header = {"combiner", "late_brier", "late_auc", "late_sensitivity"};
-  std::cout << "combiner          Brier    AUC      sensitivity\n";
+  std::vector<core::ExperimentConfig> configs;
   for (const auto method : cp::all_combination_methods()) {
     core::ExperimentConfig config = bench::paper_config();
     config.fusion.combiner = method;
-    const core::ExperimentResult result = core::run_experiment(config);
+    configs.push_back(config);
+  }
+  const std::vector<core::ExperimentResult> results = bench::run_sweep(configs);
+
+  util::CsvTable csv;
+  csv.header = {"combiner", "late_brier", "late_auc", "late_sensitivity"};
+  std::cout << "combiner          Brier    AUC      sensitivity\n";
+  std::size_t point = 0;
+  for (const auto method : cp::all_combination_methods()) {
+    const core::ExperimentResult& result = results[point++];
     const core::ArmResult& arm = result.late_fusion;
     const std::string name = cp::to_string(method);
     std::cout << name << std::string(18 - name.size(), ' ')

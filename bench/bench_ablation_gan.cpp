@@ -21,18 +21,30 @@ int main() {
       {"GAN to 400/class (800)", true, 400},
   };
 
-  util::CsvTable csv;
-  csv.header = {"setting", "seed", "winner_brier", "winner_auc", "winner"};
-  std::cout << "setting                         mean winner Brier   mean winner AUC\n";
+  // One flat sweep over every (setting, seed) point; the parallel runner
+  // hands results back in config order, so point k belongs to
+  // settings[k / kSeeds] with seed (k % kSeeds) + 1.
+  constexpr std::uint64_t kSeeds = 3;
+  std::vector<core::ExperimentConfig> configs;
   for (const Setting& setting : settings) {
-    double brier_sum = 0.0, auc_sum = 0.0;
-    constexpr std::uint64_t kSeeds = 3;
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
       core::ExperimentConfig config = bench::paper_config();
       config.seed = seed;
       config.use_gan = setting.use_gan;
       if (setting.use_gan) config.gan_target_per_class = setting.target;
-      const core::ExperimentResult result = core::run_experiment(config);
+      configs.push_back(config);
+    }
+  }
+  const std::vector<core::ExperimentResult> results = bench::run_sweep(configs);
+
+  util::CsvTable csv;
+  csv.header = {"setting", "seed", "winner_brier", "winner_auc", "winner"};
+  std::cout << "setting                         mean winner Brier   mean winner AUC\n";
+  std::size_t point = 0;
+  for (const Setting& setting : settings) {
+    double brier_sum = 0.0, auc_sum = 0.0;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed, ++point) {
+      const core::ExperimentResult& result = results[point];
       brier_sum += result.winning_arm().brier;
       auc_sum += result.winning_arm().consolidated.auc;
       csv.rows.push_back({setting.label, std::to_string(seed),

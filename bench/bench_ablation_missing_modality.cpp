@@ -22,15 +22,22 @@ int main() {
       {"30%/20% missing, dropped", 0.30, 0.20, false},
   };
 
-  util::CsvTable csv;
-  csv.header = {"setting", "winner_brier", "winner_auc", "test_size"};
-  std::cout << "setting                          winner Brier   winner AUC   test n\n";
+  std::vector<core::ExperimentConfig> configs;
   for (const Setting& setting : settings) {
     core::ExperimentConfig config = bench::paper_config();
     config.missing_graph_rate = setting.graph_rate;
     config.missing_tabular_rate = setting.tabular_rate;
     config.impute_missing = setting.impute;
-    const core::ExperimentResult result = core::run_experiment(config);
+    configs.push_back(config);
+  }
+  const std::vector<core::ExperimentResult> results = bench::run_sweep(configs);
+
+  util::CsvTable csv;
+  csv.header = {"setting", "winner_brier", "winner_auc", "test_size"};
+  std::cout << "setting                          winner Brier   winner AUC   test n\n";
+  std::size_t point = 0;
+  for (const Setting& setting : settings) {
+    const core::ExperimentResult& result = results[point++];
     std::cout << setting.label
               << std::string(33 - std::string(setting.label).size(), ' ')
               << util::format_fixed(result.winning_arm().brier, 4) << "         "

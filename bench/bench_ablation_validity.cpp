@@ -11,7 +11,7 @@ using namespace noodle;
 int main() {
   bench::banner("Ablation A4: conformal validity across significance levels");
 
-  const core::ExperimentResult result = core::run_experiment(bench::paper_config());
+  const core::ExperimentResult result = bench::run_one(bench::paper_config());
   const core::ArmResult& arm = result.late_fusion;
 
   util::CsvTable csv;

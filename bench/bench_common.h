@@ -2,11 +2,21 @@
 // Shared plumbing for the table/figure benches: each bench prints the
 // paper-shaped rows/series to stdout and drops the exact numbers as CSV
 // into ./bench_out/ for external plotting.
+//
+// Every bench that evaluates more than one ExperimentConfig goes through
+// run_sweep(), which fans the points across cores via the batch subsystem
+// (core/batch.h). Results are bit-identical at any thread count, so the
+// parallel sweep changes nothing but the wall clock. Set
+// NOODLE_BENCH_THREADS to pin the worker count (default:
+// hardware_concurrency).
 
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "core/batch.h"
 #include "core/experiment.h"
 #include "util/csv.h"
 
@@ -31,5 +41,40 @@ inline void banner(const std::string& title) {
 /// The canonical experiment configuration used by every figure bench
 /// (see DESIGN.md experiment index; seed documented in ExperimentConfig).
 inline core::ExperimentConfig paper_config() { return core::ExperimentConfig{}; }
+
+/// Worker count for bench sweeps: NOODLE_BENCH_THREADS if set and positive,
+/// else 0 (= hardware_concurrency inside the sweep runner).
+inline std::size_t bench_threads() {
+  if (const char* env = std::getenv("NOODLE_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 0;
+}
+
+/// Runs a sweep through the parallel runner with a progress ticker.
+/// Results come back in config order regardless of completion order.
+inline std::vector<core::ExperimentResult> run_sweep(
+    const std::vector<core::ExperimentConfig>& configs) {
+  core::SweepOptions options;
+  options.threads = bench_threads();
+  std::size_t done = 0;
+  options.on_result = [&done, &configs](std::size_t, const core::ExperimentResult&) {
+    ++done;
+    std::cout << "\r[sweep] " << done << "/" << configs.size() << " experiments"
+              << std::flush;
+    if (done == configs.size()) std::cout << "\n";
+  };
+  return core::run_experiment_sweep(configs, options);
+}
+
+/// Single-point convenience so one-shot benches share the sweep entry path.
+inline core::ExperimentResult run_one(const core::ExperimentConfig& config) {
+  core::SweepOptions options;
+  options.threads = 1;
+  return core::run_experiment_sweep(std::vector<core::ExperimentConfig>{config},
+                                    options)
+      .front();
+}
 
 }  // namespace noodle::bench

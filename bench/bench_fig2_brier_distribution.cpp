@@ -14,26 +14,31 @@ int main(int argc, char** argv) {
   bench::banner("Fig. 2: Brier score distribution with mean interval (" +
                 std::to_string(runs) + " runs)");
 
+  std::vector<core::ExperimentConfig> configs;
+  for (std::size_t run = 0; run < runs; ++run) {
+    core::ExperimentConfig config = bench::paper_config();
+    config.seed = run + 1;
+    configs.push_back(config);
+  }
+  const std::vector<core::ExperimentResult> results = bench::run_sweep(configs);
+
   std::vector<double> graph, tabular, early, late;
   util::CsvTable csv;
   csv.header = {"seed", "graph", "tabular", "early_fusion", "late_fusion", "winner"};
   for (std::size_t run = 0; run < runs; ++run) {
-    core::ExperimentConfig config = bench::paper_config();
-    config.seed = run + 1;
-    const core::ExperimentResult result = core::run_experiment(config);
+    const core::ExperimentResult& result = results[run];
     graph.push_back(result.graph_only.brier);
     tabular.push_back(result.tabular_only.brier);
     early.push_back(result.early_fusion.brier);
     late.push_back(result.late_fusion.brier);
-    csv.rows.push_back({std::to_string(config.seed),
+    csv.rows.push_back({std::to_string(configs[run].seed),
                         util::format_fixed(result.graph_only.brier, 4),
                         util::format_fixed(result.tabular_only.brier, 4),
                         util::format_fixed(result.early_fusion.brier, 4),
                         util::format_fixed(result.late_fusion.brier, 4),
                         result.winner});
-    std::cout << "." << std::flush;
   }
-  std::cout << "\n\n";
+  std::cout << "\n";
 
   const std::vector<std::string> labels = {"(a) early fusion", "(b) late fusion",
                                            "graph only", "tabular only"};

@@ -12,7 +12,7 @@ using namespace noodle;
 int main() {
   bench::banner("Fig. 3: Confidence calibration curve");
 
-  const core::ExperimentResult result = core::run_experiment(bench::paper_config());
+  const core::ExperimentResult result = bench::run_one(bench::paper_config());
   const core::ArmResult& arm = result.winning_arm();
   const metrics::CalibrationCurve curve =
       metrics::calibration_curve(arm.probabilities, result.test_labels, 10);

@@ -11,7 +11,7 @@ using namespace noodle;
 int main() {
   bench::banner("Fig. 4: ROC-AUC curve under late fusion");
 
-  const core::ExperimentResult result = core::run_experiment(bench::paper_config());
+  const core::ExperimentResult result = bench::run_one(bench::paper_config());
   const core::ArmResult& arm = result.late_fusion;
 
   const auto curve = metrics::roc_curve(arm.probabilities, result.test_labels);

@@ -13,7 +13,7 @@ using namespace noodle;
 int main() {
   bench::banner("Fig. 5: Radar plot of consolidated metrics");
 
-  const core::ExperimentResult result = core::run_experiment(bench::paper_config());
+  const core::ExperimentResult result = bench::run_one(bench::paper_config());
   const core::ArmResult& arm = result.winning_arm();
   const metrics::ConsolidatedMetrics& m = arm.consolidated;
 

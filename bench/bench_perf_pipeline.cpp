@@ -1,9 +1,15 @@
 // P1-P3 — throughput micro-benchmarks (google-benchmark) for the pipeline
 // stages: Verilog parsing, graph/tabular feature extraction, CNN inference,
-// and Mondrian ICP p-value computation.
+// and Mondrian ICP p-value computation — plus P4, the batch subsystem's
+// scaling benchmarks: the experiment sweep runner and detector batch scans
+// at 1/2/4 worker threads. Wall-clock (real time) is the metric that
+// matters there; every thread count must produce bit-identical results, and
+// the benchmark aborts if it does not.
 
 #include <benchmark/benchmark.h>
 
+#include "core/batch.h"
+#include "core/detector.h"
 #include "cp/icp.h"
 #include "data/corpus.h"
 #include "data/dataset.h"
@@ -134,6 +140,144 @@ void BM_IcpPValues(benchmark::State& state) {
   state.SetLabel("cal_size=" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_IcpPValues)->Arg(100)->Arg(1000)->Arg(10000);
+
+// ---------------------------------------------------------------------------
+// P4 — batch subsystem scaling
+// ---------------------------------------------------------------------------
+
+core::ExperimentConfig sweep_point(std::uint64_t seed) {
+  core::ExperimentConfig config;
+  config.seed = seed;
+  config.corpus.design_count = 72;
+  config.corpus.infected_fraction = 0.35;
+  config.gan_target_per_class = 40;
+  config.gan.epochs = 30;
+  config.fusion.train.epochs = 12;
+  config.fusion.train.validation_fraction = 0.0;
+  return config;
+}
+
+const std::vector<core::ExperimentConfig>& sweep_configs() {
+  static const auto configs = [] {
+    std::vector<core::ExperimentConfig> points;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) points.push_back(sweep_point(seed));
+    return points;
+  }();
+  return configs;
+}
+
+/// Serial (1-thread) reference results, computed once; every parallel run
+/// must reproduce these bit-for-bit.
+const std::vector<core::ExperimentResult>& sweep_reference() {
+  static const auto reference = [] {
+    core::SweepOptions options;
+    options.threads = 1;
+    return core::run_experiment_sweep(sweep_configs(), options);
+  }();
+  return reference;
+}
+
+bool identical_results(const std::vector<core::ExperimentResult>& a,
+                       const std::vector<core::ExperimentResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t arm = 0; arm < 4; ++arm) {
+      const core::ArmResult& x = *a[i].arms()[arm];
+      const core::ArmResult& y = *b[i].arms()[arm];
+      if (x.probabilities != y.probabilities || x.p_values != y.p_values ||
+          x.brier != y.brier) {
+        return false;
+      }
+    }
+    if (a[i].winner != b[i].winner) return false;
+  }
+  return true;
+}
+
+void BM_ExperimentSweep(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto& reference = sweep_reference();  // built outside the timed loop
+  core::SweepOptions options;
+  options.threads = threads;
+  for (auto _ : state) {
+    const auto results = core::run_experiment_sweep(sweep_configs(), options);
+    benchmark::DoNotOptimize(results);
+    if (!identical_results(results, reference)) {
+      state.SkipWithError("sweep results diverged from the 1-thread reference");
+      break;
+    }
+  }
+  state.SetLabel("threads=" + std::to_string(threads) + " sweep_points=" +
+                 std::to_string(sweep_configs().size()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sweep_configs().size()));
+}
+BENCHMARK(BM_ExperimentSweep)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+const core::NoodleDetector& fitted_detector() {
+  static const auto detector = [] {
+    core::DetectorConfig config;
+    config.seed = 3;
+    config.gan_target_per_class = 40;
+    config.gan.epochs = 30;
+    config.fusion.train.epochs = 12;
+    config.fusion.train.validation_fraction = 0.0;
+    core::NoodleDetector d(config);
+    data::CorpusSpec spec;
+    spec.design_count = 96;
+    spec.infected_fraction = 0.35;
+    spec.seed = 3;
+    d.fit(data::build_corpus(spec));
+    return d;
+  }();
+  return detector;
+}
+
+const std::vector<data::FeatureSample>& scan_samples() {
+  static const auto samples = [] {
+    std::vector<data::FeatureSample> featurized;
+    for (const auto& circuit : corpus()) featurized.push_back(data::featurize(circuit));
+    return featurized;
+  }();
+  return samples;
+}
+
+bool identical_reports(const std::vector<core::DetectionReport>& a,
+                       const std::vector<core::DetectionReport>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].predicted_label != b[i].predicted_label ||
+        a[i].probability != b[i].probability || a[i].p_values != b[i].p_values) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Serial (1-thread) reference scans, computed once.
+const std::vector<core::DetectionReport>& scan_reference() {
+  static const auto reference = fitted_detector().scan_many(scan_samples(), 1);
+  return reference;
+}
+
+void BM_ScanMany(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const auto& detector = fitted_detector();
+  const auto& samples = scan_samples();
+  const auto& reference = scan_reference();  // built outside the timed loop
+  for (auto _ : state) {
+    const auto reports = detector.scan_many(samples, threads);
+    benchmark::DoNotOptimize(reports);
+    if (!identical_reports(reports, reference)) {
+      state.SkipWithError("scan reports diverged from the 1-thread reference");
+      break;
+    }
+  }
+  state.SetLabel("threads=" + std::to_string(threads));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_ScanMany)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -13,7 +13,7 @@ int main() {
   bench::banner("Table I: Brier score comparison for different modalities");
 
   const core::ExperimentConfig config = bench::paper_config();
-  const core::ExperimentResult result = core::run_experiment(config);
+  const core::ExperimentResult result = bench::run_one(config);
 
   struct Row {
     const char* label;

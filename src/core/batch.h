@@ -1,0 +1,38 @@
+#pragma once
+// Batch/parallel execution layer: fans experiment sweeps and detector scan
+// jobs across cores without changing any result.
+//
+// Determinism contract: run_experiment() is a pure function of its config —
+// every task seeds its own util::Rng chain from config.seed and no state is
+// shared between tasks — so a sweep produces bit-identical ExperimentResults
+// at any thread count, and results always come back in config order, never
+// completion order.
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace noodle::core {
+
+struct SweepOptions {
+  /// Worker threads; 0 = hardware_concurrency, capped at the sweep size.
+  std::size_t threads = 0;
+  /// Optional progress hook, invoked once per finished sweep point in
+  /// completion order. Calls are serialized (safe to print/accumulate from),
+  /// but `index` reflects the point's position in the input span.
+  std::function<void(std::size_t index, const ExperimentResult& result)> on_result;
+};
+
+/// Runs every config through run_experiment(), in parallel, and returns the
+/// results in input order. Rethrows the first task exception, if any.
+std::vector<ExperimentResult> run_experiment_sweep(
+    std::span<const ExperimentConfig> configs, const SweepOptions& options = {});
+
+/// Convenience overload for initializer-list / vector callers.
+std::vector<ExperimentResult> run_experiment_sweep(
+    const std::vector<ExperimentConfig>& configs, const SweepOptions& options = {});
+
+}  // namespace noodle::core

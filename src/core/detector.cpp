@@ -4,6 +4,7 @@
 
 #include "data/dataset.h"
 #include "metrics/brier.h"
+#include "util/thread_pool.h"
 #include "verilog/parser.h"
 
 namespace noodle::core {
@@ -84,9 +85,11 @@ void NoodleDetector::fit_default() {
 
 DetectionReport NoodleDetector::scan_features(const data::FeatureSample& sample) const {
   if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
+  // predict_detail() / the early arm's predict() are stateless on a fitted
+  // model, which is what makes scan_many()'s concurrent calls sound.
   fusion::Prediction prediction =
       impl_->winner == "late_fusion"
-          ? impl_->late.predict(sample)
+          ? impl_->late.predict_detail(sample).fused
           : impl_->early.predict(sample);
 
   DetectionReport report;
@@ -104,6 +107,24 @@ DetectionReport NoodleDetector::scan_verilog(const std::string& verilog_source) 
   circuit.verilog = verilog_source;
   circuit.infected = false;  // unknown; featurize() only uses the text
   return scan_features(data::featurize(circuit));
+}
+
+std::vector<DetectionReport> NoodleDetector::scan_many(
+    std::span<const data::FeatureSample> samples, std::size_t threads) const {
+  if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
+  std::vector<DetectionReport> reports(samples.size());
+  util::parallel_for(samples.size(), threads,
+                     [&](std::size_t i) { reports[i] = scan_features(samples[i]); });
+  return reports;
+}
+
+std::vector<DetectionReport> NoodleDetector::scan_verilog_many(
+    std::span<const std::string> sources, std::size_t threads) const {
+  if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
+  std::vector<DetectionReport> reports(sources.size());
+  util::parallel_for(sources.size(), threads,
+                     [&](std::size_t i) { reports[i] = scan_verilog(sources[i]); });
+  return reports;
 }
 
 bool NoodleDetector::fitted() const noexcept { return impl_->fitted; }

@@ -9,7 +9,9 @@
 //   if (report.region.is_uncertain()) { /* escalate to manual review */ }
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "cp/icp.h"
 #include "data/corpus.h"
@@ -73,8 +75,22 @@ class NoodleDetector {
   /// the detector was never fitted.
   DetectionReport scan_verilog(const std::string& verilog_source) const;
 
-  /// Scans an already-featurized sample.
+  /// Scans an already-featurized sample. Stateless after fit(), so
+  /// concurrent scans on one fitted detector are safe.
   DetectionReport scan_features(const data::FeatureSample& sample) const;
+
+  /// Scans a batch of featurized samples, fanning the work across
+  /// `threads` workers (0 = hardware_concurrency). Reports come back in
+  /// input order and are bit-identical to sequential scan_features() calls
+  /// at any thread count.
+  std::vector<DetectionReport> scan_many(std::span<const data::FeatureSample> samples,
+                                         std::size_t threads = 0) const;
+
+  /// Parses, featurizes, and scans a batch of Verilog sources in parallel.
+  /// Throws verilog::ParseError (rethrown from the first failing worker) on
+  /// malformed input.
+  std::vector<DetectionReport> scan_verilog_many(std::span<const std::string> sources,
+                                                 std::size_t threads = 0) const;
 
   bool fitted() const noexcept;
   const std::string& winning_fusion() const;

@@ -8,7 +8,7 @@ const char* to_string(Modality modality) noexcept {
   return modality == Modality::Graph ? "graph" : "tabular";
 }
 
-std::vector<Prediction> ClassifierArm::predict_all(const data::FeatureDataset& dataset) {
+std::vector<Prediction> ClassifierArm::predict_all(const data::FeatureDataset& dataset) const {
   std::vector<Prediction> predictions;
   predictions.reserve(dataset.size());
   for (const auto& sample : dataset.samples) predictions.push_back(predict(sample));
@@ -106,7 +106,7 @@ void SingleModalityModel::fit(const data::FeatureDataset& train,
   icp_.calibrate(cal_probs, cal_y);
 }
 
-Prediction SingleModalityModel::predict(const data::FeatureSample& sample) {
+Prediction SingleModalityModel::predict(const data::FeatureSample& sample) const {
   const std::vector<double> row = scaler_.transform(modality_of(sample, modality_));
   const std::vector<double> probs = nn::predict_proba(model_, single_row_matrix(row));
   Prediction prediction;
@@ -144,7 +144,7 @@ void EarlyFusionModel::fit(const data::FeatureDataset& train,
   icp_.calibrate(cal_probs, cal_y);
 }
 
-Prediction EarlyFusionModel::predict(const data::FeatureSample& sample) {
+Prediction EarlyFusionModel::predict(const data::FeatureSample& sample) const {
   std::vector<double> joint = sample.graph;
   joint.insert(joint.end(), sample.tabular.begin(), sample.tabular.end());
   const std::vector<double> row = scaler_.transform(joint);
@@ -170,28 +170,34 @@ void LateFusionModel::fit(const data::FeatureDataset& train,
   tabular_arm_.fit(train, cal);
 }
 
-Prediction LateFusionModel::predict(const data::FeatureSample& sample) {
+LateFusionDetail LateFusionModel::predict_detail(const data::FeatureSample& sample) const {
   const Prediction graph_prediction = graph_arm_.predict(sample);
   const Prediction tabular_prediction = tabular_arm_.predict(sample);
-  last_p_values_ = {graph_prediction.p_values, tabular_prediction.p_values};
 
-  Prediction fused;
+  LateFusionDetail detail;
+  detail.per_modality = {graph_prediction.p_values, tabular_prediction.p_values};
   for (const int label : {0, 1}) {
     const std::array<double, 2> per_modality = {
         graph_prediction.p_values[static_cast<std::size_t>(label)],
         tabular_prediction.p_values[static_cast<std::size_t>(label)]};
-    fused.p_values[static_cast<std::size_t>(label)] =
+    detail.fused.p_values[static_cast<std::size_t>(label)] =
         cp::combine_p_values(per_modality, config_.combiner);
   }
   // Decision-level probability: normalized fused p-values blended with the
   // average model probability; the conformal part dominates but the model
   // average keeps the estimate sharp when both p-values saturate.
-  const double p_norm = p_value_probability(fused.p_values);
+  const double p_norm = p_value_probability(detail.fused.p_values);
   const double model_avg =
       (graph_prediction.probability + tabular_prediction.probability) / 2.0;
   const double w = config_.late_probability_blend;
-  fused.probability = w * p_norm + (1.0 - w) * model_avg;
-  return fused;
+  detail.fused.probability = w * p_norm + (1.0 - w) * model_avg;
+  return detail;
+}
+
+Prediction LateFusionModel::predict(const data::FeatureSample& sample) const {
+  LateFusionDetail detail = predict_detail(sample);
+  last_p_values_ = detail.per_modality;
+  return detail.fused;
 }
 
 }  // namespace noodle::fusion

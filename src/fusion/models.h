@@ -53,18 +53,22 @@ class ClassifierArm {
   /// Samples must have complete modalities (impute beforehand).
   virtual void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) = 0;
 
-  virtual Prediction predict(const data::FeatureSample& sample) = 0;
+  /// Predicts one sample. Const and, for the single/early arms, stateless —
+  /// concurrent calls on a fitted arm are safe (the batch scan layer relies
+  /// on this). The late-fusion override additionally refreshes its
+  /// interpretability cache; see LateFusionModel.
+  virtual Prediction predict(const data::FeatureSample& sample) const = 0;
 
   virtual std::string name() const = 0;
 
-  std::vector<Prediction> predict_all(const data::FeatureDataset& dataset);
+  std::vector<Prediction> predict_all(const data::FeatureDataset& dataset) const;
 };
 
 class SingleModalityModel : public ClassifierArm {
  public:
   SingleModalityModel(Modality modality, FusionConfig config);
   void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
-  Prediction predict(const data::FeatureSample& sample) override;
+  Prediction predict(const data::FeatureSample& sample) const override;
   std::string name() const override;
 
  private:
@@ -79,7 +83,7 @@ class EarlyFusionModel : public ClassifierArm {
  public:
   explicit EarlyFusionModel(FusionConfig config);
   void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
-  Prediction predict(const data::FeatureSample& sample) override;
+  Prediction predict(const data::FeatureSample& sample) const override;
   std::string name() const override { return "early_fusion"; }
 
  private:
@@ -89,16 +93,32 @@ class EarlyFusionModel : public ClassifierArm {
   cp::MondrianIcp icp_;
 };
 
+/// One late-fusion prediction together with the per-modality p-values that
+/// produced it (the interpretability claim of the paper's fusion section).
+struct LateFusionDetail {
+  Prediction fused;
+  /// {graph, tabular} conformal p-value pairs.
+  std::array<std::array<double, 2>, 2> per_modality{};
+};
+
 class LateFusionModel : public ClassifierArm {
  public:
   explicit LateFusionModel(FusionConfig config);
   void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
-  Prediction predict(const data::FeatureSample& sample) override;
+
+  /// Predicts and refreshes last_modality_p_values(). Because of that cache
+  /// refresh this override is NOT safe to call concurrently; parallel
+  /// callers (NoodleDetector::scan_many) use predict_detail() instead.
+  Prediction predict(const data::FeatureSample& sample) const override;
+
+  /// Pure prediction returning the per-modality p-values alongside the
+  /// fused result. Stateless and safe for concurrent use on a fitted model.
+  LateFusionDetail predict_detail(const data::FeatureSample& sample) const;
+
   std::string name() const override { return "late_fusion"; }
 
   /// Per-modality p-values of the last predict() call, exposed so callers
-  /// can report each modality's contribution (interpretability claim of the
-  /// paper's fusion section).
+  /// can report each modality's contribution.
   const std::array<std::array<double, 2>, 2>& last_modality_p_values() const noexcept {
     return last_p_values_;
   }
@@ -107,7 +127,8 @@ class LateFusionModel : public ClassifierArm {
   FusionConfig config_;
   SingleModalityModel graph_arm_;
   SingleModalityModel tabular_arm_;
-  std::array<std::array<double, 2>, 2> last_p_values_{};
+  /// Single-threaded convenience cache only; predict_detail() never touches it.
+  mutable std::array<std::array<double, 2>, 2> last_p_values_{};
 };
 
 // --- shared helpers (exposed for tests and the experiment harness) ---

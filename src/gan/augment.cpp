@@ -161,14 +161,14 @@ void CrossModalImputer::impute(data::FeatureDataset& dataset) const {
       const std::vector<double> g = graph_scaler_.transform(sample.graph);
       nn::Matrix input(1, g.size());
       for (std::size_t i = 0; i < g.size(); ++i) input(0, i) = g[i];
-      const nn::Matrix out = graph_to_tabular_.forward(input, /*train=*/false);
+      const nn::Matrix out = graph_to_tabular_.infer(input);
       sample.tabular = tabular_scaler_.inverse(out.row(0));
       sample.tabular_missing = false;
     } else if (sample.graph_missing) {
       const std::vector<double> t = tabular_scaler_.transform(sample.tabular);
       nn::Matrix input(1, t.size());
       for (std::size_t i = 0; i < t.size(); ++i) input(0, i) = t[i];
-      const nn::Matrix out = tabular_to_graph_.forward(input, /*train=*/false);
+      const nn::Matrix out = tabular_to_graph_.infer(input);
       sample.graph = graph_scaler_.inverse(out.row(0));
       sample.graph_missing = false;
     }

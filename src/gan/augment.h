@@ -40,8 +40,8 @@ class CrossModalImputer {
  private:
   std::uint64_t seed_;
   feat::Standardizer graph_scaler_, tabular_scaler_;
-  mutable nn::Sequential graph_to_tabular_;
-  mutable nn::Sequential tabular_to_graph_;
+  nn::Sequential graph_to_tabular_;
+  nn::Sequential tabular_to_graph_;
   bool fitted_ = false;
 };
 

@@ -26,10 +26,13 @@ class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Forward pass. `train` toggles dropout/batch-norm behaviour.
+  /// Forward pass. `train` toggles dropout/batch-norm behaviour and backward
+  /// caching. Contract: with train == false the call must not modify any
+  /// layer state, so concurrent inference on a shared layer is safe; the
+  /// batch/parallel subsystem (core/batch.h) relies on this.
   virtual Matrix forward(const Matrix& input, bool train) = 0;
 
-  /// Backward pass for the most recent forward call.
+  /// Backward pass for the most recent forward(train=true) call.
   virtual Matrix backward(const Matrix& grad_output) = 0;
 
   /// Parameter buffers (empty for stateless layers).

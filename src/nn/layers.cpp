@@ -36,9 +36,9 @@ Dense::Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng)
   for (double& v : weight_) v = rng.normal(0.0, scale);
 }
 
-Matrix Dense::forward(const Matrix& input, bool /*train*/) {
+Matrix Dense::forward(const Matrix& input, bool train) {
   check_cols(input, in_, "Dense::forward");
-  input_ = input;
+  if (train) input_ = input;
   Matrix out(input.rows(), out_);
   for (std::size_t r = 0; r < input.rows(); ++r) {
     for (std::size_t o = 0; o < out_; ++o) {
@@ -110,9 +110,9 @@ Conv1D::Conv1D(std::size_t in_channels, std::size_t in_len, std::size_t out_chan
   for (double& v : weight_) v = rng.normal(0.0, scale);
 }
 
-Matrix Conv1D::forward(const Matrix& input, bool /*train*/) {
+Matrix Conv1D::forward(const Matrix& input, bool train) {
   check_cols(input, in_channels_ * in_len_, "Conv1D::forward");
-  input_ = input;
+  if (train) input_ = input;
   const std::size_t olen = out_len();
   Matrix out(input.rows(), out_channels_ * olen);
   for (std::size_t r = 0; r < input.rows(); ++r) {
@@ -168,8 +168,8 @@ std::size_t Conv1D::output_cols(std::size_t input_cols) const {
 // Activations
 // ---------------------------------------------------------------------------
 
-Matrix ReLU::forward(const Matrix& input, bool /*train*/) {
-  input_ = input;
+Matrix ReLU::forward(const Matrix& input, bool train) {
+  if (train) input_ = input;
   Matrix out = input;
   for (double& v : out.data()) v = v > 0.0 ? v : 0.0;
   return out;
@@ -183,8 +183,8 @@ Matrix ReLU::backward(const Matrix& grad_output) {
   return grad_in;
 }
 
-Matrix LeakyReLU::forward(const Matrix& input, bool /*train*/) {
-  input_ = input;
+Matrix LeakyReLU::forward(const Matrix& input, bool train) {
+  if (train) input_ = input;
   Matrix out = input;
   for (double& v : out.data()) v = v > 0.0 ? v : alpha_ * v;
   return out;
@@ -198,10 +198,10 @@ Matrix LeakyReLU::backward(const Matrix& grad_output) {
   return grad_in;
 }
 
-Matrix Sigmoid::forward(const Matrix& input, bool /*train*/) {
+Matrix Sigmoid::forward(const Matrix& input, bool train) {
   Matrix out = input;
   for (double& v : out.data()) v = 1.0 / (1.0 + std::exp(-v));
-  output_ = out;
+  if (train) output_ = out;
   return out;
 }
 
@@ -214,10 +214,10 @@ Matrix Sigmoid::backward(const Matrix& grad_output) {
   return grad_in;
 }
 
-Matrix Tanh::forward(const Matrix& input, bool /*train*/) {
+Matrix Tanh::forward(const Matrix& input, bool train) {
   Matrix out = input;
   for (double& v : out.data()) v = std::tanh(v);
-  output_ = out;
+  if (train) output_ = out;
   return out;
 }
 
@@ -241,7 +241,8 @@ Dropout::Dropout(double rate, util::Rng& rng) : rate_(rate), rng_(rng.split()) {
 }
 
 Matrix Dropout::forward(const Matrix& input, bool train) {
-  if (!train || rate_ == 0.0) {
+  if (!train) return input;  // inference: identity, no state touched
+  if (rate_ == 0.0) {
     mask_ = Matrix();
     return input;
   }
@@ -318,7 +319,11 @@ Matrix BatchNorm1d::forward(const Matrix& input, bool train) {
       }
     }
   } else {
-    normalized_ = Matrix();  // eval mode: no cached batch stats
+    // Eval mode reads only running statistics and writes no cached state,
+    // keeping inference safe to run concurrently. A training call that
+    // lands here (batch of 1) still clears the cache so backward throws
+    // rather than reusing a stale batch.
+    if (train) normalized_ = Matrix();
     for (std::size_t r = 0; r < n; ++r) {
       for (std::size_t c = 0; c < features_; ++c) {
         const double inv = 1.0 / std::sqrt(running_var_[c] + eps_);

@@ -12,6 +12,14 @@ Matrix Sequential::forward(const Matrix& input, bool train) {
   return x;
 }
 
+Matrix Sequential::infer(const Matrix& input) const {
+  Matrix x = input;
+  // forward(train=false) never writes layer state (the Layer contract), so
+  // this is logically const even though forward is a non-const virtual.
+  for (const auto& layer : layers_) x = layer->forward(x, false);
+  return x;
+}
+
 Matrix Sequential::backward(const Matrix& grad_output) {
   Matrix g = grad_output;
   for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {

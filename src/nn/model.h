@@ -16,6 +16,11 @@ class Sequential {
 
   Matrix forward(const Matrix& input, bool train = false);
 
+  /// Inference-only forward pass. Guaranteed not to mutate the model (every
+  /// layer's forward(train=false) path is stateless per the Layer contract),
+  /// so concurrent infer() calls on one fitted model are safe.
+  Matrix infer(const Matrix& input) const;
+
   /// Backward through all layers; returns gradient w.r.t. the input.
   Matrix backward(const Matrix& grad_output);
 

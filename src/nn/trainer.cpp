@@ -89,8 +89,8 @@ TrainResult train_binary_classifier(Sequential& model, const Matrix& inputs,
   return result;
 }
 
-std::vector<double> predict_proba(Sequential& model, const Matrix& inputs) {
-  const Matrix logits = model.forward(inputs, /*train=*/false);
+std::vector<double> predict_proba(const Sequential& model, const Matrix& inputs) {
+  const Matrix logits = model.infer(inputs);
   if (logits.cols() != 1) {
     throw std::invalid_argument("predict_proba: model must emit one logit");
   }

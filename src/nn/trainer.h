@@ -39,7 +39,9 @@ TrainResult train_binary_classifier(Sequential& model, const Matrix& inputs,
                                     const TrainConfig& config);
 
 /// P(label == 1) for each row: sigmoid of the model's logit output.
-std::vector<double> predict_proba(Sequential& model, const Matrix& inputs);
+/// Uses the stateless inference path, so concurrent calls on one fitted
+/// model are safe.
+std::vector<double> predict_proba(const Sequential& model, const Matrix& inputs);
 
 /// The paper's CNN: two Conv1D+ReLU stages over the feature vector treated
 /// as a 1-channel sequence, then a dense head with dropout, ending in one
