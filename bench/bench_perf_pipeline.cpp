@@ -2,11 +2,16 @@
 // stages: Verilog parsing, graph/tabular feature extraction, CNN inference,
 // and Mondrian ICP p-value computation — plus P4, the batch subsystem's
 // scaling benchmarks: the experiment sweep runner and detector batch scans
-// at 1/2/4 worker threads. Wall-clock (real time) is the metric that
+// at 1/2/4 worker threads, and P5, the serving subsystem: snapshot
+// save/load round trips and DetectionService request throughput with and
+// without the verdict cache. Wall-clock (real time) is the metric that
 // matters there; every thread count must produce bit-identical results, and
 // the benchmark aborts if it does not.
 
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <future>
 
 #include "core/batch.h"
 #include "core/detector.h"
@@ -17,6 +22,7 @@
 #include "graph/builder.h"
 #include "graph/features.h"
 #include "nn/trainer.h"
+#include "serve/service.h"
 #include "verilog/parser.h"
 
 namespace {
@@ -278,6 +284,69 @@ void BM_ScanMany(benchmark::State& state) {
                           static_cast<std::int64_t>(samples.size()));
 }
 BENCHMARK(BM_ScanMany)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// P5 — serving subsystem: snapshot persistence and service throughput
+// ---------------------------------------------------------------------------
+
+void BM_SnapshotSaveLoad(benchmark::State& state) {
+  const auto& detector = fitted_detector();
+  const auto path = std::filesystem::temp_directory_path() / "noodle_bench.snap";
+  const core::DetectionReport reference = detector.scan_features(scan_samples()[0]);
+  std::uintmax_t snapshot_bytes = 0;
+  for (auto _ : state) {
+    detector.save(path);
+    const core::NoodleDetector loaded = core::NoodleDetector::from_snapshot(path);
+    benchmark::DoNotOptimize(loaded);
+    state.PauseTiming();
+    snapshot_bytes = std::filesystem::file_size(path);
+    const core::DetectionReport check = loaded.scan_features(scan_samples()[0]);
+    if (check.probability != reference.probability ||
+        check.p_values != reference.p_values) {
+      state.SkipWithError("loaded detector diverged from the fitted original");
+      break;  // no ResumeTiming after SkipWithError (library precondition)
+    }
+    state.ResumeTiming();
+  }
+  std::filesystem::remove(path);
+  state.SetLabel("snapshot_bytes=" + std::to_string(snapshot_bytes));
+}
+BENCHMARK(BM_SnapshotSaveLoad)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  const auto path = std::filesystem::temp_directory_path() / "noodle_bench_svc.snap";
+  fitted_detector().save(path);
+  serve::ServiceConfig config;
+  config.max_batch = 16;
+  config.cache_capacity = cached ? 4096 : 0;
+  config.workers = 2;
+  serve::DetectionService service(path, config);
+  std::filesystem::remove(path);
+
+  const auto& circuits = corpus();
+  const auto& reference = scan_reference();  // sequential scans of the same samples
+  for (auto _ : state) {
+    std::vector<std::future<core::DetectionReport>> futures;
+    futures.reserve(circuits.size());
+    for (const auto& circuit : circuits) futures.push_back(service.submit(circuit.verilog));
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const core::DetectionReport report = futures[i].get();
+      if (report.probability != reference[i].probability ||
+          report.p_values != reference[i].p_values) {
+        state.SkipWithError("service verdict diverged from direct scans");
+        break;
+      }
+    }
+  }
+  const serve::ServiceStats stats = service.stats();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(circuits.size()));
+  state.SetLabel(std::string(cached ? "cache=on" : "cache=off") +
+                 " hit_rate=" + std::to_string(stats.cache_hit_rate()).substr(0, 4) +
+                 " avg_batch=" + std::to_string(stats.average_batch_size()).substr(0, 4));
+}
+BENCHMARK(BM_ServiceThroughput)->Arg(0)->Arg(1)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

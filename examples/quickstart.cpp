@@ -1,8 +1,13 @@
 // Quickstart: train a NoodleDetector on a synthetic Trust-Hub-style corpus
 // and scan two circuits — one clean, one with a freshly planted Trojan.
 //
-//   ./build/examples/quickstart
+//   ./build/example_quickstart [snapshot-file]
+//
+// With a snapshot argument, the detector is loaded from the file when it
+// exists and saved to it after the first fit — the train-once, scan-forever
+// workflow (run it twice: the second run skips training entirely).
 
+#include <filesystem>
 #include <iostream>
 
 #include "core/detector.h"
@@ -41,17 +46,29 @@ void report(const std::string& label, const core::DetectionReport& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "NOODLE quickstart: uncertainty-aware hardware Trojan detection\n\n";
 
-  // 1. Train. fit_default() builds a 120-circuit corpus (12 design
-  //    families, ~30% Trojan-infected), GAN-amplifies it, trains both
-  //    fusion arms, and picks the winner by calibration Brier score.
-  std::cout << "training detector on the default synthetic corpus..." << std::flush;
+  // 1. Train — or reload a previous fit. fit_default() builds a synthetic
+  //    corpus (12 design families, ~30% Trojan-infected), GAN-amplifies it,
+  //    trains both fusion arms, and picks the winner by calibration Brier
+  //    score; a snapshot makes that cost a one-time event.
+  const std::filesystem::path snapshot = argc > 1 ? argv[1] : "";
   core::DetectorConfig config;
   config.seed = 42;
   core::NoodleDetector detector(config);
-  detector.fit_default();
+  if (!snapshot.empty() && std::filesystem::exists(snapshot)) {
+    std::cout << "loading fitted detector from " << snapshot.string() << "..."
+              << std::flush;
+    detector.load(snapshot);
+  } else {
+    std::cout << "training detector on the default synthetic corpus..." << std::flush;
+    detector.fit_default();
+    if (!snapshot.empty()) {
+      detector.save(snapshot);
+      std::cout << " (snapshot saved to " << snapshot.string() << ")" << std::flush;
+    }
+  }
   std::cout << " done (winner: " << detector.winning_fusion() << ")\n\n";
 
   // 2. A clean circuit: a fresh LFSR the detector has never seen, decorated

@@ -2,11 +2,13 @@
 // table sorted by Trojan probability — the IP-qualification workflow the
 // paper's introduction motivates.
 //
-//   ./build/examples/trojan_scan [directory-of-.v-files]
+//   ./build/example_trojan_scan [directory-of-.v-files] [snapshot-file]
 //
 // Without an argument, the example writes a demo directory of 12 circuits
 // (3 of them infected) under ./scan_demo/ and scans that, so it is runnable
-// out of the box.
+// out of the box. With a snapshot argument, the fitted detector is loaded
+// from the file when it exists and saved after the first fit, so repeated
+// triage runs skip training entirely.
 
 #include <algorithm>
 #include <filesystem>
@@ -53,11 +55,18 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::cout << "training detector..." << std::flush;
+  const std::filesystem::path snapshot = argc > 2 ? argv[2] : "";
   core::DetectorConfig config;
   config.seed = 42;
   core::NoodleDetector detector(config);
-  detector.fit_default();
+  if (!snapshot.empty() && std::filesystem::exists(snapshot)) {
+    std::cout << "loading detector snapshot " << snapshot.string() << "..." << std::flush;
+    detector.load(snapshot);
+  } else {
+    std::cout << "training detector..." << std::flush;
+    detector.fit_default();
+    if (!snapshot.empty()) detector.save(snapshot);
+  }
   std::cout << " done\n\n";
 
   std::vector<ScanRow> rows;

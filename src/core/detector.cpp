@@ -4,6 +4,8 @@
 
 #include "data/dataset.h"
 #include "metrics/brier.h"
+#include "serve/snapshot.h"
+#include "util/binary_io.h"
 #include "util/thread_pool.h"
 #include "verilog/parser.h"
 
@@ -125,6 +127,123 @@ std::vector<DetectionReport> NoodleDetector::scan_verilog_many(
   util::parallel_for(sources.size(), threads,
                      [&](std::size_t i) { reports[i] = scan_verilog(sources[i]); });
   return reports;
+}
+
+namespace {
+
+// Every DetectorConfig field is serialized so a loaded detector is
+// indistinguishable from the fitted original (the fusion sub-config in
+// particular drives predict-time behaviour: combiner and probability blend).
+void write_config(std::ostream& os, const DetectorConfig& config) {
+  util::write_f64(os, config.train_fraction);
+  util::write_u8(os, config.use_gan ? 1 : 0);
+  util::write_u64(os, config.gan_target_per_class);
+  util::write_f64(os, config.confidence_level);
+  util::write_u64(os, config.seed);
+
+  util::write_u64(os, config.gan.latent_dim);
+  util::write_u64(os, config.gan.hidden);
+  util::write_u64(os, config.gan.epochs);
+  util::write_u64(os, config.gan.batch_size);
+  util::write_f64(os, config.gan.generator_lr);
+  util::write_f64(os, config.gan.discriminator_lr);
+  util::write_f64(os, config.gan.sample_noise);
+  util::write_u64(os, config.gan.seed);
+
+  util::write_u64(os, config.fusion.train.epochs);
+  util::write_u64(os, config.fusion.train.batch_size);
+  util::write_f64(os, config.fusion.train.learning_rate);
+  util::write_f64(os, config.fusion.train.weight_decay);
+  util::write_f64(os, config.fusion.train.validation_fraction);
+  util::write_u64(os, config.fusion.train.patience);
+  util::write_u64(os, config.fusion.train.seed);
+  util::write_u8(os, static_cast<std::uint8_t>(config.fusion.nonconformity));
+  util::write_u8(os, static_cast<std::uint8_t>(config.fusion.combiner));
+  util::write_f64(os, config.fusion.late_probability_blend);
+  util::write_u64(os, config.fusion.seed);
+}
+
+DetectorConfig read_config(std::istream& is) {
+  DetectorConfig config;
+  config.train_fraction = util::read_f64(is);
+  config.use_gan = util::read_u8(is) != 0;
+  config.gan_target_per_class = util::read_u64(is);
+  config.confidence_level = util::read_f64(is);
+  config.seed = util::read_u64(is);
+
+  config.gan.latent_dim = util::read_u64(is);
+  config.gan.hidden = util::read_u64(is);
+  config.gan.epochs = util::read_u64(is);
+  config.gan.batch_size = util::read_u64(is);
+  config.gan.generator_lr = util::read_f64(is);
+  config.gan.discriminator_lr = util::read_f64(is);
+  config.gan.sample_noise = util::read_f64(is);
+  config.gan.seed = util::read_u64(is);
+
+  config.fusion.train.epochs = util::read_u64(is);
+  config.fusion.train.batch_size = util::read_u64(is);
+  config.fusion.train.learning_rate = util::read_f64(is);
+  config.fusion.train.weight_decay = util::read_f64(is);
+  config.fusion.train.validation_fraction = util::read_f64(is);
+  config.fusion.train.patience = util::read_u64(is);
+  config.fusion.train.seed = util::read_u64(is);
+  const std::uint8_t nonconformity = util::read_u8(is);
+  if (nonconformity > static_cast<std::uint8_t>(cp::NonconformityKind::Margin)) {
+    throw serve::SnapshotError("snapshot: unknown nonconformity kind");
+  }
+  config.fusion.nonconformity = static_cast<cp::NonconformityKind>(nonconformity);
+  const std::uint8_t combiner = util::read_u8(is);
+  if (combiner > static_cast<std::uint8_t>(cp::CombinationMethod::Max)) {
+    throw serve::SnapshotError("snapshot: unknown p-value combiner");
+  }
+  config.fusion.combiner = static_cast<cp::CombinationMethod>(combiner);
+  config.fusion.late_probability_blend = util::read_f64(is);
+  config.fusion.seed = util::read_u64(is);
+  return config;
+}
+
+}  // namespace
+
+void NoodleDetector::save(const std::filesystem::path& path) const {
+  if (!impl_->fitted) throw std::logic_error("NoodleDetector::save: fit() first");
+  serve::SnapshotWriter writer;
+  write_config(writer.begin_section("CONF"), impl_->config);
+  impl_->early.save(writer.begin_section("EARL"));
+  impl_->late.save(writer.begin_section("LATE"));
+  util::write_string(writer.begin_section("META"), impl_->winner);
+  writer.write_file(path);
+}
+
+void NoodleDetector::load(const std::filesystem::path& path) {
+  serve::SnapshotReader reader = serve::SnapshotReader::from_file(path);
+  // Build the replacement impl fully before swapping it in, so a snapshot
+  // that fails any validation leaves this detector untouched.
+  std::unique_ptr<Impl> impl;
+  try {
+    impl = std::make_unique<Impl>(read_config(reader.section("CONF")));
+    impl->early.load(reader.section("EARL"));
+    impl->late.load(reader.section("LATE"));
+    impl->winner = util::read_string(reader.section("META"));
+  } catch (const serve::SnapshotError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Component loaders throw runtime_error on framing problems and
+    // invalid_argument on impossible shapes (e.g. a CNN input width the
+    // factory rejects); either way the file is a bad snapshot.
+    throw serve::SnapshotError(std::string("snapshot: ") + e.what() + " in " +
+                               path.string());
+  }
+  if (impl->winner != "early_fusion" && impl->winner != "late_fusion") {
+    throw serve::SnapshotError("snapshot: unknown winning fusion '" + impl->winner + "'");
+  }
+  impl->fitted = true;
+  impl_ = std::move(impl);
+}
+
+NoodleDetector NoodleDetector::from_snapshot(const std::filesystem::path& path) {
+  NoodleDetector detector;
+  detector.load(path);
+  return detector;
 }
 
 bool NoodleDetector::fitted() const noexcept { return impl_->fitted; }

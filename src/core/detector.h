@@ -8,6 +8,7 @@
 //   auto report = detector.scan_verilog(source);    // one RTL file
 //   if (report.region.is_uncertain()) { /* escalate to manual review */ }
 
+#include <filesystem>
 #include <memory>
 #include <span>
 #include <string>
@@ -91,6 +92,22 @@ class NoodleDetector {
   /// malformed input.
   std::vector<DetectionReport> scan_verilog_many(std::span<const std::string> sources,
                                                  std::size_t threads = 0) const;
+
+  /// Serializes the entire fitted detector — config, both fusion arms'
+  /// CNN weights, normalizer state, Mondrian ICP calibration scores, and
+  /// the winning-fusion choice — into a versioned snapshot archive
+  /// (serve/snapshot.h). A loaded detector produces bit-identical
+  /// DetectionReports for the same inputs. Throws std::logic_error if the
+  /// detector was never fitted.
+  void save(const std::filesystem::path& path) const;
+
+  /// Restores a detector from a snapshot written by save(). Throws
+  /// serve::SnapshotError on corrupted, truncated, or version-mismatched
+  /// files; on failure the detector's previous state is left untouched.
+  void load(const std::filesystem::path& path);
+
+  /// Convenience: constructs a detector directly from a snapshot.
+  static NoodleDetector from_snapshot(const std::filesystem::path& path);
 
   bool fitted() const noexcept;
   const std::string& winning_fusion() const;

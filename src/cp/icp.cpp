@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/binary_io.h"
+
 namespace noodle::cp {
 
 double nonconformity(double prob1, int label, NonconformityKind kind) {
@@ -98,6 +100,29 @@ std::size_t MondrianIcp::calibration_count(int label) const {
 
 bool MondrianIcp::calibrated() const noexcept {
   return !scores_[0].empty() && !scores_[1].empty();
+}
+
+void MondrianIcp::save(std::ostream& os) const {
+  util::write_u8(os, static_cast<std::uint8_t>(kind_));
+  util::write_f64_vector(os, scores_[0]);
+  util::write_f64_vector(os, scores_[1]);
+}
+
+void MondrianIcp::load(std::istream& is) {
+  const std::uint8_t kind = util::read_u8(is);
+  if (kind > static_cast<std::uint8_t>(NonconformityKind::Margin)) {
+    throw std::runtime_error("MondrianIcp::load: unknown nonconformity kind");
+  }
+  std::array<std::vector<double>, 2> scores;
+  scores[0] = util::read_f64_vector(is);
+  scores[1] = util::read_f64_vector(is);
+  for (const auto& list : scores) {
+    if (!std::is_sorted(list.begin(), list.end())) {
+      throw std::runtime_error("MondrianIcp::load: calibration scores not sorted");
+    }
+  }
+  kind_ = static_cast<NonconformityKind>(kind);
+  scores_ = std::move(scores);
 }
 
 PredictionRegion region_at_confidence(const std::array<double, 2>& p_values,

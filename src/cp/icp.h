@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstddef>
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -56,6 +57,12 @@ class MondrianIcp {
   std::size_t calibration_count(int label) const;
   bool calibrated() const noexcept;
   NonconformityKind kind() const noexcept { return kind_; }
+
+  /// Bit-exact binary (de)serialization of the nonconformity kind and both
+  /// per-class calibration score lists (detector snapshot support). load()
+  /// throws std::runtime_error on truncated or inconsistent input.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   NonconformityKind kind_;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/binary_io.h"
+
 namespace noodle::feat {
 
 namespace {
@@ -67,6 +69,21 @@ std::vector<std::vector<double>> Standardizer::transform_all(
   out.reserve(rows.size());
   for (const auto& row : rows) out.push_back(transform(row));
   return out;
+}
+
+void Standardizer::save(std::ostream& os) const {
+  util::write_f64_vector(os, means_);
+  util::write_f64_vector(os, stddevs_);
+}
+
+void Standardizer::load(std::istream& is) {
+  std::vector<double> means = util::read_f64_vector(is);
+  std::vector<double> stddevs = util::read_f64_vector(is);
+  if (means.size() != stddevs.size()) {
+    throw std::runtime_error("Standardizer::load: mean/stddev size mismatch");
+  }
+  means_ = std::move(means);
+  stddevs_ = std::move(stddevs);
 }
 
 void MinMaxScaler::fit(const std::vector<std::vector<double>>& rows) {

@@ -3,6 +3,7 @@
 // Both modalities pass through a Standardizer before reaching the CNNs and
 // the GAN; the same fitted transform is applied at prediction time.
 
+#include <iosfwd>
 #include <span>
 #include <vector>
 
@@ -30,6 +31,12 @@ class Standardizer {
   std::size_t dimension() const noexcept { return means_.size(); }
   const std::vector<double>& means() const noexcept { return means_; }
   const std::vector<double>& stddevs() const noexcept { return stddevs_; }
+
+  /// Bit-exact binary (de)serialization of the fitted state, used by the
+  /// detector snapshot archive. load() throws std::runtime_error on
+  /// truncated or inconsistent input.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   std::vector<double> means_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/binary_io.h"
+
 namespace noodle::fusion {
 
 const char* to_string(Modality modality) noexcept {
@@ -54,6 +56,46 @@ nn::Matrix single_row_matrix(const std::vector<double>& row) {
   nn::Matrix m(1, row.size());
   for (std::size_t i = 0; i < row.size(); ++i) m(0, i) = row[i];
   return m;
+}
+
+// Per-arm framing inside a snapshot: a one-byte tag so loading a section
+// into the wrong arm type (or modality) fails loudly.
+constexpr std::uint8_t kArmTagGraph = 0x10;
+constexpr std::uint8_t kArmTagTabular = 0x11;
+constexpr std::uint8_t kArmTagEarly = 0x20;
+constexpr std::uint8_t kArmTagLate = 0x30;
+
+std::uint8_t modality_tag(Modality modality) {
+  return modality == Modality::Graph ? kArmTagGraph : kArmTagTabular;
+}
+
+void expect_tag(std::istream& is, std::uint8_t expected, const char* who) {
+  if (util::read_u8(is) != expected) {
+    throw std::runtime_error(std::string(who) + ": arm tag mismatch in snapshot");
+  }
+}
+
+/// Saves the shared (scaler, CNN, ICP) triple every concrete arm carries.
+void save_arm_state(std::ostream& os, const feat::Standardizer& scaler,
+                    const nn::Sequential& model, const cp::MondrianIcp& icp) {
+  scaler.save(os);
+  model.save_weights(os);
+  icp.save(os);
+}
+
+/// Restores the triple: the CNN is rebuilt from the scaler's input width
+/// (the factory is deterministic in architecture; the init weights are
+/// overwritten by load_weights), matching how fit() constructs it.
+void load_arm_state(std::istream& is, feat::Standardizer& scaler, nn::Sequential& model,
+                    cp::MondrianIcp& icp, const char* who) {
+  scaler.load(is);
+  if (!scaler.fitted()) {
+    throw std::runtime_error(std::string(who) + ": snapshot has unfitted scaler");
+  }
+  util::Rng init_rng(0);
+  model = nn::make_cnn(scaler.dimension(), init_rng);
+  model.load_weights(is);
+  icp.load(is);
 }
 
 }  // namespace
@@ -115,6 +157,16 @@ Prediction SingleModalityModel::predict(const data::FeatureSample& sample) const
   return prediction;
 }
 
+void SingleModalityModel::save(std::ostream& os) const {
+  util::write_u8(os, modality_tag(modality_));
+  save_arm_state(os, scaler_, model_, icp_);
+}
+
+void SingleModalityModel::load(std::istream& is) {
+  expect_tag(is, modality_tag(modality_), "SingleModalityModel::load");
+  load_arm_state(is, scaler_, model_, icp_, "SingleModalityModel::load");
+}
+
 // ---------------------------------------------------------------------------
 // EarlyFusionModel
 // ---------------------------------------------------------------------------
@@ -153,6 +205,16 @@ Prediction EarlyFusionModel::predict(const data::FeatureSample& sample) const {
   prediction.probability = probs.front();
   prediction.p_values = icp_.p_values(prediction.probability);
   return prediction;
+}
+
+void EarlyFusionModel::save(std::ostream& os) const {
+  util::write_u8(os, kArmTagEarly);
+  save_arm_state(os, scaler_, model_, icp_);
+}
+
+void EarlyFusionModel::load(std::istream& is) {
+  expect_tag(is, kArmTagEarly, "EarlyFusionModel::load");
+  load_arm_state(is, scaler_, model_, icp_, "EarlyFusionModel::load");
 }
 
 // ---------------------------------------------------------------------------
@@ -198,6 +260,18 @@ Prediction LateFusionModel::predict(const data::FeatureSample& sample) const {
   LateFusionDetail detail = predict_detail(sample);
   last_p_values_ = detail.per_modality;
   return detail.fused;
+}
+
+void LateFusionModel::save(std::ostream& os) const {
+  util::write_u8(os, kArmTagLate);
+  graph_arm_.save(os);
+  tabular_arm_.save(os);
+}
+
+void LateFusionModel::load(std::istream& is) {
+  expect_tag(is, kArmTagLate, "LateFusionModel::load");
+  graph_arm_.load(is);
+  tabular_arm_.load(is);
 }
 
 }  // namespace noodle::fusion

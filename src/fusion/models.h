@@ -11,6 +11,7 @@
 // paper stresses; they differ only in where information is fused.
 
 #include <array>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,16 @@ class ClassifierArm {
 
   virtual std::string name() const = 0;
 
+  /// Serializes the fitted state (scaler, CNN weights, ICP calibration) so
+  /// a detector snapshot can round-trip the arm bit-exactly.
+  virtual void save(std::ostream& os) const = 0;
+
+  /// Restores state saved by the same arm type constructed with the same
+  /// FusionConfig (the CNN is rebuilt from the saved scaler dimension, then
+  /// its weights are overwritten). Throws std::runtime_error on malformed
+  /// or mismatched input.
+  virtual void load(std::istream& is) = 0;
+
   std::vector<Prediction> predict_all(const data::FeatureDataset& dataset) const;
 };
 
@@ -70,6 +81,8 @@ class SingleModalityModel : public ClassifierArm {
   void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
   Prediction predict(const data::FeatureSample& sample) const override;
   std::string name() const override;
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
 
  private:
   Modality modality_;
@@ -85,6 +98,8 @@ class EarlyFusionModel : public ClassifierArm {
   void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
   Prediction predict(const data::FeatureSample& sample) const override;
   std::string name() const override { return "early_fusion"; }
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
 
  private:
   FusionConfig config_;
@@ -116,6 +131,8 @@ class LateFusionModel : public ClassifierArm {
   LateFusionDetail predict_detail(const data::FeatureSample& sample) const;
 
   std::string name() const override { return "late_fusion"; }
+  void save(std::ostream& os) const override;
+  void load(std::istream& is) override;
 
   /// Per-modality p-values of the last predict() call, exposed so callers
   /// can report each modality's contribution.

@@ -22,6 +22,13 @@ struct ParamView {
   std::size_t size = 0;
 };
 
+/// Read-only parameter view, for serialization paths that only inspect a
+/// fitted model (Sequential::const_params / save_weights).
+struct ConstParamView {
+  const double* values = nullptr;
+  std::size_t size = 0;
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/binary_io.h"
+
 namespace noodle::nn {
 
 Matrix Sequential::forward(const Matrix& input, bool train) {
@@ -40,9 +42,19 @@ std::vector<ParamView> Sequential::params() {
   return all;
 }
 
-std::size_t Sequential::parameter_count() {
+std::vector<ConstParamView> Sequential::const_params() const {
+  // unique_ptr does not propagate const, so the layers stay mutable here;
+  // only read-only views escape.
+  std::vector<ConstParamView> all;
+  for (const auto& layer : layers_) {
+    for (ParamView p : layer->params()) all.push_back({p.values, p.size});
+  }
+  return all;
+}
+
+std::size_t Sequential::parameter_count() const {
   std::size_t count = 0;
-  for (ParamView p : params()) count += p.size;
+  for (ConstParamView p : const_params()) count += p.size;
   return count;
 }
 
@@ -56,45 +68,52 @@ namespace {
 constexpr std::uint64_t kWeightsMagic = 0x4e4f4f444c453031ULL;  // "NOODLE01"
 }
 
-void Sequential::save_weights(const std::filesystem::path& path) {
+void Sequential::save_weights(std::ostream& os) const {
+  const auto views = const_params();
+  util::write_u64(os, kWeightsMagic);
+  util::write_u64(os, views.size());
+  for (const ConstParamView& p : views) {
+    util::write_u64(os, p.size);
+    for (std::size_t i = 0; i < p.size; ++i) util::write_f64(os, p.values[i]);
+  }
+}
+
+void Sequential::load_weights(std::istream& is) {
+  std::uint64_t magic = 0;
+  try {
+    magic = util::read_u64(is);
+  } catch (const std::runtime_error&) {
+    throw std::runtime_error("load_weights: truncated header");
+  }
+  if (magic != kWeightsMagic) throw std::runtime_error("load_weights: bad header");
+  const std::uint64_t count = util::read_u64(is);
+  const auto views = params();
+  if (count != views.size()) {
+    throw std::runtime_error("load_weights: architecture mismatch (buffer count)");
+  }
+  for (const ParamView& p : views) {
+    if (util::read_u64(is) != p.size) {
+      throw std::runtime_error("load_weights: architecture mismatch (buffer size)");
+    }
+    for (std::size_t i = 0; i < p.size; ++i) p.values[i] = util::read_f64(is);
+  }
+}
+
+void Sequential::save_weights(const std::filesystem::path& path) const {
   std::ofstream os(path, std::ios::binary);
   if (!os) throw std::runtime_error("save_weights: cannot open " + path.string());
-  const auto views = params();
-  const std::uint64_t count = views.size();
-  os.write(reinterpret_cast<const char*>(&kWeightsMagic), sizeof(kWeightsMagic));
-  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  for (const ParamView& p : views) {
-    const std::uint64_t size = p.size;
-    os.write(reinterpret_cast<const char*>(&size), sizeof(size));
-    os.write(reinterpret_cast<const char*>(p.values),
-             static_cast<std::streamsize>(p.size * sizeof(double)));
-  }
+  save_weights(os);
   if (!os) throw std::runtime_error("save_weights: write failed for " + path.string());
 }
 
 void Sequential::load_weights(const std::filesystem::path& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) throw std::runtime_error("load_weights: cannot open " + path.string());
-  std::uint64_t magic = 0, count = 0;
-  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  is.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!is || magic != kWeightsMagic) {
-    throw std::runtime_error("load_weights: bad header in " + path.string());
+  try {
+    load_weights(is);
+  } catch (const std::runtime_error& e) {
+    throw std::runtime_error(std::string(e.what()) + " in " + path.string());
   }
-  const auto views = params();
-  if (count != views.size()) {
-    throw std::runtime_error("load_weights: architecture mismatch (buffer count)");
-  }
-  for (const ParamView& p : views) {
-    std::uint64_t size = 0;
-    is.read(reinterpret_cast<char*>(&size), sizeof(size));
-    if (!is || size != p.size) {
-      throw std::runtime_error("load_weights: architecture mismatch (buffer size)");
-    }
-    is.read(reinterpret_cast<char*>(p.values),
-            static_cast<std::streamsize>(p.size * sizeof(double)));
-  }
-  if (!is) throw std::runtime_error("load_weights: truncated file " + path.string());
 }
 
 }  // namespace noodle::nn

@@ -14,6 +14,10 @@ class Sequential {
 
   void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
 
+  /// Read-only view of every parameter buffer, usable on a fitted const
+  /// model (serialization reads weights through this).
+  std::vector<ConstParamView> const_params() const;
+
   Matrix forward(const Matrix& input, bool train = false);
 
   /// Inference-only forward pass. Guaranteed not to mutate the model (every
@@ -28,7 +32,7 @@ class Sequential {
 
   std::vector<ParamView> params();
 
-  std::size_t parameter_count();
+  std::size_t parameter_count() const;
 
   /// Validates the layer chain for the given input width and returns the
   /// final output width. Throws std::invalid_argument on a shape break.
@@ -38,9 +42,14 @@ class Sequential {
   Layer& layer(std::size_t i) { return *layers_.at(i); }
 
   /// Saves / restores all parameter buffers (binary little-endian doubles
-  /// with a small header). Architectures must match on load.
-  void save_weights(const std::filesystem::path& path);
+  /// with a small header). Architectures must match on load. Saving is a
+  /// read-only operation, so a fitted model is saveable through a const
+  /// reference; the stream overloads let a snapshot archive embed the
+  /// weight blob as one section.
+  void save_weights(const std::filesystem::path& path) const;
   void load_weights(const std::filesystem::path& path);
+  void save_weights(std::ostream& os) const;
+  void load_weights(std::istream& is);
 
  private:
   std::vector<LayerPtr> layers_;

@@ -1,0 +1,243 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/binary_io.h"
+
+namespace noodle::serve {
+
+namespace {
+
+core::NoodleDetector require_fitted(core::NoodleDetector detector) {
+  if (!detector.fitted()) {
+    throw std::invalid_argument("DetectionService: detector must be fitted");
+  }
+  return detector;
+}
+
+ServiceConfig validate(ServiceConfig config) {
+  if (config.max_batch == 0) {
+    throw std::invalid_argument("DetectionService: max_batch must be positive");
+  }
+  if (config.workers == 0) {
+    throw std::invalid_argument("DetectionService: workers must be positive");
+  }
+  return config;
+}
+
+}  // namespace
+
+DetectionService::DetectionService(core::NoodleDetector detector, ServiceConfig config)
+    : detector_(require_fitted(std::move(detector))),
+      config_(validate(config)),
+      pool_(config_.workers),
+      dispatcher_([this] { dispatcher_loop(); }) {}
+
+DetectionService::DetectionService(const std::filesystem::path& snapshot,
+                                   ServiceConfig config)
+    : DetectionService(core::NoodleDetector::from_snapshot(snapshot), config) {}
+
+DetectionService::~DetectionService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+  // pool_ destruction drains any batches still in flight; promises for
+  // requests queued after stopping_ never exist because submit() rejects
+  // them up front.
+}
+
+std::future<core::DetectionReport> DetectionService::submit(std::string verilog_source) {
+  const std::uint64_t key = util::fnv1a64(verilog_source);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests;
+  }
+
+  core::DetectionReport cached;
+  if (cache_lookup(key, verilog_source, cached)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.cache_hits;
+    }
+    std::promise<core::DetectionReport> ready;
+    ready.set_value(std::move(cached));
+    return ready.get_future();
+  }
+
+  Request request;
+  request.source = std::move(verilog_source);
+  request.key = key;
+  std::future<core::DetectionReport> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      throw std::runtime_error("DetectionService::submit: service is shutting down");
+    }
+    queue_.push_back(std::move(request));
+    ++outstanding_;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+core::DetectionReport DetectionService::scan(std::string verilog_source) {
+  return submit(std::move(verilog_source)).get();
+}
+
+void DetectionService::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+ServiceStats DetectionService::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::size_t DetectionService::cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void DetectionService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      if (!stopping_ && queue_.size() < config_.max_batch &&
+          config_.batch_linger.count() > 0) {
+        // Linger briefly so concurrent callers coalesce into one batch.
+        queue_cv_.wait_for(lock, config_.batch_linger, [this] {
+          return stopping_ || queue_.size() >= config_.max_batch;
+        });
+      }
+      const std::size_t take = std::min(config_.max_batch, queue_.size());
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    pool_.submit(
+        [this, shared = std::make_shared<std::vector<Request>>(std::move(batch))] {
+          process_batch(std::move(*shared));
+        });
+  }
+}
+
+void DetectionService::process_batch(std::vector<Request> batch) {
+  // Featurize per request so one malformed source fails only its own
+  // future; the surviving samples still share one scan_many pass.
+  std::vector<data::FeatureSample> samples;
+  std::vector<std::size_t> sample_owner;  // index into batch
+  std::vector<std::pair<std::size_t, std::exception_ptr>> rejected;
+  samples.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    try {
+      data::CircuitSample circuit;
+      circuit.verilog = batch[i].source;
+      samples.push_back(data::featurize(circuit));
+      sample_owner.push_back(i);
+    } catch (...) {
+      rejected.emplace_back(i, std::current_exception());
+    }
+  }
+
+  std::uint64_t elapsed_micros = 0;
+  std::vector<core::DetectionReport> reports;
+  std::exception_ptr batch_error;
+  if (!samples.empty()) {
+    try {
+      const auto start = std::chrono::steady_clock::now();
+      reports = detector_.scan_many(samples, config_.scan_threads);
+      elapsed_micros = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    } catch (...) {
+      // A batch-level failure must not leave futures dangling (a task
+      // escaping into the pool would terminate the process).
+      batch_error = std::current_exception();
+    }
+  }
+
+  // Publish counters and cache entries BEFORE fulfilling any promise, so a
+  // caller who has observed a verdict also observes its counters.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.scans += reports.size();
+    stats_.parse_failures += rejected.size();
+    stats_.scan_micros += elapsed_micros;
+    stats_.max_batch_size = std::max<std::uint64_t>(stats_.max_batch_size, batch.size());
+  }
+  for (std::size_t s = 0; s < reports.size(); ++s) {
+    cache_store(batch[sample_owner[s]].key, batch[sample_owner[s]].source, reports[s]);
+  }
+
+  for (auto& [owner, error] : rejected) batch[owner].promise.set_exception(error);
+  if (batch_error) {
+    for (const std::size_t owner : sample_owner) {
+      batch[owner].promise.set_exception(batch_error);
+    }
+  } else {
+    for (std::size_t s = 0; s < reports.size(); ++s) {
+      batch[sample_owner[s]].promise.set_value(std::move(reports[s]));
+    }
+  }
+  finish_requests(batch.size());
+}
+
+void DetectionService::finish_requests(std::size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    outstanding_ -= count;
+    if (outstanding_ != 0) return;
+  }
+  drained_cv_.notify_all();
+}
+
+bool DetectionService::cache_lookup(std::uint64_t key, const std::string& source,
+                                    core::DetectionReport& report) {
+  if (config_.cache_capacity == 0) return false;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(key);
+  if (it == cache_.end() || it->second.source != source) return false;
+  lru_.splice(lru_.begin(), lru_, it->second.position);  // bump to most-recent
+  report = it->second.report;
+  return true;
+}
+
+void DetectionService::cache_store(std::uint64_t key, const std::string& source,
+                                   const core::DetectionReport& report) {
+  if (config_.cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.position);
+    it->second.source = source;
+    it->second.report = report;
+    return;
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, CacheEntry{source, report, lru_.begin()});
+  while (cache_.size() > config_.cache_capacity) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+}  // namespace noodle::serve

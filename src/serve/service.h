@@ -1,0 +1,154 @@
+#pragma once
+// DetectionService — a long-lived serving front end over one fitted
+// NoodleDetector. This is the piece that turns the library into the
+// ROADMAP's "train once, serve heavy traffic" shape:
+//
+//   * requests enter through an async submit() returning a future;
+//   * a dispatcher coalesces concurrent requests into scan_many batches
+//     executed on a util::ThreadPool, so the CNN/ICP inference cost is
+//     amortized across callers;
+//   * verdicts are memoized in an LRU cache keyed by a 64-bit FNV-1a hash
+//     of the Verilog source, so re-scanning unchanged RTL is O(1);
+//   * counters (requests, cache hits, batch sizes, scan latency) are
+//     exported through ServiceStats for operational metering.
+//
+// The detector itself is immutable after construction (scan_features on a
+// fitted detector is stateless), which is what makes batching across
+// threads safe and verdicts independent of arrival order: a service answer
+// is always bit-identical to a direct scan_verilog() call on the same
+// detector.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <future>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/detector.h"
+#include "util/thread_pool.h"
+
+namespace noodle::serve {
+
+struct ServiceConfig {
+  /// Most requests coalesced into one detector batch.
+  std::size_t max_batch = 16;
+  /// How long the dispatcher lingers for more arrivals once a request is
+  /// pending, before dispatching a partial batch.
+  std::chrono::milliseconds batch_linger{2};
+  /// LRU verdict-cache capacity in entries; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+  /// Worker threads executing detector batches (the batch itself fans out
+  /// further via NoodleDetector::scan_many).
+  std::size_t workers = 1;
+  /// Thread count forwarded to scan_many inside one batch (0 = hardware).
+  std::size_t scan_threads = 1;
+};
+
+/// Monotonic counters snapshot; taken atomically enough for metering (each
+/// counter is individually consistent).
+struct ServiceStats {
+  std::uint64_t requests = 0;       ///< total submit() calls
+  std::uint64_t cache_hits = 0;     ///< answered from the LRU without a scan
+  std::uint64_t scans = 0;          ///< verdicts computed by the detector
+  std::uint64_t parse_failures = 0; ///< requests rejected with ParseError
+  std::uint64_t batches = 0;        ///< detector batches dispatched
+  std::uint64_t max_batch_size = 0; ///< largest coalesced batch so far
+  std::uint64_t scan_micros = 0;    ///< wall time inside detector batches
+
+  double cache_hit_rate() const noexcept {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(cache_hits) / static_cast<double>(requests);
+  }
+  double average_batch_size() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(scans) / static_cast<double>(batches);
+  }
+  double average_scan_micros() const noexcept {
+    return scans == 0 ? 0.0
+                      : static_cast<double>(scan_micros) / static_cast<double>(scans);
+  }
+};
+
+class DetectionService {
+ public:
+  /// Adopts an already-fitted detector. Throws std::invalid_argument if the
+  /// detector is unfitted or the config is degenerate.
+  explicit DetectionService(core::NoodleDetector detector, ServiceConfig config = {});
+
+  /// Loads the detector from a snapshot archive (NoodleDetector::save).
+  explicit DetectionService(const std::filesystem::path& snapshot,
+                            ServiceConfig config = {});
+
+  /// Drains every outstanding request, then stops the workers.
+  ~DetectionService();
+
+  DetectionService(const DetectionService&) = delete;
+  DetectionService& operator=(const DetectionService&) = delete;
+
+  /// Queues one Verilog source for scanning. The future carries the verdict
+  /// or the parse error; a cache hit resolves it immediately. Thread-safe.
+  std::future<core::DetectionReport> submit(std::string verilog_source);
+
+  /// Synchronous convenience wrapper around submit().get().
+  core::DetectionReport scan(std::string verilog_source);
+
+  /// Blocks until every request submitted so far has been answered.
+  void drain();
+
+  ServiceStats stats() const;
+
+  const core::NoodleDetector& detector() const noexcept { return detector_; }
+  std::size_t cache_size() const;
+
+ private:
+  struct Request {
+    std::string source;
+    std::uint64_t key = 0;
+    std::promise<core::DetectionReport> promise;
+  };
+
+  void dispatcher_loop();
+  void process_batch(std::vector<Request> batch);
+  bool cache_lookup(std::uint64_t key, const std::string& source,
+                    core::DetectionReport& report);
+  void cache_store(std::uint64_t key, const std::string& source,
+                   const core::DetectionReport& report);
+  void finish_requests(std::size_t count);
+
+  core::NoodleDetector detector_;
+  ServiceConfig config_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Request> queue_;
+  std::size_t outstanding_ = 0;  ///< submitted but not yet answered
+  bool stopping_ = false;
+
+  // LRU cache: most-recent at the front of lru_; the map holds the verdict
+  // and the entry's position in lru_. The full source is kept and compared
+  // on hit: the key is a non-cryptographic 64-bit hash of attacker-supplied
+  // RTL, and a collision must never serve another circuit's verdict.
+  struct CacheEntry {
+    std::string source;
+    core::DetectionReport report;
+    std::list<std::uint64_t>::iterator position;
+  };
+  mutable std::mutex cache_mutex_;
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats stats_;
+
+  util::ThreadPool pool_;
+  std::thread dispatcher_;
+};
+
+}  // namespace noodle::serve

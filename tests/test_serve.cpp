@@ -1,0 +1,373 @@
+// Tests for the serving subsystem: binary-IO primitives, the snapshot
+// archive format, NoodleDetector save/load round-trip bit-identity, the
+// archive's corruption defenses, and DetectionService batching/caching
+// returning verdicts identical to direct sequential scans.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <vector>
+
+#include "core/detector.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "util/binary_io.h"
+
+namespace noodle {
+namespace {
+
+// --- binary-IO primitives --------------------------------------------------
+
+TEST(BinaryIo, RoundTripsScalarsBitExactly) {
+  std::ostringstream os;
+  util::write_u8(os, 0xab);
+  util::write_u32(os, 0xdeadbeefu);
+  util::write_u64(os, 0x0123456789abcdefULL);
+  util::write_f64(os, -0.1);
+  util::write_f64(os, 0.0);
+  util::write_string(os, "noodle");
+  util::write_f64_vector(os, {1.5, -2.25, 1e-300});
+
+  std::istringstream is(os.str());
+  EXPECT_EQ(util::read_u8(is), 0xab);
+  EXPECT_EQ(util::read_u32(is), 0xdeadbeefu);
+  EXPECT_EQ(util::read_u64(is), 0x0123456789abcdefULL);
+  EXPECT_EQ(util::read_f64(is), -0.1);
+  EXPECT_EQ(util::read_f64(is), 0.0);
+  EXPECT_EQ(util::read_string(is), "noodle");
+  EXPECT_EQ(util::read_f64_vector(is), (std::vector<double>{1.5, -2.25, 1e-300}));
+}
+
+TEST(BinaryIo, TruncatedInputThrows) {
+  std::istringstream is("\x01\x02");
+  EXPECT_THROW(util::read_u64(is), std::runtime_error);
+}
+
+TEST(BinaryIo, AbsurdLengthPrefixThrowsInsteadOfAllocating) {
+  std::ostringstream os;
+  util::write_u64(os, ~0ULL);  // length prefix claiming 2^64-1 entries
+  std::istringstream is(os.str());
+  EXPECT_THROW(util::read_f64_vector(is), std::runtime_error);
+}
+
+TEST(BinaryIo, Fnv1a64MatchesReferenceVector) {
+  // FNV-1a test vectors: empty input -> offset basis; "a" -> published value.
+  EXPECT_EQ(util::fnv1a64("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(util::fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+}
+
+// --- snapshot archive framing ----------------------------------------------
+
+TEST(SnapshotArchive, RoundTripsSections) {
+  serve::SnapshotWriter writer;
+  util::write_string(writer.begin_section("AAAA"), "first");
+  util::write_string(writer.begin_section("BBBB"), "second");
+  std::ostringstream os;
+  writer.write_to(os);
+
+  std::istringstream is(os.str());
+  serve::SnapshotReader reader(is);
+  EXPECT_EQ(reader.section_count(), 2u);
+  EXPECT_TRUE(reader.has_section("AAAA"));
+  EXPECT_FALSE(reader.has_section("ZZZZ"));
+  // Out-of-order access by tag works.
+  EXPECT_EQ(util::read_string(reader.section("BBBB")), "second");
+  EXPECT_EQ(util::read_string(reader.section("AAAA")), "first");
+  EXPECT_THROW(reader.section("AAAA"), serve::SnapshotError);  // consumed
+  EXPECT_THROW(reader.section("ZZZZ"), serve::SnapshotError);  // missing
+}
+
+TEST(SnapshotArchive, RejectsBadMagicVersionTruncationAndCorruption) {
+  serve::SnapshotWriter writer;
+  util::write_string(writer.begin_section("DATA"), std::string(256, 'x'));
+  std::ostringstream os;
+  writer.write_to(os);
+  const std::string bytes = os.str();
+
+  {
+    std::istringstream is("not a snapshot at all");
+    EXPECT_THROW(serve::SnapshotReader reader(is), serve::SnapshotError);
+  }
+  {
+    std::string wrong_version = bytes;
+    wrong_version[8] = static_cast<char>(serve::kSnapshotVersion + 1);
+    std::istringstream is(wrong_version);
+    EXPECT_THROW(serve::SnapshotReader reader(is), serve::SnapshotError);
+  }
+  {
+    std::istringstream is(bytes.substr(0, bytes.size() / 2));
+    EXPECT_THROW(serve::SnapshotReader reader(is), serve::SnapshotError);
+  }
+  {
+    std::string flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x40;  // single bit flip mid-payload
+    std::istringstream is(flipped);
+    EXPECT_THROW(serve::SnapshotReader reader(is), serve::SnapshotError);
+  }
+  {
+    std::istringstream is(bytes);  // pristine bytes still parse
+    EXPECT_NO_THROW(serve::SnapshotReader reader(is));
+  }
+}
+
+// --- detector snapshot round trip -------------------------------------------
+
+std::filesystem::path temp_snapshot_path(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+class DetectorSnapshot : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    core::DetectorConfig config;
+    config.seed = 7;
+    config.gan_target_per_class = 30;
+    config.gan.epochs = 20;
+    config.fusion.train.epochs = 8;
+    config.fusion.train.validation_fraction = 0.0;
+    detector_ = new core::NoodleDetector(config);
+
+    data::CorpusSpec spec;
+    spec.design_count = 72;
+    spec.infected_fraction = 0.35;
+    spec.seed = 7;
+    corpus_ = new std::vector<data::CircuitSample>(data::build_corpus(spec));
+    detector_->fit(*corpus_);
+
+    samples_ = new std::vector<data::FeatureSample>();
+    for (const auto& circuit : *corpus_) samples_->push_back(data::featurize(circuit));
+  }
+
+  static void TearDownTestSuite() {
+    delete samples_;
+    samples_ = nullptr;
+    delete corpus_;
+    corpus_ = nullptr;
+    delete detector_;
+    detector_ = nullptr;
+  }
+
+  static void expect_identical_report(const core::DetectionReport& a,
+                                      const core::DetectionReport& b) {
+    // Bit-identical, not approximately equal: serialization must be exact.
+    EXPECT_EQ(a.predicted_label, b.predicted_label);
+    EXPECT_EQ(a.probability, b.probability);
+    EXPECT_EQ(a.p_values, b.p_values);
+    EXPECT_EQ(a.region.p, b.region.p);
+    EXPECT_EQ(a.region.contains, b.region.contains);
+    EXPECT_EQ(a.region.confidence, b.region.confidence);
+    EXPECT_EQ(a.region.credibility, b.region.credibility);
+    EXPECT_EQ(a.fusion_used, b.fusion_used);
+  }
+
+  static core::NoodleDetector* detector_;
+  static std::vector<data::CircuitSample>* corpus_;
+  static std::vector<data::FeatureSample>* samples_;
+};
+
+core::NoodleDetector* DetectorSnapshot::detector_ = nullptr;
+std::vector<data::CircuitSample>* DetectorSnapshot::corpus_ = nullptr;
+std::vector<data::FeatureSample>* DetectorSnapshot::samples_ = nullptr;
+
+TEST_F(DetectorSnapshot, SaveLoadRoundTripIsBitIdentical) {
+  const auto path = temp_snapshot_path("noodle_roundtrip.snap");
+  // Saving must work through a const reference (a fitted model is
+  // immutable at serving time).
+  const core::NoodleDetector& fitted = *detector_;
+  fitted.save(path);
+
+  const core::NoodleDetector loaded = core::NoodleDetector::from_snapshot(path);
+  EXPECT_TRUE(loaded.fitted());
+  EXPECT_EQ(loaded.winning_fusion(), detector_->winning_fusion());
+  for (const auto& sample : *samples_) {
+    expect_identical_report(loaded.scan_features(sample),
+                            detector_->scan_features(sample));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(DetectorSnapshot, RoundTripSurvivesASecondGeneration) {
+  // save -> load -> save -> load must stay stable (no drift in the format).
+  const auto path1 = temp_snapshot_path("noodle_gen1.snap");
+  const auto path2 = temp_snapshot_path("noodle_gen2.snap");
+  detector_->save(path1);
+  core::NoodleDetector first = core::NoodleDetector::from_snapshot(path1);
+  first.save(path2);
+  const core::NoodleDetector second = core::NoodleDetector::from_snapshot(path2);
+  for (std::size_t i = 0; i < 8 && i < samples_->size(); ++i) {
+    expect_identical_report(second.scan_features((*samples_)[i]),
+                            detector_->scan_features((*samples_)[i]));
+  }
+  std::filesystem::remove(path1);
+  std::filesystem::remove(path2);
+}
+
+TEST_F(DetectorSnapshot, ScanVerilogAfterLoadMatches) {
+  const auto path = temp_snapshot_path("noodle_verilog.snap");
+  detector_->save(path);
+  const core::NoodleDetector loaded = core::NoodleDetector::from_snapshot(path);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_identical_report(loaded.scan_verilog((*corpus_)[i].verilog),
+                            detector_->scan_verilog((*corpus_)[i].verilog));
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(DetectorSnapshot, CorruptedOrTruncatedSnapshotThrowsAndLeavesDetectorIntact) {
+  const auto path = temp_snapshot_path("noodle_corrupt.snap");
+  detector_->save(path);
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  }
+
+  const auto write_variant = [&path](const std::string& content) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(content.data(), static_cast<std::streamsize>(content.size()));
+  };
+
+  // Truncated to half.
+  write_variant(bytes.substr(0, bytes.size() / 2));
+  core::NoodleDetector victim;
+  EXPECT_THROW(victim.load(path), serve::SnapshotError);
+  EXPECT_FALSE(victim.fitted());  // failed load must not half-populate
+
+  // One corrupted byte deep inside the weight payload.
+  std::string flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x01;
+  write_variant(flipped);
+  EXPECT_THROW(victim.load(path), serve::SnapshotError);
+  EXPECT_FALSE(victim.fitted());
+
+  // Version bump.
+  std::string wrong_version = bytes;
+  wrong_version[8] = static_cast<char>(serve::kSnapshotVersion + 7);
+  write_variant(wrong_version);
+  EXPECT_THROW(victim.load(path), serve::SnapshotError);
+  EXPECT_FALSE(victim.fitted());
+
+  std::filesystem::remove(path);
+}
+
+TEST_F(DetectorSnapshot, MissingFileThrows) {
+  core::NoodleDetector victim;
+  EXPECT_THROW(victim.load(temp_snapshot_path("noodle_does_not_exist.snap")),
+               serve::SnapshotError);
+}
+
+TEST(DetectorSnapshotUnfitted, SaveThrowsLogicError) {
+  const core::NoodleDetector detector;
+  EXPECT_THROW(detector.save(temp_snapshot_path("noodle_unfitted.snap")),
+               std::logic_error);
+}
+
+// --- DetectionService --------------------------------------------------------
+
+TEST_F(DetectorSnapshot, ServiceMatchesSequentialScansUnderConcurrency) {
+  const auto path = temp_snapshot_path("noodle_service.snap");
+  detector_->save(path);
+
+  serve::ServiceConfig config;
+  config.max_batch = 4;
+  config.workers = 2;
+  serve::DetectionService service(path, config);
+  std::filesystem::remove(path);
+
+  std::vector<std::future<core::DetectionReport>> futures;
+  futures.reserve(corpus_->size());
+  for (const auto& circuit : *corpus_) futures.push_back(service.submit(circuit.verilog));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    expect_identical_report(futures[i].get(),
+                            detector_->scan_verilog((*corpus_)[i].verilog));
+  }
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, corpus_->size());
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.scans + stats.cache_hits, stats.requests);
+  EXPECT_EQ(stats.parse_failures, 0u);
+}
+
+TEST_F(DetectorSnapshot, ServiceCacheHitsDoNotChangeResults) {
+  serve::ServiceConfig config;
+  config.max_batch = 8;
+  core::NoodleDetector loaded;
+  {
+    const auto path = temp_snapshot_path("noodle_cache.snap");
+    detector_->save(path);
+    loaded.load(path);
+    std::filesystem::remove(path);
+  }
+  serve::DetectionService service(std::move(loaded), config);
+
+  const std::string& source = (*corpus_)[0].verilog;
+  const core::DetectionReport first = service.scan(source);
+  const core::DetectionReport again = service.scan(source);
+  const core::DetectionReport direct = detector_->scan_verilog(source);
+  expect_identical_report(first, direct);
+  expect_identical_report(again, direct);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);  // second scan of identical RTL is a hit
+  EXPECT_EQ(stats.scans, 1u);
+  EXPECT_EQ(service.cache_size(), 1u);
+}
+
+TEST_F(DetectorSnapshot, ServiceCacheEvictsAtCapacityAndStaysCorrect) {
+  serve::ServiceConfig config;
+  config.cache_capacity = 2;
+  core::NoodleDetector copy = core::NoodleDetector::from_snapshot([&] {
+    const auto path = temp_snapshot_path("noodle_evict.snap");
+    detector_->save(path);
+    return path;
+  }());
+  serve::DetectionService service(std::move(copy), config);
+
+  for (std::size_t round = 0; round < 2; ++round) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      expect_identical_report(service.scan((*corpus_)[i].verilog),
+                              detector_->scan_verilog((*corpus_)[i].verilog));
+    }
+  }
+  EXPECT_LE(service.cache_size(), 2u);
+  std::filesystem::remove(temp_snapshot_path("noodle_evict.snap"));
+}
+
+TEST_F(DetectorSnapshot, ServiceIsolatesParseErrorsToTheirOwnFuture) {
+  serve::ServiceConfig config;
+  config.max_batch = 3;
+  core::NoodleDetector copy;
+  {
+    const auto path = temp_snapshot_path("noodle_parse.snap");
+    detector_->save(path);
+    copy.load(path);
+    std::filesystem::remove(path);
+  }
+  serve::DetectionService service(std::move(copy), config);
+
+  auto good_before = service.submit((*corpus_)[0].verilog);
+  auto bad = service.submit("module broken(");
+  auto good_after = service.submit((*corpus_)[1].verilog);
+
+  expect_identical_report(good_before.get(),
+                          detector_->scan_verilog((*corpus_)[0].verilog));
+  EXPECT_ANY_THROW(bad.get());
+  expect_identical_report(good_after.get(),
+                          detector_->scan_verilog((*corpus_)[1].verilog));
+  service.drain();
+  EXPECT_EQ(service.stats().parse_failures, 1u);
+}
+
+TEST(DetectionServiceConfig, RejectsUnfittedDetector) {
+  EXPECT_THROW(serve::DetectionService(core::NoodleDetector{}, serve::ServiceConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace noodle

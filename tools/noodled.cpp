@@ -1,0 +1,264 @@
+// noodled — the detection daemon: fit-or-load a detector snapshot, then
+// serve Trojan scans over newline-delimited Verilog file paths on stdin,
+// one verdict line per request. The end-to-end proof that a fitted model
+// is a reusable, servable artifact:
+//
+//   ./build/noodled --snapshot detector.noodle --quick   # first run: fits + saves
+//   ls designs/*.v | ./build/noodled --snapshot detector.noodle --stats
+//
+// Options:
+//   --snapshot FILE   load the detector from FILE if it exists; otherwise
+//                     fit and save to FILE (train once, scan forever)
+//   --refit           fit even when the snapshot exists, then overwrite it
+//   --quick           small training config (CI smoke / demos; seconds not
+//                     minutes)
+//   --batch N         max requests coalesced per detector batch (default 16)
+//   --cache N         LRU verdict-cache capacity (default 4096, 0 disables)
+//   --workers N       service worker threads (default 1)
+//   --seed N          training seed (default 42)
+//   --stats           print service counters to stderr on exit
+//   --demo N          write N demo circuits under ./noodled_demo/ and print
+//                     their paths to stdout, then exit — composable with a
+//                     serving run:  noodled --demo 6 | noodled --snapshot S
+//
+// Verdict line format (tab-separated):
+//   TROJAN-INFECTED|trojan-free|parse-error|read-error  p=...  region=...  <path>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+#include "util/csv.h"
+
+using namespace noodle;
+
+namespace {
+
+struct Options {
+  std::filesystem::path snapshot;
+  bool refit = false;
+  bool quick = false;
+  bool stats = false;
+  std::size_t batch = 16;
+  std::size_t cache = 4096;
+  std::size_t workers = 1;
+  std::uint64_t seed = 42;
+  std::size_t demo = 0;
+};
+
+[[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
+  if (!error.empty()) std::cerr << "noodled: " << error << "\n";
+  std::cerr << "usage: " << argv0
+            << " [--snapshot FILE] [--refit] [--quick] [--batch N] [--cache N]"
+               " [--workers N] [--seed N] [--stats] [--demo N]\n"
+               "reads newline-delimited Verilog file paths from stdin\n";
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0], std::string("missing value for ") + argv[i]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--snapshot") {
+        options.snapshot = next_value(i);
+      } else if (arg == "--refit") {
+        options.refit = true;
+      } else if (arg == "--quick") {
+        options.quick = true;
+      } else if (arg == "--stats") {
+        options.stats = true;
+      } else if (arg == "--batch") {
+        options.batch = std::stoul(next_value(i));
+      } else if (arg == "--cache") {
+        options.cache = std::stoul(next_value(i));
+      } else if (arg == "--workers") {
+        options.workers = std::stoul(next_value(i));
+      } else if (arg == "--seed") {
+        options.seed = std::stoull(next_value(i));
+      } else if (arg == "--demo") {
+        options.demo = std::stoul(next_value(i));
+      } else {
+        usage(argv[0], "unknown option " + arg);
+      }
+    } catch (const std::exception&) {  // stoul: invalid_argument or out_of_range
+      usage(argv[0], "bad numeric value for " + arg);
+    }
+  }
+  if (options.batch == 0) usage(argv[0], "--batch must be positive");
+  if (options.workers == 0) usage(argv[0], "--workers must be positive");
+  return options;
+}
+
+core::DetectorConfig training_config(const Options& options) {
+  core::DetectorConfig config;
+  config.seed = options.seed;
+  if (options.quick) {
+    config.gan_target_per_class = 40;
+    config.gan.epochs = 30;
+    config.fusion.train.epochs = 12;
+    config.fusion.train.validation_fraction = 0.0;
+  }
+  return config;
+}
+
+core::NoodleDetector fit_or_load(const Options& options) {
+  const bool can_load = !options.snapshot.empty() && !options.refit &&
+                        std::filesystem::exists(options.snapshot);
+  if (can_load) {
+    std::cerr << "noodled: loading snapshot " << options.snapshot.string() << "\n";
+    return core::NoodleDetector::from_snapshot(options.snapshot);
+  }
+  std::cerr << "noodled: fitting detector (seed " << options.seed
+            << (options.quick ? ", quick config" : "") << ")...\n";
+  core::NoodleDetector detector(training_config(options));
+  if (options.quick) {
+    data::CorpusSpec spec;
+    spec.design_count = 96;
+    spec.infected_fraction = 0.35;
+    spec.seed = options.seed;
+    detector.fit(data::build_corpus(spec));
+  } else {
+    detector.fit_default();
+  }
+  if (!options.snapshot.empty()) {
+    detector.save(options.snapshot);
+    std::cerr << "noodled: saved snapshot to " << options.snapshot.string() << "\n";
+  }
+  return detector;
+}
+
+std::string region_text(const cp::PredictionRegion& region) {
+  if (region.is_uncertain()) return "{TF,TI}";
+  if (region.is_empty()) return "{}";
+  return region.contains[1] ? "{TI}" : "{TF}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = parse_options(argc, argv);
+
+  if (options.demo > 0) {
+    const std::filesystem::path dir = "noodled_demo";
+    std::filesystem::create_directories(dir);
+    data::CorpusSpec spec;
+    spec.design_count = options.demo;
+    spec.infected_fraction = 0.25;
+    spec.seed = options.seed;
+    for (const auto& circuit : data::build_corpus(spec)) {
+      const auto path = dir / (circuit.name + (circuit.infected ? ".infected.v" : ".v"));
+      std::ofstream out(path);
+      out << circuit.verilog;
+      std::cout << path.string() << "\n";
+    }
+    return 0;
+  }
+
+  core::NoodleDetector detector = [&] {
+    try {
+      return fit_or_load(options);
+    } catch (const serve::SnapshotError& e) {
+      std::cerr << "noodled: snapshot rejected: " << e.what()
+                << " (use --refit to retrain)\n";
+      std::exit(1);
+    }
+  }();
+  std::cerr << "noodled: serving (fusion=" << detector.winning_fusion() << ")\n";
+
+  serve::ServiceConfig service_config;
+  service_config.max_batch = options.batch;
+  service_config.cache_capacity = options.cache;
+  service_config.workers = options.workers;
+  serve::DetectionService service(std::move(detector), service_config);
+
+  struct Pending {
+    std::string path;
+    std::future<core::DetectionReport> verdict;
+    std::string error;  // set when the file could not even be read
+  };
+  std::deque<Pending> pending;
+  int failures = 0;
+
+  // Verdicts stream out in input order as they complete, so a producer
+  // that keeps the pipe open sees results live instead of at EOF.
+  const auto print_front = [&] {
+    Pending& request = pending.front();
+    if (!request.error.empty()) {
+      std::cout << "read-error\t-\t-\t" << request.path << "\n";
+      ++failures;
+    } else {
+      try {
+        const core::DetectionReport report = request.verdict.get();
+        std::cout << (report.predicted_label == data::kTrojanInfected
+                          ? "TROJAN-INFECTED"
+                          : "trojan-free")
+                  << "\tp=" << util::format_fixed(report.probability, 3)
+                  << "\tregion=" << region_text(report.region) << "\t" << request.path
+                  << "\n";
+      } catch (const std::exception& e) {
+        std::cout << "parse-error\t-\t-\t" << request.path << "\n";
+        std::cerr << "noodled: " << request.path << ": " << e.what() << "\n";
+        ++failures;
+      }
+    }
+    std::cout.flush();
+    pending.pop_front();
+  };
+  const auto flush_ready = [&] {
+    while (!pending.empty() &&
+           (!pending.front().error.empty() ||
+            pending.front().verdict.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready)) {
+      print_front();
+    }
+  };
+
+  // Blocking backpressure bound: never hold more in-flight requests than a
+  // few dispatch rounds' worth, so arbitrarily long input stays bounded.
+  const std::size_t max_pending =
+      std::max<std::size_t>(256, options.batch * options.workers * 4);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    Pending request;
+    request.path = line;
+    std::ifstream file(line);
+    if (!file) {
+      request.error = "cannot open file";
+    } else {
+      std::ostringstream source;
+      source << file.rdbuf();
+      request.verdict = service.submit(source.str());
+    }
+    pending.push_back(std::move(request));
+    flush_ready();
+    while (pending.size() >= max_pending) print_front();
+  }
+  while (!pending.empty()) print_front();
+
+  if (options.stats) {
+    const serve::ServiceStats stats = service.stats();
+    std::cerr << "noodled stats: requests=" << stats.requests
+              << " cache_hits=" << stats.cache_hits << " scans=" << stats.scans
+              << " batches=" << stats.batches
+              << " max_batch=" << stats.max_batch_size
+              << " parse_failures=" << stats.parse_failures
+              << " avg_batch=" << util::format_fixed(stats.average_batch_size(), 2)
+              << " avg_scan_us=" << util::format_fixed(stats.average_scan_micros(), 1)
+              << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
