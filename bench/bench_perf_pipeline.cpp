@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <filesystem>
 #include <future>
 
@@ -22,6 +23,7 @@
 #include "graph/builder.h"
 #include "graph/features.h"
 #include "nn/trainer.h"
+#include "serve/registry.h"
 #include "serve/service.h"
 #include "verilog/parser.h"
 
@@ -290,28 +292,85 @@ BENCHMARK(BM_ScanMany)->Arg(1)->Arg(2)->Arg(4)->UseRealTime()->Unit(benchmark::k
 // ---------------------------------------------------------------------------
 
 void BM_SnapshotSaveLoad(benchmark::State& state) {
+  const bool f32 = state.range(0) != 0;
+  const auto precision = f32 ? nn::WeightPrecision::F32 : nn::WeightPrecision::F64;
   const auto& detector = fitted_detector();
   const auto path = std::filesystem::temp_directory_path() / "noodle_bench.snap";
   const core::DetectionReport reference = detector.scan_features(scan_samples()[0]);
   std::uintmax_t snapshot_bytes = 0;
   for (auto _ : state) {
-    detector.save(path);
+    detector.save(path, precision);
     const core::NoodleDetector loaded = core::NoodleDetector::from_snapshot(path);
     benchmark::DoNotOptimize(loaded);
     state.PauseTiming();
     snapshot_bytes = std::filesystem::file_size(path);
     const core::DetectionReport check = loaded.scan_features(scan_samples()[0]);
-    if (check.probability != reference.probability ||
-        check.p_values != reference.p_values) {
+    // F64 round-trips bit-exactly; F32 rounds each weight, so the verdict
+    // only has to stay label-identical and probability-close.
+    const bool diverged =
+        f32 ? check.predicted_label != reference.predicted_label ||
+                  std::abs(check.probability - reference.probability) > 5e-3
+            : check.probability != reference.probability ||
+                  check.p_values != reference.p_values;
+    if (diverged) {
       state.SkipWithError("loaded detector diverged from the fitted original");
       break;  // no ResumeTiming after SkipWithError (library precondition)
     }
     state.ResumeTiming();
   }
   std::filesystem::remove(path);
-  state.SetLabel("snapshot_bytes=" + std::to_string(snapshot_bytes));
+  state.SetLabel(std::string(f32 ? "f32" : "f64") +
+                 " snapshot_bytes=" + std::to_string(snapshot_bytes));
 }
-BENCHMARK(BM_SnapshotSaveLoad)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SnapshotSaveLoad)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// P6 — multi-model registry: resolve fast paths and atomic hot reload
+// ---------------------------------------------------------------------------
+
+void BM_RegistryResolve(benchmark::State& state) {
+  const bool via_view = state.range(0) != 0;
+  serve::ModelRegistry registry;
+  registry.publish("prod", fitted_detector().fitted_model());
+  registry.publish("canary", fitted_detector().fitted_model());
+  const serve::ModelRegistry::LatestView view = registry.latest_view("prod");
+  for (auto _ : state) {
+    if (via_view) {
+      benchmark::DoNotOptimize(view.get());  // the scan fast path: one atomic load
+    } else {
+      benchmark::DoNotOptimize(registry.resolve("prod"));  // name lookup + atomic load
+    }
+  }
+  state.SetLabel(via_view ? "latest_view" : "resolve_by_name");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryResolve)->Arg(0)->Arg(1);
+
+void BM_HotReload(benchmark::State& state) {
+  // One reload = snapshot read + full validation + arm rebuild + atomic
+  // publish — the latency floor for a zero-downtime model upgrade.
+  const auto path = std::filesystem::temp_directory_path() / "noodle_bench_reload.snap";
+  fitted_detector().save(path);
+  const core::DetectionReport reference = fitted_detector().scan_features(scan_samples()[0]);
+  serve::ModelRegistry registry;
+  registry.reload_from("prod", path);
+  for (auto _ : state) {
+    const serve::ModelHandle handle = registry.reload_from("prod", path);
+    benchmark::DoNotOptimize(handle);
+    state.PauseTiming();
+    registry.retire("prod", handle->version() - 1);  // keep the catalog flat
+    state.ResumeTiming();
+  }
+  const core::DetectionReport check =
+      registry.resolve("prod")->model().scan_features(scan_samples()[0]);
+  if (check.probability != reference.probability ||
+      check.p_values != reference.p_values) {
+    state.SkipWithError("reloaded generation diverged from the fitted original");
+  }
+  std::filesystem::remove(path);
+  state.SetLabel("live_generations=" + std::to_string(registry.size()));
+}
+BENCHMARK(BM_HotReload)->Unit(benchmark::kMillisecond);
 
 void BM_ServiceThroughput(benchmark::State& state) {
   const bool cached = state.range(0) != 0;

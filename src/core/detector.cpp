@@ -4,47 +4,43 @@
 
 #include "data/dataset.h"
 #include "metrics/brier.h"
-#include "serve/snapshot.h"
-#include "util/binary_io.h"
-#include "util/thread_pool.h"
-#include "verilog/parser.h"
+#include "util/rng.h"
 
 namespace noodle::core {
 
-struct NoodleDetector::Impl {
-  DetectorConfig config;
-  fusion::EarlyFusionModel early;
-  fusion::LateFusionModel late;
-  std::string winner;
-  bool fitted = false;
-
-  explicit Impl(DetectorConfig cfg)
-      : config(std::move(cfg)), early(config.fusion), late(config.fusion) {}
-};
-
-NoodleDetector::NoodleDetector(DetectorConfig config)
-    : impl_(std::make_unique<Impl>(std::move(config))) {
-  impl_->config.fusion.seed = impl_->config.seed + 13;
+NoodleDetector::NoodleDetector(DetectorConfig config) : config_(std::move(config)) {
+  config_.fusion.seed = config_.seed + 13;
 }
 
+NoodleDetector::NoodleDetector(std::shared_ptr<const FittedModel> model)
+    : config_(model ? model->config() : DetectorConfig{}), model_(std::move(model)) {}
+
 NoodleDetector::~NoodleDetector() = default;
-NoodleDetector::NoodleDetector(NoodleDetector&&) noexcept = default;
-NoodleDetector& NoodleDetector::operator=(NoodleDetector&&) noexcept = default;
+
+NoodleDetector::NoodleDetector(NoodleDetector&& other) noexcept
+    : config_(std::move(other.config_)), model_(other.model_.exchange(nullptr)) {}
+
+NoodleDetector& NoodleDetector::operator=(NoodleDetector&& other) noexcept {
+  if (this != &other) {
+    config_ = std::move(other.config_);
+    model_.store(other.model_.exchange(nullptr));
+  }
+  return *this;
+}
 
 void NoodleDetector::fit(const std::vector<data::CircuitSample>& corpus) {
   if (corpus.empty()) throw std::invalid_argument("NoodleDetector::fit: empty corpus");
   data::FeatureDataset dataset = data::featurize_corpus(corpus);
 
-  if (impl_->config.use_gan) {
-    gan::GanConfig gan_config = impl_->config.gan;
-    gan_config.seed = impl_->config.seed + 7;
-    dataset =
-        gan::augment_with_gan(dataset, impl_->config.gan_target_per_class, gan_config);
+  if (config_.use_gan) {
+    gan::GanConfig gan_config = config_.gan;
+    gan_config.seed = config_.seed + 7;
+    dataset = gan::augment_with_gan(dataset, config_.gan_target_per_class, gan_config);
   }
 
   // Split into proper training + calibration (Mondrian ICP requirement).
-  util::Rng rng(impl_->config.seed);
-  const double train_fraction = impl_->config.train_fraction;
+  util::Rng rng(config_.seed);
+  const double train_fraction = config_.train_fraction;
   const double cal_fraction = 1.0 - train_fraction - 1e-9;
   const data::SplitIndices split =
       data::stratified_split(dataset.labels(), train_fraction, cal_fraction, rng);
@@ -56,10 +52,10 @@ void NoodleDetector::fit(const std::vector<data::CircuitSample>& corpus) {
   const data::FeatureDataset train = data::subset(dataset, split.train);
   const data::FeatureDataset cal = data::subset(dataset, cal_indices);
 
-  impl_->early = fusion::EarlyFusionModel(impl_->config.fusion);
-  impl_->late = fusion::LateFusionModel(impl_->config.fusion);
-  impl_->early.fit(train, cal);
-  impl_->late.fit(train, cal);
+  fusion::EarlyFusionModel early(config_.fusion);
+  fusion::LateFusionModel late(config_.fusion);
+  early.fit(train, cal);
+  late.fit(train, cal);
 
   // Winner selection on the calibration split (Algorithm 2, step 8).
   const std::vector<int> cal_labels = cal.labels();
@@ -71,186 +67,76 @@ void NoodleDetector::fit(const std::vector<data::CircuitSample>& corpus) {
     }
     return metrics::brier_score(probs, cal_labels);
   };
-  const double early_brier = arm_brier(impl_->early);
-  const double late_brier = arm_brier(impl_->late);
-  impl_->winner = late_brier <= early_brier ? "late_fusion" : "early_fusion";
-  impl_->fitted = true;
+  const double early_brier = arm_brier(early);
+  const double late_brier = arm_brier(late);
+  const std::string winner = late_brier <= early_brier ? "late_fusion" : "early_fusion";
+
+  // Build the complete replacement generation, then publish it with one
+  // atomic store — a concurrent scan either sees the old generation or this
+  // one, never a mixture.
+  model_.store(std::make_shared<const FittedModel>(config_, std::move(early),
+                                                   std::move(late), winner));
 }
 
 void NoodleDetector::fit_default() {
   data::CorpusSpec spec;
   spec.design_count = 240;
   spec.infected_fraction = 0.3;
-  spec.seed = impl_->config.seed;
+  spec.seed = config_.seed;
   fit(data::build_corpus(spec));
 }
 
-DetectionReport NoodleDetector::scan_features(const data::FeatureSample& sample) const {
-  if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
-  // predict_detail() / the early arm's predict() are stateless on a fitted
-  // model, which is what makes scan_many()'s concurrent calls sound.
-  fusion::Prediction prediction =
-      impl_->winner == "late_fusion"
-          ? impl_->late.predict_detail(sample).fused
-          : impl_->early.predict(sample);
+std::shared_ptr<const FittedModel> NoodleDetector::fitted_model() const noexcept {
+  return model_.load();
+}
 
-  DetectionReport report;
-  report.probability = prediction.probability;
-  report.p_values = prediction.p_values;
-  report.region =
-      cp::region_at_confidence(prediction.p_values, impl_->config.confidence_level);
-  report.predicted_label = report.region.point_prediction;
-  report.fusion_used = impl_->winner;
-  return report;
+std::shared_ptr<const FittedModel> NoodleDetector::require_model() const {
+  std::shared_ptr<const FittedModel> model = model_.load();
+  if (!model) throw std::logic_error("NoodleDetector: fit() first");
+  return model;
+}
+
+DetectionReport NoodleDetector::scan_features(const data::FeatureSample& sample) const {
+  return require_model()->scan_features(sample);
 }
 
 DetectionReport NoodleDetector::scan_verilog(const std::string& verilog_source) const {
-  data::CircuitSample circuit;
-  circuit.verilog = verilog_source;
-  circuit.infected = false;  // unknown; featurize() only uses the text
-  return scan_features(data::featurize(circuit));
+  return require_model()->scan_verilog(verilog_source);
 }
 
 std::vector<DetectionReport> NoodleDetector::scan_many(
     std::span<const data::FeatureSample> samples, std::size_t threads) const {
-  if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
-  std::vector<DetectionReport> reports(samples.size());
-  util::parallel_for(samples.size(), threads,
-                     [&](std::size_t i) { reports[i] = scan_features(samples[i]); });
-  return reports;
+  return require_model()->scan_many(samples, threads);
 }
 
 std::vector<DetectionReport> NoodleDetector::scan_verilog_many(
     std::span<const std::string> sources, std::size_t threads) const {
-  if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
-  std::vector<DetectionReport> reports(sources.size());
-  util::parallel_for(sources.size(), threads,
-                     [&](std::size_t i) { reports[i] = scan_verilog(sources[i]); });
-  return reports;
+  return require_model()->scan_verilog_many(sources, threads);
 }
 
-namespace {
-
-// Every DetectorConfig field is serialized so a loaded detector is
-// indistinguishable from the fitted original (the fusion sub-config in
-// particular drives predict-time behaviour: combiner and probability blend).
-void write_config(std::ostream& os, const DetectorConfig& config) {
-  util::write_f64(os, config.train_fraction);
-  util::write_u8(os, config.use_gan ? 1 : 0);
-  util::write_u64(os, config.gan_target_per_class);
-  util::write_f64(os, config.confidence_level);
-  util::write_u64(os, config.seed);
-
-  util::write_u64(os, config.gan.latent_dim);
-  util::write_u64(os, config.gan.hidden);
-  util::write_u64(os, config.gan.epochs);
-  util::write_u64(os, config.gan.batch_size);
-  util::write_f64(os, config.gan.generator_lr);
-  util::write_f64(os, config.gan.discriminator_lr);
-  util::write_f64(os, config.gan.sample_noise);
-  util::write_u64(os, config.gan.seed);
-
-  util::write_u64(os, config.fusion.train.epochs);
-  util::write_u64(os, config.fusion.train.batch_size);
-  util::write_f64(os, config.fusion.train.learning_rate);
-  util::write_f64(os, config.fusion.train.weight_decay);
-  util::write_f64(os, config.fusion.train.validation_fraction);
-  util::write_u64(os, config.fusion.train.patience);
-  util::write_u64(os, config.fusion.train.seed);
-  util::write_u8(os, static_cast<std::uint8_t>(config.fusion.nonconformity));
-  util::write_u8(os, static_cast<std::uint8_t>(config.fusion.combiner));
-  util::write_f64(os, config.fusion.late_probability_blend);
-  util::write_u64(os, config.fusion.seed);
-}
-
-DetectorConfig read_config(std::istream& is) {
-  DetectorConfig config;
-  config.train_fraction = util::read_f64(is);
-  config.use_gan = util::read_u8(is) != 0;
-  config.gan_target_per_class = util::read_u64(is);
-  config.confidence_level = util::read_f64(is);
-  config.seed = util::read_u64(is);
-
-  config.gan.latent_dim = util::read_u64(is);
-  config.gan.hidden = util::read_u64(is);
-  config.gan.epochs = util::read_u64(is);
-  config.gan.batch_size = util::read_u64(is);
-  config.gan.generator_lr = util::read_f64(is);
-  config.gan.discriminator_lr = util::read_f64(is);
-  config.gan.sample_noise = util::read_f64(is);
-  config.gan.seed = util::read_u64(is);
-
-  config.fusion.train.epochs = util::read_u64(is);
-  config.fusion.train.batch_size = util::read_u64(is);
-  config.fusion.train.learning_rate = util::read_f64(is);
-  config.fusion.train.weight_decay = util::read_f64(is);
-  config.fusion.train.validation_fraction = util::read_f64(is);
-  config.fusion.train.patience = util::read_u64(is);
-  config.fusion.train.seed = util::read_u64(is);
-  const std::uint8_t nonconformity = util::read_u8(is);
-  if (nonconformity > static_cast<std::uint8_t>(cp::NonconformityKind::Margin)) {
-    throw serve::SnapshotError("snapshot: unknown nonconformity kind");
-  }
-  config.fusion.nonconformity = static_cast<cp::NonconformityKind>(nonconformity);
-  const std::uint8_t combiner = util::read_u8(is);
-  if (combiner > static_cast<std::uint8_t>(cp::CombinationMethod::Max)) {
-    throw serve::SnapshotError("snapshot: unknown p-value combiner");
-  }
-  config.fusion.combiner = static_cast<cp::CombinationMethod>(combiner);
-  config.fusion.late_probability_blend = util::read_f64(is);
-  config.fusion.seed = util::read_u64(is);
-  return config;
-}
-
-}  // namespace
-
-void NoodleDetector::save(const std::filesystem::path& path) const {
-  if (!impl_->fitted) throw std::logic_error("NoodleDetector::save: fit() first");
-  serve::SnapshotWriter writer;
-  write_config(writer.begin_section("CONF"), impl_->config);
-  impl_->early.save(writer.begin_section("EARL"));
-  impl_->late.save(writer.begin_section("LATE"));
-  util::write_string(writer.begin_section("META"), impl_->winner);
-  writer.write_file(path);
+void NoodleDetector::save(const std::filesystem::path& path,
+                          nn::WeightPrecision precision) const {
+  std::shared_ptr<const FittedModel> model = model_.load();
+  if (!model) throw std::logic_error("NoodleDetector::save: fit() first");
+  model->save(path, precision);
 }
 
 void NoodleDetector::load(const std::filesystem::path& path) {
-  serve::SnapshotReader reader = serve::SnapshotReader::from_file(path);
-  // Build the replacement impl fully before swapping it in, so a snapshot
-  // that fails any validation leaves this detector untouched.
-  std::unique_ptr<Impl> impl;
-  try {
-    impl = std::make_unique<Impl>(read_config(reader.section("CONF")));
-    impl->early.load(reader.section("EARL"));
-    impl->late.load(reader.section("LATE"));
-    impl->winner = util::read_string(reader.section("META"));
-  } catch (const serve::SnapshotError&) {
-    throw;
-  } catch (const std::exception& e) {
-    // Component loaders throw runtime_error on framing problems and
-    // invalid_argument on impossible shapes (e.g. a CNN input width the
-    // factory rejects); either way the file is a bad snapshot.
-    throw serve::SnapshotError(std::string("snapshot: ") + e.what() + " in " +
-                               path.string());
-  }
-  if (impl->winner != "early_fusion" && impl->winner != "late_fusion") {
-    throw serve::SnapshotError("snapshot: unknown winning fusion '" + impl->winner + "'");
-  }
-  impl->fitted = true;
-  impl_ = std::move(impl);
+  // FittedModel::load builds and validates the replacement fully before we
+  // touch our handle, so a bad snapshot leaves this detector untouched.
+  std::shared_ptr<const FittedModel> model = FittedModel::load(path);
+  config_ = model->config();
+  model_.store(std::move(model));
 }
 
 NoodleDetector NoodleDetector::from_snapshot(const std::filesystem::path& path) {
-  NoodleDetector detector;
-  detector.load(path);
-  return detector;
+  return NoodleDetector(FittedModel::load(path));
 }
 
-bool NoodleDetector::fitted() const noexcept { return impl_->fitted; }
+bool NoodleDetector::fitted() const noexcept { return model_.load() != nullptr; }
 
 const std::string& NoodleDetector::winning_fusion() const {
-  if (!impl_->fitted) throw std::logic_error("NoodleDetector: fit() first");
-  return impl_->winner;
+  return require_model()->winning_fusion();
 }
 
 }  // namespace noodle::core

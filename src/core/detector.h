@@ -7,65 +7,37 @@
 //   detector.fit(training_corpus);                  // or fit_default()
 //   auto report = detector.scan_verilog(source);    // one RTL file
 //   if (report.region.is_uncertain()) { /* escalate to manual review */ }
+//
+// Ownership model: the fitted state lives in an immutable, shareable
+// core::FittedModel (fitted_model.h); the detector holds an atomic
+// shared_ptr handle to it. fit() and load() build a complete replacement
+// model and publish it with one atomic store, so scans running concurrently
+// with a reload keep their generation alive and never observe a
+// half-swapped model. serve::ModelRegistry manages many such handles.
 
+#include <atomic>
 #include <filesystem>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
-#include "cp/icp.h"
-#include "data/corpus.h"
-#include "fusion/models.h"
-#include "gan/augment.h"
+#include "core/fitted_model.h"
 
 namespace noodle::core {
-
-struct DetectorConfig {
-  /// Fraction of the fitted corpus used for proper training; the rest
-  /// calibrates the conformal predictors (after GAN amplification).
-  double train_fraction = 0.7;
-  bool use_gan = true;
-  std::size_t gan_target_per_class = 250;
-  gan::GanConfig gan;
-  fusion::FusionConfig fusion;
-  /// Confidence level E for prediction regions (Algorithm 1).
-  double confidence_level = 0.9;
-  std::uint64_t seed = 42;
-
-  DetectorConfig() {
-    fusion.train.epochs = 60;
-    fusion.train.patience = 12;
-    gan.epochs = 120;
-  }
-};
-
-/// Risk-aware scan verdict for one circuit.
-struct DetectionReport {
-  /// Point prediction: data::kTrojanFree or data::kTrojanInfected.
-  int predicted_label = 0;
-  /// Calibrated probability that the circuit is Trojan-infected.
-  double probability = 0.0;
-  /// Conformal p-values {p(TF), p(TI)} from the winning fusion arm.
-  std::array<double, 2> p_values{0.0, 0.0};
-  /// Region at the configured confidence level; an uncertain region (both
-  /// labels) is the detector saying "escalate".
-  cp::PredictionRegion region;
-  /// Which fusion strategy produced this verdict ("early_fusion" or
-  /// "late_fusion", chosen by calibration Brier score per Algorithm 2).
-  std::string fusion_used;
-};
 
 class NoodleDetector {
  public:
   explicit NoodleDetector(DetectorConfig config = {});
+  /// Adopts an already-built generation (e.g. FittedModel::load()).
+  explicit NoodleDetector(std::shared_ptr<const FittedModel> model);
   ~NoodleDetector();
   NoodleDetector(NoodleDetector&&) noexcept;
   NoodleDetector& operator=(NoodleDetector&&) noexcept;
 
   /// Trains on a labeled corpus: featurizes, GAN-amplifies, trains both
   /// fusion arms, calibrates the ICPs, and selects the winning fusion by
-  /// Brier score on the calibration split.
+  /// Brier score on the calibration split. Publishes the result atomically.
   void fit(const std::vector<data::CircuitSample>& corpus);
 
   /// Convenience: builds the default synthetic corpus and fits on it.
@@ -83,7 +55,8 @@ class NoodleDetector {
   /// Scans a batch of featurized samples, fanning the work across
   /// `threads` workers (0 = hardware_concurrency). Reports come back in
   /// input order and are bit-identical to sequential scan_features() calls
-  /// at any thread count.
+  /// at any thread count. The whole batch is answered by the generation
+  /// current at entry, even if fit()/load() swaps mid-batch.
   std::vector<DetectionReport> scan_many(std::span<const data::FeatureSample> samples,
                                          std::size_t threads = 0) const;
 
@@ -96,25 +69,39 @@ class NoodleDetector {
   /// Serializes the entire fitted detector — config, both fusion arms'
   /// CNN weights, normalizer state, Mondrian ICP calibration scores, and
   /// the winning-fusion choice — into a versioned snapshot archive
-  /// (serve/snapshot.h). A loaded detector produces bit-identical
-  /// DetectionReports for the same inputs. Throws std::logic_error if the
-  /// detector was never fitted.
-  void save(const std::filesystem::path& path) const;
+  /// (serve/snapshot.h). With F64 precision a loaded detector produces
+  /// bit-identical DetectionReports for the same inputs; F32 halves the
+  /// weight payload and loads to a verdict-equivalent model. Throws
+  /// std::logic_error if the detector was never fitted.
+  void save(const std::filesystem::path& path,
+            nn::WeightPrecision precision = nn::WeightPrecision::F64) const;
 
   /// Restores a detector from a snapshot written by save(). Throws
   /// serve::SnapshotError on corrupted, truncated, or version-mismatched
   /// files; on failure the detector's previous state is left untouched.
+  /// The swap is one atomic handle store: concurrent scans finish on the
+  /// generation they started with.
   void load(const std::filesystem::path& path);
 
   /// Convenience: constructs a detector directly from a snapshot.
   static NoodleDetector from_snapshot(const std::filesystem::path& path);
 
   bool fitted() const noexcept;
+  /// Borrowed from the current generation; the reference stays valid until
+  /// the next fit()/load() on this detector.
   const std::string& winning_fusion() const;
 
+  /// The current immutable generation (nullptr when unfitted). Callers that
+  /// hold the returned handle pin that generation regardless of later swaps
+  /// — this is the primitive the serving registry is built on.
+  std::shared_ptr<const FittedModel> fitted_model() const noexcept;
+
  private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
+  /// Throws std::logic_error when unfitted, else returns a pinned handle.
+  std::shared_ptr<const FittedModel> require_model() const;
+
+  DetectorConfig config_;
+  std::atomic<std::shared_ptr<const FittedModel>> model_;
 };
 
 }  // namespace noodle::core

@@ -1,0 +1,187 @@
+#include "core/fitted_model.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "data/dataset.h"
+#include "serve/snapshot.h"
+#include "util/binary_io.h"
+#include "util/thread_pool.h"
+
+namespace noodle::core {
+
+FittedModel::FittedModel(DetectorConfig config, fusion::EarlyFusionModel early,
+                         fusion::LateFusionModel late, std::string winner)
+    : config_(std::move(config)),
+      early_(std::move(early)),
+      late_(std::move(late)),
+      winner_(std::move(winner)) {
+  if (winner_ != "early_fusion" && winner_ != "late_fusion") {
+    throw std::invalid_argument("FittedModel: unknown winning fusion '" + winner_ + "'");
+  }
+}
+
+DetectionReport FittedModel::scan_features(const data::FeatureSample& sample) const {
+  // predict_detail() / the early arm's predict() are stateless on a fitted
+  // model, which is what makes concurrent scans on one handle sound.
+  fusion::Prediction prediction = winner_ == "late_fusion"
+                                      ? late_.predict_detail(sample).fused
+                                      : early_.predict(sample);
+
+  DetectionReport report;
+  report.probability = prediction.probability;
+  report.p_values = prediction.p_values;
+  report.region = cp::region_at_confidence(prediction.p_values, config_.confidence_level);
+  report.predicted_label = report.region.point_prediction;
+  report.fusion_used = winner_;
+  return report;
+}
+
+DetectionReport FittedModel::scan_verilog(const std::string& verilog_source) const {
+  data::CircuitSample circuit;
+  circuit.verilog = verilog_source;
+  circuit.infected = false;  // unknown; featurize() only uses the text
+  return scan_features(data::featurize(circuit));
+}
+
+std::vector<DetectionReport> FittedModel::scan_many(
+    std::span<const data::FeatureSample> samples, std::size_t threads) const {
+  std::vector<DetectionReport> reports(samples.size());
+  util::parallel_for(samples.size(), threads,
+                     [&](std::size_t i) { reports[i] = scan_features(samples[i]); });
+  return reports;
+}
+
+std::vector<DetectionReport> FittedModel::scan_verilog_many(
+    std::span<const std::string> sources, std::size_t threads) const {
+  std::vector<DetectionReport> reports(sources.size());
+  util::parallel_for(sources.size(), threads,
+                     [&](std::size_t i) { reports[i] = scan_verilog(sources[i]); });
+  return reports;
+}
+
+namespace {
+
+// Every DetectorConfig field is serialized so a loaded model is
+// indistinguishable from the fitted original (the fusion sub-config in
+// particular drives predict-time behaviour: combiner and probability blend).
+void write_config(std::ostream& os, const DetectorConfig& config) {
+  util::write_f64(os, config.train_fraction);
+  util::write_u8(os, config.use_gan ? 1 : 0);
+  util::write_u64(os, config.gan_target_per_class);
+  util::write_f64(os, config.confidence_level);
+  util::write_u64(os, config.seed);
+
+  util::write_u64(os, config.gan.latent_dim);
+  util::write_u64(os, config.gan.hidden);
+  util::write_u64(os, config.gan.epochs);
+  util::write_u64(os, config.gan.batch_size);
+  util::write_f64(os, config.gan.generator_lr);
+  util::write_f64(os, config.gan.discriminator_lr);
+  util::write_f64(os, config.gan.sample_noise);
+  util::write_u64(os, config.gan.seed);
+
+  util::write_u64(os, config.fusion.train.epochs);
+  util::write_u64(os, config.fusion.train.batch_size);
+  util::write_f64(os, config.fusion.train.learning_rate);
+  util::write_f64(os, config.fusion.train.weight_decay);
+  util::write_f64(os, config.fusion.train.validation_fraction);
+  util::write_u64(os, config.fusion.train.patience);
+  util::write_u64(os, config.fusion.train.seed);
+  util::write_u8(os, static_cast<std::uint8_t>(config.fusion.nonconformity));
+  util::write_u8(os, static_cast<std::uint8_t>(config.fusion.combiner));
+  util::write_f64(os, config.fusion.late_probability_blend);
+  util::write_u64(os, config.fusion.seed);
+}
+
+DetectorConfig read_config(std::istream& is) {
+  DetectorConfig config;
+  config.train_fraction = util::read_f64(is);
+  config.use_gan = util::read_u8(is) != 0;
+  config.gan_target_per_class = util::read_u64(is);
+  config.confidence_level = util::read_f64(is);
+  config.seed = util::read_u64(is);
+
+  config.gan.latent_dim = util::read_u64(is);
+  config.gan.hidden = util::read_u64(is);
+  config.gan.epochs = util::read_u64(is);
+  config.gan.batch_size = util::read_u64(is);
+  config.gan.generator_lr = util::read_f64(is);
+  config.gan.discriminator_lr = util::read_f64(is);
+  config.gan.sample_noise = util::read_f64(is);
+  config.gan.seed = util::read_u64(is);
+
+  config.fusion.train.epochs = util::read_u64(is);
+  config.fusion.train.batch_size = util::read_u64(is);
+  config.fusion.train.learning_rate = util::read_f64(is);
+  config.fusion.train.weight_decay = util::read_f64(is);
+  config.fusion.train.validation_fraction = util::read_f64(is);
+  config.fusion.train.patience = util::read_u64(is);
+  config.fusion.train.seed = util::read_u64(is);
+  const std::uint8_t nonconformity = util::read_u8(is);
+  if (nonconformity > static_cast<std::uint8_t>(cp::NonconformityKind::Margin)) {
+    throw serve::SnapshotError("snapshot: unknown nonconformity kind");
+  }
+  config.fusion.nonconformity = static_cast<cp::NonconformityKind>(nonconformity);
+  const std::uint8_t combiner = util::read_u8(is);
+  if (combiner > static_cast<std::uint8_t>(cp::CombinationMethod::Max)) {
+    throw serve::SnapshotError("snapshot: unknown p-value combiner");
+  }
+  config.fusion.combiner = static_cast<cp::CombinationMethod>(combiner);
+  config.fusion.late_probability_blend = util::read_f64(is);
+  config.fusion.seed = util::read_u64(is);
+  return config;
+}
+
+}  // namespace
+
+void FittedModel::save(std::ostream& os, nn::WeightPrecision precision) const {
+  // Pure-f64 archives are byte-compatible with version 1, so stamp the
+  // lowest version that can represent the payload — a fleet of v1 readers
+  // keeps loading uncompacted snapshots written by this build.
+  serve::SnapshotWriter writer(precision == nn::WeightPrecision::F32
+                                   ? serve::kSnapshotVersion
+                                   : serve::kSnapshotVersionMin);
+  write_config(writer.begin_section("CONF"), config_);
+  early_.save(writer.begin_section("EARL"), precision);
+  late_.save(writer.begin_section("LATE"), precision);
+  util::write_string(writer.begin_section("META"), winner_);
+  writer.write_to(os);
+}
+
+void FittedModel::save(const std::filesystem::path& path,
+                       nn::WeightPrecision precision) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw serve::SnapshotError("snapshot: cannot open " + path.string() + " for write");
+  }
+  save(os, precision);
+}
+
+std::shared_ptr<const FittedModel> FittedModel::load(const std::filesystem::path& path) {
+  serve::SnapshotReader reader = serve::SnapshotReader::from_file(path);
+  try {
+    DetectorConfig config = read_config(reader.section("CONF"));
+    fusion::EarlyFusionModel early(config.fusion);
+    fusion::LateFusionModel late(config.fusion);
+    early.load(reader.section("EARL"));
+    late.load(reader.section("LATE"));
+    std::string winner = util::read_string(reader.section("META"));
+    if (winner != "early_fusion" && winner != "late_fusion") {
+      throw serve::SnapshotError("snapshot: unknown winning fusion '" + winner + "'");
+    }
+    return std::make_shared<const FittedModel>(std::move(config), std::move(early),
+                                               std::move(late), std::move(winner));
+  } catch (const serve::SnapshotError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Component loaders throw runtime_error on framing problems and
+    // invalid_argument on impossible shapes (e.g. a CNN input width the
+    // factory rejects); either way the file is a bad snapshot.
+    throw serve::SnapshotError(std::string("snapshot: ") + e.what() + " in " +
+                               path.string());
+  }
+}
+
+}  // namespace noodle::core

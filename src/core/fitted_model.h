@@ -1,0 +1,107 @@
+#pragma once
+// core::FittedModel — the immutable fitted state behind a NoodleDetector.
+//
+// Splitting the fitted state out of the mutable detector is what makes the
+// serving stack swap-safe: a FittedModel is const after construction, so a
+// `shared_ptr<const FittedModel>` handle can be scanned from any number of
+// threads while another thread publishes a replacement — an in-flight scan
+// keeps its generation alive through the shared_ptr and can never observe a
+// half-swapped model. NoodleDetector, serve::ModelRegistry, and
+// serve::DetectionService all traffic in these handles; only fit()/load()
+// ever create one.
+
+#include <array>
+#include <filesystem>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cp/icp.h"
+#include "data/corpus.h"
+#include "fusion/models.h"
+#include "gan/augment.h"
+#include "nn/model.h"
+
+namespace noodle::core {
+
+struct DetectorConfig {
+  /// Fraction of the fitted corpus used for proper training; the rest
+  /// calibrates the conformal predictors (after GAN amplification).
+  double train_fraction = 0.7;
+  bool use_gan = true;
+  std::size_t gan_target_per_class = 250;
+  gan::GanConfig gan;
+  fusion::FusionConfig fusion;
+  /// Confidence level E for prediction regions (Algorithm 1).
+  double confidence_level = 0.9;
+  std::uint64_t seed = 42;
+
+  DetectorConfig() {
+    fusion.train.epochs = 60;
+    fusion.train.patience = 12;
+    gan.epochs = 120;
+  }
+};
+
+/// Risk-aware scan verdict for one circuit.
+struct DetectionReport {
+  /// Point prediction: data::kTrojanFree or data::kTrojanInfected.
+  int predicted_label = 0;
+  /// Calibrated probability that the circuit is Trojan-infected.
+  double probability = 0.0;
+  /// Conformal p-values {p(TF), p(TI)} from the winning fusion arm.
+  std::array<double, 2> p_values{0.0, 0.0};
+  /// Region at the configured confidence level; an uncertain region (both
+  /// labels) is the detector saying "escalate".
+  cp::PredictionRegion region;
+  /// Which fusion strategy produced this verdict ("early_fusion" or
+  /// "late_fusion", chosen by calibration Brier score per Algorithm 2).
+  std::string fusion_used;
+  /// "name@version" of the registry generation that served this verdict;
+  /// empty for direct (non-registry) scans. Filled by serve::DetectionService.
+  std::string served_by;
+};
+
+/// An immutable, fully-fitted detector generation: config, both fusion
+/// arms, and the winning-fusion choice. Every method is const and stateless,
+/// so one instance can serve concurrent scans from any number of threads.
+class FittedModel {
+ public:
+  /// Assembled by NoodleDetector::fit() / load(); `winner` must be
+  /// "early_fusion" or "late_fusion".
+  FittedModel(DetectorConfig config, fusion::EarlyFusionModel early,
+              fusion::LateFusionModel late, std::string winner);
+
+  DetectionReport scan_features(const data::FeatureSample& sample) const;
+  DetectionReport scan_verilog(const std::string& verilog_source) const;
+  std::vector<DetectionReport> scan_many(std::span<const data::FeatureSample> samples,
+                                         std::size_t threads = 0) const;
+  std::vector<DetectionReport> scan_verilog_many(std::span<const std::string> sources,
+                                                 std::size_t threads = 0) const;
+
+  /// Serializes this generation into a snapshot archive (serve/snapshot.h).
+  /// F64 round-trips bit-exactly; F32 halves the CNN weight payload
+  /// (snapshot compaction) and loads to a verdict-equivalent model.
+  void save(std::ostream& os,
+            nn::WeightPrecision precision = nn::WeightPrecision::F64) const;
+  void save(const std::filesystem::path& path,
+            nn::WeightPrecision precision = nn::WeightPrecision::F64) const;
+
+  /// Loads a generation from a snapshot written by save(). Throws
+  /// serve::SnapshotError on corrupted, truncated, or version-mismatched
+  /// archives; a failed load constructs nothing.
+  static std::shared_ptr<const FittedModel> load(const std::filesystem::path& path);
+
+  const DetectorConfig& config() const noexcept { return config_; }
+  const std::string& winning_fusion() const noexcept { return winner_; }
+
+ private:
+  DetectorConfig config_;
+  fusion::EarlyFusionModel early_;
+  fusion::LateFusionModel late_;
+  std::string winner_;
+};
+
+}  // namespace noodle::core

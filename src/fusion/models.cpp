@@ -76,10 +76,14 @@ void expect_tag(std::istream& is, std::uint8_t expected, const char* who) {
 }
 
 /// Saves the shared (scaler, CNN, ICP) triple every concrete arm carries.
+/// Only the CNN weight blob honours the precision; scaler statistics and
+/// ICP calibration scores stay f64 (they are small and drive the conformal
+/// guarantees, so rounding them buys nothing).
 void save_arm_state(std::ostream& os, const feat::Standardizer& scaler,
-                    const nn::Sequential& model, const cp::MondrianIcp& icp) {
+                    const nn::Sequential& model, const cp::MondrianIcp& icp,
+                    nn::WeightPrecision precision) {
   scaler.save(os);
-  model.save_weights(os);
+  model.save_weights(os, precision);
   icp.save(os);
 }
 
@@ -157,9 +161,9 @@ Prediction SingleModalityModel::predict(const data::FeatureSample& sample) const
   return prediction;
 }
 
-void SingleModalityModel::save(std::ostream& os) const {
+void SingleModalityModel::save(std::ostream& os, nn::WeightPrecision precision) const {
   util::write_u8(os, modality_tag(modality_));
-  save_arm_state(os, scaler_, model_, icp_);
+  save_arm_state(os, scaler_, model_, icp_, precision);
 }
 
 void SingleModalityModel::load(std::istream& is) {
@@ -207,9 +211,9 @@ Prediction EarlyFusionModel::predict(const data::FeatureSample& sample) const {
   return prediction;
 }
 
-void EarlyFusionModel::save(std::ostream& os) const {
+void EarlyFusionModel::save(std::ostream& os, nn::WeightPrecision precision) const {
   util::write_u8(os, kArmTagEarly);
-  save_arm_state(os, scaler_, model_, icp_);
+  save_arm_state(os, scaler_, model_, icp_, precision);
 }
 
 void EarlyFusionModel::load(std::istream& is) {
@@ -262,10 +266,10 @@ Prediction LateFusionModel::predict(const data::FeatureSample& sample) const {
   return detail.fused;
 }
 
-void LateFusionModel::save(std::ostream& os) const {
+void LateFusionModel::save(std::ostream& os, nn::WeightPrecision precision) const {
   util::write_u8(os, kArmTagLate);
-  graph_arm_.save(os);
-  tabular_arm_.save(os);
+  graph_arm_.save(os, precision);
+  tabular_arm_.save(os, precision);
 }
 
 void LateFusionModel::load(std::istream& is) {

@@ -40,11 +40,11 @@ class Matrix {
   }
 
   std::span<double> row(std::size_t r) {
-    check(r, 0);
+    check_row(r);
     return {data_.data() + r * cols_, cols_};
   }
   std::span<const double> row(std::size_t r) const {
-    check(r, 0);
+    check_row(r);
     return {data_.data() + r * cols_, cols_};
   }
 
@@ -55,10 +55,17 @@ class Matrix {
   Matrix gather_rows(std::span<const std::size_t> indices) const;
 
  private:
+  // Element access requires a real column: on a degenerate matrix with
+  // cols_ == 0 every column index is out of range (at(r, 0) must throw, not
+  // alias row r+1's storage). row() only needs the row bound — an empty span
+  // over a zero-column row is valid.
   void check(std::size_t r, std::size_t c) const {
-    if (r >= rows_ || (cols_ != 0 && c >= cols_)) {
+    if (r >= rows_ || c >= cols_) {
       throw std::out_of_range("Matrix: index out of range");
     }
+  }
+  void check_row(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("Matrix: row index out of range");
   }
 
   std::size_t rows_ = 0;

@@ -65,16 +65,26 @@ std::size_t Sequential::output_cols(std::size_t input_cols) const {
 }
 
 namespace {
-constexpr std::uint64_t kWeightsMagic = 0x4e4f4f444c453031ULL;  // "NOODLE01"
+// The blob magic doubles as the precision gate: "NOODLE01" bodies are f64
+// (bit-exact round trip), "NOODLF32" bodies are f32 (compact snapshots).
+constexpr std::uint64_t kWeightsMagic = 0x4e4f4f444c453031ULL;     // "NOODLE01"
+constexpr std::uint64_t kWeightsMagicF32 = 0x4e4f4f444c463332ULL;  // "NOODLF32"
 }
 
-void Sequential::save_weights(std::ostream& os) const {
+void Sequential::save_weights(std::ostream& os, WeightPrecision precision) const {
+  const bool f32 = precision == WeightPrecision::F32;
   const auto views = const_params();
-  util::write_u64(os, kWeightsMagic);
+  util::write_u64(os, f32 ? kWeightsMagicF32 : kWeightsMagic);
   util::write_u64(os, views.size());
   for (const ConstParamView& p : views) {
     util::write_u64(os, p.size);
-    for (std::size_t i = 0; i < p.size; ++i) util::write_f64(os, p.values[i]);
+    for (std::size_t i = 0; i < p.size; ++i) {
+      if (f32) {
+        util::write_f32(os, static_cast<float>(p.values[i]));
+      } else {
+        util::write_f64(os, p.values[i]);
+      }
+    }
   }
 }
 
@@ -85,7 +95,10 @@ void Sequential::load_weights(std::istream& is) {
   } catch (const std::runtime_error&) {
     throw std::runtime_error("load_weights: truncated header");
   }
-  if (magic != kWeightsMagic) throw std::runtime_error("load_weights: bad header");
+  if (magic != kWeightsMagic && magic != kWeightsMagicF32) {
+    throw std::runtime_error("load_weights: bad header");
+  }
+  const bool f32 = magic == kWeightsMagicF32;
   const std::uint64_t count = util::read_u64(is);
   const auto views = params();
   if (count != views.size()) {
@@ -95,7 +108,9 @@ void Sequential::load_weights(std::istream& is) {
     if (util::read_u64(is) != p.size) {
       throw std::runtime_error("load_weights: architecture mismatch (buffer size)");
     }
-    for (std::size_t i = 0; i < p.size; ++i) p.values[i] = util::read_f64(is);
+    for (std::size_t i = 0; i < p.size; ++i) {
+      p.values[i] = f32 ? static_cast<double>(util::read_f32(is)) : util::read_f64(is);
+    }
   }
 }
 

@@ -7,6 +7,11 @@
 
 namespace noodle::nn {
 
+/// On-disk encoding of a weight blob. F64 round-trips bit-exactly; F32
+/// halves the payload (snapshot compaction for fleet distribution) at the
+/// cost of rounding each weight to the nearest binary32 value.
+enum class WeightPrecision : std::uint8_t { F64 = 0, F32 = 1 };
+
 class Sequential {
  public:
   Sequential() = default;
@@ -41,14 +46,15 @@ class Sequential {
   std::size_t layer_count() const noexcept { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
 
-  /// Saves / restores all parameter buffers (binary little-endian doubles
-  /// with a small header). Architectures must match on load. Saving is a
-  /// read-only operation, so a fitted model is saveable through a const
-  /// reference; the stream overloads let a snapshot archive embed the
-  /// weight blob as one section.
+  /// Saves / restores all parameter buffers (binary little-endian with a
+  /// small header). Architectures must match on load. Saving is a read-only
+  /// operation, so a fitted model is saveable through a const reference; the
+  /// stream overloads let a snapshot archive embed the weight blob as one
+  /// section. The blob magic encodes the precision, so load_weights accepts
+  /// either encoding transparently (f32 weights are widened to double).
   void save_weights(const std::filesystem::path& path) const;
   void load_weights(const std::filesystem::path& path);
-  void save_weights(std::ostream& os) const;
+  void save_weights(std::ostream& os, WeightPrecision precision = WeightPrecision::F64) const;
   void load_weights(std::istream& is);
 
  private:

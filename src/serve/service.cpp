@@ -4,20 +4,85 @@
 #include <memory>
 #include <stdexcept>
 #include <utility>
-#include <vector>
 
 #include "data/dataset.h"
 #include "util/binary_io.h"
 
 namespace noodle::serve {
 
+// ---------------------------------------------------------------------------
+// StatsBook
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+void StatsBook::update(const std::string& model, Fn&& fn) {
+  // One mutex covers the aggregate and every per-model cell, so any
+  // snapshot() taken between updates sees a mutually consistent state.
+  std::lock_guard<std::mutex> lock(mu_);
+  fn(total_);
+  auto it = per_model_.find(model);
+  if (it == per_model_.end()) {
+    // Bound the map against attacker-chosen names: overflow names share
+    // one cell, and a given name maps to the same cell for its lifetime
+    // (the map only grows), so per-cell invariants survive.
+    it = per_model_.size() < kMaxTrackedModels
+             ? per_model_.try_emplace(model).first
+             : per_model_.try_emplace(kOverflowCell).first;
+  }
+  fn(it->second);
+}
+
+void StatsBook::record_request(const std::string& model) {
+  update(model, [](ServiceStats& s) { ++s.requests; });
+}
+
+void StatsBook::record_cache_hit(const std::string& model) {
+  update(model, [](ServiceStats& s) { ++s.cache_hits; });
+}
+
+void StatsBook::record_model_miss(const std::string& model) {
+  update(model, [](ServiceStats& s) { ++s.model_misses; });
+}
+
+void StatsBook::record_batch(const std::string& model, std::uint64_t scans,
+                             std::uint64_t parse_failures, std::uint64_t batch_size,
+                             std::uint64_t scan_micros) {
+  update(model, [&](ServiceStats& s) {
+    ++s.batches;
+    s.scans += scans;
+    s.parse_failures += parse_failures;
+    s.scan_micros += scan_micros;
+    s.max_batch_size = std::max(s.max_batch_size, batch_size);
+  });
+}
+
+ServiceStats StatsBook::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+ServiceStats StatsBook::snapshot(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = per_model_.find(model);
+  return it == per_model_.end() ? ServiceStats{} : it->second;
+}
+
+std::map<std::string, ServiceStats> StatsBook::by_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return per_model_;
+}
+
+// ---------------------------------------------------------------------------
+// DetectionService
+// ---------------------------------------------------------------------------
+
 namespace {
 
-core::NoodleDetector require_fitted(core::NoodleDetector detector) {
-  if (!detector.fitted()) {
-    throw std::invalid_argument("DetectionService: detector must be fitted");
+std::shared_ptr<ModelRegistry> require_registry(std::shared_ptr<ModelRegistry> registry) {
+  if (!registry) {
+    throw std::invalid_argument("DetectionService: registry must not be null");
   }
-  return detector;
+  return registry;
 }
 
 ServiceConfig validate(ServiceConfig config) {
@@ -30,17 +95,39 @@ ServiceConfig validate(ServiceConfig config) {
   return config;
 }
 
+std::shared_ptr<ModelRegistry> single_model_registry(core::NoodleDetector detector) {
+  std::shared_ptr<const core::FittedModel> model = detector.fitted_model();
+  if (!model) {
+    throw std::invalid_argument("DetectionService: detector must be fitted");
+  }
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(kDefaultModelName, std::move(model));
+  return registry;
+}
+
+std::shared_ptr<ModelRegistry> single_model_registry(const std::filesystem::path& snapshot) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->reload_from(kDefaultModelName, snapshot);
+  return registry;
+}
+
 }  // namespace
 
-DetectionService::DetectionService(core::NoodleDetector detector, ServiceConfig config)
-    : detector_(require_fitted(std::move(detector))),
+DetectionService::DetectionService(std::shared_ptr<ModelRegistry> registry,
+                                   std::string default_model, ServiceConfig config)
+    : registry_(require_registry(std::move(registry))),
+      default_model_(std::move(default_model)),
       config_(validate(config)),
       pool_(config_.workers),
       dispatcher_([this] { dispatcher_loop(); }) {}
 
+DetectionService::DetectionService(core::NoodleDetector detector, ServiceConfig config)
+    : DetectionService(single_model_registry(std::move(detector)), kDefaultModelName,
+                       config) {}
+
 DetectionService::DetectionService(const std::filesystem::path& snapshot,
                                    ServiceConfig config)
-    : DetectionService(core::NoodleDetector::from_snapshot(snapshot), config) {}
+    : DetectionService(single_model_registry(snapshot), kDefaultModelName, config) {}
 
 DetectionService::~DetectionService() {
   {
@@ -55,26 +142,38 @@ DetectionService::~DetectionService() {
 }
 
 std::future<core::DetectionReport> DetectionService::submit(std::string verilog_source) {
-  const std::uint64_t key = util::fnv1a64(verilog_source);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.requests;
-  }
+  return submit_request(ModelSpec{default_model_, 0}, std::move(verilog_source));
+}
 
-  core::DetectionReport cached;
-  if (cache_lookup(key, verilog_source, cached)) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.cache_hits;
+std::future<core::DetectionReport> DetectionService::submit(const std::string& model_spec,
+                                                            std::string verilog_source) {
+  return submit_request(parse_model_spec(model_spec), std::move(verilog_source));
+}
+
+std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec spec,
+                                                                    std::string source) {
+  const std::uint64_t hash = util::fnv1a64(source);
+  stats_.record_request(spec.name);
+
+  // Cache probe against the generation the spec resolves to right now; the
+  // generation id in the key means a reload in between can only cause a
+  // miss (and a fresh scan), never a cross-generation verdict.
+  if (ModelHandle handle = registry_->try_resolve(spec)) {
+    core::DetectionReport cached;
+    if (cache_lookup(CacheKey{handle->id(), hash}, source, cached)) {
+      stats_.record_cache_hit(spec.name);
+      std::promise<core::DetectionReport> ready;
+      ready.set_value(std::move(cached));
+      return ready.get_future();
     }
-    std::promise<core::DetectionReport> ready;
-    ready.set_value(std::move(cached));
-    return ready.get_future();
   }
+  // An unresolvable spec is not failed here: the batch-time resolve is
+  // authoritative (the model may be published microseconds from now).
 
   Request request;
-  request.source = std::move(verilog_source);
-  request.key = key;
+  request.spec = std::move(spec);
+  request.source = std::move(source);
+  request.key = hash;
   std::future<core::DetectionReport> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -92,14 +191,29 @@ core::DetectionReport DetectionService::scan(std::string verilog_source) {
   return submit(std::move(verilog_source)).get();
 }
 
+core::DetectionReport DetectionService::scan(const std::string& model_spec,
+                                             std::string verilog_source) {
+  return submit(model_spec, std::move(verilog_source)).get();
+}
+
 void DetectionService::drain() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   drained_cv_.wait(lock, [this] { return outstanding_ == 0; });
 }
 
-ServiceStats DetectionService::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+ServiceStats DetectionService::stats() const { return stats_.snapshot(); }
+
+ServiceStats DetectionService::stats(const std::string& model_name) const {
+  return stats_.snapshot(model_name);
+}
+
+std::map<std::string, ServiceStats> DetectionService::stats_by_model() const {
+  return stats_.by_model();
+}
+
+ModelHandle DetectionService::reload(const std::string& name,
+                                     const std::filesystem::path& path) {
+  return registry_->reload_from(name, path);
 }
 
 std::size_t DetectionService::cache_size() const {
@@ -139,16 +253,41 @@ void DetectionService::dispatcher_loop() {
 }
 
 void DetectionService::process_batch(std::vector<Request> batch) {
+  // Partition by requested spec: each group resolves one registry handle
+  // and is answered entirely by that generation, so a concurrent
+  // reload_from can never mix generations inside a group.
+  std::map<std::string, std::vector<Request>> groups;
+  for (Request& request : batch) {
+    groups[request.spec.to_string()].push_back(std::move(request));
+  }
+  for (auto& [label, group] : groups) process_group(label, std::move(group));
+}
+
+void DetectionService::process_group(const std::string& group_label,
+                                     std::vector<Request> group) {
+  const std::string model_name = group.front().spec.name;
+  const ModelHandle handle = registry_->try_resolve(group.front().spec);
+  if (!handle) {
+    const auto error = std::make_exception_ptr(
+        RegistryError("DetectionService: no model '" + group_label + "'"));
+    for (Request& request : group) {
+      stats_.record_model_miss(model_name);
+      request.promise.set_exception(error);
+    }
+    finish_requests(group.size());
+    return;
+  }
+
   // Featurize per request so one malformed source fails only its own
   // future; the surviving samples still share one scan_many pass.
   std::vector<data::FeatureSample> samples;
-  std::vector<std::size_t> sample_owner;  // index into batch
+  std::vector<std::size_t> sample_owner;  // index into group
   std::vector<std::pair<std::size_t, std::exception_ptr>> rejected;
-  samples.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
+  samples.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
     try {
       data::CircuitSample circuit;
-      circuit.verilog = batch[i].source;
+      circuit.verilog = group[i].source;
       samples.push_back(data::featurize(circuit));
       sample_owner.push_back(i);
     } catch (...) {
@@ -162,7 +301,10 @@ void DetectionService::process_batch(std::vector<Request> batch) {
   if (!samples.empty()) {
     try {
       const auto start = std::chrono::steady_clock::now();
-      reports = detector_.scan_many(samples, config_.scan_threads);
+      // The handle pins this generation for the whole batch: a reload
+      // swapping `latest` right now neither blocks this scan nor changes
+      // its verdicts.
+      reports = handle->model().scan_many(samples, config_.scan_threads);
       elapsed_micros = static_cast<std::uint64_t>(
           std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - start)
@@ -173,32 +315,28 @@ void DetectionService::process_batch(std::vector<Request> batch) {
       batch_error = std::current_exception();
     }
   }
+  for (core::DetectionReport& report : reports) report.served_by = handle->label();
 
   // Publish counters and cache entries BEFORE fulfilling any promise, so a
   // caller who has observed a verdict also observes its counters.
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++stats_.batches;
-    stats_.scans += reports.size();
-    stats_.parse_failures += rejected.size();
-    stats_.scan_micros += elapsed_micros;
-    stats_.max_batch_size = std::max<std::uint64_t>(stats_.max_batch_size, batch.size());
-  }
+  stats_.record_batch(model_name, reports.size(), rejected.size(), group.size(),
+                      elapsed_micros);
   for (std::size_t s = 0; s < reports.size(); ++s) {
-    cache_store(batch[sample_owner[s]].key, batch[sample_owner[s]].source, reports[s]);
+    cache_store(CacheKey{handle->id(), group[sample_owner[s]].key},
+                group[sample_owner[s]].source, reports[s]);
   }
 
-  for (auto& [owner, error] : rejected) batch[owner].promise.set_exception(error);
+  for (auto& [owner, error] : rejected) group[owner].promise.set_exception(error);
   if (batch_error) {
     for (const std::size_t owner : sample_owner) {
-      batch[owner].promise.set_exception(batch_error);
+      group[owner].promise.set_exception(batch_error);
     }
   } else {
     for (std::size_t s = 0; s < reports.size(); ++s) {
-      batch[sample_owner[s]].promise.set_value(std::move(reports[s]));
+      group[sample_owner[s]].promise.set_value(std::move(reports[s]));
     }
   }
-  finish_requests(batch.size());
+  finish_requests(group.size());
 }
 
 void DetectionService::finish_requests(std::size_t count) {
@@ -210,7 +348,7 @@ void DetectionService::finish_requests(std::size_t count) {
   drained_cv_.notify_all();
 }
 
-bool DetectionService::cache_lookup(std::uint64_t key, const std::string& source,
+bool DetectionService::cache_lookup(const CacheKey& key, const std::string& source,
                                     core::DetectionReport& report) {
   if (config_.cache_capacity == 0) return false;
   std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -221,7 +359,7 @@ bool DetectionService::cache_lookup(std::uint64_t key, const std::string& source
   return true;
 }
 
-void DetectionService::cache_store(std::uint64_t key, const std::string& source,
+void DetectionService::cache_store(const CacheKey& key, const std::string& source,
                                    const core::DetectionReport& report) {
   if (config_.cache_capacity == 0) return;
   std::lock_guard<std::mutex> lock(cache_mutex_);

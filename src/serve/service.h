@@ -1,22 +1,24 @@
 #pragma once
-// DetectionService — a long-lived serving front end over one fitted
-// NoodleDetector. This is the piece that turns the library into the
-// ROADMAP's "train once, serve heavy traffic" shape:
+// DetectionService — a long-lived serving front end over a ModelRegistry of
+// fitted detector generations. This is the piece that turns the library
+// into the ROADMAP's "train once, serve heavy traffic" shape:
 //
-//   * requests enter through an async submit() returning a future;
+//   * requests enter through an async submit() returning a future, naming a
+//     model as "name" or "name@version" (or using the service default);
 //   * a dispatcher coalesces concurrent requests into scan_many batches
-//     executed on a util::ThreadPool, so the CNN/ICP inference cost is
-//     amortized across callers;
-//   * verdicts are memoized in an LRU cache keyed by a 64-bit FNV-1a hash
-//     of the Verilog source, so re-scanning unchanged RTL is O(1);
-//   * counters (requests, cache hits, batch sizes, scan latency) are
-//     exported through ServiceStats for operational metering.
+//     executed on a util::ThreadPool; each batch group resolves its
+//     registry handle ONCE, so every verdict in a group comes from exactly
+//     one generation even while reload_from() swaps models live;
+//   * verdicts are memoized in an LRU cache keyed by (generation id,
+//     fnv1a64(source)) — cached verdicts from different generations of the
+//     same name can never collide, and stale generations simply age out;
+//   * counters are kept per model name plus an aggregate, and every read
+//     goes through StatsBook::snapshot() so a reported ServiceStats is
+//     internally consistent (never torn totals like hits > requests).
 //
-// The detector itself is immutable after construction (scan_features on a
-// fitted detector is stateless), which is what makes batching across
-// threads safe and verdicts independent of arrival order: a service answer
-// is always bit-identical to a direct scan_verilog() call on the same
-// detector.
+// FittedModel generations are immutable, which is what makes batching
+// across threads safe and verdicts independent of arrival order: a service
+// answer is always bit-identical to a direct scan on the same generation.
 
 #include <chrono>
 #include <condition_variable>
@@ -25,15 +27,22 @@
 #include <filesystem>
 #include <future>
 #include <list>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/detector.h"
+#include "serve/registry.h"
 #include "util/thread_pool.h"
 
 namespace noodle::serve {
+
+/// Model name used by the single-model convenience constructors and by
+/// submit() overloads that don't name a model.
+inline constexpr const char* kDefaultModelName = "default";
 
 struct ServiceConfig {
   /// Most requests coalesced into one detector batch.
@@ -44,21 +53,24 @@ struct ServiceConfig {
   /// LRU verdict-cache capacity in entries; 0 disables caching.
   std::size_t cache_capacity = 4096;
   /// Worker threads executing detector batches (the batch itself fans out
-  /// further via NoodleDetector::scan_many).
+  /// further via FittedModel::scan_many).
   std::size_t workers = 1;
   /// Thread count forwarded to scan_many inside one batch (0 = hardware).
   std::size_t scan_threads = 1;
 };
 
-/// Monotonic counters snapshot; taken atomically enough for metering (each
-/// counter is individually consistent).
+/// One consistent counters snapshot (see StatsBook). Monotonic except that
+/// a snapshot as a whole is taken atomically: invariants like
+/// cache_hits + scans + parse_failures + model_misses <= requests hold in
+/// every copy handed out.
 struct ServiceStats {
   std::uint64_t requests = 0;       ///< total submit() calls
   std::uint64_t cache_hits = 0;     ///< answered from the LRU without a scan
-  std::uint64_t scans = 0;          ///< verdicts computed by the detector
+  std::uint64_t scans = 0;          ///< verdicts computed by a detector
   std::uint64_t parse_failures = 0; ///< requests rejected with ParseError
-  std::uint64_t batches = 0;        ///< detector batches dispatched
-  std::uint64_t max_batch_size = 0; ///< largest coalesced batch so far
+  std::uint64_t model_misses = 0;   ///< requests naming an unknown model/version
+  std::uint64_t batches = 0;        ///< single-generation batch groups dispatched
+  std::uint64_t max_batch_size = 0; ///< largest coalesced batch group so far
   std::uint64_t scan_micros = 0;    ///< wall time inside detector batches
 
   double cache_hit_rate() const noexcept {
@@ -75,13 +87,60 @@ struct ServiceStats {
   }
 };
 
+/// Aggregate + per-model-name service counters. Every mutation and every
+/// read happens under one mutex, so snapshot() returns a copy whose
+/// counters are mutually consistent — a caller can never observe a torn
+/// total (e.g. a cache hit counted before the request that caused it).
+///
+/// Model names come from client-supplied request specs, so the per-name
+/// map is bounded: once kMaxTrackedModels distinct names exist, further
+/// new names share one "(other)" cell (a name is routed consistently, so
+/// per-cell invariants still hold). This keeps a long-lived service from
+/// growing without bound under a stream of bogus model names.
+class StatsBook {
+ public:
+  static constexpr std::size_t kMaxTrackedModels = 256;
+  static constexpr const char* kOverflowCell = "(other)";
+
+  /// Consistent aggregate snapshot.
+  ServiceStats snapshot() const;
+  /// Consistent snapshot for one model name (zeros if never seen).
+  ServiceStats snapshot(const std::string& model) const;
+  /// Consistent snapshot of every model's counters.
+  std::map<std::string, ServiceStats> by_model() const;
+
+  void record_request(const std::string& model);
+  void record_cache_hit(const std::string& model);
+  void record_model_miss(const std::string& model);
+  void record_batch(const std::string& model, std::uint64_t scans,
+                    std::uint64_t parse_failures, std::uint64_t batch_size,
+                    std::uint64_t scan_micros);
+
+ private:
+  template <typename Fn>
+  void update(const std::string& model, Fn&& fn);
+
+  mutable std::mutex mu_;
+  ServiceStats total_;
+  std::map<std::string, ServiceStats> per_model_;
+};
+
 class DetectionService {
  public:
-  /// Adopts an already-fitted detector. Throws std::invalid_argument if the
+  /// Serves every model published in `registry` (which may keep changing —
+  /// publishes, reloads, and retires take effect live). Throws
+  /// std::invalid_argument on a null registry or degenerate config; the
+  /// default model does not have to exist yet.
+  DetectionService(std::shared_ptr<ModelRegistry> registry,
+                   std::string default_model = kDefaultModelName,
+                   ServiceConfig config = {});
+
+  /// Single-model convenience: adopts an already-fitted detector into a
+  /// private registry as "default"@1. Throws std::invalid_argument if the
   /// detector is unfitted or the config is degenerate.
   explicit DetectionService(core::NoodleDetector detector, ServiceConfig config = {});
 
-  /// Loads the detector from a snapshot archive (NoodleDetector::save).
+  /// Single-model convenience: loads "default"@1 from a snapshot archive.
   explicit DetectionService(const std::filesystem::path& snapshot,
                             ServiceConfig config = {});
 
@@ -91,37 +150,83 @@ class DetectionService {
   DetectionService(const DetectionService&) = delete;
   DetectionService& operator=(const DetectionService&) = delete;
 
-  /// Queues one Verilog source for scanning. The future carries the verdict
-  /// or the parse error; a cache hit resolves it immediately. Thread-safe.
+  /// Queues one Verilog source for scanning by the default model. The
+  /// future carries the verdict (DetectionReport::served_by says which
+  /// generation answered), the parse error, or a RegistryError when the
+  /// model is unknown; a cache hit resolves it immediately. Thread-safe.
   std::future<core::DetectionReport> submit(std::string verilog_source);
 
-  /// Synchronous convenience wrapper around submit().get().
+  /// Same, naming a model as "name" or "name@version" (version omitted =
+  /// latest at batch-dispatch time). Throws RegistryError only on a
+  /// malformed spec; an unknown model fails the future, not the call.
+  std::future<core::DetectionReport> submit(const std::string& model_spec,
+                                            std::string verilog_source);
+
+  /// Synchronous convenience wrappers around submit().get().
   core::DetectionReport scan(std::string verilog_source);
+  core::DetectionReport scan(const std::string& model_spec, std::string verilog_source);
 
   /// Blocks until every request submitted so far has been answered.
   void drain();
 
+  /// Consistent aggregate counters (see StatsBook).
   ServiceStats stats() const;
+  /// Consistent counters for one model name.
+  ServiceStats stats(const std::string& model_name) const;
+  /// Consistent counters for every model name seen so far.
+  std::map<std::string, ServiceStats> stats_by_model() const;
 
-  const core::NoodleDetector& detector() const noexcept { return detector_; }
+  /// The live registry: publish/reload/retire take effect on the next
+  /// dispatched batch without pausing the service.
+  ModelRegistry& registry() noexcept { return *registry_; }
+  const ModelRegistry& registry() const noexcept { return *registry_; }
+
+  /// Convenience for the hot-reload control path: load the snapshot at
+  /// `path` and atomically publish it as the next version of `name`.
+  ModelHandle reload(const std::string& name, const std::filesystem::path& path);
+
+  const std::string& default_model() const noexcept { return default_model_; }
   std::size_t cache_size() const;
 
  private:
   struct Request {
+    ModelSpec spec;
     std::string source;
     std::uint64_t key = 0;
     std::promise<core::DetectionReport> promise;
   };
 
+  /// Verdict-cache key: the generation id scopes the source hash, so two
+  /// generations of one name (or two names) can never serve each other's
+  /// cached verdicts.
+  struct CacheKey {
+    std::uint64_t model_id = 0;
+    std::uint64_t source_hash = 0;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const noexcept {
+      // fnv1a-style mix of the two words.
+      std::uint64_t h = 0xcbf29ce484222325ULL;
+      for (std::uint64_t word : {key.model_id, key.source_hash}) {
+        h = (h ^ word) * 0x100000001b3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  std::future<core::DetectionReport> submit_request(ModelSpec spec, std::string source);
   void dispatcher_loop();
   void process_batch(std::vector<Request> batch);
-  bool cache_lookup(std::uint64_t key, const std::string& source,
+  void process_group(const std::string& group_label, std::vector<Request> group);
+  bool cache_lookup(const CacheKey& key, const std::string& source,
                     core::DetectionReport& report);
-  void cache_store(std::uint64_t key, const std::string& source,
+  void cache_store(const CacheKey& key, const std::string& source,
                    const core::DetectionReport& report);
   void finish_requests(std::size_t count);
 
-  core::NoodleDetector detector_;
+  std::shared_ptr<ModelRegistry> registry_;
+  std::string default_model_;
   ServiceConfig config_;
 
   mutable std::mutex queue_mutex_;
@@ -133,19 +238,19 @@ class DetectionService {
 
   // LRU cache: most-recent at the front of lru_; the map holds the verdict
   // and the entry's position in lru_. The full source is kept and compared
-  // on hit: the key is a non-cryptographic 64-bit hash of attacker-supplied
-  // RTL, and a collision must never serve another circuit's verdict.
+  // on hit: the source hash is a non-cryptographic 64-bit hash of
+  // attacker-supplied RTL, and a collision must never serve another
+  // circuit's verdict.
   struct CacheEntry {
     std::string source;
     core::DetectionReport report;
-    std::list<std::uint64_t>::iterator position;
+    std::list<CacheKey>::iterator position;
   };
   mutable std::mutex cache_mutex_;
-  std::list<std::uint64_t> lru_;
-  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::list<CacheKey> lru_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
 
-  mutable std::mutex stats_mutex_;
-  ServiceStats stats_;
+  StatsBook stats_;
 
   util::ThreadPool pool_;
   std::thread dispatcher_;

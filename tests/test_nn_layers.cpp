@@ -207,7 +207,9 @@ TEST(Dropout, TrainModeZeroesApproxRate) {
   EXPECT_NEAR(static_cast<double>(zeros) / 1000.0, 0.4, 0.06);
   // Kept activations are scaled by 1/(1-rate).
   for (const double v : out.data()) {
-    if (v != 0.0) EXPECT_NEAR(v, 1.0 / 0.6, 1e-12);
+    if (v != 0.0) {
+      EXPECT_NEAR(v, 1.0 / 0.6, 1e-12);
+    }
   }
 }
 
@@ -289,6 +291,27 @@ TEST(Matrix, FromRowsAndGather) {
   EXPECT_DOUBLE_EQ(g(1, 1), 2.0);
   EXPECT_THROW(m.gather_rows(std::vector<std::size_t>{7}), std::out_of_range);
   EXPECT_THROW(Matrix::from_rows({{1.0}, {1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecksBothDimensions) {
+  const Matrix m(2, 3);
+  EXPECT_NO_THROW(m.at(1, 2));
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, DegenerateZeroColumnMatrixRejectsEveryColumnIndex) {
+  // A rows x 0 matrix has valid (empty) rows but NO valid element: at(r, 0)
+  // must throw instead of silently passing the bounds check and indexing
+  // into nothing.
+  Matrix m(3, 0);
+  EXPECT_EQ(m.row(1).size(), 0u);
+  EXPECT_THROW(m.row(3), std::out_of_range);
+  EXPECT_THROW(m.at(0, 0), std::out_of_range);
+  EXPECT_THROW(m.at(2, 5), std::out_of_range);
+  const Matrix& cm = m;
+  EXPECT_THROW(cm.at(0, 0), std::out_of_range);
+  EXPECT_EQ(cm.row(0).size(), 0u);
 }
 
 }  // namespace

@@ -254,6 +254,33 @@ TEST_F(DetectorSnapshot, CorruptedOrTruncatedSnapshotThrowsAndLeavesDetectorInta
   std::filesystem::remove(path);
 }
 
+TEST_F(DetectorSnapshot, ArchiveVersionTracksTheFeaturesUsed) {
+  // The f32 weight encoding bumped the format to version 2, but a
+  // pure-f64 archive is byte-compatible with version 1 — so the writer
+  // must stamp v1 for f64 saves (old readers keep loading them) and v2
+  // only when compact weights are actually present. Both must load here.
+  const auto version_byte = [](const std::filesystem::path& path) {
+    std::ifstream is(path, std::ios::binary);
+    std::string header(12, '\0');
+    is.read(header.data(), 12);
+    return static_cast<unsigned>(static_cast<unsigned char>(header[8]));
+  };
+
+  const auto path = temp_snapshot_path("noodle_versions.snap");
+  detector_->save(path, nn::WeightPrecision::F64);
+  EXPECT_EQ(version_byte(path), serve::kSnapshotVersionMin);
+  const core::NoodleDetector full = core::NoodleDetector::from_snapshot(path);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_identical_report(full.scan_features((*samples_)[i]),
+                            detector_->scan_features((*samples_)[i]));
+  }
+
+  detector_->save(path, nn::WeightPrecision::F32);
+  EXPECT_EQ(version_byte(path), serve::kSnapshotVersion);
+  EXPECT_NO_THROW(core::NoodleDetector::from_snapshot(path));
+  std::filesystem::remove(path);
+}
+
 TEST_F(DetectorSnapshot, MissingFileThrows) {
   core::NoodleDetector victim;
   EXPECT_THROW(victim.load(temp_snapshot_path("noodle_does_not_exist.snap")),

@@ -1,39 +1,58 @@
-// noodled — the detection daemon: fit-or-load a detector snapshot, then
-// serve Trojan scans over newline-delimited Verilog file paths on stdin,
-// one verdict line per request. The end-to-end proof that a fitted model
-// is a reusable, servable artifact:
+// noodled — the detection daemon: load one or more detector snapshots into
+// a serve::ModelRegistry, then serve Trojan scans over newline-delimited
+// request lines on stdin, one verdict line per request. The end-to-end
+// proof that fitted models are named, versioned, hot-swappable artifacts:
 //
-//   ./build/noodled --snapshot detector.noodle --quick   # first run: fits + saves
+//   ./build/noodled --snapshot detector.noodle --quick    # first run: fits + saves
 //   ls designs/*.v | ./build/noodled --snapshot detector.noodle --stats
+//   ./build/noodled --model prod=a.snap --model canary=b.snap
+//
+// Request lines:
+//   designs/foo.v          scan with the default model
+//   canary:designs/foo.v   scan with model "canary" (latest version)
+//   canary@2:designs/foo.v scan with a pinned version
+//   !reload NAME=PATH      hot-swap: load PATH and publish it as the next
+//                          version of NAME — in-flight scans are neither
+//                          blocked nor re-answered (atomic registry swap)
+//   !models                list registered models to stderr
+//   !stats                 print service counters to stderr
 //
 // Options:
-//   --snapshot FILE   load the detector from FILE if it exists; otherwise
-//                     fit and save to FILE (train once, scan forever)
+//   --snapshot FILE   load the default model from FILE if it exists;
+//                     otherwise fit and save to FILE (train once, scan forever)
+//   --model NAME=PATH register snapshot PATH as model NAME (repeatable);
+//                     the first --model becomes the default when --snapshot
+//                     is absent
 //   --refit           fit even when the snapshot exists, then overwrite it
+//   --f32             save fitted snapshots with compact f32 weights (~2x smaller)
 //   --quick           small training config (CI smoke / demos; seconds not
 //                     minutes)
 //   --batch N         max requests coalesced per detector batch (default 16)
 //   --cache N         LRU verdict-cache capacity (default 4096, 0 disables)
 //   --workers N       service worker threads (default 1)
 //   --seed N          training seed (default 42)
-//   --stats           print service counters to stderr on exit
+//   --stats           print service counters (total + per model) on exit
 //   --demo N          write N demo circuits under ./noodled_demo/ and print
 //                     their paths to stdout, then exit — composable with a
 //                     serving run:  noodled --demo 6 | noodled --snapshot S
 //
 // Verdict line format (tab-separated):
-//   TROJAN-INFECTED|trojan-free|parse-error|read-error  p=...  region=...  <path>
+//   TROJAN-INFECTED|trojan-free|parse-error|read-error|no-model
+//       p=...  region=...  model=name@version  <path>
 
 #include <algorithm>
 #include <chrono>
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/detector.h"
+#include "serve/registry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
 #include "util/csv.h"
@@ -44,7 +63,9 @@ namespace {
 
 struct Options {
   std::filesystem::path snapshot;
+  std::vector<std::pair<std::string, std::filesystem::path>> models;
   bool refit = false;
+  bool f32 = false;
   bool quick = false;
   bool stats = false;
   std::size_t batch = 16;
@@ -57,10 +78,24 @@ struct Options {
 [[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
   if (!error.empty()) std::cerr << "noodled: " << error << "\n";
   std::cerr << "usage: " << argv0
-            << " [--snapshot FILE] [--refit] [--quick] [--batch N] [--cache N]"
-               " [--workers N] [--seed N] [--stats] [--demo N]\n"
-               "reads newline-delimited Verilog file paths from stdin\n";
+            << " [--snapshot FILE] [--model NAME=PATH ...] [--refit] [--f32]"
+               " [--quick] [--batch N] [--cache N] [--workers N] [--seed N]"
+               " [--stats] [--demo N]\n"
+               "reads newline-delimited request lines from stdin:\n"
+               "  PATH | MODEL:PATH | MODEL@VER:PATH | !reload NAME=PATH |"
+               " !models | !stats\n";
   std::exit(2);
+}
+
+/// "NAME=PATH" → {NAME, PATH}; nullopt when either side is empty. Shared
+/// by --model flags and !reload control lines so the grammar can't drift.
+std::optional<std::pair<std::string, std::filesystem::path>> try_parse_name_path(
+    const std::string& value) {
+  const std::size_t eq = value.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+    return std::nullopt;
+  }
+  return {{value.substr(0, eq), std::filesystem::path(value.substr(eq + 1))}};
 }
 
 Options parse_options(int argc, char** argv) {
@@ -74,8 +109,15 @@ Options parse_options(int argc, char** argv) {
     try {
       if (arg == "--snapshot") {
         options.snapshot = next_value(i);
+      } else if (arg == "--model") {
+        const std::string value = next_value(i);
+        const auto model = try_parse_name_path(value);
+        if (!model) usage(argv[0], "--model wants NAME=PATH, got '" + value + "'");
+        options.models.push_back(*model);
       } else if (arg == "--refit") {
         options.refit = true;
+      } else if (arg == "--f32") {
+        options.f32 = true;
       } else if (arg == "--quick") {
         options.quick = true;
       } else if (arg == "--stats") {
@@ -114,12 +156,14 @@ core::DetectorConfig training_config(const Options& options) {
   return config;
 }
 
-core::NoodleDetector fit_or_load(const Options& options) {
+/// Loads or fits the default model and publishes it into the registry.
+void publish_default(serve::ModelRegistry& registry, const Options& options) {
   const bool can_load = !options.snapshot.empty() && !options.refit &&
                         std::filesystem::exists(options.snapshot);
   if (can_load) {
     std::cerr << "noodled: loading snapshot " << options.snapshot.string() << "\n";
-    return core::NoodleDetector::from_snapshot(options.snapshot);
+    registry.reload_from(serve::kDefaultModelName, options.snapshot);
+    return;
   }
   std::cerr << "noodled: fitting detector (seed " << options.seed
             << (options.quick ? ", quick config" : "") << ")...\n";
@@ -134,16 +178,66 @@ core::NoodleDetector fit_or_load(const Options& options) {
     detector.fit_default();
   }
   if (!options.snapshot.empty()) {
-    detector.save(options.snapshot);
-    std::cerr << "noodled: saved snapshot to " << options.snapshot.string() << "\n";
+    detector.save(options.snapshot,
+                  options.f32 ? nn::WeightPrecision::F32 : nn::WeightPrecision::F64);
+    std::cerr << "noodled: saved snapshot to " << options.snapshot.string()
+              << (options.f32 ? " (f32 weights)" : "") << "\n";
   }
-  return detector;
+  registry.publish(serve::kDefaultModelName, detector.fitted_model(),
+                   options.snapshot);
 }
 
 std::string region_text(const cp::PredictionRegion& region) {
   if (region.is_uncertain()) return "{TF,TI}";
   if (region.is_empty()) return "{}";
   return region.contains[1] ? "{TI}" : "{TF}";
+}
+
+void print_stats_line(const char* label, const serve::ServiceStats& stats) {
+  std::cerr << "noodled stats[" << label << "]: requests=" << stats.requests
+            << " cache_hits=" << stats.cache_hits << " scans=" << stats.scans
+            << " batches=" << stats.batches << " max_batch=" << stats.max_batch_size
+            << " parse_failures=" << stats.parse_failures
+            << " model_misses=" << stats.model_misses
+            << " avg_batch=" << util::format_fixed(stats.average_batch_size(), 2)
+            << " avg_scan_us=" << util::format_fixed(stats.average_scan_micros(), 1)
+            << "\n";
+}
+
+void print_stats(const serve::DetectionService& service) {
+  print_stats_line("total", service.stats());
+  for (const auto& [name, stats] : service.stats_by_model()) {
+    print_stats_line(name.c_str(), stats);
+  }
+}
+
+void print_models(const serve::ModelRegistry& registry) {
+  for (const serve::ModelHandle& handle : registry.catalog()) {
+    std::cerr << "noodled: model " << handle->label()
+              << " fusion=" << handle->model().winning_fusion();
+    if (!handle->source().empty()) std::cerr << " source=" << handle->source().string();
+    std::cerr << "\n";
+  }
+}
+
+/// Splits "spec:path" when the prefix names a registered model; otherwise
+/// the whole line is a path for the default model.
+std::pair<std::string, std::string> split_request(const std::string& line,
+                                                  const serve::ModelRegistry& registry,
+                                                  const std::string& default_model) {
+  const std::size_t colon = line.find(':');
+  if (colon != std::string::npos && colon > 0) {
+    try {
+      const serve::ModelSpec spec = serve::parse_model_spec(
+          std::string_view(line).substr(0, colon));
+      if (registry.try_resolve(serve::ModelSpec{spec.name, 0})) {
+        return {line.substr(0, colon), line.substr(colon + 1)};
+      }
+    } catch (const serve::RegistryError&) {
+      // Not a model prefix; treat the whole line as a path.
+    }
+  }
+  return {default_model, line};
 }
 
 }  // namespace
@@ -167,25 +261,39 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  core::NoodleDetector detector = [&] {
-    try {
-      return fit_or_load(options);
-    } catch (const serve::SnapshotError& e) {
-      std::cerr << "noodled: snapshot rejected: " << e.what()
-                << " (use --refit to retrain)\n";
-      std::exit(1);
+  auto registry = std::make_shared<serve::ModelRegistry>();
+  try {
+    for (const auto& [name, path] : options.models) {
+      registry->reload_from(name, path);
+      std::cerr << "noodled: loaded model " << name << " from " << path.string()
+                << "\n";
     }
-  }();
-  std::cerr << "noodled: serving (fusion=" << detector.winning_fusion() << ")\n";
+    if (!options.snapshot.empty() || options.models.empty()) {
+      publish_default(*registry, options);
+    }
+  } catch (const serve::SnapshotError& e) {
+    std::cerr << "noodled: snapshot rejected: " << e.what()
+              << " (use --refit to retrain)\n";
+    return 1;
+  } catch (const serve::RegistryError& e) {
+    std::cerr << "noodled: " << e.what() << "\n";
+    return 1;
+  }
+  const std::string default_model = !options.snapshot.empty() || options.models.empty()
+                                        ? std::string(serve::kDefaultModelName)
+                                        : options.models.front().first;
+  print_models(*registry);
+  std::cerr << "noodled: serving (default model " << default_model << ")\n";
 
   serve::ServiceConfig service_config;
   service_config.max_batch = options.batch;
   service_config.cache_capacity = options.cache;
   service_config.workers = options.workers;
-  serve::DetectionService service(std::move(detector), service_config);
+  serve::DetectionService service(registry, default_model, service_config);
 
   struct Pending {
     std::string path;
+    std::string model;  ///< requested spec; verdict lines prefer served_by
     std::future<core::DetectionReport> verdict;
     std::string error;  // set when the file could not even be read
   };
@@ -197,7 +305,8 @@ int main(int argc, char** argv) {
   const auto print_front = [&] {
     Pending& request = pending.front();
     if (!request.error.empty()) {
-      std::cout << "read-error\t-\t-\t" << request.path << "\n";
+      std::cout << "read-error\t-\t-\tmodel=" << request.model << "\t" << request.path
+                << "\n";
       ++failures;
     } else {
       try {
@@ -206,10 +315,16 @@ int main(int argc, char** argv) {
                           ? "TROJAN-INFECTED"
                           : "trojan-free")
                   << "\tp=" << util::format_fixed(report.probability, 3)
-                  << "\tregion=" << region_text(report.region) << "\t" << request.path
+                  << "\tregion=" << region_text(report.region)
+                  << "\tmodel=" << report.served_by << "\t" << request.path << "\n";
+      } catch (const serve::RegistryError& e) {
+        std::cout << "no-model\t-\t-\tmodel=" << request.model << "\t" << request.path
                   << "\n";
+        std::cerr << "noodled: " << request.path << ": " << e.what() << "\n";
+        ++failures;
       } catch (const std::exception& e) {
-        std::cout << "parse-error\t-\t-\t" << request.path << "\n";
+        std::cout << "parse-error\t-\t-\tmodel=" << request.model << "\t"
+                  << request.path << "\n";
         std::cerr << "noodled: " << request.path << ": " << e.what() << "\n";
         ++failures;
       }
@@ -233,15 +348,50 @@ int main(int argc, char** argv) {
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.empty()) continue;
+
+    if (line.front() == '!') {  // control line
+      std::istringstream control(line);
+      std::string command;
+      control >> command;
+      if (command == "!reload") {
+        std::string value;
+        control >> value;
+        const auto target = try_parse_name_path(value);
+        if (!target) {
+          std::cerr << "noodled: !reload wants NAME=PATH, got '" << value << "'\n";
+          ++failures;
+          continue;
+        }
+        try {
+          const serve::ModelHandle handle = service.reload(target->first, target->second);
+          std::cerr << "noodled: reloaded " << handle->label() << " from "
+                    << handle->source().string() << "\n";
+        } catch (const std::exception& e) {
+          std::cerr << "noodled: reload failed: " << e.what() << "\n";
+          ++failures;
+        }
+      } else if (command == "!models") {
+        print_models(*registry);
+      } else if (command == "!stats") {
+        print_stats(service);
+      } else {
+        std::cerr << "noodled: unknown control line '" << line << "'\n";
+        ++failures;
+      }
+      continue;
+    }
+
+    auto [model, path] = split_request(line, *registry, default_model);
     Pending request;
-    request.path = line;
-    std::ifstream file(line);
+    request.path = path;
+    request.model = model;
+    std::ifstream file(path);
     if (!file) {
       request.error = "cannot open file";
     } else {
       std::ostringstream source;
       source << file.rdbuf();
-      request.verdict = service.submit(source.str());
+      request.verdict = service.submit(model, source.str());
     }
     pending.push_back(std::move(request));
     flush_ready();
@@ -249,16 +399,6 @@ int main(int argc, char** argv) {
   }
   while (!pending.empty()) print_front();
 
-  if (options.stats) {
-    const serve::ServiceStats stats = service.stats();
-    std::cerr << "noodled stats: requests=" << stats.requests
-              << " cache_hits=" << stats.cache_hits << " scans=" << stats.scans
-              << " batches=" << stats.batches
-              << " max_batch=" << stats.max_batch_size
-              << " parse_failures=" << stats.parse_failures
-              << " avg_batch=" << util::format_fixed(stats.average_batch_size(), 2)
-              << " avg_scan_us=" << util::format_fixed(stats.average_scan_micros(), 1)
-              << "\n";
-  }
+  if (options.stats) print_stats(service);
   return failures == 0 ? 0 : 1;
 }
