@@ -112,6 +112,26 @@ void BM_CnnForward(benchmark::State& state) {
 }
 BENCHMARK(BM_CnnForward)->Arg(1)->Arg(16)->Arg(128);
 
+void BM_CnnInferWorkspace(benchmark::State& state) {
+  // The allocation-free engine path: same math as BM_CnnForward (results
+  // are bit-identical, asserted below), but zero heap allocations per batch
+  // once the workspace is warm.
+  util::Rng rng(3);
+  const nn::Sequential model = nn::make_cnn(40, rng);
+  nn::Matrix batch(static_cast<std::size_t>(state.range(0)), 40);
+  for (double& v : batch.data()) v = rng.normal();
+  nn::InferenceWorkspace ws;
+  model.reserve_workspace(ws, batch.rows(), batch.cols());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.infer(batch, ws));
+  }
+  if (model.infer(batch, ws).data() != model.infer(batch).data()) {
+    state.SkipWithError("workspace inference diverged from the allocating path");
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CnnInferWorkspace)->Arg(1)->Arg(16)->Arg(128);
+
 void BM_CnnTrainEpoch(benchmark::State& state) {
   util::Rng rng(5);
   nn::Matrix x(128, 40);

@@ -1,5 +1,6 @@
 #include "core/fitted_model.h"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
@@ -22,20 +23,28 @@ FittedModel::FittedModel(DetectorConfig config, fusion::EarlyFusionModel early,
   }
 }
 
+namespace {
+
+DetectionReport report_from(const fusion::Prediction& prediction,
+                            const DetectorConfig& config, const std::string& winner) {
+  DetectionReport report;
+  report.probability = prediction.probability;
+  report.p_values = prediction.p_values;
+  report.region = cp::region_at_confidence(prediction.p_values, config.confidence_level);
+  report.predicted_label = report.region.point_prediction;
+  report.fusion_used = winner;
+  return report;
+}
+
+}  // namespace
+
 DetectionReport FittedModel::scan_features(const data::FeatureSample& sample) const {
   // predict_detail() / the early arm's predict() are stateless on a fitted
   // model, which is what makes concurrent scans on one handle sound.
   fusion::Prediction prediction = winner_ == "late_fusion"
                                       ? late_.predict_detail(sample).fused
                                       : early_.predict(sample);
-
-  DetectionReport report;
-  report.probability = prediction.probability;
-  report.p_values = prediction.p_values;
-  report.region = cp::region_at_confidence(prediction.p_values, config_.confidence_level);
-  report.predicted_label = report.region.point_prediction;
-  report.fusion_used = winner_;
-  return report;
+  return report_from(prediction, config_, winner_);
 }
 
 DetectionReport FittedModel::scan_verilog(const std::string& verilog_source) const {
@@ -48,17 +57,41 @@ DetectionReport FittedModel::scan_verilog(const std::string& verilog_source) con
 std::vector<DetectionReport> FittedModel::scan_many(
     std::span<const data::FeatureSample> samples, std::size_t threads) const {
   std::vector<DetectionReport> reports(samples.size());
-  util::parallel_for(samples.size(), threads,
-                     [&](std::size_t i) { reports[i] = scan_features(samples[i]); });
+  if (samples.empty()) return reports;
+  // Fixed-size chunks (not per-thread splits) keep the work decomposition
+  // independent of the thread count; each chunk runs one batched forward
+  // per CNN via predict_batch, which is bit-identical to per-sample
+  // scan_features at any chunk boundary — so verdicts are the same at any
+  // thread count AND match sequential scans, as the benches assert.
+  constexpr std::size_t kChunk = fusion::kPredictionChunk;
+  const std::size_t chunk_count = (samples.size() + kChunk - 1) / kChunk;
+  const fusion::ClassifierArm& arm =
+      winner_ == "late_fusion" ? static_cast<const fusion::ClassifierArm&>(late_)
+                               : static_cast<const fusion::ClassifierArm&>(early_);
+  util::parallel_for(chunk_count, threads, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kChunk;
+    const std::size_t count = std::min(kChunk, samples.size() - begin);
+    const std::vector<fusion::Prediction> predictions =
+        arm.predict_batch(samples.subspan(begin, count));
+    for (std::size_t j = 0; j < count; ++j) {
+      reports[begin + j] = report_from(predictions[j], config_, winner_);
+    }
+  });
   return reports;
 }
 
 std::vector<DetectionReport> FittedModel::scan_verilog_many(
     std::span<const std::string> sources, std::size_t threads) const {
-  std::vector<DetectionReport> reports(sources.size());
-  util::parallel_for(sources.size(), threads,
-                     [&](std::size_t i) { reports[i] = scan_verilog(sources[i]); });
-  return reports;
+  // Featurize in parallel (parsing dominates), then hand the whole batch to
+  // the batched scan path.
+  std::vector<data::FeatureSample> samples(sources.size());
+  util::parallel_for(sources.size(), threads, [&](std::size_t i) {
+    data::CircuitSample circuit;
+    circuit.verilog = sources[i];
+    circuit.infected = false;  // unknown; featurize() only uses the text
+    samples[i] = data::featurize(circuit);
+  });
+  return scan_many(samples, threads);
 }
 
 namespace {

@@ -42,14 +42,19 @@ void Standardizer::fit(const std::vector<std::vector<double>>& rows) {
 }
 
 std::vector<double> Standardizer::transform(std::span<const double> row) const {
-  if (row.size() != means_.size()) {
+  std::vector<double> out(row.size());
+  transform_into(row, out);
+  return out;
+}
+
+void Standardizer::transform_into(std::span<const double> row,
+                                  std::span<double> out) const {
+  if (row.size() != means_.size() || out.size() != row.size()) {
     throw std::invalid_argument("Standardizer::transform: dimension mismatch");
   }
-  std::vector<double> out(row.size());
   for (std::size_t d = 0; d < row.size(); ++d) {
     out[d] = stddevs_[d] > 1e-12 ? (row[d] - means_[d]) / stddevs_[d] : 0.0;
   }
-  return out;
 }
 
 std::vector<double> Standardizer::inverse(std::span<const double> row) const {

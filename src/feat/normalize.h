@@ -20,6 +20,11 @@ class Standardizer {
   /// Transforms one row (must match the fitted dimension).
   std::vector<double> transform(std::span<const double> row) const;
 
+  /// Allocation-free transform into a caller-provided span of the same
+  /// length (the batched-prediction path standardizes straight into matrix
+  /// rows). Same arithmetic as transform(), so outputs are bit-identical.
+  void transform_into(std::span<const double> row, std::span<double> out) const;
+
   /// Inverse transform (used by the GAN to map samples back to feature
   /// space for inspection).
   std::vector<double> inverse(std::span<const double> row) const;

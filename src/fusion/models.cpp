@@ -1,5 +1,6 @@
 #include "fusion/models.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/binary_io.h"
@@ -13,7 +14,12 @@ const char* to_string(Modality modality) noexcept {
 std::vector<Prediction> ClassifierArm::predict_all(const data::FeatureDataset& dataset) const {
   std::vector<Prediction> predictions;
   predictions.reserve(dataset.size());
-  for (const auto& sample : dataset.samples) predictions.push_back(predict(sample));
+  const std::span<const data::FeatureSample> samples(dataset.samples);
+  for (std::size_t begin = 0; begin < samples.size(); begin += kPredictionChunk) {
+    const auto chunk = predict_batch(
+        samples.subspan(begin, std::min(kPredictionChunk, samples.size() - begin)));
+    predictions.insert(predictions.end(), chunk.begin(), chunk.end());
+  }
   return predictions;
 }
 
@@ -56,6 +62,48 @@ nn::Matrix single_row_matrix(const std::vector<double>& row) {
   nn::Matrix m(1, row.size());
   for (std::size_t i = 0; i < row.size(); ++i) m(0, i) = row[i];
   return m;
+}
+
+/// Per-thread scratch for predict_batch: the standardized input matrix,
+/// the CNN workspace, and the early arm's concatenation buffer. Thread-local
+/// (workspaces must not be shared across threads) and grow-only, so a
+/// long-lived scan worker stops allocating once it has seen its largest
+/// batch — arms of different widths sharing one thread just grow the
+/// buffers to the maximum. Reuse never changes a value: the buffers are
+/// fully overwritten each call.
+struct BatchScratch {
+  nn::Matrix x;
+  nn::InferenceWorkspace ws;
+  std::vector<double> joint;
+};
+
+BatchScratch& thread_batch_scratch() {
+  thread_local BatchScratch scratch;
+  return scratch;
+}
+
+/// Shared batched-prediction plumbing for the single/early arms: fill the
+/// standardized input matrix row by row (fill_row gets the arm-specific
+/// sample-to-row logic plus the reusable concatenation buffer), run one
+/// workspace forward, and turn the probabilities into Predictions.
+template <typename FillRow>
+std::vector<Prediction> predict_batch_with(const feat::Standardizer& scaler,
+                                           const nn::Sequential& model,
+                                           const cp::MondrianIcp& icp,
+                                           std::size_t count, FillRow&& fill_row) {
+  std::vector<Prediction> predictions(count);
+  if (count == 0) return predictions;
+  BatchScratch& scratch = thread_batch_scratch();
+  nn::Matrix& x = scratch.x;
+  x.reshape(count, scaler.dimension());
+  for (std::size_t r = 0; r < count; ++r) fill_row(r, x.row(r), scratch.joint);
+  model.reserve_workspace(scratch.ws, x.rows(), x.cols());
+  const std::vector<double> probs = nn::predict_proba(model, x, scratch.ws);
+  for (std::size_t r = 0; r < count; ++r) {
+    predictions[r].probability = probs[r];
+    predictions[r].p_values = icp.p_values(probs[r]);
+  }
+  return predictions;
 }
 
 // Per-arm framing inside a snapshot: a one-byte tag so loading a section
@@ -161,6 +209,15 @@ Prediction SingleModalityModel::predict(const data::FeatureSample& sample) const
   return prediction;
 }
 
+std::vector<Prediction> SingleModalityModel::predict_batch(
+    std::span<const data::FeatureSample> samples) const {
+  return predict_batch_with(
+      scaler_, model_, icp_, samples.size(),
+      [&](std::size_t r, std::span<double> row, std::vector<double>&) {
+        scaler_.transform_into(modality_of(samples[r], modality_), row);
+      });
+}
+
 void SingleModalityModel::save(std::ostream& os, nn::WeightPrecision precision) const {
   util::write_u8(os, modality_tag(modality_));
   save_arm_state(os, scaler_, model_, icp_, precision);
@@ -211,6 +268,17 @@ Prediction EarlyFusionModel::predict(const data::FeatureSample& sample) const {
   return prediction;
 }
 
+std::vector<Prediction> EarlyFusionModel::predict_batch(
+    std::span<const data::FeatureSample> samples) const {
+  return predict_batch_with(
+      scaler_, model_, icp_, samples.size(),
+      [&](std::size_t r, std::span<double> row, std::vector<double>& joint) {
+        joint.assign(samples[r].graph.begin(), samples[r].graph.end());
+        joint.insert(joint.end(), samples[r].tabular.begin(), samples[r].tabular.end());
+        scaler_.transform_into(joint, row);
+      });
+}
+
 void EarlyFusionModel::save(std::ostream& os, nn::WeightPrecision precision) const {
   util::write_u8(os, kArmTagEarly);
   save_arm_state(os, scaler_, model_, icp_, precision);
@@ -237,9 +305,23 @@ void LateFusionModel::fit(const data::FeatureDataset& train,
 }
 
 LateFusionDetail LateFusionModel::predict_detail(const data::FeatureSample& sample) const {
-  const Prediction graph_prediction = graph_arm_.predict(sample);
-  const Prediction tabular_prediction = tabular_arm_.predict(sample);
+  return fuse(graph_arm_.predict(sample), tabular_arm_.predict(sample));
+}
 
+std::vector<Prediction> LateFusionModel::predict_batch(
+    std::span<const data::FeatureSample> samples) const {
+  const std::vector<Prediction> graph_predictions = graph_arm_.predict_batch(samples);
+  const std::vector<Prediction> tabular_predictions =
+      tabular_arm_.predict_batch(samples);
+  std::vector<Prediction> predictions(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    predictions[i] = fuse(graph_predictions[i], tabular_predictions[i]).fused;
+  }
+  return predictions;
+}
+
+LateFusionDetail LateFusionModel::fuse(const Prediction& graph_prediction,
+                                       const Prediction& tabular_prediction) const {
   LateFusionDetail detail;
   detail.per_modality = {graph_prediction.p_values, tabular_prediction.p_values};
   for (const int label : {0, 1}) {

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,14 @@ struct Prediction {
   std::array<double, 2> p_values{0.0, 0.0};
 };
 
+/// Batch-decomposition unit shared by every bulk prediction path
+/// (ClassifierArm::predict_all, core::FittedModel::scan_many): bounded
+/// chunks cap the per-thread scratch high-water mark, and a fixed size
+/// keeps the decomposition independent of thread count. Chunking never
+/// changes a value — batched prediction is bit-identical at any batch
+/// size.
+inline constexpr std::size_t kPredictionChunk = 32;
+
 /// Shared shape: fit on proper-training + calibration sets, then predict.
 class ClassifierArm {
  public:
@@ -59,6 +68,16 @@ class ClassifierArm {
   /// on this). The late-fusion override additionally refreshes its
   /// interpretability cache; see LateFusionModel.
   virtual Prediction predict(const data::FeatureSample& sample) const = 0;
+
+  /// Batched prediction: standardizes the whole span into one matrix and
+  /// runs one CNN forward per model (the batched inference engine), instead
+  /// of a 1-row forward per sample. Results are bit-identical to calling
+  /// predict() per sample, in order (asserted in tests/test_nn_engine.cpp).
+  /// Stateless and safe for concurrent use on a fitted arm — unlike the
+  /// late arm's predict(), batching never touches the interpretability
+  /// cache.
+  virtual std::vector<Prediction> predict_batch(
+      std::span<const data::FeatureSample> samples) const = 0;
 
   virtual std::string name() const = 0;
 
@@ -75,6 +94,7 @@ class ClassifierArm {
   /// or mismatched input.
   virtual void load(std::istream& is) = 0;
 
+  /// Whole-dataset convenience wrapper over predict_batch().
   std::vector<Prediction> predict_all(const data::FeatureDataset& dataset) const;
 };
 
@@ -83,6 +103,8 @@ class SingleModalityModel : public ClassifierArm {
   SingleModalityModel(Modality modality, FusionConfig config);
   void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
   Prediction predict(const data::FeatureSample& sample) const override;
+  std::vector<Prediction> predict_batch(
+      std::span<const data::FeatureSample> samples) const override;
   std::string name() const override;
   void save(std::ostream& os, nn::WeightPrecision precision) const override;
   void load(std::istream& is) override;
@@ -100,6 +122,8 @@ class EarlyFusionModel : public ClassifierArm {
   explicit EarlyFusionModel(FusionConfig config);
   void fit(const data::FeatureDataset& train, const data::FeatureDataset& cal) override;
   Prediction predict(const data::FeatureSample& sample) const override;
+  std::vector<Prediction> predict_batch(
+      std::span<const data::FeatureSample> samples) const override;
   std::string name() const override { return "early_fusion"; }
   void save(std::ostream& os, nn::WeightPrecision precision) const override;
   void load(std::istream& is) override;
@@ -133,6 +157,12 @@ class LateFusionModel : public ClassifierArm {
   /// fused result. Stateless and safe for concurrent use on a fitted model.
   LateFusionDetail predict_detail(const data::FeatureSample& sample) const;
 
+  /// Batched fused predictions: one batched forward per modality arm, then
+  /// per-sample p-value combination. Bit-identical to predict_detail(i).fused
+  /// per sample; never touches the interpretability cache.
+  std::vector<Prediction> predict_batch(
+      std::span<const data::FeatureSample> samples) const override;
+
   std::string name() const override { return "late_fusion"; }
   void save(std::ostream& os, nn::WeightPrecision precision) const override;
   void load(std::istream& is) override;
@@ -144,6 +174,11 @@ class LateFusionModel : public ClassifierArm {
   }
 
  private:
+  /// Decision-level fusion of one sample's per-modality predictions; the
+  /// single code path behind predict_detail() and predict_batch().
+  LateFusionDetail fuse(const Prediction& graph_prediction,
+                        const Prediction& tabular_prediction) const;
+
   FusionConfig config_;
   SingleModalityModel graph_arm_;
   SingleModalityModel tabular_arm_;

@@ -29,6 +29,26 @@ struct ConstParamView {
   std::size_t size = 0;
 };
 
+/// Reusable scratch for the allocation-free inference path: two ping-pong
+/// activation buffers plus flat per-layer scratch (Conv1D im2col). Buffers
+/// grow to the largest batch seen and never shrink, so steady-state
+/// inference through Sequential::infer(input, ws) performs zero heap
+/// allocations; Sequential::reserve_workspace pre-sizes everything so even
+/// the first batch allocates nothing. One workspace per thread — sharing
+/// one across concurrent infer() calls is a data race.
+struct InferenceWorkspace {
+  Matrix ping;                  ///< activation ping-pong buffer A
+  Matrix pong;                  ///< activation ping-pong buffer B
+  std::vector<double> scratch;  ///< layer scratch (im2col), grown on demand
+
+  /// Scratch of at least `n` elements; never shrinks, so repeat requests
+  /// at or below the high-water mark allocate nothing.
+  double* scratch_for(std::size_t n) {
+    if (scratch.size() < n) scratch.resize(n);
+    return scratch.data();
+  }
+};
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -41,6 +61,34 @@ class Layer {
 
   /// Backward pass for the most recent forward(train=true) call.
   virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  /// Allocation-free inference forward: writes exactly what
+  /// forward(input, train=false) would return into `out`, reshaping it via
+  /// workspace-owned storage (no allocation once the buffers have grown).
+  /// Stateless like the train=false path, hence const. `out` must be a
+  /// distinct object from `input` unless inference_in_place() is true.
+  /// The default falls back to the allocating forward.
+  virtual void forward_into(const Matrix& input, Matrix& out,
+                            InferenceWorkspace& ws) const {
+    (void)ws;
+    // forward(train=false) never writes layer state (the contract above),
+    // so the cast is logically const — same reasoning as Sequential::infer.
+    out = const_cast<Layer*>(this)->forward(input, /*train=*/false);
+  }
+
+  /// True when forward_into tolerates `&input == &out` (elementwise
+  /// layers). Sequential::infer then transforms the current ping-pong
+  /// buffer in place instead of bouncing to the other one.
+  virtual bool inference_in_place() const { return false; }
+
+  /// Elements of InferenceWorkspace::scratch this layer's forward_into
+  /// needs at the given input width, independent of batch size (Conv1D's
+  /// im2col buffer is per-sample). Lets Sequential::reserve_workspace size
+  /// a workspace once, up front.
+  virtual std::size_t scratch_elements(std::size_t input_cols) const {
+    (void)input_cols;
+    return 0;
+  }
 
   /// Parameter buffers (empty for stateless layers).
   virtual std::vector<ParamView> params() { return {}; }

@@ -1,7 +1,10 @@
 #include "nn/layers.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "nn/kernels.h"
 
 namespace noodle::nn {
 
@@ -12,6 +15,18 @@ void check_cols(const Matrix& m, std::size_t expected, const char* who) {
     throw std::invalid_argument(std::string(who) + ": expected " +
                                 std::to_string(expected) + " columns, got " +
                                 std::to_string(m.cols()));
+  }
+}
+
+/// Backward passes index grad_output by the cached forward tensor; a
+/// mismatched batch must fail loudly instead of reading out of bounds
+/// (an empty cache means no forward(train=true) ever ran).
+void check_grad_shape(const Matrix& cached, const Matrix& grad_output, const char* who) {
+  if (grad_output.rows() != cached.rows() || grad_output.cols() != cached.cols()) {
+    throw std::invalid_argument(
+        std::string(who) + ": grad_output is " + std::to_string(grad_output.rows()) +
+        "x" + std::to_string(grad_output.cols()) + " but the cached forward batch is " +
+        std::to_string(cached.rows()) + "x" + std::to_string(cached.cols()));
   }
 }
 
@@ -40,15 +55,19 @@ Matrix Dense::forward(const Matrix& input, bool train) {
   check_cols(input, in_, "Dense::forward");
   if (train) input_ = input;
   Matrix out(input.rows(), out_);
-  for (std::size_t r = 0; r < input.rows(); ++r) {
-    for (std::size_t o = 0; o < out_; ++o) {
-      double acc = bias_[o];
-      const double* w_row = weight_.data() + o * in_;
-      for (std::size_t i = 0; i < in_; ++i) acc += w_row[i] * input(r, i);
-      out(r, o) = acc;
-    }
-  }
+  // out(r, o) = bias[o] + Σ_i w(o, i)·input(r, i): one GEMM over the whole
+  // batch, bit-identical to the per-element dot-product loop (gemm_bt
+  // accumulates bias-first, i ascending).
+  gemm_bt(input.rows(), out_, in_, input.data().data(), in_, weight_.data(), in_,
+          bias_.data(), out.data().data(), out_, 1);
   return out;
+}
+
+void Dense::forward_into(const Matrix& input, Matrix& out, InferenceWorkspace&) const {
+  check_cols(input, in_, "Dense::forward_into");
+  out.reshape(input.rows(), out_);
+  gemm_bt(input.rows(), out_, in_, input.data().data(), in_, weight_.data(), in_,
+          bias_.data(), out.data().data(), out_, 1);
 }
 
 Matrix Dense::backward(const Matrix& grad_output) {
@@ -110,30 +129,47 @@ Conv1D::Conv1D(std::size_t in_channels, std::size_t in_len, std::size_t out_chan
   for (double& v : weight_) v = rng.normal(0.0, scale);
 }
 
+void Conv1D::forward_batch(const Matrix& input, Matrix& out, double* col) const {
+  const std::size_t olen = out_len();
+  const std::size_t patch = in_channels_ * kernel_;
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    // im2col: col(t, ic*kernel + k) = input(r, ic*in_len + t + k), so each
+    // col row enumerates the receptive field in the naive (ic outer, k
+    // inner) order; the weight rows (oc, ic, k) already match that layout.
+    im2col_1d(input.row(r).data(), in_channels_, in_len_, kernel_, col);
+    // out(r, oc*olen + t) = bias[oc] + Σ_j col(t, j)·w(oc, j): the strided
+    // C writes place the GEMM output directly in channels-major layout.
+    gemm_bt(olen, out_channels_, patch, col, patch, weight_.data(), patch,
+            bias_.data(), out.data().data() + r * out.cols(), 1, olen);
+  }
+}
+
 Matrix Conv1D::forward(const Matrix& input, bool train) {
   check_cols(input, in_channels_ * in_len_, "Conv1D::forward");
   if (train) input_ = input;
-  const std::size_t olen = out_len();
-  Matrix out(input.rows(), out_channels_ * olen);
-  for (std::size_t r = 0; r < input.rows(); ++r) {
-    for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-      for (std::size_t t = 0; t < olen; ++t) {
-        double acc = bias_[oc];
-        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            acc += w(oc, ic, k) * input(r, ic * in_len_ + t + k);
-          }
-        }
-        out(r, oc * olen + t) = acc;
-      }
-    }
-  }
+  Matrix out(input.rows(), out_channels_ * out_len());
+  std::vector<double> col(scratch_elements(input.cols()));
+  forward_batch(input, out, col.data());
   return out;
+}
+
+void Conv1D::forward_into(const Matrix& input, Matrix& out, InferenceWorkspace& ws) const {
+  check_cols(input, in_channels_ * in_len_, "Conv1D::forward_into");
+  out.reshape(input.rows(), out_channels_ * out_len());
+  forward_batch(input, out, ws.scratch_for(scratch_elements(input.cols())));
+}
+
+std::size_t Conv1D::scratch_elements(std::size_t) const {
+  // One sample's im2col patch matrix, reused across the batch.
+  return out_len() * in_channels_ * kernel_;
 }
 
 Matrix Conv1D::backward(const Matrix& grad_output) {
   const std::size_t olen = out_len();
   check_cols(grad_output, out_channels_ * olen, "Conv1D::backward");
+  if (grad_output.rows() != input_.rows()) {
+    throw std::invalid_argument("Conv1D::backward: batch size mismatch");
+  }
   Matrix grad_in(input_.rows(), in_channels_ * in_len_);
   for (std::size_t r = 0; r < input_.rows(); ++r) {
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
@@ -175,7 +211,15 @@ Matrix ReLU::forward(const Matrix& input, bool train) {
   return out;
 }
 
+void ReLU::forward_into(const Matrix& input, Matrix& out, InferenceWorkspace&) const {
+  out.reshape(input.rows(), input.cols());  // no-op when aliased with input
+  const std::vector<double>& in = input.data();
+  std::vector<double>& o = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) o[i] = in[i] > 0.0 ? in[i] : 0.0;
+}
+
 Matrix ReLU::backward(const Matrix& grad_output) {
+  check_grad_shape(input_, grad_output, "ReLU::backward");
   Matrix grad_in = grad_output;
   for (std::size_t i = 0; i < grad_in.size(); ++i) {
     if (input_.data()[i] <= 0.0) grad_in.data()[i] = 0.0;
@@ -190,7 +234,17 @@ Matrix LeakyReLU::forward(const Matrix& input, bool train) {
   return out;
 }
 
+void LeakyReLU::forward_into(const Matrix& input, Matrix& out, InferenceWorkspace&) const {
+  out.reshape(input.rows(), input.cols());
+  const std::vector<double>& in = input.data();
+  std::vector<double>& o = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    o[i] = in[i] > 0.0 ? in[i] : alpha_ * in[i];
+  }
+}
+
 Matrix LeakyReLU::backward(const Matrix& grad_output) {
+  check_grad_shape(input_, grad_output, "LeakyReLU::backward");
   Matrix grad_in = grad_output;
   for (std::size_t i = 0; i < grad_in.size(); ++i) {
     if (input_.data()[i] <= 0.0) grad_in.data()[i] *= alpha_;
@@ -205,7 +259,15 @@ Matrix Sigmoid::forward(const Matrix& input, bool train) {
   return out;
 }
 
+void Sigmoid::forward_into(const Matrix& input, Matrix& out, InferenceWorkspace&) const {
+  out.reshape(input.rows(), input.cols());
+  const std::vector<double>& in = input.data();
+  std::vector<double>& o = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) o[i] = 1.0 / (1.0 + std::exp(-in[i]));
+}
+
 Matrix Sigmoid::backward(const Matrix& grad_output) {
+  check_grad_shape(output_, grad_output, "Sigmoid::backward");
   Matrix grad_in = grad_output;
   for (std::size_t i = 0; i < grad_in.size(); ++i) {
     const double s = output_.data()[i];
@@ -221,7 +283,15 @@ Matrix Tanh::forward(const Matrix& input, bool train) {
   return out;
 }
 
+void Tanh::forward_into(const Matrix& input, Matrix& out, InferenceWorkspace&) const {
+  out.reshape(input.rows(), input.cols());
+  const std::vector<double>& in = input.data();
+  std::vector<double>& o = out.data();
+  for (std::size_t i = 0; i < in.size(); ++i) o[i] = std::tanh(in[i]);
+}
+
 Matrix Tanh::backward(const Matrix& grad_output) {
+  check_grad_shape(output_, grad_output, "Tanh::backward");
   Matrix grad_in = grad_output;
   for (std::size_t i = 0; i < grad_in.size(); ++i) {
     const double t = output_.data()[i];
@@ -260,8 +330,15 @@ Matrix Dropout::forward(const Matrix& input, bool train) {
   return out;
 }
 
+void Dropout::forward_into(const Matrix& input, Matrix& out, InferenceWorkspace&) const {
+  if (&out == &input) return;  // inference is the identity
+  out.reshape(input.rows(), input.cols());
+  std::copy(input.data().begin(), input.data().end(), out.data().begin());
+}
+
 Matrix Dropout::backward(const Matrix& grad_output) {
-  if (mask_.empty()) return grad_output;
+  if (mask_.empty()) return grad_output;  // rate 0: forward was the identity
+  check_grad_shape(mask_, grad_output, "Dropout::backward");
   Matrix grad_in = grad_output;
   for (std::size_t i = 0; i < grad_in.size(); ++i) {
     grad_in.data()[i] *= mask_.data()[i];
@@ -334,11 +411,28 @@ Matrix BatchNorm1d::forward(const Matrix& input, bool train) {
   return out;
 }
 
+void BatchNorm1d::forward_into(const Matrix& input, Matrix& out,
+                               InferenceWorkspace&) const {
+  check_cols(input, features_, "BatchNorm1d::forward_into");
+  const std::size_t n = input.rows();
+  out.reshape(n, features_);
+  // Same expression as the eval branch of forward(); hoisting the inverse
+  // stddev out of the row loop reuses an identical double, so outputs stay
+  // bit-identical.
+  for (std::size_t c = 0; c < features_; ++c) {
+    const double inv = 1.0 / std::sqrt(running_var_[c] + eps_);
+    for (std::size_t r = 0; r < n; ++r) {
+      out(r, c) = gamma_[c] * (input(r, c) - running_mean_[c]) * inv + beta_[c];
+    }
+  }
+}
+
 Matrix BatchNorm1d::backward(const Matrix& grad_output) {
   check_cols(grad_output, features_, "BatchNorm1d::backward");
   if (normalized_.empty()) {
     throw std::logic_error("BatchNorm1d::backward: no cached training forward");
   }
+  check_grad_shape(normalized_, grad_output, "BatchNorm1d::backward");
   const std::size_t n = grad_output.rows();
   const double dn = static_cast<double>(n);
   Matrix grad_in(n, features_);

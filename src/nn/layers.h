@@ -12,6 +12,8 @@ class Dense : public Layer {
   Dense(std::size_t in_features, std::size_t out_features, util::Rng& rng);
 
   Matrix forward(const Matrix& input, bool train) override;
+  void forward_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const override;
   Matrix backward(const Matrix& grad_output) override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "dense"; }
@@ -37,15 +39,22 @@ class Conv1D : public Layer {
          std::size_t kernel, util::Rng& rng);
 
   Matrix forward(const Matrix& input, bool train) override;
+  void forward_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const override;
   Matrix backward(const Matrix& grad_output) override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "conv1d"; }
   std::size_t output_cols(std::size_t input_cols) const override;
+  std::size_t scratch_elements(std::size_t input_cols) const override;
 
   std::size_t out_len() const noexcept { return in_len_ - kernel_ + 1; }
   std::size_t out_channels() const noexcept { return out_channels_; }
 
  private:
+  /// Shared im2col + GEMM forward; `col` must hold scratch_elements(...)
+  /// doubles and `out` must already have the output shape.
+  void forward_batch(const Matrix& input, Matrix& out, double* col) const;
+
   std::size_t in_channels_, in_len_, out_channels_, kernel_;
   std::vector<double> weight_, weight_grad_;  // (out_c, in_c, k)
   std::vector<double> bias_, bias_grad_;      // (out_c)
@@ -62,6 +71,9 @@ class Conv1D : public Layer {
 class ReLU : public Layer {
  public:
   Matrix forward(const Matrix& input, bool train) override;
+  void forward_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const override;
+  bool inference_in_place() const override { return true; }
   Matrix backward(const Matrix& grad_output) override;
   std::string name() const override { return "relu"; }
   std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
@@ -74,6 +86,9 @@ class LeakyReLU : public Layer {
  public:
   explicit LeakyReLU(double alpha = 0.2) : alpha_(alpha) {}
   Matrix forward(const Matrix& input, bool train) override;
+  void forward_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const override;
+  bool inference_in_place() const override { return true; }
   Matrix backward(const Matrix& grad_output) override;
   std::string name() const override { return "leaky_relu"; }
   std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
@@ -86,6 +101,9 @@ class LeakyReLU : public Layer {
 class Sigmoid : public Layer {
  public:
   Matrix forward(const Matrix& input, bool train) override;
+  void forward_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const override;
+  bool inference_in_place() const override { return true; }
   Matrix backward(const Matrix& grad_output) override;
   std::string name() const override { return "sigmoid"; }
   std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
@@ -97,6 +115,9 @@ class Sigmoid : public Layer {
 class Tanh : public Layer {
  public:
   Matrix forward(const Matrix& input, bool train) override;
+  void forward_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const override;
+  bool inference_in_place() const override { return true; }
   Matrix backward(const Matrix& grad_output) override;
   std::string name() const override { return "tanh"; }
   std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
@@ -111,6 +132,9 @@ class Dropout : public Layer {
  public:
   Dropout(double rate, util::Rng& rng);
   Matrix forward(const Matrix& input, bool train) override;
+  void forward_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const override;
+  bool inference_in_place() const override { return true; }
   Matrix backward(const Matrix& grad_output) override;
   std::string name() const override { return "dropout"; }
   std::size_t output_cols(std::size_t input_cols) const override { return input_cols; }
@@ -127,6 +151,9 @@ class BatchNorm1d : public Layer {
  public:
   explicit BatchNorm1d(std::size_t features, double momentum = 0.1, double eps = 1e-5);
   Matrix forward(const Matrix& input, bool train) override;
+  void forward_into(const Matrix& input, Matrix& out,
+                    InferenceWorkspace& ws) const override;
+  bool inference_in_place() const override { return true; }
   Matrix backward(const Matrix& grad_output) override;
   std::vector<ParamView> params() override;
   std::string name() const override { return "batchnorm1d"; }

@@ -1,5 +1,7 @@
 #include "nn/matrix.h"
 
+#include <algorithm>
+
 namespace noodle::nn {
 
 Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
@@ -16,11 +18,13 @@ Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
 
 Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
   Matrix out(indices.size(), cols_);
-  for (std::size_t i = 0; i < indices.size(); ++i) {
+  double* dst = out.data_.data();
+  for (std::size_t i = 0; i < indices.size(); ++i, dst += cols_) {
     if (indices[i] >= rows_) {
       throw std::out_of_range("Matrix::gather_rows: row index out of range");
     }
-    for (std::size_t c = 0; c < cols_; ++c) out(i, c) = (*this)(indices[i], c);
+    const double* src = data_.data() + indices[i] * cols_;
+    std::copy(src, src + cols_, dst);
   }
   return out;
 }

@@ -51,6 +51,16 @@ class Matrix {
   std::vector<double>& data() noexcept { return data_; }
   const std::vector<double>& data() const noexcept { return data_; }
 
+  /// Reshapes in place to rows × cols; element values are unspecified
+  /// afterwards (callers overwrite them). Capacity never shrinks, so a
+  /// buffer reshaped repeatedly — the inference-workspace ping-pong —
+  /// stops allocating once it has seen its largest size.
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// Extracts the given rows into a new matrix (mini-batch gather).
   Matrix gather_rows(std::span<const std::size_t> indices) const;
 

@@ -1,5 +1,6 @@
 #include "nn/model.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
@@ -15,11 +16,54 @@ Matrix Sequential::forward(const Matrix& input, bool train) {
 }
 
 Matrix Sequential::infer(const Matrix& input) const {
-  Matrix x = input;
-  // forward(train=false) never writes layer state (the Layer contract), so
-  // this is logically const even though forward is a non-const virtual.
-  for (const auto& layer : layers_) x = layer->forward(x, false);
-  return x;
+  InferenceWorkspace ws;
+  return infer(input, ws);  // the return copies out of the workspace
+}
+
+const Matrix& Sequential::infer(const Matrix& input, InferenceWorkspace& ws) const {
+  if (&input == &ws.ping || &input == &ws.pong) {
+    // The ping-pong pass reshapes and overwrites both buffers, so feeding a
+    // workspace-owned matrix back in (e.g. chaining two models through one
+    // workspace) would silently corrupt it mid-read.
+    throw std::invalid_argument(
+        "Sequential::infer: input must not alias a workspace buffer — copy the "
+        "previous result out, or chain models through separate workspaces");
+  }
+  const Matrix* cur = &input;
+  Matrix* buf = nullptr;  // workspace buffer holding *cur (null: caller's input)
+  for (const auto& layer : layers_) {
+    if (buf != nullptr && layer->inference_in_place()) {
+      layer->forward_into(*buf, *buf, ws);
+      continue;
+    }
+    Matrix* next = buf == &ws.ping ? &ws.pong : &ws.ping;
+    layer->forward_into(*cur, *next, ws);
+    buf = next;
+    cur = next;
+  }
+  if (buf == nullptr) {
+    // Empty model: copy through so the returned reference is always owned
+    // by the workspace.
+    ws.ping.reshape(input.rows(), input.cols());
+    std::copy(input.data().begin(), input.data().end(), ws.ping.data().begin());
+    buf = &ws.ping;
+  }
+  return *buf;
+}
+
+void Sequential::reserve_workspace(InferenceWorkspace& ws, std::size_t rows,
+                                   std::size_t input_cols) const {
+  std::size_t cols = input_cols;
+  std::size_t max_cols = 0;  // the buffers only ever hold layer outputs
+  std::size_t scratch = 0;
+  for (const auto& layer : layers_) {
+    scratch = std::max(scratch, layer->scratch_elements(cols));
+    cols = layer->output_cols(cols);
+    max_cols = std::max(max_cols, cols);
+  }
+  ws.ping.reshape(rows, max_cols);
+  ws.pong.reshape(rows, max_cols);
+  ws.scratch_for(scratch);
 }
 
 Matrix Sequential::backward(const Matrix& grad_output) {

@@ -27,8 +27,26 @@ class Sequential {
 
   /// Inference-only forward pass. Guaranteed not to mutate the model (every
   /// layer's forward(train=false) path is stateless per the Layer contract),
-  /// so concurrent infer() calls on one fitted model are safe.
+  /// so concurrent infer() calls on one fitted model are safe. Thin wrapper
+  /// over the workspace overload (one private workspace per call).
   Matrix infer(const Matrix& input) const;
+
+  /// Allocation-free inference: runs every layer through forward_into over
+  /// the workspace's ping-pong buffers (elementwise layers transform in
+  /// place) and returns a reference to the final activation, owned by `ws`
+  /// and valid until its next use. Bit-identical to infer(input) at every
+  /// batch size. Performs zero heap allocations once `ws` has grown to the
+  /// largest batch seen (or was pre-sized with reserve_workspace). The
+  /// model may be shared across threads, the workspace may not. `input`
+  /// must not alias a buffer of `ws` (throws std::invalid_argument) — to
+  /// chain models, copy the previous result out or use a second workspace.
+  const Matrix& infer(const Matrix& input, InferenceWorkspace& ws) const;
+
+  /// Pre-sizes `ws` for batches of up to `rows` samples at the given input
+  /// width (walks output_cols / scratch_elements across the layer chain),
+  /// so even the first infer(input, ws) call allocates nothing.
+  void reserve_workspace(InferenceWorkspace& ws, std::size_t rows,
+                         std::size_t input_cols) const;
 
   /// Backward through all layers; returns gradient w.r.t. the input.
   Matrix backward(const Matrix& grad_output);

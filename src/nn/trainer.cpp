@@ -44,6 +44,9 @@ TrainResult train_binary_classifier(Sequential& model, const Matrix& inputs,
   TrainResult result;
   result.best_validation_loss = std::numeric_limits<double>::infinity();
   std::size_t epochs_since_best = 0;
+  // One workspace for every validation forward: after the first epoch the
+  // early-stopping evaluation allocates nothing.
+  InferenceWorkspace val_ws;
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     rng.shuffle(train_idx);
@@ -73,7 +76,7 @@ TrainResult train_binary_classifier(Sequential& model, const Matrix& inputs,
     ++result.epochs_run;
 
     if (n_val > 0) {
-      const Matrix val_logits = model.forward(val_x, /*train=*/false);
+      const Matrix& val_logits = model.infer(val_x, val_ws);
       Matrix ignored;
       const double val_loss = bce_with_logits_loss(val_logits, val_y, ignored);
       result.validation_loss_curve.push_back(val_loss);
@@ -90,7 +93,13 @@ TrainResult train_binary_classifier(Sequential& model, const Matrix& inputs,
 }
 
 std::vector<double> predict_proba(const Sequential& model, const Matrix& inputs) {
-  const Matrix logits = model.infer(inputs);
+  InferenceWorkspace ws;
+  return predict_proba(model, inputs, ws);
+}
+
+std::vector<double> predict_proba(const Sequential& model, const Matrix& inputs,
+                                  InferenceWorkspace& ws) {
+  const Matrix& logits = model.infer(inputs, ws);
   if (logits.cols() != 1) {
     throw std::invalid_argument("predict_proba: model must emit one logit");
   }

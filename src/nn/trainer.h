@@ -43,6 +43,12 @@ TrainResult train_binary_classifier(Sequential& model, const Matrix& inputs,
 /// model are safe.
 std::vector<double> predict_proba(const Sequential& model, const Matrix& inputs);
 
+/// Same, through a caller-owned InferenceWorkspace: the forward pass
+/// allocates nothing once `ws` has grown (the batched-prediction hot path).
+/// The workspace must not be shared across concurrent calls.
+std::vector<double> predict_proba(const Sequential& model, const Matrix& inputs,
+                                  InferenceWorkspace& ws);
+
 /// The paper's CNN: two Conv1D+ReLU stages over the feature vector treated
 /// as a 1-channel sequence, then a dense head with dropout, ending in one
 /// logit. Identical hyperparameters regardless of input width, as in the

@@ -282,6 +282,61 @@ TEST(Sequential, ChainsLayersAndValidatesShapes) {
   EXPECT_GT(model.parameter_count(), 0u);
 }
 
+TEST(Activations, BackwardRejectsMismatchedGradShape) {
+  // Backward indexes grad_output by the cached forward tensor; a wrong
+  // batch shape must throw instead of reading out of bounds.
+  const Matrix input = random_input(3, 4, 21);
+  const Matrix wrong_rows(2, 4, 1.0);
+  const Matrix wrong_cols(3, 5, 1.0);
+
+  ReLU relu;
+  relu.forward(input, /*train=*/true);
+  EXPECT_THROW(relu.backward(wrong_rows), std::invalid_argument);
+  EXPECT_THROW(relu.backward(wrong_cols), std::invalid_argument);
+  EXPECT_NO_THROW(relu.backward(Matrix(3, 4, 1.0)));
+
+  LeakyReLU leaky(0.2);
+  leaky.forward(input, /*train=*/true);
+  EXPECT_THROW(leaky.backward(wrong_rows), std::invalid_argument);
+
+  Sigmoid sigmoid;
+  sigmoid.forward(input, /*train=*/true);
+  EXPECT_THROW(sigmoid.backward(wrong_rows), std::invalid_argument);
+  EXPECT_THROW(sigmoid.backward(wrong_cols), std::invalid_argument);
+
+  Tanh tanh_layer;
+  tanh_layer.forward(input, /*train=*/true);
+  EXPECT_THROW(tanh_layer.backward(wrong_cols), std::invalid_argument);
+}
+
+TEST(Activations, BackwardWithoutForwardRejectsNonEmptyGrad) {
+  // No cached forward at all: the 0x0 cache can never match a real batch.
+  ReLU relu;
+  EXPECT_THROW(relu.backward(Matrix(2, 2, 1.0)), std::invalid_argument);
+  Sigmoid sigmoid;
+  EXPECT_THROW(sigmoid.backward(Matrix(1, 1, 1.0)), std::invalid_argument);
+}
+
+TEST(Dropout, BackwardRejectsMismatchedGradShape) {
+  util::Rng rng(4);
+  Dropout layer(0.5, rng);
+  layer.forward(random_input(4, 6, 22), /*train=*/true);
+  EXPECT_THROW(layer.backward(Matrix(3, 6, 1.0)), std::invalid_argument);
+  EXPECT_THROW(layer.backward(Matrix(4, 5, 1.0)), std::invalid_argument);
+  EXPECT_NO_THROW(layer.backward(Matrix(4, 6, 1.0)));
+  // Rate 0 has no mask (forward is the identity): backward passes through.
+  Dropout identity(0.0, rng);
+  identity.forward(random_input(2, 3, 23), /*train=*/true);
+  EXPECT_NO_THROW(identity.backward(Matrix(2, 3, 1.0)));
+}
+
+TEST(BatchNorm, BackwardRejectsMismatchedBatch) {
+  BatchNorm1d layer(3);
+  layer.forward(random_input(6, 3, 24), /*train=*/true);
+  EXPECT_THROW(layer.backward(Matrix(4, 3, 1.0)), std::invalid_argument);
+  EXPECT_NO_THROW(layer.backward(Matrix(6, 3, 1.0)));
+}
+
 TEST(Matrix, FromRowsAndGather) {
   const Matrix m = Matrix::from_rows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
   EXPECT_EQ(m.rows(), 3u);
