@@ -19,12 +19,14 @@
 #include "cp/icp.h"
 #include "data/corpus.h"
 #include "data/dataset.h"
+#include "feat/featurize.h"
 #include "feat/tabular.h"
 #include "graph/builder.h"
 #include "graph/features.h"
 #include "nn/trainer.h"
 #include "serve/registry.h"
 #include "serve/service.h"
+#include "verilog/lexer.h"
 #include "verilog/parser.h"
 
 namespace {
@@ -91,14 +93,80 @@ void BM_TabularFeatures(benchmark::State& state) {
 }
 BENCHMARK(BM_TabularFeatures);
 
-void BM_FullFeaturize(benchmark::State& state) {
+void BM_Lex(benchmark::State& state) {
+  // Zero-copy lexing into a reused token buffer (the front of every parse).
   const auto& circuits = corpus();
+  std::vector<verilog::Token> tokens;
+  std::size_t i = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto& circuit = circuits[i++ % circuits.size()];
+    verilog::lex_into(circuit.verilog, tokens);
+    benchmark::DoNotOptimize(tokens.data());
+    bytes += circuit.verilog.size();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_Lex);
+
+/// Reference features via the classic owning pipeline, for the in-bench
+/// identity checks below (the arena path must reproduce them bit for bit).
+const std::vector<std::pair<std::vector<double>, std::vector<double>>>&
+reference_features() {
+  static const auto reference = [] {
+    std::vector<std::pair<std::vector<double>, std::vector<double>>> out;
+    for (const auto& circuit : corpus()) {
+      const verilog::Module module = verilog::parse_module(circuit.verilog);
+      out.emplace_back(graph::graph_features(graph::build_netgraph(module)),
+                       feat::tabular_features(module));
+    }
+    return out;
+  }();
+  return reference;
+}
+
+void BM_Featurize(benchmark::State& state) {
+  // The full front end through data::featurize (thread-local workspace
+  // underneath); was BM_FullFeaturize before PR 5. Aborts on any deviation
+  // from the owning reference pipeline.
+  const auto& circuits = corpus();
+  const auto& reference = reference_features();
   std::size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(data::featurize(circuits[i++ % circuits.size()]));
+    const std::size_t at = i++ % circuits.size();
+    const data::FeatureSample sample = data::featurize(circuits[at]);
+    benchmark::DoNotOptimize(sample);
+    if (sample.graph != reference[at].first || sample.tabular != reference[at].second) {
+      state.SkipWithError("featurize diverged from the owning reference path");
+      break;
+    }
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_FullFeaturize);
+BENCHMARK(BM_Featurize);
+
+void BM_FeaturizeWorkspace(benchmark::State& state) {
+  // Explicit workspace with reused output vectors: the zero-allocation
+  // steady state (asserted in tests/test_featurize_engine.cpp).
+  const auto& circuits = corpus();
+  const auto& reference = reference_features();
+  feat::FeaturizeWorkspace workspace;
+  std::vector<double> graph_out, tabular_out;
+  workspace.featurize(circuits[0].verilog, graph_out, tabular_out);  // warm-up
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t at = i++ % circuits.size();
+    workspace.featurize(circuits[at].verilog, graph_out, tabular_out);
+    benchmark::DoNotOptimize(graph_out.data());
+    benchmark::DoNotOptimize(tabular_out.data());
+    if (graph_out != reference[at].first || tabular_out != reference[at].second) {
+      state.SkipWithError("workspace featurize diverged from the reference path");
+      break;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FeaturizeWorkspace);
 
 void BM_CnnForward(benchmark::State& state) {
   util::Rng rng(3);

@@ -48,10 +48,9 @@ DetectionReport FittedModel::scan_features(const data::FeatureSample& sample) co
 }
 
 DetectionReport FittedModel::scan_verilog(const std::string& verilog_source) const {
-  data::CircuitSample circuit;
-  circuit.verilog = verilog_source;
-  circuit.infected = false;  // unknown; featurize() only uses the text
-  return scan_features(data::featurize(circuit));
+  // The thread's reusable workspace featurizes straight from the text view:
+  // no CircuitSample copy, no per-node heap traffic.
+  return scan_features(data::featurize_source(verilog_source, feat::thread_workspace()));
 }
 
 std::vector<DetectionReport> FittedModel::scan_many(
@@ -83,13 +82,15 @@ std::vector<DetectionReport> FittedModel::scan_many(
 std::vector<DetectionReport> FittedModel::scan_verilog_many(
     std::span<const std::string> sources, std::size_t threads) const {
   // Featurize in parallel (parsing dominates), then hand the whole batch to
-  // the batched scan path.
+  // the batched scan path. Each worker featurizes through its own
+  // thread-local FeaturizeWorkspace (never shared): one arena/token-buffer/
+  // intern-pool per worker, warm for the rest of the call instead of
+  // re-allocating per sample. parallel_for spins its pool per call, so the
+  // workspaces are rebuilt across calls; the truly persistent steady state
+  // lives on DetectionService's long-lived dispatcher threads.
   std::vector<data::FeatureSample> samples(sources.size());
   util::parallel_for(sources.size(), threads, [&](std::size_t i) {
-    data::CircuitSample circuit;
-    circuit.verilog = sources[i];
-    circuit.infected = false;  // unknown; featurize() only uses the text
-    samples[i] = data::featurize(circuit);
+    samples[i] = data::featurize_source(sources[i], feat::thread_workspace());
   });
   return scan_many(samples, threads);
 }

@@ -3,11 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "feat/tabular.h"
-#include "graph/builder.h"
-#include "graph/features.h"
-#include "verilog/parser.h"
-
 namespace noodle::data {
 
 std::size_t FeatureDataset::count_label(int label) const {
@@ -26,18 +21,37 @@ std::vector<int> FeatureDataset::labels() const {
 }
 
 FeatureSample featurize(const CircuitSample& circuit) {
-  const verilog::Module module = verilog::parse_module(circuit.verilog);
   FeatureSample sample;
-  sample.graph = graph::graph_features(graph::build_netgraph(module));
-  sample.tabular = feat::tabular_features(module);
-  sample.label = circuit.infected ? kTrojanInfected : kTrojanFree;
+  featurize(circuit, feat::thread_workspace(), sample);
+  return sample;
+}
+
+void featurize(const CircuitSample& circuit, feat::FeaturizeWorkspace& workspace,
+               FeatureSample& out) {
+  workspace.featurize(circuit.verilog, out.graph, out.tabular);
+  out.label = circuit.infected ? kTrojanInfected : kTrojanFree;
+  out.graph_missing = false;
+  out.tabular_missing = false;
+}
+
+FeatureSample featurize_source(std::string_view verilog_source,
+                               feat::FeaturizeWorkspace& workspace) {
+  FeatureSample sample;
+  workspace.featurize(verilog_source, sample.graph, sample.tabular);
   return sample;
 }
 
 FeatureDataset featurize_corpus(const std::vector<CircuitSample>& corpus) {
+  return featurize_corpus(corpus, feat::thread_workspace());
+}
+
+FeatureDataset featurize_corpus(const std::vector<CircuitSample>& corpus,
+                                feat::FeaturizeWorkspace& workspace) {
   FeatureDataset dataset;
-  dataset.samples.reserve(corpus.size());
-  for (const auto& circuit : corpus) dataset.samples.push_back(featurize(circuit));
+  dataset.samples.resize(corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    featurize(corpus[i], workspace, dataset.samples[i]);
+  }
   return dataset;
 }
 

@@ -4,9 +4,11 @@
 // calibration / test partitions (ICP needs the calibration part).
 
 #include <cstddef>
+#include <string_view>
 #include <vector>
 
 #include "data/corpus.h"
+#include "feat/featurize.h"
 #include "util/rng.h"
 
 namespace noodle::data {
@@ -33,11 +35,23 @@ struct FeatureDataset {
 
 /// Extracts both modality vectors from one circuit (parses the Verilog,
 /// builds the DFG for the graph modality, walks the AST for the tabular
-/// modality).
+/// modality). Runs on the calling thread's feat::thread_workspace().
 FeatureSample featurize(const CircuitSample& circuit);
 
-/// Featurizes a whole corpus in order.
+/// Explicit-workspace form, writing into a reusable sample: with a warm
+/// workspace and a reused `out` this performs zero heap allocations.
+void featurize(const CircuitSample& circuit, feat::FeaturizeWorkspace& workspace,
+               FeatureSample& out);
+
+/// Featurizes raw Verilog text (label defaults to kTrojanFree) — the
+/// serving path uses this to avoid copying sources into CircuitSamples.
+FeatureSample featurize_source(std::string_view verilog_source,
+                               feat::FeaturizeWorkspace& workspace);
+
+/// Featurizes a whole corpus in order (one reused workspace for the loop).
 FeatureDataset featurize_corpus(const std::vector<CircuitSample>& corpus);
+FeatureDataset featurize_corpus(const std::vector<CircuitSample>& corpus,
+                                feat::FeaturizeWorkspace& workspace);
 
 /// Marks modalities missing at the given rates (simulating incomplete data
 /// collection, Sec. III of the paper); never drops both modalities of the

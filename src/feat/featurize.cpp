@@ -1,0 +1,24 @@
+#include "feat/featurize.h"
+
+namespace noodle::feat {
+
+FeaturizeWorkspace::FeaturizeWorkspace(std::size_t max_retained_symbols)
+    : parser_(max_retained_symbols), graph_(parser_.symbols()) {}
+
+void FeaturizeWorkspace::featurize(std::string_view verilog_source,
+                                   std::vector<double>& graph_out,
+                                   std::vector<double>& tabular_out) {
+  const verilog::fast::Module& module = parser_.parse_single(verilog_source);
+  graph::build_netgraph(module, graph_, build_scratch_);
+  graph_out.resize(graph::kGraphFeatureDim);
+  graph::graph_features(graph_, graph_out, feature_scratch_);
+  tabular_out.resize(kTabularFeatureDim);
+  tabular_features(module, tabular_out, tabular_scratch_);
+}
+
+FeaturizeWorkspace& thread_workspace() {
+  thread_local FeaturizeWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace noodle::feat

@@ -1,0 +1,74 @@
+#pragma once
+// feat::FeaturizeWorkspace — reusable scratch for the full featurization
+// front end: RTL text -> tokens -> arena AST -> NetGraph -> graph + tabular
+// feature vectors.
+//
+// The workspace owns every intermediate: the token buffer, the AST arena,
+// the intern pool (shared with the NetGraph so labels need no translation),
+// the graph itself, and all analysis scratch. Everything is grow-only, so
+// after warm-up a featurize() call performs zero heap allocations — the
+// same contract as nn::InferenceWorkspace on the inference side (and it is
+// asserted the same way, by the counting-operator-new harness in
+// tests/test_featurize_engine.cpp).
+//
+// Ownership rule: one workspace per thread, never shared. thread_workspace()
+// hands out a thread-local instance for pool workers; outputs written
+// through featurize() are plain vectors the caller owns, so they may cross
+// threads freely.
+//
+// Feature vectors are bit-identical to the classic allocating path
+// (parse_module + build_netgraph + graph_features + tabular_features);
+// tests assert this across the bundled corpus.
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "feat/tabular.h"
+#include "graph/builder.h"
+#include "graph/features.h"
+#include "graph/netgraph.h"
+#include "verilog/parser.h"
+
+namespace noodle::feat {
+
+class FeaturizeWorkspace {
+ public:
+  /// `max_retained_symbols` bounds the intern pool across calls (see
+  /// verilog::ParserWorkspace): when exceeded, the pool is reset and
+  /// re-seeded before the next parse, so a worker featurizing arbitrarily
+  /// diverse RTL holds bounded memory.
+  explicit FeaturizeWorkspace(
+      std::size_t max_retained_symbols =
+          verilog::ParserWorkspace::kDefaultMaxRetainedSymbols);
+
+  FeaturizeWorkspace(const FeaturizeWorkspace&) = delete;
+  FeaturizeWorkspace& operator=(const FeaturizeWorkspace&) = delete;
+
+  /// Featurizes one single-module Verilog source: resizes the outputs to
+  /// graph::kGraphFeatureDim / kTabularFeatureDim and fills them. Reused
+  /// output vectors make the steady state allocation-free. Throws
+  /// LexError/ParseError on malformed input (workspace stays reusable).
+  void featurize(std::string_view verilog_source, std::vector<double>& graph_out,
+                 std::vector<double>& tabular_out);
+
+  /// The graph built by the last featurize() call (valid until the next).
+  const graph::NetGraph& last_graph() const noexcept { return graph_; }
+
+  /// Introspection for tests/benches.
+  const verilog::ParserWorkspace& parser() const noexcept { return parser_; }
+
+ private:
+  verilog::ParserWorkspace parser_;
+  graph::NetGraph graph_;  // shares parser_'s intern pool
+  graph::BuildScratch build_scratch_;
+  graph::FeatureScratch feature_scratch_;
+  TabularScratch tabular_scratch_;
+};
+
+/// The calling thread's workspace (created on first use, reused for the
+/// thread's lifetime). This is how the batch scan path and the service
+/// dispatcher get their one-workspace-per-worker without plumbing.
+FeaturizeWorkspace& thread_workspace();
+
+}  // namespace noodle::feat

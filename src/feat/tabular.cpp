@@ -1,35 +1,143 @@
 #include "feat/tabular.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <set>
 #include <stdexcept>
 
 namespace noodle::feat {
 
 using verilog::EdgeKind;
-using verilog::Expr;
 using verilog::ExprKind;
-using verilog::Module;
 using verilog::NetKind;
 using verilog::PortDir;
-using verilog::Stmt;
 using verilog::StmtKind;
 
 namespace {
 
 double lg(double x) { return std::log1p(std::max(0.0, x)); }
 
+// ---------------------------------------------------------------------------
+// Operator classification. The spelling-level rules are the single source
+// of truth; the arena AST dispatches through PunctId tables derived from
+// them at compile time, so the two paths cannot disagree.
+// ---------------------------------------------------------------------------
+
+constexpr bool is_eq_spelling(std::string_view op) {
+  return op == "==" || op == "!=" || op == "===" || op == "!==";
+}
+constexpr bool is_rel_spelling(std::string_view op) {
+  return op == "<" || op == "<=" || op == ">" || op == ">=";
+}
+constexpr bool is_xor_spelling(std::string_view op) {
+  return op == "^" || op == "~^" || op == "^~";
+}
+constexpr bool is_reduction_spelling(std::string_view op) {
+  return op == "&" || op == "|" || op == "^" || op == "~&" || op == "~|" || op == "~^";
+}
+
+template <bool (*Rule)(std::string_view)>
+constexpr auto make_punct_table() {
+  std::array<bool, verilog::kPunctSpellings.size() + 1> table{};
+  for (std::size_t i = 0; i < verilog::kPunctSpellings.size(); ++i) {
+    table[i + 1] = Rule(verilog::kPunctSpellings[i]);
+  }
+  return table;
+}
+
+constexpr auto kIsEqOp = make_punct_table<is_eq_spelling>();
+constexpr auto kIsRelOp = make_punct_table<is_rel_spelling>();
+constexpr auto kIsXorOp = make_punct_table<is_xor_spelling>();
+constexpr auto kIsReductionOp = make_punct_table<is_reduction_spelling>();
+
+bool is_eq_op(const verilog::Expr& e) { return is_eq_spelling(e.name); }
+bool is_eq_op(const verilog::fast::Expr& e) { return kIsEqOp[e.op]; }
+bool is_rel_op(const verilog::Expr& e) { return is_rel_spelling(e.name); }
+bool is_rel_op(const verilog::fast::Expr& e) { return kIsRelOp[e.op]; }
+bool is_xor_op(const verilog::Expr& e) { return is_xor_spelling(e.name); }
+bool is_xor_op(const verilog::fast::Expr& e) { return kIsXorOp[e.op]; }
+bool is_reduction_op(const verilog::Expr& e) { return is_reduction_spelling(e.name); }
+bool is_reduction_op(const verilog::fast::Expr& e) { return kIsReductionOp[e.op]; }
+
+// ---------------------------------------------------------------------------
+// Generic traversal (no std::function — the arena path must not allocate).
+// Visit order matches ast.h's for_each_* helpers.
+// ---------------------------------------------------------------------------
+
+template <typename E, typename Fn>
+void walk_expr(const E& e, Fn&& fn) {
+  fn(e);
+  for (const auto& child : e.operands) {
+    if (child) walk_expr(*child, fn);
+  }
+}
+
+template <typename S, typename Fn>
+void walk_stmt(const S& s, Fn&& fn) {
+  fn(s);
+  if (s.then_branch) walk_stmt(*s.then_branch, fn);
+  if (s.else_branch) walk_stmt(*s.else_branch, fn);
+  for (const auto& child : s.body) {
+    if (child) walk_stmt(*child, fn);
+  }
+  for (const auto& item : s.case_items) {
+    if (item.body) walk_stmt(*item.body, fn);
+  }
+  if (s.for_init) walk_stmt(*s.for_init, fn);
+  if (s.for_step) walk_stmt(*s.for_step, fn);
+}
+
+template <typename M, typename Fn>
+void walk_module_stmts(const M& m, Fn&& fn) {
+  for (const auto& b : m.always_blocks) {
+    if (b.body) walk_stmt(*b.body, fn);
+  }
+  for (const auto& b : m.initial_blocks) {
+    if (b.body) walk_stmt(*b.body, fn);
+  }
+}
+
+template <typename M, typename Fn>
+void walk_module_exprs(const M& m, Fn&& fn) {
+  const auto on_expr = [&fn](const auto& e) { walk_expr(e, fn); };
+  for (const auto& p : m.params) {
+    if (p.value) on_expr(*p.value);
+  }
+  for (const auto& n : m.nets) {
+    if (n.init) on_expr(*n.init);
+  }
+  for (const auto& a : m.assigns) {
+    if (a.lhs) on_expr(*a.lhs);
+    if (a.rhs) on_expr(*a.rhs);
+  }
+  walk_module_stmts(m, [&](const auto& s) {
+    if (s.cond) on_expr(*s.cond);
+    if (s.lhs) on_expr(*s.lhs);
+    if (s.rhs) on_expr(*s.rhs);
+    for (const auto& item : s.case_items) {
+      for (const auto& label : item.labels) {
+        if (label) on_expr(*label);
+      }
+    }
+  });
+  for (const auto& inst : m.instances) {
+    for (const auto& conn : inst.connections) {
+      if (conn.actual) on_expr(*conn.actual);
+    }
+  }
+}
+
 /// Maximum nesting depth of if/case statements under s.
-int branch_depth(const Stmt& s) {
+template <typename S>
+int branch_depth(const S& s) {
   int child_max = 0;
-  auto consider = [&child_max](const Stmt* child) {
-    if (child != nullptr) child_max = std::max(child_max, branch_depth(*child));
+  const auto consider = [&child_max](const auto& child) {
+    if (child) child_max = std::max(child_max, branch_depth(*child));
   };
-  consider(s.then_branch.get());
-  consider(s.else_branch.get());
-  for (const auto& child : s.body) consider(child.get());
-  for (const auto& item : s.case_items) consider(item.body.get());
+  consider(s.then_branch);
+  consider(s.else_branch);
+  for (const auto& child : s.body) consider(child);
+  for (const auto& item : s.case_items) consider(item.body);
   const bool is_branch = s.kind == StmtKind::If || s.kind == StmtKind::Case;
   return child_max + (is_branch ? 1 : 0);
 }
@@ -40,16 +148,18 @@ struct Counters {
   double eq_ops = 0, eq_const_ops = 0, wide_eq_const = 0;
   double rel_ops = 0, xor_ops = 0, reduction_ops = 0, ternary = 0, concat = 0;
   double max_const_width = 0;
-  std::set<std::uint64_t> distinct_consts;
 };
 
-}  // namespace
-
-std::vector<double> tabular_features(const Module& m) {
+template <typename M>
+void extract(const M& m, std::span<double> f, TabularScratch& scratch) {
+  if (f.size() != kTabularFeatureDim) {
+    throw std::invalid_argument("tabular_features: output size != kTabularFeatureDim");
+  }
   Counters c;
+  scratch.consts.clear();
 
   // Statement-level counts.
-  verilog::for_each_module_stmt(m, [&c](const Stmt& s) {
+  walk_module_stmts(m, [&c](const auto& s) {
     switch (s.kind) {
       case StmtKind::If: c.if_count += 1.0; break;
       case StmtKind::Case:
@@ -64,17 +174,14 @@ std::vector<double> tabular_features(const Module& m) {
   });
 
   // Expression-level counts everywhere expressions occur.
-  verilog::for_each_module_expr(m, [&c](const Expr& e) {
-    // for_each_module_expr already recurses; scan only the node itself by
-    // dispatching through a single-node Counters pass.
+  walk_module_exprs(m, [&c, &scratch](const auto& e) {
     switch (e.kind) {
       case ExprKind::Number:
-        c.distinct_consts.insert(e.value);
+        scratch.consts.push_back(e.value);
         c.max_const_width = std::max(c.max_const_width, static_cast<double>(e.width));
         break;
       case ExprKind::Binary: {
-        const std::string& op = e.name;
-        if (op == "==" || op == "!=" || op == "===" || op == "!==") {
+        if (is_eq_op(e)) {
           c.eq_ops += 1.0;
           for (const auto& side : e.operands) {
             if (side->kind == ExprKind::Number) {
@@ -83,16 +190,15 @@ std::vector<double> tabular_features(const Module& m) {
               break;
             }
           }
-        } else if (op == "<" || op == "<=" || op == ">" || op == ">=") {
+        } else if (is_rel_op(e)) {
           c.rel_ops += 1.0;
-        } else if (op == "^" || op == "~^" || op == "^~") {
+        } else if (is_xor_op(e)) {
           c.xor_ops += 1.0;
         }
         break;
       }
       case ExprKind::Unary:
-        if (e.name == "&" || e.name == "|" || e.name == "^" || e.name == "~&" ||
-            e.name == "~|" || e.name == "~^") {
+        if (is_reduction_op(e)) {
           c.reduction_ops += 1.0;
         }
         break;
@@ -102,6 +208,12 @@ std::vector<double> tabular_features(const Module& m) {
       default: break;
     }
   });
+
+  // Distinct constants without a node-based set: sort + unique on the
+  // scratch pool (same count, no steady-state allocation).
+  std::sort(scratch.consts.begin(), scratch.consts.end());
+  const double distinct_consts = static_cast<double>(
+      std::unique(scratch.consts.begin(), scratch.consts.end()) - scratch.consts.begin());
 
   // Interface / declaration shape.
   double inputs = 0, outputs = 0, input_bits = 0, output_bits = 0;
@@ -143,52 +255,65 @@ std::vector<double> tabular_features(const Module& m) {
   const double total_assignments =
       c.blocking + c.nonblocking + static_cast<double>(m.assigns.size());
 
-  std::vector<double> f;
-  f.reserve(kTabularFeatureDim);
+  std::size_t next = 0;
+  const auto push = [&f, &next](double value) { f[next++] = value; };
   // Interface (0..5)
-  f.push_back(inputs);
-  f.push_back(outputs);
-  f.push_back(lg(input_bits));
-  f.push_back(lg(output_bits));
-  f.push_back(lg(wires));
-  f.push_back(lg(regs));
+  push(inputs);
+  push(outputs);
+  push(lg(input_bits));
+  push(lg(output_bits));
+  push(lg(wires));
+  push(lg(regs));
   // Storage (6..8)
-  f.push_back(lg(reg_bits));
-  f.push_back(wide_regs);
-  f.push_back(static_cast<double>(m.params.size()));
+  push(lg(reg_bits));
+  push(wide_regs);
+  push(static_cast<double>(m.params.size()));
   // Processes (9..13)
-  f.push_back(seq_always);
-  f.push_back(comb_always);
-  f.push_back(posedges);
-  f.push_back(static_cast<double>(m.initial_blocks.size()));
-  f.push_back(static_cast<double>(m.instances.size()));
+  push(seq_always);
+  push(comb_always);
+  push(posedges);
+  push(static_cast<double>(m.initial_blocks.size()));
+  push(static_cast<double>(m.instances.size()));
   // Assignments (14..17)
-  f.push_back(lg(static_cast<double>(m.assigns.size())));
-  f.push_back(lg(c.blocking));
-  f.push_back(lg(c.nonblocking));
-  f.push_back(lg(total_assignments));
+  push(lg(static_cast<double>(m.assigns.size())));
+  push(lg(c.blocking));
+  push(lg(c.nonblocking));
+  push(lg(total_assignments));
   // Branching shape (18..24)
-  f.push_back(c.if_count);
-  f.push_back(c.case_count);
-  f.push_back(lg(c.case_items));
-  f.push_back(c.for_count);
-  f.push_back(max_depth);
-  f.push_back(always_count == 0 ? 0.0 : total_branches / always_count);
-  f.push_back(total_assignments == 0 ? 0.0 : total_branches / total_assignments);
+  push(c.if_count);
+  push(c.case_count);
+  push(lg(c.case_items));
+  push(c.for_count);
+  push(max_depth);
+  push(always_count == 0 ? 0.0 : total_branches / always_count);
+  push(total_assignments == 0 ? 0.0 : total_branches / total_assignments);
   // Comparators / operators (25..30)
-  f.push_back(c.eq_ops);
-  f.push_back(c.eq_const_ops);
-  f.push_back(c.wide_eq_const);
-  f.push_back(c.rel_ops);
-  f.push_back(c.xor_ops + c.reduction_ops);
-  f.push_back(c.ternary);
+  push(c.eq_ops);
+  push(c.eq_const_ops);
+  push(c.wide_eq_const);
+  push(c.rel_ops);
+  push(c.xor_ops + c.reduction_ops);
+  push(c.ternary);
   // Constants (31)
-  f.push_back(lg(static_cast<double>(c.distinct_consts.size())));
+  push(lg(distinct_consts));
 
-  if (f.size() != kTabularFeatureDim) {
+  if (next != kTabularFeatureDim) {
     throw std::logic_error("tabular_features: dimension drift");
   }
+}
+
+}  // namespace
+
+std::vector<double> tabular_features(const verilog::Module& m) {
+  std::vector<double> f(kTabularFeatureDim, 0.0);
+  TabularScratch scratch;
+  extract(m, f, scratch);
   return f;
+}
+
+void tabular_features(const verilog::fast::Module& m, std::span<double> out,
+                      TabularScratch& scratch) {
+  extract(m, out, scratch);
 }
 
 const std::vector<std::string>& tabular_feature_names() {

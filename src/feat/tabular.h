@@ -8,18 +8,35 @@
 // taken branches: an `if (state == 24'hBAD5EED)` adds an equality compare
 // against a wide constant, one more conditional assignment, and a deeper
 // nest — all visible here without simulation.
+//
+// One templated extractor serves both AST forms: the owning ast.h tree and
+// the arena fast_ast.h tree (where operator classification is a PunctId
+// table lookup instead of string compares). The arena overload writes into
+// a caller buffer and allocates nothing in steady state.
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "verilog/ast.h"
+#include "verilog/fast_ast.h"
 
 namespace noodle::feat {
 
 inline constexpr std::size_t kTabularFeatureDim = 32;
 
+/// Reusable scratch (the distinct-constant pool). Grow-only, one per thread.
+struct TabularScratch {
+  std::vector<std::uint64_t> consts;
+};
+
 /// Extracts the feature vector of one module.
 std::vector<double> tabular_features(const verilog::Module& m);
+
+/// Arena-AST form: writes into `out` (size kTabularFeatureDim).
+void tabular_features(const verilog::fast::Module& m, std::span<double> out,
+                      TabularScratch& scratch);
 
 /// Name of each dimension (size kTabularFeatureDim).
 const std::vector<std::string>& tabular_feature_names();

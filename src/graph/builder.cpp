@@ -1,32 +1,48 @@
 #include "graph/builder.h"
 
-#include <map>
+#include <charconv>
 #include <string>
+
+#include "verilog/symbols.h"
 
 namespace noodle::graph {
 
-using verilog::AlwaysBlock;
 using verilog::EdgeKind;
-using verilog::Expr;
 using verilog::ExprKind;
-using verilog::Module;
 using verilog::NetKind;
 using verilog::PortDir;
-using verilog::Stmt;
 using verilog::StmtKind;
 
 namespace {
 
+// Representation adapters — the only places the two AST forms differ.
+
+util::Symbol name_symbol(util::SymbolTable& symbols, const std::string& name) {
+  return symbols.intern(name);
+}
+util::Symbol name_symbol(util::SymbolTable&, util::Symbol name) { return name; }
+
+util::Symbol op_symbol(util::SymbolTable& symbols, const verilog::Expr& e) {
+  return symbols.intern(e.name);
+}
+util::Symbol op_symbol(util::SymbolTable&, const verilog::fast::Expr& e) {
+  return verilog::punct_symbol(e.op);
+}
+
+/// One lowering for both AST forms; ModuleT is verilog::Module or
+/// verilog::fast::Module (field names deliberately coincide).
+template <typename ModuleT>
 class Lowering {
  public:
-  explicit Lowering(const Module& m) : module_(m) {}
+  Lowering(const ModuleT& m, NetGraph& graph, BuildScratch& scratch)
+      : module_(m), graph_(graph), scratch_(scratch), symbols_(graph.symbols()) {}
 
-  NetGraph run() {
+  void run() {
     declare_signals();
     for (const auto& net : module_.nets) {
       if (net.init) {
         const NetGraph::NodeId value = lower_expr(*net.init);
-        graph_.add_edge(value, signal(net.name));
+        graph_.add_edge(value, signal(name_symbol(symbols_, net.name)));
       }
     }
     for (const auto& assign : module_.assigns) {
@@ -35,7 +51,6 @@ class Lowering {
     }
     for (const auto& block : module_.always_blocks) lower_always(block);
     for (const auto& inst : module_.instances) lower_instance(inst);
-    return std::move(graph_);
   }
 
  private:
@@ -48,67 +63,79 @@ class Lowering {
         case PortDir::Inout: type = NodeType::Wire; break;
       }
       const int width = port.range ? port.range->width() : 1;
-      signals_[port.name] = graph_.add_node(type, port.name, width);
+      const util::Symbol name = name_symbol(symbols_, port.name);
+      scratch_.signals.put(name, graph_.add_node(type, name, width));
     }
     for (const auto& net : module_.nets) {
-      if (signals_.count(net.name) != 0) continue;  // output reg: port wins
+      const util::Symbol name = name_symbol(symbols_, net.name);
+      if (scratch_.signals.find(name) != nullptr) continue;  // output reg: port wins
       const NodeType type = net.kind == NetKind::Wire ? NodeType::Wire : NodeType::Reg;
       const int width = net.range ? net.range->width() : (net.kind == NetKind::Integer ? 32 : 1);
-      signals_[net.name] = graph_.add_node(type, net.name, width);
+      scratch_.signals.put(name, graph_.add_node(type, name, width));
     }
   }
 
-  NetGraph::NodeId signal(const std::string& name) {
-    const auto it = signals_.find(name);
-    if (it != signals_.end()) return it->second;
+  NetGraph::NodeId signal(util::Symbol name) {
+    if (const NetGraph::NodeId* id = scratch_.signals.find(name)) return *id;
     // Implicitly declared net (legal Verilog for scalar wires).
     const NetGraph::NodeId id = graph_.add_node(NodeType::Wire, name, 1);
-    signals_[name] = id;
+    scratch_.signals.put(name, id);
     return id;
+  }
+
+  util::Symbol const_symbol(std::uint64_t value) {
+    // Decimal spelling without a heap round trip; steady state interning
+    // of an already-seen constant allocates nothing.
+    char buffer[24];
+    const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+    return symbols_.intern(std::string_view(buffer, static_cast<std::size_t>(end - buffer)));
   }
 
   /// The signal node assigned by an lvalue expression (the base identifier
   /// of selects/concats; concat targets fan in to every member).
-  NetGraph::NodeId lhs_target(const Expr& lhs) {
+  template <typename E>
+  NetGraph::NodeId lhs_target(const E& lhs) {
     switch (lhs.kind) {
       case ExprKind::Identifier:
-        return signal(lhs.name);
+        return signal(name_symbol(symbols_, lhs.name));
       case ExprKind::Index:
       case ExprKind::Range:
         return lhs_target(*lhs.operands[0]);
       case ExprKind::Concat: {
         // Represent a concat target as a Concat node feeding each member.
-        const NetGraph::NodeId hub = graph_.add_node(NodeType::Concat, "{lhs}");
+        const NetGraph::NodeId hub =
+            graph_.add_node(NodeType::Concat, verilog::kSymLhsConcat);
         for (const auto& part : lhs.operands) {
           graph_.add_edge(hub, lhs_target(*part));
         }
         return hub;
       }
       default:
-        return signal("__bad_lhs__");
+        return signal(verilog::kSymBadLhs);
     }
   }
 
-  NetGraph::NodeId lower_expr(const Expr& e) {
+  template <typename E>
+  NetGraph::NodeId lower_expr(const E& e) {
     switch (e.kind) {
       case ExprKind::Number:
-        return graph_.add_node(NodeType::Const, std::to_string(e.value),
+        return graph_.add_node(NodeType::Const, const_symbol(e.value),
                                e.width > 0 ? e.width : 32);
       case ExprKind::Identifier:
-        return signal(e.name);
+        return signal(name_symbol(symbols_, e.name));
       case ExprKind::Unary: {
-        const NetGraph::NodeId op = graph_.add_node(NodeType::Op, e.name);
+        const NetGraph::NodeId op = graph_.add_node(NodeType::Op, op_symbol(symbols_, e));
         graph_.add_edge(lower_expr(*e.operands[0]), op);
         return op;
       }
       case ExprKind::Binary: {
-        const NetGraph::NodeId op = graph_.add_node(NodeType::Op, e.name);
+        const NetGraph::NodeId op = graph_.add_node(NodeType::Op, op_symbol(symbols_, e));
         graph_.add_edge(lower_expr(*e.operands[0]), op);
         graph_.add_edge(lower_expr(*e.operands[1]), op);
         return op;
       }
       case ExprKind::Ternary: {
-        const NetGraph::NodeId mux = graph_.add_node(NodeType::Mux, "?:");
+        const NetGraph::NodeId mux = graph_.add_node(NodeType::Mux, verilog::kSymTernaryMux);
         graph_.add_edge(lower_expr(*e.operands[0]), mux);
         graph_.add_edge(lower_expr(*e.operands[1]), mux);
         graph_.add_edge(lower_expr(*e.operands[2]), mux);
@@ -116,7 +143,7 @@ class Lowering {
       }
       case ExprKind::Index:
       case ExprKind::Range: {
-        const NetGraph::NodeId select = graph_.add_node(NodeType::Select, "[]");
+        const NetGraph::NodeId select = graph_.add_node(NodeType::Select, verilog::kSymSelect);
         graph_.add_edge(lower_expr(*e.operands[0]), select);
         // Dynamic indices contribute data flow; constant bounds do not.
         for (std::size_t i = 1; i < e.operands.size(); ++i) {
@@ -128,54 +155,54 @@ class Lowering {
       }
       case ExprKind::Concat:
       case ExprKind::Replicate: {
-        const NetGraph::NodeId concat = graph_.add_node(NodeType::Concat, "{}");
+        const NetGraph::NodeId concat = graph_.add_node(NodeType::Concat, verilog::kSymConcat);
         for (const auto& part : e.operands) {
           graph_.add_edge(lower_expr(*part), concat);
         }
         return concat;
       }
     }
-    return signal("__bad_expr__");
+    return signal(verilog::kSymBadExpr);
   }
 
-  void lower_stmt(const Stmt& s, std::vector<NetGraph::NodeId>& conditions,
-                  const std::string& clock) {
+  template <typename S>
+  void lower_stmt(const S& s, util::Symbol clock) {
     switch (s.kind) {
       case StmtKind::Block:
-        for (const auto& child : s.body) lower_stmt(*child, conditions, clock);
+        for (const auto& child : s.body) lower_stmt(*child, clock);
         break;
       case StmtKind::If: {
         const NetGraph::NodeId cond = lower_expr(*s.cond);
-        conditions.push_back(cond);
-        lower_stmt(*s.then_branch, conditions, clock);
-        if (s.else_branch) lower_stmt(*s.else_branch, conditions, clock);
-        conditions.pop_back();
+        scratch_.conditions.push_back(cond);
+        lower_stmt(*s.then_branch, clock);
+        if (s.else_branch) lower_stmt(*s.else_branch, clock);
+        scratch_.conditions.pop_back();
         break;
       }
       case StmtKind::Case: {
         const NetGraph::NodeId subject = lower_expr(*s.cond);
-        conditions.push_back(subject);
+        scratch_.conditions.push_back(subject);
         for (const auto& item : s.case_items) {
-          if (item.body) lower_stmt(*item.body, conditions, clock);
+          if (item.body) lower_stmt(*item.body, clock);
         }
-        conditions.pop_back();
+        scratch_.conditions.pop_back();
         break;
       }
       case StmtKind::For: {
         // Loop bounds are elaboration-time; only the body carries data flow.
-        if (s.for_init) lower_stmt(*s.for_init, conditions, clock);
-        if (s.for_step) lower_stmt(*s.for_step, conditions, clock);
-        for (const auto& child : s.body) lower_stmt(*child, conditions, clock);
+        if (s.for_init) lower_stmt(*s.for_init, clock);
+        if (s.for_step) lower_stmt(*s.for_step, clock);
+        for (const auto& child : s.body) lower_stmt(*child, clock);
         break;
       }
       case StmtKind::BlockingAssign:
       case StmtKind::NonBlockingAssign: {
         const NetGraph::NodeId target = lhs_target(*s.lhs);
         graph_.add_edge(lower_expr(*s.rhs), target);
-        for (const NetGraph::NodeId cond : conditions) {
+        for (const NetGraph::NodeId cond : scratch_.conditions) {
           graph_.add_edge(cond, target);  // control dependency (mux select)
         }
-        if (!clock.empty()) {
+        if (clock != util::kNoSymbol) {
           graph_.add_edge(signal(clock), target);  // sequential skeleton
         }
         break;
@@ -185,22 +212,24 @@ class Lowering {
     }
   }
 
-  void lower_always(const AlwaysBlock& block) {
+  template <typename B>
+  void lower_always(const B& block) {
     if (!block.body) return;
-    std::string clock;
+    util::Symbol clock = util::kNoSymbol;
     for (const auto& item : block.sensitivity) {
       if (item.edge != EdgeKind::None) {
-        clock = item.signal;
+        clock = name_symbol(symbols_, item.signal);
         break;
       }
     }
-    std::vector<NetGraph::NodeId> conditions;
-    lower_stmt(*block.body, conditions, clock);
+    scratch_.conditions.clear();
+    lower_stmt(*block.body, clock);
   }
 
-  void lower_instance(const verilog::Instance& inst) {
+  template <typename I>
+  void lower_instance(const I& inst) {
     const NetGraph::NodeId node =
-        graph_.add_node(NodeType::Instance, inst.module_name);
+        graph_.add_node(NodeType::Instance, name_symbol(symbols_, inst.module_name));
     // Without the instantiated module's interface, use the Trust-Hub
     // convention: connections are bidirectionally coupled through the
     // instance so the DFG stays connected.
@@ -212,13 +241,27 @@ class Lowering {
     }
   }
 
-  const Module& module_;
-  NetGraph graph_;
-  std::map<std::string, NetGraph::NodeId> signals_;
+  const ModuleT& module_;
+  NetGraph& graph_;
+  BuildScratch& scratch_;
+  util::SymbolTable& symbols_;
 };
 
 }  // namespace
 
-NetGraph build_netgraph(const verilog::Module& m) { return Lowering(m).run(); }
+NetGraph build_netgraph(const verilog::Module& m) {
+  NetGraph graph;
+  BuildScratch scratch;
+  Lowering<verilog::Module>(m, graph, scratch).run();
+  return graph;
+}
+
+void build_netgraph(const verilog::fast::Module& m, NetGraph& graph,
+                    BuildScratch& scratch) {
+  graph.clear();
+  scratch.signals.clear();
+  scratch.conditions.clear();
+  Lowering<verilog::fast::Module>(m, graph, scratch).run();
+}
 
 }  // namespace noodle::graph

@@ -11,16 +11,35 @@
 //    (inputs feed the instance; the instance feeds outputs),
 //  * edge-triggered blocks add an edge from the clock signal to each
 //    assigned register, capturing the sequential skeleton.
+//
+// One templated lowering serves both AST forms (ast.h and fast_ast.h), so
+// the owning and arena paths cannot drift apart. The arena entry point
+// reuses the caller's graph and scratch, performing zero heap allocations
+// in steady state.
 
 #include "graph/netgraph.h"
 #include "verilog/ast.h"
+#include "verilog/fast_ast.h"
 
 namespace noodle::graph {
+
+/// Reusable lowering state: the signal-name index (flat hash on symbol id)
+/// and the enclosing-condition stack. Grow-only, one per thread.
+struct BuildScratch {
+  util::SymbolMap<NetGraph::NodeId> signals;
+  std::vector<NetGraph::NodeId> conditions;
+};
 
 /// Builds the data-flow graph of one module. Identifiers that were never
 /// declared (outside the generated corpus this can happen in hand-written
 /// files) get implicit Wire nodes rather than failing, matching how
 /// synthesis treats undeclared nets.
 NetGraph build_netgraph(const verilog::Module& m);
+
+/// Arena-AST form: clears and rebuilds `graph` in place. `graph` must share
+/// the symbol table of the ParserWorkspace that produced `m` (a
+/// feat::FeaturizeWorkspace wires this up).
+void build_netgraph(const verilog::fast::Module& m, NetGraph& graph,
+                    BuildScratch& scratch);
 
 }  // namespace noodle::graph

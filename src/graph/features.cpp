@@ -1,10 +1,12 @@
 #include "graph/features.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
 #include "util/stats.h"
+#include "verilog/symbols.h"
 
 namespace noodle::graph {
 
@@ -14,8 +16,10 @@ double safe_log1p(double x) { return std::log1p(std::max(0.0, x)); }
 
 /// Operator buckets tracked by the embedding; anything else lands in
 /// "other". Comparators and XORs are listed first because Trojan triggers
-/// and leak payloads disproportionately use them.
-int op_bucket(const std::string& op) {
+/// and leak payloads disproportionately use them. This spelling-level rule
+/// is the single source of truth; the hot path consults the id-indexed
+/// table derived from it below.
+constexpr int op_bucket_of(std::string_view op) {
   if (op == "==" || op == "!=" || op == "===" || op == "!==") return 0;  // equality
   if (op == "<" || op == "<=" || op == ">" || op == ">=") return 1;      // relational
   if (op == "^" || op == "~^" || op == "^~") return 2;                   // xor
@@ -28,24 +32,49 @@ int op_bucket(const std::string& op) {
   return 9;                                                              // other
 }
 
+// Indexed by interned symbol id; operator labels always come from the
+// preinterned punct vocabulary, so the table covers every possible Op node.
+constexpr auto kOpBucketBySymbol = [] {
+  std::array<std::uint8_t, verilog::kPreinternedSymbolCount> table{};
+  for (auto& bucket : table) bucket = 9;
+  for (std::size_t i = 0; i < verilog::kPunctSpellings.size(); ++i) {
+    table[i] = static_cast<std::uint8_t>(op_bucket_of(verilog::kPunctSpellings[i]));
+  }
+  return table;
+}();
+
 constexpr std::size_t kOpBuckets = 10;
 
 }  // namespace
 
+int op_bucket(util::Symbol op) noexcept {
+  return op < kOpBucketBySymbol.size() ? kOpBucketBySymbol[op] : 9;
+}
+
 std::vector<double> graph_features(const NetGraph& g) {
-  std::vector<double> features;
-  features.reserve(kGraphFeatureDim);
+  std::vector<double> features(kGraphFeatureDim, 0.0);
+  FeatureScratch scratch;
+  graph_features(g, features, scratch);
+  return features;
+}
+
+void graph_features(const NetGraph& g, std::span<double> out, FeatureScratch& scratch) {
+  if (out.size() != kGraphFeatureDim) {
+    throw std::invalid_argument("graph_features: output size != kGraphFeatureDim");
+  }
 
   const std::size_t n = g.node_count();
   const std::size_t e = g.edge_count();
+  std::size_t next = 0;
+  const auto push = [&out, &next](double value) { out[next++] = value; };
 
   // [0..9] node-type histogram.
-  const std::vector<double> type_hist = g.type_histogram();
-  features.insert(features.end(), type_hist.begin(), type_hist.end());
+  g.type_histogram(out.subspan(0, kNodeTypeCount));
+  next = kNodeTypeCount;
 
   // [10..19] operator-bucket histogram over Op nodes (normalized by node
   // count so absolute operator density is preserved).
-  std::vector<double> op_hist(kOpBuckets, 0.0);
+  double op_hist[kOpBuckets] = {};
   for (NetGraph::NodeId id = 0; id < n; ++id) {
     const Node& node = g.node(id);
     if (node.type == NodeType::Op) {
@@ -55,41 +84,44 @@ std::vector<double> graph_features(const NetGraph& g) {
   if (n > 0) {
     for (double& bin : op_hist) bin /= static_cast<double>(n);
   }
-  features.insert(features.end(), op_hist.begin(), op_hist.end());
+  for (const double bin : op_hist) push(bin);
 
   // [20..25] degree statistics.
-  std::vector<double> in_degrees, out_degrees;
+  std::vector<double>& in_degrees = scratch.in_degrees;
+  std::vector<double>& out_degrees = scratch.out_degrees;
+  in_degrees.clear();
+  out_degrees.clear();
   in_degrees.reserve(n);
   out_degrees.reserve(n);
   for (NetGraph::NodeId id = 0; id < n; ++id) {
     in_degrees.push_back(static_cast<double>(g.in_degree(id)));
     out_degrees.push_back(static_cast<double>(g.out_degree(id)));
   }
-  features.push_back(n == 0 ? 0.0 : util::mean(in_degrees));
-  features.push_back(n == 0 ? 0.0 : util::mean(out_degrees));
-  features.push_back(n == 0 ? 0.0 : safe_log1p(util::max_value(in_degrees)));
-  features.push_back(n == 0 ? 0.0 : safe_log1p(util::max_value(out_degrees)));
-  features.push_back(n == 0 ? 0.0 : util::stddev(out_degrees));
+  push(n == 0 ? 0.0 : util::mean(in_degrees));
+  push(n == 0 ? 0.0 : util::mean(out_degrees));
+  push(n == 0 ? 0.0 : safe_log1p(util::max_value(in_degrees)));
+  push(n == 0 ? 0.0 : safe_log1p(util::max_value(out_degrees)));
+  push(n == 0 ? 0.0 : util::stddev(out_degrees));
   // Fraction of single-fanout nets: Trojan trigger wires typically feed
   // exactly one mux, inflating this tail.
   double single_fanout = 0.0;
   for (const double d : out_degrees) {
     if (d == 1.0) single_fanout += 1.0;
   }
-  features.push_back(n == 0 ? 0.0 : single_fanout / static_cast<double>(n));
+  push(n == 0 ? 0.0 : single_fanout / static_cast<double>(n));
 
   // [26..30] global structure.
-  features.push_back(safe_log1p(static_cast<double>(n)));
-  features.push_back(safe_log1p(static_cast<double>(e)));
-  features.push_back(n <= 1 ? 0.0
-                            : static_cast<double>(e) /
-                                  (static_cast<double>(n) * static_cast<double>(n - 1)));
-  features.push_back(static_cast<double>(g.component_count()));
-  features.push_back(safe_log1p(static_cast<double>(g.depth_from_inputs())));
+  push(safe_log1p(static_cast<double>(n)));
+  push(safe_log1p(static_cast<double>(e)));
+  push(n <= 1 ? 0.0
+              : static_cast<double>(e) /
+                    (static_cast<double>(n) * static_cast<double>(n - 1)));
+  push(static_cast<double>(g.component_count(scratch.analysis)));
+  push(safe_log1p(static_cast<double>(g.depth_from_inputs(scratch.analysis))));
 
   // [31..33] spectral sketch.
-  const std::vector<double> spectrum = g.spectral_sketch(3);
-  for (const double eigenvalue : spectrum) features.push_back(safe_log1p(eigenvalue));
+  g.spectral_sketch(std::span<double>(scratch.spectrum, 3), 50, scratch.analysis);
+  for (const double eigenvalue : scratch.spectrum) push(safe_log1p(eigenvalue));
 
   // [34..39] trigger-motif counts.
   double wide_eq_const = 0.0;   // equality ops with a constant operand >= 8 bits
@@ -138,17 +170,16 @@ std::vector<double> graph_features(const NetGraph& g) {
     }
   }
   const double denom = n == 0 ? 1.0 : static_cast<double>(n);
-  features.push_back(wide_eq_const / denom);
-  features.push_back(mux_count / denom);
-  features.push_back(mux_rare_select / denom);
-  features.push_back(wide_regs / denom);
-  features.push_back(const_nodes / denom);
-  features.push_back(reg_feedback / denom);
+  push(wide_eq_const / denom);
+  push(mux_count / denom);
+  push(mux_rare_select / denom);
+  push(wide_regs / denom);
+  push(const_nodes / denom);
+  push(reg_feedback / denom);
 
-  if (features.size() != kGraphFeatureDim) {
+  if (next != kGraphFeatureDim) {
     throw std::logic_error("graph_features: dimension drift");
   }
-  return features;
 }
 
 const std::vector<std::string>& graph_feature_names() {

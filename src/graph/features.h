@@ -12,7 +12,14 @@
 //  * trigger-motif counts: wide equality-against-constant comparators and
 //    muxes selected by low-fanout nets, the structural fingerprints of
 //    time bombs and cheat codes.
+//
+// Operator classification dispatches on the node's interned label id (the
+// fixed verilog vocabulary of symbols.h) — a table lookup, not a chain of
+// string compares. The scratch-taking overload writes into a caller buffer
+// and allocates nothing in steady state; the allocating overload delegates
+// to it, so both produce bit-identical vectors.
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -22,8 +29,23 @@ namespace noodle::graph {
 
 inline constexpr std::size_t kGraphFeatureDim = 40;
 
+/// Operator bucket of an interned operator label (0 equality, 1 relational,
+/// 2 xor, 3 and, 4 or, 5 add/sub, 6 mul/div, 7 shift, 8 not, 9 other).
+int op_bucket(util::Symbol op) noexcept;
+
+/// Reusable scratch for the embedding (degree arrays + analysis scratch).
+struct FeatureScratch {
+  AnalysisScratch analysis;
+  std::vector<double> in_degrees;
+  std::vector<double> out_degrees;
+  double spectrum[3] = {0.0, 0.0, 0.0};
+};
+
 /// Embeds a graph into R^kGraphFeatureDim.
 std::vector<double> graph_features(const NetGraph& g);
+
+/// In-place form: writes into `out` (size kGraphFeatureDim) using `scratch`.
+void graph_features(const NetGraph& g, std::span<double> out, FeatureScratch& scratch);
 
 /// Human-readable name of each embedding dimension (size kGraphFeatureDim).
 const std::vector<std::string>& graph_feature_names();

@@ -1,8 +1,10 @@
 #include "graph/netgraph.h"
 
+#include <algorithm>
 #include <cmath>
-#include <queue>
 #include <stdexcept>
+
+#include "verilog/symbols.h"
 
 namespace noodle::graph {
 
@@ -22,11 +24,35 @@ const char* to_string(NodeType type) noexcept {
   return "unknown";
 }
 
-NetGraph::NodeId NetGraph::add_node(NodeType type, std::string label, int width) {
-  nodes_.push_back(Node{type, std::move(label), width});
-  out_.emplace_back();
-  in_.emplace_back();
+NetGraph::NetGraph() : symbols_(std::make_shared<util::SymbolTable>()) {
+  verilog::preintern_verilog_symbols(*symbols_);
+}
+
+NetGraph::NetGraph(std::shared_ptr<util::SymbolTable> symbols)
+    : symbols_(std::move(symbols)) {
+  if (!symbols_) throw std::invalid_argument("NetGraph: null symbol table");
+  if (symbols_->size() < verilog::kPreinternedSymbolCount) {
+    throw std::invalid_argument("NetGraph: symbol table lacks the verilog vocabulary");
+  }
+}
+
+void NetGraph::check_id(NodeId id) const {
+  // out_/in_ may be longer than nodes_ (capacity kept across clear()), so
+  // range-check against the live node count, not the vector sizes.
+  if (id >= nodes_.size()) throw std::out_of_range("NetGraph: invalid node id");
+}
+
+NetGraph::NodeId NetGraph::add_node(NodeType type, util::Symbol label, int width) {
+  nodes_.push_back(Node{type, label, width});
+  if (out_.size() < nodes_.size()) {
+    out_.emplace_back();
+    in_.emplace_back();
+  }
   return nodes_.size() - 1;
+}
+
+NetGraph::NodeId NetGraph::add_node(NodeType type, std::string_view label, int width) {
+  return add_node(type, symbols_->intern(label), width);
 }
 
 void NetGraph::add_edge(NodeId src, NodeId dst) {
@@ -38,6 +64,15 @@ void NetGraph::add_edge(NodeId src, NodeId dst) {
   ++edge_count_;
 }
 
+void NetGraph::clear() noexcept {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out_[i].clear();  // keeps each adjacency list's capacity
+    in_[i].clear();
+  }
+  nodes_.clear();
+  edge_count_ = 0;
+}
+
 std::vector<NetGraph::NodeId> NetGraph::nodes_of_type(NodeType type) const {
   std::vector<NodeId> result;
   for (NodeId id = 0; id < nodes_.size(); ++id) {
@@ -47,28 +82,32 @@ std::vector<NetGraph::NodeId> NetGraph::nodes_of_type(NodeType type) const {
 }
 
 std::size_t NetGraph::component_count() const {
+  AnalysisScratch scratch;
+  return component_count(scratch);
+}
+
+std::size_t NetGraph::component_count(AnalysisScratch& scratch) const {
   if (nodes_.empty()) return 0;
-  std::vector<bool> seen(nodes_.size(), false);
+  scratch.seen.assign(nodes_.size(), 0);
   std::size_t components = 0;
   for (NodeId start = 0; start < nodes_.size(); ++start) {
-    if (seen[start]) continue;
+    if (scratch.seen[start]) continue;
     ++components;
-    std::queue<NodeId> frontier;
-    frontier.push(start);
-    seen[start] = true;
-    while (!frontier.empty()) {
-      const NodeId id = frontier.front();
-      frontier.pop();
+    scratch.queue.clear();
+    scratch.queue.push_back(start);
+    scratch.seen[start] = 1;
+    for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+      const NodeId id = scratch.queue[head];
       for (const NodeId next : out_[id]) {
-        if (!seen[next]) {
-          seen[next] = true;
-          frontier.push(next);
+        if (!scratch.seen[next]) {
+          scratch.seen[next] = 1;
+          scratch.queue.push_back(next);
         }
       }
       for (const NodeId next : in_[id]) {
-        if (!seen[next]) {
-          seen[next] = true;
-          frontier.push(next);
+        if (!scratch.seen[next]) {
+          scratch.seen[next] = 1;
+          scratch.queue.push_back(next);
         }
       }
     }
@@ -77,23 +116,27 @@ std::size_t NetGraph::component_count() const {
 }
 
 std::size_t NetGraph::depth_from_inputs() const {
-  std::vector<std::size_t> dist(nodes_.size(), static_cast<std::size_t>(-1));
-  std::queue<NodeId> frontier;
+  AnalysisScratch scratch;
+  return depth_from_inputs(scratch);
+}
+
+std::size_t NetGraph::depth_from_inputs(AnalysisScratch& scratch) const {
+  scratch.dist.assign(nodes_.size(), static_cast<std::size_t>(-1));
+  scratch.queue.clear();
   for (NodeId id = 0; id < nodes_.size(); ++id) {
     if (nodes_[id].type == NodeType::Input) {
-      dist[id] = 0;
-      frontier.push(id);
+      scratch.dist[id] = 0;
+      scratch.queue.push_back(id);
     }
   }
   std::size_t depth = 0;
-  while (!frontier.empty()) {
-    const NodeId id = frontier.front();
-    frontier.pop();
-    depth = std::max(depth, dist[id]);
+  for (std::size_t head = 0; head < scratch.queue.size(); ++head) {
+    const NodeId id = scratch.queue[head];
+    depth = std::max(depth, scratch.dist[id]);
     for (const NodeId next : out_[id]) {
-      if (dist[next] == static_cast<std::size_t>(-1)) {
-        dist[next] = dist[id] + 1;
-        frontier.push(next);
+      if (scratch.dist[next] == static_cast<std::size_t>(-1)) {
+        scratch.dist[next] = scratch.dist[id] + 1;
+        scratch.queue.push_back(next);
       }
     }
   }
@@ -102,37 +145,57 @@ std::size_t NetGraph::depth_from_inputs() const {
 
 std::vector<double> NetGraph::type_histogram() const {
   std::vector<double> histogram(kNodeTypeCount, 0.0);
-  if (nodes_.empty()) return histogram;
-  for (const Node& n : nodes_) {
-    histogram[static_cast<std::size_t>(n.type)] += 1.0;
-  }
-  for (double& bin : histogram) bin /= static_cast<double>(nodes_.size());
+  type_histogram(histogram);
   return histogram;
+}
+
+void NetGraph::type_histogram(std::span<double> out) const {
+  if (out.size() != kNodeTypeCount) {
+    throw std::invalid_argument("NetGraph::type_histogram: bad output size");
+  }
+  std::fill(out.begin(), out.end(), 0.0);
+  if (nodes_.empty()) return;
+  for (const Node& n : nodes_) {
+    out[static_cast<std::size_t>(n.type)] += 1.0;
+  }
+  for (double& bin : out) bin /= static_cast<double>(nodes_.size());
 }
 
 std::vector<double> NetGraph::spectral_sketch(std::size_t count,
                                               std::size_t iterations) const {
-  std::vector<double> eigenvalues;
+  std::vector<double> eigenvalues(count, 0.0);
+  AnalysisScratch scratch;
+  spectral_sketch(eigenvalues, iterations, scratch);
+  return eigenvalues;
+}
+
+void NetGraph::spectral_sketch(std::span<double> out, std::size_t iterations,
+                               AnalysisScratch& scratch) const {
   const std::size_t n = nodes_.size();
-  if (n == 0 || count == 0) return std::vector<double>(count, 0.0);
+  const std::size_t count = out.size();
+  std::fill(out.begin(), out.end(), 0.0);
+  if (n == 0 || count == 0) return;
 
   // Power iteration with deflation on the symmetrized adjacency A + A^T.
   // Deterministic start vectors (index-based) keep results reproducible.
-  std::vector<std::vector<double>> found;
+  if (scratch.basis.size() < count) scratch.basis.resize(count);
+  std::vector<double>& v = scratch.vec_a;
+  std::vector<double>& w = scratch.vec_b;
   for (std::size_t k = 0; k < count; ++k) {
-    std::vector<double> v(n);
+    v.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       v[i] = 1.0 + 0.1 * static_cast<double>((i + k + 1) % 7);
     }
     double eigenvalue = 0.0;
     for (std::size_t iter = 0; iter < iterations; ++iter) {
       // Orthogonalize against previously found eigenvectors (deflation).
-      for (const auto& u : found) {
+      for (std::size_t f = 0; f < k; ++f) {
+        const std::vector<double>& u = scratch.basis[f];
         double dot = 0.0;
         for (std::size_t i = 0; i < n; ++i) dot += v[i] * u[i];
         for (std::size_t i = 0; i < n; ++i) v[i] -= dot * u[i];
       }
-      std::vector<double> w(n, 0.0);
+      w.assign(n, 0.0);
       for (NodeId src = 0; src < n; ++src) {
         for (const NodeId dst : out_[src]) {
           w[dst] += v[src];
@@ -150,10 +213,9 @@ std::vector<double> NetGraph::spectral_sketch(std::size_t count,
       eigenvalue = norm;
       for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / norm;
     }
-    eigenvalues.push_back(eigenvalue);
-    found.push_back(v);
+    out[k] = eigenvalue;
+    scratch.basis[k].assign(v.begin(), v.end());
   }
-  return eigenvalues;
 }
 
 }  // namespace noodle::graph

@@ -4,10 +4,22 @@
 // signals, constants, and operator occurrences; directed edges follow data
 // flow (operand -> operator -> assigned signal) plus control edges from
 // branch conditions to the signals assigned under them.
+//
+// Node labels are interned symbols (util::SymbolTable) rather than owned
+// strings: operator labels land on the fixed ids of the shared verilog
+// vocabulary (verilog/symbols.h), so feature extraction classifies them
+// with a table lookup, and a graph built inside a feat::FeaturizeWorkspace
+// shares the workspace's intern pool. label(id) resolves the spelling for
+// printers and debug output. clear() keeps all node/edge capacity, which is
+// what makes a reused graph allocation-free in steady state.
 
 #include <cstddef>
-#include <string>
+#include <memory>
+#include <span>
+#include <string_view>
 #include <vector>
+
+#include "util/intern.h"
 
 namespace noodle::graph {
 
@@ -31,8 +43,20 @@ inline constexpr std::size_t kNodeTypeCount = 10;
 
 struct Node {
   NodeType type = NodeType::Wire;
-  std::string label;  // signal name, operator spelling, or constant text
-  int width = 1;      // bit width where known (signals, constants)
+  util::Symbol label = util::kNoSymbol;  // resolve via NetGraph::label()
+  int width = 1;                         // bit width where known
+};
+
+/// Reusable scratch for the graph analyses (BFS frontiers, visit flags,
+/// power-iteration vectors). Grow-only; one per thread, like the graphs it
+/// serves.
+struct AnalysisScratch {
+  std::vector<std::uint8_t> seen;
+  std::vector<std::size_t> queue;  // BFS ring buffer (head index, no pops)
+  std::vector<std::size_t> dist;
+  std::vector<double> vec_a;                 // power-iteration v
+  std::vector<double> vec_b;                 // power-iteration w
+  std::vector<std::vector<double>> basis;    // deflation basis
 };
 
 /// Directed multigraph with stable integer node ids.
@@ -40,45 +64,90 @@ class NetGraph {
  public:
   using NodeId = std::size_t;
 
-  NodeId add_node(NodeType type, std::string label, int width = 1);
+  /// A fresh graph owning a new intern pool seeded with the verilog
+  /// vocabulary (so operator labels get their fixed ids).
+  NetGraph();
+
+  /// A graph adopting an existing pool (e.g. a FeaturizeWorkspace's). The
+  /// pool must already contain the verilog vocabulary at the fixed ids —
+  /// ParserWorkspace and the default constructor both guarantee that.
+  explicit NetGraph(std::shared_ptr<util::SymbolTable> symbols);
+
+  NodeId add_node(NodeType type, util::Symbol label, int width = 1);
+  /// Interns `label` into this graph's pool first.
+  NodeId add_node(NodeType type, std::string_view label, int width = 1);
 
   /// Adds a directed edge src -> dst. Parallel edges are allowed (a signal
   /// can feed the same operator twice); self-loops are allowed (feedback
   /// registers). Throws std::out_of_range on invalid ids.
   void add_edge(NodeId src, NodeId dst);
 
+  /// Removes all nodes and edges but keeps every capacity (adjacency lists
+  /// included), so rebuilding a graph of similar size allocates nothing.
+  /// The intern pool is untouched — symbols are stable for the pool's life.
+  void clear() noexcept;
+
   std::size_t node_count() const noexcept { return nodes_.size(); }
   std::size_t edge_count() const noexcept { return edge_count_; }
 
   const Node& node(NodeId id) const { return nodes_.at(id); }
-  const std::vector<NodeId>& successors(NodeId id) const { return out_.at(id); }
-  const std::vector<NodeId>& predecessors(NodeId id) const { return in_.at(id); }
+  /// The spelling behind a node's interned label.
+  std::string_view label(NodeId id) const { return symbols_->text(nodes_.at(id).label); }
+  const util::SymbolTable& symbols() const noexcept { return *symbols_; }
+  util::SymbolTable& symbols() noexcept { return *symbols_; }
+  const std::shared_ptr<util::SymbolTable>& symbols_handle() const noexcept {
+    return symbols_;
+  }
 
-  std::size_t out_degree(NodeId id) const { return out_.at(id).size(); }
-  std::size_t in_degree(NodeId id) const { return in_.at(id).size(); }
+  const std::vector<NodeId>& successors(NodeId id) const {
+    check_id(id);
+    return out_[id];
+  }
+  const std::vector<NodeId>& predecessors(NodeId id) const {
+    check_id(id);
+    return in_[id];
+  }
+
+  std::size_t out_degree(NodeId id) const { return successors(id).size(); }
+  std::size_t in_degree(NodeId id) const { return predecessors(id).size(); }
 
   /// All node ids of a given type.
   std::vector<NodeId> nodes_of_type(NodeType type) const;
 
   // --- analyses ---
+  // Each analysis has an allocating form and a scratch-taking form; the
+  // former delegates to the latter, so results are identical by
+  // construction and the hot path can run allocation-free.
 
   /// Number of weakly connected components.
   std::size_t component_count() const;
+  std::size_t component_count(AnalysisScratch& scratch) const;
 
   /// Longest shortest-path distance (in edges) from any Input node,
   /// following edge direction; a proxy for logic depth. 0 for graphs
   /// without inputs.
   std::size_t depth_from_inputs() const;
+  std::size_t depth_from_inputs(AnalysisScratch& scratch) const;
 
   /// Histogram of node types, normalized to sum 1 (all zeros when empty).
   std::vector<double> type_histogram() const;
+  /// In-place form: writes the histogram into `out` (size kNodeTypeCount).
+  void type_histogram(std::span<double> out) const;
 
   /// Largest eigenvalue estimates of the symmetrized adjacency matrix via
   /// deflated power iteration; a cheap spectral signature of the topology.
   std::vector<double> spectral_sketch(std::size_t count, std::size_t iterations = 50) const;
+  /// In-place form: writes `out.size()` eigenvalues.
+  void spectral_sketch(std::span<double> out, std::size_t iterations,
+                       AnalysisScratch& scratch) const;
 
  private:
+  void check_id(NodeId id) const;
+
+  std::shared_ptr<util::SymbolTable> symbols_;
   std::vector<Node> nodes_;
+  // Sized to the high-water node count; entries past nodes_.size() are kept
+  // empty so clear() can preserve inner-vector capacity.
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
   std::size_t edge_count_ = 0;

@@ -284,11 +284,13 @@ void DetectionService::process_group(const std::string& group_label,
   std::vector<std::size_t> sample_owner;  // index into group
   std::vector<std::pair<std::size_t, std::exception_ptr>> rejected;
   samples.reserve(group.size());
+  // The dispatcher's pool threads are long-lived, so each worker's
+  // thread-local FeaturizeWorkspace reaches a warm steady state and
+  // featurizes request sources with zero front-end heap allocations.
+  feat::FeaturizeWorkspace& workspace = feat::thread_workspace();
   for (std::size_t i = 0; i < group.size(); ++i) {
     try {
-      data::CircuitSample circuit;
-      circuit.verilog = group[i].source;
-      samples.push_back(data::featurize(circuit));
+      samples.push_back(data::featurize_source(group[i].source, workspace));
       sample_owner.push_back(i);
     } catch (...) {
       rejected.emplace_back(i, std::current_exception());

@@ -1,0 +1,64 @@
+#include "util/arena.h"
+
+#include <algorithm>
+
+namespace noodle::util {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t first_block_bytes)
+    : next_block_bytes_(std::max<std::size_t>(first_block_bytes, 256)) {}
+
+void* Arena::alloc(std::size_t bytes, std::size_t align) {
+  if (current_ < blocks_.size()) {
+    Block& block = blocks_[current_];
+    const std::size_t offset = align_up(block.used, align);
+    if (offset + bytes <= block.size) {
+      block.used = offset + bytes;
+      bytes_used_ += bytes;
+      return block.data.get() + offset;
+    }
+  }
+  return alloc_slow(bytes, align);
+}
+
+void* Arena::alloc_slow(std::size_t bytes, std::size_t align) {
+  // Try the remaining (already-reserved) blocks first so reset() + refill
+  // walks the same storage instead of growing.
+  for (std::size_t i = current_ + (blocks_.empty() ? 0 : 1); i < blocks_.size(); ++i) {
+    Block& block = blocks_[i];
+    const std::size_t offset = align_up(block.used, align);
+    if (offset + bytes <= block.size) {
+      current_ = i;
+      block.used = offset + bytes;
+      bytes_used_ += bytes;
+      return block.data.get() + offset;
+    }
+  }
+  Block block;
+  block.size = std::max(next_block_bytes_, align_up(bytes, align) + align);
+  block.data = std::make_unique<std::byte[]>(block.size);
+  next_block_bytes_ = std::min(kMaxBlockBytes, block.size * 2);
+  bytes_reserved_ += block.size;
+  const std::size_t base = reinterpret_cast<std::uintptr_t>(block.data.get()) % align;
+  const std::size_t offset = base == 0 ? 0 : align - base;
+  block.used = offset + bytes;
+  bytes_used_ += bytes;
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  return blocks_.back().data.get() + offset;
+}
+
+void Arena::reset() noexcept {
+  for (Block& block : blocks_) block.used = 0;
+  current_ = 0;
+  bytes_used_ = 0;
+}
+
+}  // namespace noodle::util

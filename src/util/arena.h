@@ -1,0 +1,91 @@
+#pragma once
+// Bump-pointer arena for transient object graphs (the parser's AST nodes).
+//
+// Allocation is a pointer increment inside the current block; reset() rewinds
+// every block without releasing it, so a reused arena reaches a steady state
+// where repeated parse cycles perform zero heap allocations — the same
+// grow-only contract as nn::InferenceWorkspace. Objects allocated here are
+// never destroyed individually: the arena is for trivially-destructible
+// payloads (checked at compile time by create()/alloc_array()).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace noodle::util {
+
+class Arena {
+ public:
+  /// First block size; subsequent blocks double up to kMaxBlockBytes.
+  explicit Arena(std::size_t first_block_bytes = 16 * 1024);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned storage. `align` must be a power of two.
+  void* alloc(std::size_t bytes, std::size_t align);
+
+  /// Constructs a T in arena storage. T must be trivially destructible —
+  /// nothing ever runs destructors for arena objects.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::create: arena objects are never destroyed");
+    return ::new (alloc(sizeof(T), alignof(T))) T{std::forward<Args>(args)...};
+  }
+
+  /// Uninitialized array of n T (empty n yields a non-null aligned pointer).
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::alloc_array: arena objects are never destroyed");
+    return static_cast<T*>(alloc(n * sizeof(T), alignof(T)));
+  }
+
+  /// Copies [first, first + n) into arena storage and returns the copy.
+  /// Trivially copyable only: the destination is raw storage, so the copy
+  /// is a memcpy, not assignment to live objects.
+  template <typename T>
+  T* copy_array(const T* first, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Arena::copy_array: destination is raw storage");
+    T* out = alloc_array<T>(n);
+    if (n != 0) std::memcpy(out, first, n * sizeof(T));
+    return out;
+  }
+
+  /// Rewinds every block to empty without freeing; the next allocations
+  /// reuse the same storage (zero heap traffic once the high-water mark of
+  /// the workload has been reached).
+  void reset() noexcept;
+
+  /// Bytes handed out since the last reset().
+  std::size_t bytes_used() const noexcept { return bytes_used_; }
+  /// Total capacity across all blocks (the grow-only high-water mark).
+  std::size_t bytes_reserved() const noexcept { return bytes_reserved_; }
+  std::size_t block_count() const noexcept { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  static constexpr std::size_t kMaxBlockBytes = 4 * 1024 * 1024;
+
+  void* alloc_slow(std::size_t bytes, std::size_t align);
+
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // block the bump pointer lives in
+  std::size_t next_block_bytes_;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace noodle::util

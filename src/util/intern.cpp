@@ -1,0 +1,81 @@
+#include "util/intern.h"
+
+#include <stdexcept>
+
+#include "util/binary_io.h"
+
+namespace noodle::util {
+
+namespace {
+
+std::uint64_t hash_of(std::string_view text) noexcept {
+  return fnv1a64(text.data(), text.size());
+}
+
+}  // namespace
+
+SymbolTable::SymbolTable() : chars_(4 * 1024) {
+  slots_.assign(256, kNoSymbol);
+  mask_ = slots_.size() - 1;
+}
+
+std::size_t SymbolTable::slot_of(std::string_view text, std::uint64_t hash) const noexcept {
+  for (std::size_t i = static_cast<std::size_t>(hash) & mask_;; i = (i + 1) & mask_) {
+    const Symbol id = slots_[i];
+    if (id == kNoSymbol) return i;
+    const Entry& entry = entries_[id];
+    if (entry.hash == hash && entry.length == text.size() &&
+        std::string_view(entry.data, entry.length) == text) {
+      return i;
+    }
+  }
+}
+
+Symbol SymbolTable::intern(std::string_view text) {
+  const std::uint64_t hash = hash_of(text);
+  std::size_t i = slot_of(text, hash);
+  if (slots_[i] != kNoSymbol) return slots_[i];
+
+  if ((entries_.size() + 1) * 4 >= slots_.size() * 3) {
+    grow();
+    i = slot_of(text, hash);
+  }
+  char* copy = static_cast<char*>(chars_.alloc(text.size(), 1));
+  for (std::size_t k = 0; k < text.size(); ++k) copy[k] = text[k];
+  const Symbol id = static_cast<Symbol>(entries_.size());
+  entries_.push_back(Entry{copy, static_cast<std::uint32_t>(text.size()), hash});
+  slots_[i] = id;
+  return id;
+}
+
+Symbol SymbolTable::find(std::string_view text) const noexcept {
+  const std::size_t i = slot_of(text, hash_of(text));
+  return slots_[i];
+}
+
+std::string_view SymbolTable::text(Symbol symbol) const {
+  if (symbol >= entries_.size()) {
+    throw std::out_of_range("SymbolTable::text: unknown symbol");
+  }
+  const Entry& entry = entries_[symbol];
+  return std::string_view(entry.data, entry.length);
+}
+
+void SymbolTable::reset() noexcept {
+  entries_.clear();                               // keeps capacity
+  std::fill(slots_.begin(), slots_.end(), kNoSymbol);  // keeps slot count
+  chars_.reset();                                 // keeps arena blocks
+}
+
+void SymbolTable::grow() {
+  slots_.assign(slots_.size() * 2, kNoSymbol);
+  mask_ = slots_.size() - 1;
+  for (Symbol id = 0; id < entries_.size(); ++id) {
+    const Entry& entry = entries_[id];
+    std::size_t i = static_cast<std::size_t>(entry.hash) & mask_;
+    while (slots_[i] != kNoSymbol) i = (i + 1) & mask_;
+    slots_[i] = id;
+  }
+}
+
+}  // namespace noodle::util

@@ -1,30 +1,11 @@
 #include "verilog/lexer.h"
 
-#include <array>
 #include <cctype>
 #include <string>
 
 namespace noodle::verilog {
 
 namespace {
-
-constexpr std::array kKeywords = {
-    "module",   "endmodule", "input",  "output", "inout",     "wire",
-    "reg",      "assign",    "always", "initial", "begin",    "end",
-    "if",       "else",      "case",   "casez",  "casex",     "endcase",
-    "default",  "for",       "posedge", "negedge", "or",      "parameter",
-    "localparam", "integer", "signed", "and",    "not",       "nand",
-    "nor",      "xor",       "xnor",   "buf",    "function",  "endfunction",
-    "generate", "endgenerate",
-};
-
-// Multi-character punctuation, longest first so maximal munch works.
-constexpr std::array kPuncts = {
-    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "<<",
-    ">>",  "~&",  "~|",  "~^",  "^~", "+",  "-",  "*",  "/",  "%",  "!",
-    "~",   "&",   "|",   "^",   "<",  ">",  "=",  "?",  ":",  ";",  ",",
-    ".",   "(",   ")",   "[",   "]",  "{",  "}",  "@",  "#",
-};
 
 bool is_ident_start(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -60,9 +41,17 @@ class Cursor {
     return c;
   }
   bool consume(std::string_view expected) noexcept {
-    if (text_.substr(pos_).substr(0, expected.size()) != expected) return false;
-    for (std::size_t i = 0; i < expected.size(); ++i) advance();
+    // Punct spellings never contain newlines, so line/column tracking is a
+    // plain column bump — no per-character advance, no temporary strings.
+    if (text_.compare(pos_, expected.size(), expected) != 0) return false;
+    pos_ += expected.size();
+    column_ += static_cast<int>(expected.size());
     return true;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  std::string_view slice(std::size_t begin) const noexcept {
+    return text_.substr(begin, pos_ - begin);
   }
 
   int line() const noexcept { return line_; }
@@ -83,15 +72,72 @@ LexError::LexError(const std::string& message, int line, int column)
       line_(line),
       column_(column) {}
 
-bool is_verilog_keyword(const std::string& word) {
-  for (const char* kw : kKeywords) {
-    if (word == kw) return true;
+bool is_verilog_keyword(std::string_view word) noexcept {
+  // Poor man's perfect hash: switch on length, then on a discriminating
+  // character, with one final full comparison. Every reserved word of the
+  // subset appears exactly once.
+  switch (word.size()) {
+    case 2:
+      return word == "if" || word == "or";
+    case 3:
+      switch (word[0]) {
+        case 'a': return word == "and";
+        case 'b': return word == "buf";
+        case 'e': return word == "end";
+        case 'f': return word == "for";
+        case 'n': return word == "not" || word == "nor";
+        case 'r': return word == "reg";
+        case 'x': return word == "xor";
+        default: return false;
+      }
+    case 4:
+      switch (word[0]) {
+        case 'c': return word == "case";
+        case 'e': return word == "else";
+        case 'n': return word == "nand";
+        case 'w': return word == "wire";
+        case 'x': return word == "xnor";
+        default: return false;
+      }
+    case 5:
+      switch (word[0]) {
+        case 'b': return word == "begin";
+        case 'c': return word == "casez" || word == "casex";
+        case 'i': return word == "input" || word == "inout";
+        default: return false;
+      }
+    case 6:
+      switch (word[0]) {
+        case 'a': return word == "always" || word == "assign";
+        case 'm': return word == "module";
+        case 'o': return word == "output";
+        case 's': return word == "signed";
+        default: return false;
+      }
+    case 7:
+      switch (word[0]) {
+        case 'd': return word == "default";
+        case 'e': return word == "endcase";
+        case 'i': return word == "integer" || word == "initial";
+        case 'n': return word == "negedge";
+        case 'p': return word == "posedge";
+        default: return false;
+      }
+    case 8:
+      return word == "function" || word == "generate";
+    case 9:
+      return word == "endmodule" || word == "parameter";
+    case 10:
+      return word == "localparam";
+    case 11:
+      return word == "endfunction" || word == "endgenerate";
+    default:
+      return false;
   }
-  return false;
 }
 
-std::vector<Token> lex(std::string_view source) {
-  std::vector<Token> tokens;
+void lex_into(std::string_view source, std::vector<Token>& tokens) {
+  tokens.clear();
   Cursor cur(source);
 
   const auto skip_trivia = [&] {
@@ -136,7 +182,6 @@ std::vector<Token> lex(std::string_view source) {
     }
     std::uint64_t value = 0;
     bool any_digit = false;
-    std::string spelling;
     while (!cur.done()) {
       const char c = cur.peek();
       if (c == '_') {
@@ -152,7 +197,6 @@ std::vector<Token> lex(std::string_view source) {
         break;
       }
       value = value * static_cast<std::uint64_t>(base) + static_cast<std::uint64_t>(digit);
-      spelling += c;
       any_digit = true;
       cur.advance();
     }
@@ -167,58 +211,56 @@ std::vector<Token> lex(std::string_view source) {
     Token tok;
     tok.line = cur.line();
     tok.column = cur.column();
+    const std::size_t start = cur.pos();
     if (cur.done()) {
       tok.kind = TokenKind::End;
       tokens.push_back(tok);
-      return tokens;
+      return;
     }
 
     const char c = cur.peek();
     if (is_ident_start(c)) {
-      std::string word;
-      while (!cur.done() && is_ident_char(cur.peek())) word += cur.advance();
+      while (!cur.done() && is_ident_char(cur.peek())) cur.advance();
+      const std::string_view word = cur.slice(start);
       tok.text = word;
       tok.kind = is_verilog_keyword(word) ? TokenKind::Keyword : TokenKind::Identifier;
-      tokens.push_back(std::move(tok));
+      tokens.push_back(tok);
       continue;
     }
 
     if (c == '$') {
-      std::string word;
-      word += cur.advance();
-      while (!cur.done() && is_ident_char(cur.peek())) word += cur.advance();
-      tok.text = word;
+      cur.advance();
+      while (!cur.done() && is_ident_char(cur.peek())) cur.advance();
+      tok.text = cur.slice(start);
       tok.kind = TokenKind::SystemName;
-      tokens.push_back(std::move(tok));
+      tokens.push_back(tok);
       continue;
     }
 
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::uint64_t value = 0;
-      std::string digits;
       while (!cur.done() &&
              (std::isdigit(static_cast<unsigned char>(cur.peek())) || cur.peek() == '_')) {
         const char d = cur.advance();
         if (d == '_') continue;
-        digits += d;
         value = value * 10 + static_cast<std::uint64_t>(d - '0');
       }
       if (cur.peek() == '\'') {
         lex_based_number(tok, value, /*sized=*/true);
-        tok.text = digits;  // keep the size prefix spelling for diagnostics
       } else {
         tok.kind = TokenKind::Number;
         tok.value = value;
         tok.width = 0;
-        tok.text = digits;
       }
-      tokens.push_back(std::move(tok));
+      tok.text = cur.slice(start);  // full literal spelling, for diagnostics
+      tokens.push_back(tok);
       continue;
     }
 
     if (c == '\'') {
       lex_based_number(tok, 0, /*sized=*/false);
-      tokens.push_back(std::move(tok));
+      tok.text = cur.slice(start);
+      tokens.push_back(tok);
       continue;
     }
 
@@ -226,22 +268,22 @@ std::vector<Token> lex(std::string_view source) {
       // String literals appear only in $display arguments; lex and discard
       // content, representing them as a SystemName-like punct token.
       cur.advance();
-      std::string body;
-      while (!cur.done() && cur.peek() != '"') body += cur.advance();
+      while (!cur.done() && cur.peek() != '"') cur.advance();
       if (cur.done()) throw LexError("unterminated string literal", tok.line, tok.column);
       cur.advance();
       tok.kind = TokenKind::Punct;
-      tok.text = "\"" + body + "\"";
-      tokens.push_back(std::move(tok));
+      tok.text = cur.slice(start);  // includes both quotes
+      tokens.push_back(tok);
       continue;
     }
 
     bool matched = false;
-    for (const char* p : kPuncts) {
-      if (cur.consume(p)) {
+    for (std::size_t p = 0; p < kPunctSpellings.size(); ++p) {
+      if (cur.consume(kPunctSpellings[p])) {
         tok.kind = TokenKind::Punct;
-        tok.text = p;
-        tokens.push_back(std::move(tok));
+        tok.text = kPunctSpellings[p];  // static storage — outlives any source
+        tok.punct = static_cast<PunctId>(p + 1);
+        tokens.push_back(tok);
         matched = true;
         break;
       }
@@ -250,6 +292,12 @@ std::vector<Token> lex(std::string_view source) {
       throw LexError(std::string("unexpected character '") + c + "'", tok.line, tok.column);
     }
   }
+}
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> tokens;
+  lex_into(source, tokens);
+  return tokens;
 }
 
 }  // namespace noodle::verilog

@@ -2,6 +2,10 @@
 // Hand-written lexer for the supported Verilog subset. Produces the full
 // token stream eagerly; circuits in this domain are small (kilobytes), so
 // the simplicity of a materialized vector outweighs streaming.
+//
+// Tokens are views into `source` (see token.h) — the caller keeps the
+// source buffer alive for as long as it uses the tokens. lex_into() reuses
+// the caller's vector so a warm buffer lexes with zero heap allocations.
 
 #include <stdexcept>
 #include <string>
@@ -25,8 +29,12 @@ class LexError : public std::runtime_error {
   int column_;
 };
 
-/// Tokenizes `source`; the final token is always TokenKind::End.
-/// Line (//) and block comments are skipped; block comments may span lines.
+/// Tokenizes `source` into `tokens` (cleared first); the final token is
+/// always TokenKind::End. Line (//) and block comments are skipped; block
+/// comments may span lines.
+void lex_into(std::string_view source, std::vector<Token>& tokens);
+
+/// Convenience wrapper allocating a fresh vector.
 std::vector<Token> lex(std::string_view source);
 
 }  // namespace noodle::verilog

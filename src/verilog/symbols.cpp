@@ -1,0 +1,24 @@
+#include "verilog/symbols.h"
+
+#include <stdexcept>
+
+namespace noodle::verilog {
+
+void preintern_verilog_symbols(util::SymbolTable& table) {
+  if (table.size() != 0) {
+    throw std::logic_error("preintern_verilog_symbols: table is not empty");
+  }
+  for (const std::string_view spelling : kPunctSpellings) table.intern(spelling);
+  table.intern("{lhs}");
+  table.intern("{}");
+  table.intern("[]");
+  table.intern("?:");
+  table.intern("__bad_lhs__");
+  table.intern("__bad_expr__");
+  if (table.size() != kPreinternedSymbolCount ||
+      table.text(kSymBadExpr) != "__bad_expr__") {
+    throw std::logic_error("preintern_verilog_symbols: id contract violated");
+  }
+}
+
+}  // namespace noodle::verilog

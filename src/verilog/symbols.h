@@ -1,0 +1,45 @@
+#pragma once
+// The interned-symbol contract shared by the verilog front end and the
+// graph layer.
+//
+// Every SymbolTable that backs a parse or a NetGraph is seeded with the
+// same fixed vocabulary in the same order: first the 42 operator/punct
+// spellings (symbol id == PunctId - 1), then the synthetic node labels the
+// graph lowering emits. Because the ids are fixed at compile time, hot
+// paths classify operators with a table lookup on the symbol id instead of
+// chains of string comparisons (graph::op_bucket), and a parse arena can
+// hand its symbols straight to a NetGraph without translation.
+
+#include "util/intern.h"
+#include "verilog/token.h"
+
+namespace noodle::verilog {
+
+/// Symbol of a table punct (operators included). Only valid for id != 0.
+constexpr util::Symbol punct_symbol(PunctId id) noexcept {
+  return static_cast<util::Symbol>(id - 1);
+}
+
+// Synthetic labels used by the graph lowering, in preintern order.
+inline constexpr util::Symbol kSymLhsConcat =
+    static_cast<util::Symbol>(kPunctSpellings.size() + 0);  // "{lhs}"
+inline constexpr util::Symbol kSymConcat =
+    static_cast<util::Symbol>(kPunctSpellings.size() + 1);  // "{}"
+inline constexpr util::Symbol kSymSelect =
+    static_cast<util::Symbol>(kPunctSpellings.size() + 2);  // "[]"
+inline constexpr util::Symbol kSymTernaryMux =
+    static_cast<util::Symbol>(kPunctSpellings.size() + 3);  // "?:"
+inline constexpr util::Symbol kSymBadLhs =
+    static_cast<util::Symbol>(kPunctSpellings.size() + 4);  // "__bad_lhs__"
+inline constexpr util::Symbol kSymBadExpr =
+    static_cast<util::Symbol>(kPunctSpellings.size() + 5);  // "__bad_expr__"
+
+/// Number of preinterned symbols; ids below this are the fixed vocabulary.
+inline constexpr util::Symbol kPreinternedSymbolCount =
+    static_cast<util::Symbol>(kPunctSpellings.size() + 6);
+
+/// Seeds `table` with the fixed vocabulary. Must be called on an empty
+/// table (asserts the resulting ids match the constants above).
+void preintern_verilog_symbols(util::SymbolTable& table);
+
+}  // namespace noodle::verilog

@@ -1,8 +1,15 @@
 #pragma once
 // Token definitions for the Verilog-2001 synthesizable-subset front end.
+//
+// Tokens are zero-copy: `text` is a std::string_view into either the source
+// buffer being lexed (identifiers, numbers, string literals) or the static
+// punctuation table below, so a token vector costs no per-token heap
+// traffic. A token stream is therefore only valid while its source buffer
+// is alive — the parser and feat::FeaturizeWorkspace both guarantee that.
 
+#include <array>
 #include <cstdint>
-#include <string>
+#include <string_view>
 
 namespace noodle::verilog {
 
@@ -15,24 +22,50 @@ enum class TokenKind {
   SystemName,   // $display etc. (recognized, skipped by the parser)
 };
 
+/// Operators and punctuation, longest first so maximal munch works. Indexed
+/// by PunctId - 1; the table order is part of the interned-symbol contract
+/// (see preintern_verilog_symbols in fast_ast.h), so append, don't reorder.
+inline constexpr std::array<std::string_view, 42> kPunctSpellings = {
+    "<<<", ">>>", "===", "!==", "<=", ">=", "==", "!=", "&&", "||", "<<",
+    ">>",  "~&",  "~|",  "~^",  "^~", "+",  "-",  "*",  "/",  "%",  "!",
+    "~",   "&",   "|",   "^",   "<",  ">",  "=",  "?",  ":",  ";",  ",",
+    ".",   "(",   ")",   "[",   "]",  "{",  "}",  "@",  "#",
+};
+
+/// 1-based index into kPunctSpellings; 0 means "not a table punct" (string
+/// literals keep their spelling in text but carry no table id).
+using PunctId = std::uint16_t;
+
+/// Compile-time lookup so hot paths can name puncts as constants,
+/// e.g. `kPunctEq == tok.punct` instead of comparing spellings.
+consteval PunctId punct_id_of(std::string_view spelling) {
+  for (std::size_t i = 0; i < kPunctSpellings.size(); ++i) {
+    if (kPunctSpellings[i] == spelling) return static_cast<PunctId>(i + 1);
+  }
+  return 0;  // unreachable for valid spellings; callers assert non-zero
+}
+
 struct Token {
   TokenKind kind = TokenKind::End;
-  std::string text;       // exact source spelling
+  std::string_view text;    // exact source spelling (or static punct table)
   std::uint64_t value = 0;  // numeric value for Number tokens
   int width = 0;            // declared bit width for sized Numbers, 0 if unsized
   int line = 0;             // 1-based source line, for diagnostics
   int column = 0;           // 1-based source column
+  PunctId punct = 0;        // table id for Punct tokens (0 for string literals)
 
   bool is(TokenKind k) const noexcept { return kind == k; }
-  bool is_keyword(const std::string& kw) const {
+  bool is_keyword(std::string_view kw) const noexcept {
     return kind == TokenKind::Keyword && text == kw;
   }
-  bool is_punct(const std::string& p) const {
+  bool is_punct(std::string_view p) const noexcept {
     return kind == TokenKind::Punct && text == p;
   }
 };
 
-/// True if `word` is a reserved word of the supported subset.
-bool is_verilog_keyword(const std::string& word);
+/// True if `word` is a reserved word of the supported subset. Dispatches on
+/// (length, first char) before a single full comparison, so the hot loop
+/// never builds a std::string and rarely compares more than once.
+bool is_verilog_keyword(std::string_view word) noexcept;
 
 }  // namespace noodle::verilog
