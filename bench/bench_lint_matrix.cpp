@@ -1,0 +1,186 @@
+// Analyzer-vs-inserter evaluation matrix for the lint:: trojan-signature
+// rules — the static-analysis counterpart of the detector-vs-inserter grid
+// ROADMAP calls for.
+//
+// For every TriggerKind × PayloadKind cell it generates designs across all
+// 12 families, inserts a trojan of that cell, lints the re-printed Verilog,
+// and reports the fraction of infected designs any T2xx rule flags (joint
+// recall) plus per-rule hit counts. False positives are measured twice:
+// on the bare designgen corpus (no decoys — the headline FP rate) and on a
+// decoy-enriched clean corpus built like the training set (watchdogs,
+// address decoders, error gates — the adversarial rate; AddressDecode is a
+// deliberate CheatCode lookalike, so this rate is nonzero by construction).
+//
+// Exit status: 0 when every cell's joint recall is >= 0.90, 1 otherwise —
+// the acceptance gate of PR 6. Results are printed as a markdown table for
+// pasting into DESIGN.md §7.
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "data/designgen.h"
+#include "graph/builder.h"
+#include "graph/netgraph.h"
+#include "lint/lint.h"
+#include "trojan/inserter.h"
+#include "util/rng.h"
+#include "verilog/parser.h"
+#include "verilog/printer.h"
+
+namespace {
+
+using namespace noodle;
+
+/// Lints one single-module source; returns the per-rule hit vector and
+/// whether any trojan-signature rule fired.
+struct LintOutcome {
+  std::array<unsigned, lint::kRuleCount> by_rule{};
+  bool trojan_flagged = false;
+};
+
+LintOutcome lint_source(verilog::ParserWorkspace& parser, graph::NetGraph& netgraph,
+                        graph::BuildScratch& build_scratch,
+                        lint::LintWorkspace& workspace, const std::string& source) {
+  LintOutcome outcome;
+  const verilog::fast::Module& module = parser.parse_single(source);
+  graph::build_netgraph(module, netgraph, build_scratch);
+  for (const lint::Finding& finding :
+       workspace.run(module, netgraph, *parser.symbols())) {
+    ++outcome.by_rule[static_cast<std::size_t>(finding.rule)];
+    if (lint::rule_info(finding.rule).trojan_signature) outcome.trojan_flagged = true;
+  }
+  return outcome;
+}
+
+constexpr std::array<trojan::TriggerKind, 3> kTriggers = {
+    trojan::TriggerKind::TimeBomb, trojan::TriggerKind::CheatCode,
+    trojan::TriggerKind::Sequence};
+constexpr std::array<trojan::PayloadKind, 3> kPayloads = {
+    trojan::PayloadKind::Corrupt, trojan::PayloadKind::Leak,
+    trojan::PayloadKind::Disable};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned reps_per_family = 8;  // 12 families x 8 reps = 96 designs per cell
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") reps_per_family = 2;
+  }
+
+  verilog::ParserWorkspace parser;
+  graph::NetGraph netgraph(parser.symbols());
+  graph::BuildScratch build_scratch;
+  lint::LintWorkspace workspace;
+
+  auto run = [&](const std::string& source) {
+    return lint_source(parser, netgraph, build_scratch, workspace, source);
+  };
+
+  // ---- infected matrix -------------------------------------------------
+  std::printf("## Trojan-signature recall (joint = any T2xx rule fires)\n\n");
+  std::printf("| trigger \\ payload | Corrupt | Leak | Disable |\n");
+  std::printf("|---|---|---|---|\n");
+
+  std::array<unsigned, lint::kRuleCount> infected_by_rule{};
+  unsigned infected_total = 0;
+  bool all_cells_pass = true;
+  std::uint64_t seed = 1;
+
+  for (const trojan::TriggerKind trigger : kTriggers) {
+    std::printf("| %s |", trojan::to_string(trigger));
+    for (const trojan::PayloadKind payload : kPayloads) {
+      unsigned cell_total = 0;
+      unsigned cell_flagged = 0;
+      for (const data::DesignFamily family : data::all_design_families()) {
+        for (unsigned rep = 0; rep < reps_per_family; ++rep) {
+          util::Rng rng(++seed);
+          const std::string clean =
+              data::generate_design(family, "dut", rng);
+          verilog::Module module = verilog::parse_module(clean);
+          trojan::TrojanConfig config;
+          config.trigger = trigger;
+          config.payload = payload;
+          config.counter_width = static_cast<int>(rng.uniform_int(16, 32));
+          config.sequence_length = static_cast<int>(rng.uniform_int(2, 4));
+          trojan::insert_trojan(module, config, rng);
+          const LintOutcome outcome = run(verilog::print_module(module));
+          ++cell_total;
+          if (outcome.trojan_flagged) ++cell_flagged;
+          for (std::size_t r = 0; r < lint::kRuleCount; ++r) {
+            infected_by_rule[r] += outcome.by_rule[r];
+          }
+        }
+      }
+      infected_total += cell_total;
+      const double recall =
+          cell_total == 0 ? 0.0 : static_cast<double>(cell_flagged) / cell_total;
+      if (recall < 0.90) all_cells_pass = false;
+      std::printf(" %.1f%% (%u/%u) |", 100.0 * recall, cell_flagged, cell_total);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPer-rule hits over %u infected designs:\n", infected_total);
+  for (std::size_t r = 0; r < lint::kRuleCount; ++r) {
+    const lint::RuleInfo& info = lint::rule_info(static_cast<lint::RuleId>(r));
+    if (!info.trojan_signature) continue;
+    std::printf("  %s %-24s %u\n", info.code, info.slug, infected_by_rule[r]);
+  }
+
+  // ---- clean corpora ---------------------------------------------------
+  // Headline FP rate: bare designgen output, no decoys, no lookalikes.
+  unsigned bare_total = 0;
+  unsigned bare_fp = 0;
+  std::array<unsigned, lint::kRuleCount> bare_by_rule{};
+  for (const data::DesignFamily family : data::all_design_families()) {
+    for (unsigned rep = 0; rep < reps_per_family * 2; ++rep) {
+      util::Rng rng(++seed);
+      const LintOutcome outcome = run(data::generate_design(family, "dut", rng));
+      ++bare_total;
+      if (outcome.trojan_flagged) ++bare_fp;
+      for (std::size_t r = 0; r < lint::kRuleCount; ++r) {
+        bare_by_rule[r] += outcome.by_rule[r];
+      }
+    }
+  }
+  std::printf("\n## Clean-corpus false positives\n\n");
+  std::printf("Bare designgen corpus: %u/%u designs flagged (%.1f%%)\n", bare_fp,
+              bare_total, bare_total ? 100.0 * bare_fp / bare_total : 0.0);
+
+  // Adversarial rate: the training-style clean corpus with benign decoys
+  // (every design gets up to three) and trojan-lookalike debug hooks.
+  data::CorpusSpec spec;
+  spec.design_count = bare_total;
+  spec.infected_fraction = 0.0;
+  spec.seed = 7;
+  unsigned decoy_total = 0;
+  unsigned decoy_fp = 0;
+  std::array<unsigned, lint::kRuleCount> decoy_by_rule{};
+  for (const data::CircuitSample& sample : data::build_corpus(spec)) {
+    const LintOutcome outcome = run(sample.verilog);
+    ++decoy_total;
+    if (outcome.trojan_flagged) ++decoy_fp;
+    for (std::size_t r = 0; r < lint::kRuleCount; ++r) {
+      decoy_by_rule[r] += outcome.by_rule[r];
+    }
+  }
+  std::printf(
+      "Decoy-enriched clean corpus (benign lookalikes included): "
+      "%u/%u designs flagged (%.1f%%)\n",
+      decoy_fp, decoy_total, decoy_total ? 100.0 * decoy_fp / decoy_total : 0.0);
+
+  std::printf("\nPer-rule hits on clean corpora (bare / decoy-enriched):\n");
+  for (std::size_t r = 0; r < lint::kRuleCount; ++r) {
+    const lint::RuleInfo& info = lint::rule_info(static_cast<lint::RuleId>(r));
+    std::printf("  %s %-24s %u / %u\n", info.code, info.slug, bare_by_rule[r],
+                decoy_by_rule[r]);
+  }
+
+  std::printf("\n%s\n", all_cells_pass
+                            ? "PASS: every cell's joint recall >= 90%"
+                            : "FAIL: a cell's joint recall fell below 90%");
+  return all_cells_pass ? 0 : 1;
+}

@@ -23,6 +23,7 @@
 #include "feat/tabular.h"
 #include "graph/builder.h"
 #include "graph/features.h"
+#include "lint/lint.h"
 #include "nn/trainer.h"
 #include "serve/registry.h"
 #include "serve/service.h"
@@ -167,6 +168,34 @@ void BM_FeaturizeWorkspace(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_FeaturizeWorkspace);
+
+void BM_Lint(benchmark::State& state) {
+  // Per-circuit cost of the static-analysis pass over the 48-circuit
+  // corpus, measured on warm workspaces the way the service runs it:
+  // parse + graph via FeaturizeWorkspace, then LintWorkspace::run on the
+  // resident arena AST (allocation-free at steady state).
+  const auto& circuits = corpus();
+  feat::FeaturizeWorkspace workspace;
+  lint::LintWorkspace lint_workspace;
+  std::vector<double> graph_out, tabular_out;
+  workspace.featurize(circuits[0].verilog, graph_out, tabular_out);  // warm-up
+  std::size_t i = 0;
+  std::size_t findings = 0;
+  for (auto _ : state) {
+    const auto& circuit = circuits[i++ % circuits.size()];
+    workspace.featurize(circuit.verilog, graph_out, tabular_out);
+    const auto span = lint_workspace.run(*workspace.last_module(),
+                                         workspace.last_graph(),
+                                         workspace.last_graph().symbols());
+    findings += span.size();
+    benchmark::DoNotOptimize(span.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["findings_per_circuit"] =
+      benchmark::Counter(static_cast<double>(findings),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Lint);
 
 void BM_CnnForward(benchmark::State& state) {
   util::Rng rng(3);

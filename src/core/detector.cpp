@@ -100,8 +100,9 @@ DetectionReport NoodleDetector::scan_features(const data::FeatureSample& sample)
   return require_model()->scan_features(sample);
 }
 
-DetectionReport NoodleDetector::scan_verilog(const std::string& verilog_source) const {
-  return require_model()->scan_verilog(verilog_source);
+DetectionReport NoodleDetector::scan_verilog(const std::string& verilog_source,
+                                             bool lint) const {
+  return require_model()->scan_verilog(verilog_source, lint);
 }
 
 std::vector<DetectionReport> NoodleDetector::scan_many(
@@ -110,8 +111,8 @@ std::vector<DetectionReport> NoodleDetector::scan_many(
 }
 
 std::vector<DetectionReport> NoodleDetector::scan_verilog_many(
-    std::span<const std::string> sources, std::size_t threads) const {
-  return require_model()->scan_verilog_many(sources, threads);
+    std::span<const std::string> sources, std::size_t threads, bool lint) const {
+  return require_model()->scan_verilog_many(sources, threads, lint);
 }
 
 void NoodleDetector::save(const std::filesystem::path& path,

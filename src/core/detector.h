@@ -44,9 +44,12 @@ class NoodleDetector {
   void fit_default();
 
   /// Scans one Verilog source file (must contain exactly one module).
-  /// Throws verilog::ParseError on malformed input, std::logic_error if
-  /// the detector was never fitted.
-  DetectionReport scan_verilog(const std::string& verilog_source) const;
+  /// `lint` additionally runs the static-analysis pass over the same parse
+  /// and attaches the findings; the verdict fields are unaffected. Throws
+  /// verilog::ParseError on malformed input, std::logic_error if the
+  /// detector was never fitted.
+  DetectionReport scan_verilog(const std::string& verilog_source,
+                               bool lint = false) const;
 
   /// Scans an already-featurized sample. Stateless after fit(), so
   /// concurrent scans on one fitted detector are safe.
@@ -64,7 +67,8 @@ class NoodleDetector {
   /// Throws verilog::ParseError (rethrown from the first failing worker) on
   /// malformed input.
   std::vector<DetectionReport> scan_verilog_many(std::span<const std::string> sources,
-                                                 std::size_t threads = 0) const;
+                                                 std::size_t threads = 0,
+                                                 bool lint = false) const;
 
   /// Serializes the entire fitted detector — config, both fusion arms'
   /// CNN weights, normalizer state, Mondrian ICP calibration scores, and

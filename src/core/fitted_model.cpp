@@ -38,6 +38,18 @@ DetectionReport report_from(const fusion::Prediction& prediction,
 
 }  // namespace
 
+std::vector<lint::OwnedFinding> lint_last_parse(feat::FeaturizeWorkspace& workspace) {
+  std::vector<lint::OwnedFinding> owned;
+  const verilog::fast::Module* module = workspace.last_module();
+  if (module == nullptr) return owned;
+  const util::SymbolTable& symbols = workspace.last_graph().symbols();
+  for (const lint::Finding& finding :
+       lint::thread_workspace().run(*module, workspace.last_graph(), symbols)) {
+    owned.push_back(lint::to_owned(finding, symbols));
+  }
+  return owned;
+}
+
 DetectionReport FittedModel::scan_features(const data::FeatureSample& sample) const {
   // predict_detail() / the early arm's predict() are stateless on a fitted
   // model, which is what makes concurrent scans on one handle sound.
@@ -47,10 +59,18 @@ DetectionReport FittedModel::scan_features(const data::FeatureSample& sample) co
   return report_from(prediction, config_, winner_);
 }
 
-DetectionReport FittedModel::scan_verilog(const std::string& verilog_source) const {
+DetectionReport FittedModel::scan_verilog(const std::string& verilog_source,
+                                          bool lint) const {
   // The thread's reusable workspace featurizes straight from the text view:
   // no CircuitSample copy, no per-node heap traffic.
-  return scan_features(data::featurize_source(verilog_source, feat::thread_workspace()));
+  feat::FeaturizeWorkspace& workspace = feat::thread_workspace();
+  const data::FeatureSample sample = data::featurize_source(verilog_source, workspace);
+  std::vector<lint::OwnedFinding> findings;
+  if (lint) findings = lint_last_parse(workspace);
+  DetectionReport report = scan_features(sample);
+  report.lint_ran = lint;
+  report.lint_findings = std::move(findings);
+  return report;
 }
 
 std::vector<DetectionReport> FittedModel::scan_many(
@@ -80,19 +100,31 @@ std::vector<DetectionReport> FittedModel::scan_many(
 }
 
 std::vector<DetectionReport> FittedModel::scan_verilog_many(
-    std::span<const std::string> sources, std::size_t threads) const {
+    std::span<const std::string> sources, std::size_t threads, bool lint) const {
   // Featurize in parallel (parsing dominates), then hand the whole batch to
   // the batched scan path. Each worker featurizes through its own
   // thread-local FeaturizeWorkspace (never shared): one arena/token-buffer/
   // intern-pool per worker, warm for the rest of the call instead of
   // re-allocating per sample. parallel_for spins its pool per call, so the
   // workspaces are rebuilt across calls; the truly persistent steady state
-  // lives on DetectionService's long-lived dispatcher threads.
+  // lives on DetectionService's long-lived dispatcher threads. The lint
+  // pass rides the same workers, right after each featurize while the
+  // worker's arena still holds that parse.
   std::vector<data::FeatureSample> samples(sources.size());
+  std::vector<std::vector<lint::OwnedFinding>> findings(lint ? sources.size() : 0);
   util::parallel_for(sources.size(), threads, [&](std::size_t i) {
-    samples[i] = data::featurize_source(sources[i], feat::thread_workspace());
+    feat::FeaturizeWorkspace& workspace = feat::thread_workspace();
+    samples[i] = data::featurize_source(sources[i], workspace);
+    if (lint) findings[i] = lint_last_parse(workspace);
   });
-  return scan_many(samples, threads);
+  std::vector<DetectionReport> reports = scan_many(samples, threads);
+  if (lint) {
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      reports[i].lint_ran = true;
+      reports[i].lint_findings = std::move(findings[i]);
+    }
+  }
+  return reports;
 }
 
 namespace {

@@ -22,9 +22,20 @@
 #include "data/corpus.h"
 #include "fusion/models.h"
 #include "gan/augment.h"
+#include "lint/lint.h"
 #include "nn/model.h"
 
+namespace noodle::feat {
+class FeaturizeWorkspace;
+}
+
 namespace noodle::core {
+
+/// Lints the module `workspace` featurized last and materializes owned
+/// findings (empty if the workspace has not featurized yet). Must be called
+/// before the workspace's next featurize() invalidates that parse. Shared
+/// by FittedModel::scan_verilog* and serve::DetectionService.
+std::vector<lint::OwnedFinding> lint_last_parse(feat::FeaturizeWorkspace& workspace);
 
 struct DetectorConfig {
   /// Fraction of the fitted corpus used for proper training; the rest
@@ -62,6 +73,13 @@ struct DetectionReport {
   /// "name@version" of the registry generation that served this verdict;
   /// empty for direct (non-registry) scans. Filled by serve::DetectionService.
   std::string served_by;
+  /// True when the static-analysis pass ran for this scan. The lint layer
+  /// is strictly additive: every verdict field above is bit-identical with
+  /// lint on or off (asserted by tests/test_lint.cpp).
+  bool lint_ran = false;
+  /// Findings from the lint pass (empty when lint_ran is false or the
+  /// design is clean). Owned copies — safe to move across threads.
+  std::vector<lint::OwnedFinding> lint_findings;
 };
 
 /// An immutable, fully-fitted detector generation: config, both fusion
@@ -75,11 +93,16 @@ class FittedModel {
               fusion::LateFusionModel late, std::string winner);
 
   DetectionReport scan_features(const data::FeatureSample& sample) const;
-  DetectionReport scan_verilog(const std::string& verilog_source) const;
+  /// `lint` additionally runs the static-analysis pass over the parse the
+  /// featurizer already produced and attaches the findings to the report;
+  /// the verdict fields are unaffected.
+  DetectionReport scan_verilog(const std::string& verilog_source,
+                               bool lint = false) const;
   std::vector<DetectionReport> scan_many(std::span<const data::FeatureSample> samples,
                                          std::size_t threads = 0) const;
   std::vector<DetectionReport> scan_verilog_many(std::span<const std::string> sources,
-                                                 std::size_t threads = 0) const;
+                                                 std::size_t threads = 0,
+                                                 bool lint = false) const;
 
   /// Serializes this generation into a snapshot archive (serve/snapshot.h).
   /// F64 round-trips bit-exactly; F32 halves the CNN weight payload

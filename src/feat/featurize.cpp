@@ -9,6 +9,7 @@ void FeaturizeWorkspace::featurize(std::string_view verilog_source,
                                    std::vector<double>& graph_out,
                                    std::vector<double>& tabular_out) {
   const verilog::fast::Module& module = parser_.parse_single(verilog_source);
+  module_ = &module;
   graph::build_netgraph(module, graph_, build_scratch_);
   graph_out.resize(graph::kGraphFeatureDim);
   graph::graph_features(graph_, graph_out, feature_scratch_);

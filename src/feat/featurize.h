@@ -55,11 +55,17 @@ class FeaturizeWorkspace {
   /// The graph built by the last featurize() call (valid until the next).
   const graph::NetGraph& last_graph() const noexcept { return graph_; }
 
+  /// The arena module parsed by the last featurize() call, or nullptr if
+  /// none yet. Arena-resident: valid until the next featurize(). Lets the
+  /// lint layer reuse the parse the detector already paid for.
+  const verilog::fast::Module* last_module() const noexcept { return module_; }
+
   /// Introspection for tests/benches.
   const verilog::ParserWorkspace& parser() const noexcept { return parser_; }
 
  private:
   verilog::ParserWorkspace parser_;
+  const verilog::fast::Module* module_ = nullptr;  // arena-resident
   graph::NetGraph graph_;  // shares parser_'s intern pool
   graph::BuildScratch build_scratch_;
   graph::FeatureScratch feature_scratch_;

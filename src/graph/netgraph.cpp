@@ -218,4 +218,61 @@ void NetGraph::spectral_sketch(std::span<double> out, std::size_t iterations,
   }
 }
 
+NetGraph::NodeId NetGraph::find_cycle_node(std::span<const std::uint8_t> excluded,
+                                           std::uint32_t preferred_types) const {
+  AnalysisScratch scratch;
+  return find_cycle_node(excluded, preferred_types, scratch);
+}
+
+NetGraph::NodeId NetGraph::find_cycle_node(std::span<const std::uint8_t> excluded,
+                                           std::uint32_t preferred_types,
+                                           AnalysisScratch& scratch) const {
+  const std::size_t n = nodes_.size();
+  auto skip = [&](NodeId id) { return id < excluded.size() && excluded[id] != 0; };
+
+  // Iterative colored DFS: seen 0 = unvisited, 1 = on the current path,
+  // 2 = finished. queue doubles as the explicit path stack and dist as the
+  // per-node successor cursor, so a warm scratch allocates nothing.
+  scratch.seen.assign(n, 0);
+  scratch.dist.assign(n, 0);
+  scratch.queue.clear();
+  for (NodeId root = 0; root < n; ++root) {
+    if (scratch.seen[root] != 0 || skip(root)) continue;
+    scratch.queue.push_back(root);
+    scratch.seen[root] = 1;
+    while (!scratch.queue.empty()) {
+      const NodeId v = scratch.queue.back();
+      const std::vector<NodeId>& succ = out_[v];
+      bool descended = false;
+      while (scratch.dist[v] < succ.size()) {
+        const NodeId w = succ[scratch.dist[v]++];
+        if (skip(w)) continue;
+        if (scratch.seen[w] == 1) {
+          // Back edge: the cycle is the path-stack suffix starting at w.
+          std::size_t start = scratch.queue.size() - 1;
+          while (start > 0 && scratch.queue[start] != w) --start;
+          for (std::size_t i = start; i < scratch.queue.size(); ++i) {
+            const NodeId candidate = scratch.queue[i];
+            if ((type_mask(nodes_[candidate].type) & preferred_types) != 0) {
+              return candidate;
+            }
+          }
+          return w;
+        }
+        if (scratch.seen[w] == 0) {
+          scratch.seen[w] = 1;
+          scratch.queue.push_back(w);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        scratch.seen[v] = 2;
+        scratch.queue.pop_back();
+      }
+    }
+  }
+  return kNoNode;
+}
+
 }  // namespace noodle::graph

@@ -14,6 +14,7 @@
 // what makes a reused graph allocation-free in steady state.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -40,6 +41,11 @@ const char* to_string(NodeType type) noexcept;
 
 /// Number of distinct NodeType values (histogram size).
 inline constexpr std::size_t kNodeTypeCount = 10;
+
+/// Bit for `type` in a NodeType bitmask (find_cycle_node's preference set).
+constexpr std::uint32_t type_mask(NodeType type) noexcept {
+  return 1u << static_cast<std::uint32_t>(type);
+}
 
 struct Node {
   NodeType type = NodeType::Wire;
@@ -140,6 +146,22 @@ class NetGraph {
   /// In-place form: writes `out.size()` eigenvalues.
   void spectral_sketch(std::span<double> out, std::size_t iterations,
                        AnalysisScratch& scratch) const;
+
+  /// Sentinel for "no cycle" from find_cycle_node.
+  static constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+  /// Searches for a directed cycle that avoids every node whose byte in
+  /// `excluded` is nonzero (`excluded` may be empty or node_count() long)
+  /// and returns one node on that cycle, preferring a node whose type bit
+  /// is set in `preferred_types` (build the mask with type_mask). Returns
+  /// kNoNode when the surviving subgraph is acyclic. Used by the lint layer
+  /// to report combinational loops against a signal rather than an
+  /// operator occurrence.
+  NodeId find_cycle_node(std::span<const std::uint8_t> excluded,
+                         std::uint32_t preferred_types) const;
+  NodeId find_cycle_node(std::span<const std::uint8_t> excluded,
+                         std::uint32_t preferred_types,
+                         AnalysisScratch& scratch) const;
 
  private:
   void check_id(NodeId id) const;

@@ -56,6 +56,17 @@ void StatsBook::record_batch(const std::string& model, std::uint64_t scans,
   });
 }
 
+void StatsBook::record_lint(const std::string& model, std::uint64_t runs,
+                            const std::array<std::uint64_t, lint::kRuleCount>& by_rule) {
+  update(model, [&](ServiceStats& s) {
+    s.lint_runs += runs;
+    for (std::size_t r = 0; r < lint::kRuleCount; ++r) {
+      s.lint_by_rule[r] += by_rule[r];
+      s.lint_findings += by_rule[r];
+    }
+  });
+}
+
 ServiceStats StatsBook::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return total_;
@@ -118,6 +129,7 @@ DetectionService::DetectionService(std::shared_ptr<ModelRegistry> registry,
     : registry_(require_registry(std::move(registry))),
       default_model_(std::move(default_model)),
       config_(validate(config)),
+      lint_(config_.lint),
       pool_(config_.workers),
       dispatcher_([this] { dispatcher_loop(); }) {}
 
@@ -153,6 +165,10 @@ std::future<core::DetectionReport> DetectionService::submit(const std::string& m
 std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec spec,
                                                                     std::string source) {
   const std::uint64_t hash = util::fnv1a64(source);
+  // Sampling the lint flag here (not at dispatch) makes set_lint() order
+  // deterministically with submission: a toggle affects exactly the
+  // requests submitted after it, however the dispatcher batches them.
+  const bool want_lint = lint_.load(std::memory_order_relaxed);
   stats_.record_request(spec.name);
 
   // Cache probe against the generation the spec resolves to right now; the
@@ -160,7 +176,7 @@ std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec sp
   // miss (and a fresh scan), never a cross-generation verdict.
   if (ModelHandle handle = registry_->try_resolve(spec)) {
     core::DetectionReport cached;
-    if (cache_lookup(CacheKey{handle->id(), hash}, source, cached)) {
+    if (cache_lookup(CacheKey{handle->id(), hash}, source, want_lint, cached)) {
       stats_.record_cache_hit(spec.name);
       std::promise<core::DetectionReport> ready;
       ready.set_value(std::move(cached));
@@ -174,6 +190,7 @@ std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec sp
   request.spec = std::move(spec);
   request.source = std::move(source);
   request.key = hash;
+  request.lint = want_lint;
   std::future<core::DetectionReport> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -282,15 +299,22 @@ void DetectionService::process_group(const std::string& group_label,
   // future; the surviving samples still share one scan_many pass.
   std::vector<data::FeatureSample> samples;
   std::vector<std::size_t> sample_owner;  // index into group
+  std::vector<std::vector<lint::OwnedFinding>> findings;  // parallel to samples
   std::vector<std::pair<std::size_t, std::exception_ptr>> rejected;
   samples.reserve(group.size());
   // The dispatcher's pool threads are long-lived, so each worker's
-  // thread-local FeaturizeWorkspace reaches a warm steady state and
-  // featurizes request sources with zero front-end heap allocations.
+  // thread-local FeaturizeWorkspace (and LintWorkspace) reaches a warm
+  // steady state and processes request sources with zero front-end heap
+  // allocations. The lint pass must run right after each featurize, while
+  // the workspace's arena still holds that parse; each request carries its
+  // own submit-time lint flag, so one batch can mix linted and plain scans
+  // across a set_lint() toggle.
   feat::FeaturizeWorkspace& workspace = feat::thread_workspace();
   for (std::size_t i = 0; i < group.size(); ++i) {
     try {
       samples.push_back(data::featurize_source(group[i].source, workspace));
+      findings.push_back(group[i].lint ? core::lint_last_parse(workspace)
+                                       : std::vector<lint::OwnedFinding>{});
       sample_owner.push_back(i);
     } catch (...) {
       rejected.emplace_back(i, std::current_exception());
@@ -318,11 +342,26 @@ void DetectionService::process_group(const std::string& group_label,
     }
   }
   for (core::DetectionReport& report : reports) report.served_by = handle->label();
+  std::uint64_t lint_runs = 0;
+  for (std::size_t s = 0; s < reports.size(); ++s) {
+    reports[s].lint_ran = group[sample_owner[s]].lint;
+    reports[s].lint_findings = std::move(findings[s]);
+    lint_runs += reports[s].lint_ran ? 1 : 0;
+  }
 
   // Publish counters and cache entries BEFORE fulfilling any promise, so a
   // caller who has observed a verdict also observes its counters.
   stats_.record_batch(model_name, reports.size(), rejected.size(), group.size(),
                       elapsed_micros);
+  if (lint_runs > 0) {
+    std::array<std::uint64_t, lint::kRuleCount> by_rule{};
+    for (const core::DetectionReport& report : reports) {
+      for (const lint::OwnedFinding& finding : report.lint_findings) {
+        ++by_rule[static_cast<std::size_t>(finding.rule)];
+      }
+    }
+    stats_.record_lint(model_name, lint_runs, by_rule);
+  }
   for (std::size_t s = 0; s < reports.size(); ++s) {
     cache_store(CacheKey{handle->id(), group[sample_owner[s]].key},
                 group[sample_owner[s]].source, reports[s]);
@@ -351,11 +390,15 @@ void DetectionService::finish_requests(std::size_t count) {
 }
 
 bool DetectionService::cache_lookup(const CacheKey& key, const std::string& source,
-                                    core::DetectionReport& report) {
+                                    bool want_lint, core::DetectionReport& report) {
   if (config_.cache_capacity == 0) return false;
   std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = cache_.find(key);
   if (it == cache_.end() || it->second.source != source) return false;
+  // A toggled lint setting makes older entries non-answers: a lint-on
+  // caller must get findings, a lint-off caller must not pay for stale
+  // ones. The rescan re-stores the entry under the current setting.
+  if (it->second.report.lint_ran != want_lint) return false;
   lru_.splice(lru_.begin(), lru_, it->second.position);  // bump to most-recent
   report = it->second.report;
   return true;

@@ -20,6 +20,8 @@
 // across threads safe and verdicts independent of arrival order: a service
 // answer is always bit-identical to a direct scan on the same generation.
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -35,6 +37,7 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "lint/lint.h"
 #include "serve/registry.h"
 #include "util/thread_pool.h"
 
@@ -57,6 +60,10 @@ struct ServiceConfig {
   std::size_t workers = 1;
   /// Thread count forwarded to scan_many inside one batch (0 = hardware).
   std::size_t scan_threads = 1;
+  /// Run the lint:: static-analysis pass on every scanned source and attach
+  /// the findings to the report (verdicts are unaffected). Toggleable at
+  /// runtime via DetectionService::set_lint().
+  bool lint = false;
 };
 
 /// One consistent counters snapshot (see StatsBook). Monotonic except that
@@ -72,6 +79,10 @@ struct ServiceStats {
   std::uint64_t batches = 0;        ///< single-generation batch groups dispatched
   std::uint64_t max_batch_size = 0; ///< largest coalesced batch group so far
   std::uint64_t scan_micros = 0;    ///< wall time inside detector batches
+  std::uint64_t lint_runs = 0;      ///< sources the static-analysis pass covered
+  std::uint64_t lint_findings = 0;  ///< findings across all lint runs
+  /// Per-rule finding counts, indexed by lint::RuleId.
+  std::array<std::uint64_t, lint::kRuleCount> lint_by_rule{};
 
   double cache_hit_rate() const noexcept {
     return requests == 0 ? 0.0
@@ -115,6 +126,8 @@ class StatsBook {
   void record_batch(const std::string& model, std::uint64_t scans,
                     std::uint64_t parse_failures, std::uint64_t batch_size,
                     std::uint64_t scan_micros);
+  void record_lint(const std::string& model, std::uint64_t runs,
+                   const std::array<std::uint64_t, lint::kRuleCount>& by_rule);
 
  private:
   template <typename Fn>
@@ -188,11 +201,20 @@ class DetectionService {
   const std::string& default_model() const noexcept { return default_model_; }
   std::size_t cache_size() const;
 
+  /// Runtime toggle for the static-analysis pass (the `!lint` control line
+  /// in noodled). Each request samples the flag at submit time, so the
+  /// toggle orders deterministically with request submission: everything
+  /// submitted before it keeps the old setting even if batching coalesces
+  /// them with later requests.
+  void set_lint(bool enabled) noexcept { lint_.store(enabled, std::memory_order_relaxed); }
+  bool lint_enabled() const noexcept { return lint_.load(std::memory_order_relaxed); }
+
  private:
   struct Request {
     ModelSpec spec;
     std::string source;
     std::uint64_t key = 0;
+    bool lint = false;  // lint_ sampled at submit time
     std::promise<core::DetectionReport> promise;
   };
 
@@ -219,7 +241,7 @@ class DetectionService {
   void dispatcher_loop();
   void process_batch(std::vector<Request> batch);
   void process_group(const std::string& group_label, std::vector<Request> group);
-  bool cache_lookup(const CacheKey& key, const std::string& source,
+  bool cache_lookup(const CacheKey& key, const std::string& source, bool want_lint,
                     core::DetectionReport& report);
   void cache_store(const CacheKey& key, const std::string& source,
                    const core::DetectionReport& report);
@@ -228,6 +250,7 @@ class DetectionService {
   std::shared_ptr<ModelRegistry> registry_;
   std::string default_model_;
   ServiceConfig config_;
+  std::atomic<bool> lint_{false};  // seeded from config_.lint
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

@@ -26,12 +26,21 @@ namespace noodle::verilog::fast {
 
 using util::Symbol;
 
+/// 1-based source position of the token that started a node's production,
+/// threaded through from the lexer so downstream analyses (lint) can point
+/// diagnostics at the offending RTL. {0, 0} means "position unknown".
+struct SrcLoc {
+  int line = 0;
+  int column = 0;
+};
+
 struct Expr {
   ExprKind kind = ExprKind::Number;
   PunctId op = 0;       // operator spelling for Unary/Binary
   int width = 0;        // Number payload
   std::uint64_t value = 0;
   Symbol name = util::kNoSymbol;  // Identifier payload
+  SrcLoc loc;
   std::span<const Expr* const> operands{};  // layout by kind, as in ast.h
 };
 
@@ -44,6 +53,7 @@ struct CaseItem {
 
 struct Stmt {
   StmtKind kind = StmtKind::Null;
+  SrcLoc loc;
 
   const Expr* cond = nullptr;         // If condition / Case subject / For condition
   const Stmt* then_branch = nullptr;  // If
@@ -62,6 +72,7 @@ struct PortDecl {
   NetKind net = NetKind::Wire;
   Symbol name = util::kNoSymbol;
   std::optional<BitRange> range;
+  SrcLoc loc;
 };
 
 struct NetDecl {
@@ -69,6 +80,7 @@ struct NetDecl {
   Symbol name = util::kNoSymbol;
   std::optional<BitRange> range;
   const Expr* init = nullptr;
+  SrcLoc loc;
 };
 
 struct ParamDecl {
@@ -80,6 +92,7 @@ struct ParamDecl {
 struct ContAssign {
   const Expr* lhs = nullptr;
   const Expr* rhs = nullptr;
+  SrcLoc loc;
 };
 
 struct SensItem {
@@ -89,6 +102,7 @@ struct SensItem {
 
 struct AlwaysBlock {
   bool star = false;
+  SrcLoc loc;
   std::span<const SensItem> sensitivity{};
   const Stmt* body = nullptr;
 
@@ -111,12 +125,14 @@ struct PortConnection {
 
 struct Instance {
   Symbol module_name = util::kNoSymbol;
+  SrcLoc loc;
   Symbol instance_name = util::kNoSymbol;
   std::span<const PortConnection> connections{};
 };
 
 struct Module {
   Symbol name = util::kNoSymbol;
+  SrcLoc loc;
   std::span<const ParamDecl> params{};
   std::span<const PortDecl> ports{};
   std::span<const NetDecl> nets{};

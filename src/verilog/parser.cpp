@@ -157,6 +157,8 @@ class FastParser {
 
   util::Symbol intern(std::string_view text) { return symbols_.intern(text); }
 
+  static fast::SrcLoc loc_of(const Token& t) noexcept { return {t.line, t.column}; }
+
   // --- token plumbing ---
   const Token& peek(std::size_t ahead = 0) const {
     const std::size_t i = std::min(pos_ + ahead, ws_.tokens_.size() - 1);
@@ -263,6 +265,7 @@ class FastParser {
       e->kind = ExprKind::Number;
       e->value = t.value;
       e->width = t.width;
+      e->loc = loc_of(t);
       return e;
     }
     if (t.is(TokenKind::Identifier)) {
@@ -270,6 +273,7 @@ class FastParser {
       auto* ident = arena_.create<fast::Expr>();
       ident->kind = ExprKind::Identifier;
       ident->name = intern(t.text);
+      ident->loc = loc_of(t);
       const fast::Expr* e = ident;
       // Postfix selects: a[3], a[7:0], possibly chained (a[i][j] is outside
       // the subset because memories are, but indexing a range result isn't).
@@ -281,12 +285,14 @@ class FastParser {
           expect_punct(kPRBracket);
           auto* range = arena_.create<fast::Expr>();
           range->kind = ExprKind::Range;
+          range->loc = e->loc;
           range->operands = operands({e, first, lsb});
           e = range;
         } else {
           expect_punct(kPRBracket);
           auto* index = arena_.create<fast::Expr>();
           index->kind = ExprKind::Index;
+          index->loc = e->loc;
           index->operands = operands({e, first});
           e = index;
         }
@@ -310,6 +316,7 @@ class FastParser {
         expect_punct(kPRBrace);
         auto* rep = arena_.create<fast::Expr>();
         rep->kind = ExprKind::Replicate;
+        rep->loc = loc_of(t);
         rep->operands = operands({first, part});
         return rep;
       }
@@ -319,6 +326,7 @@ class FastParser {
       expect_punct(kPRBrace);
       auto* concat = arena_.create<fast::Expr>();
       concat->kind = ExprKind::Concat;
+      concat->loc = loc_of(t);
       concat->operands = commit(ws_.expr_stack_, mark);
       return concat;
     }
@@ -332,6 +340,7 @@ class FastParser {
       auto* e = arena_.create<fast::Expr>();
       e->kind = ExprKind::Unary;
       e->op = op;
+      e->loc = loc_of(t);
       e->operands = operands({parse_unary()});
       return e;
     }
@@ -350,6 +359,7 @@ class FastParser {
       auto* e = arena_.create<fast::Expr>();
       e->kind = ExprKind::Binary;
       e->op = op;
+      e->loc = lhs->loc;
       e->operands = operands({lhs, rhs});
       lhs = e;
     }
@@ -363,6 +373,7 @@ class FastParser {
       const fast::Expr* else_e = parse_expression();
       auto* e = arena_.create<fast::Expr>();
       e->kind = ExprKind::Ternary;
+      e->loc = cond->loc;
       e->operands = operands({cond, then_e, else_e});
       return e;
     }
@@ -403,6 +414,7 @@ class FastParser {
       advance();  // end
       auto* s = arena_.create<fast::Stmt>();
       s->kind = StmtKind::Block;
+      s->loc = loc_of(t);
       s->body = commit(ws_.stmt_stack_, mark);
       return s;
     }
@@ -417,6 +429,7 @@ class FastParser {
       if (accept_keyword("else")) else_branch = parse_statement();
       auto* s = arena_.create<fast::Stmt>();
       s->kind = StmtKind::If;
+      s->loc = loc_of(t);
       s->cond = cond;
       s->then_branch = then_branch;
       s->else_branch = else_branch;
@@ -448,6 +461,7 @@ class FastParser {
       advance();  // endcase
       auto* s = arena_.create<fast::Stmt>();
       s->kind = StmtKind::Case;
+      s->loc = loc_of(t);
       s->cond = subject;
       s->case_items = commit(ws_.case_stack_, item_mark);
       return s;
@@ -466,6 +480,7 @@ class FastParser {
       ws_.stmt_stack_.push_back(parse_statement());
       auto* s = arena_.create<fast::Stmt>();
       s->kind = StmtKind::For;
+      s->loc = loc_of(t);
       s->for_init = init;
       s->cond = cond;
       s->for_step = step;
@@ -507,6 +522,7 @@ class FastParser {
     if (accept_punct(kPAssign)) {
       auto* s = arena_.create<fast::Stmt>();
       s->kind = StmtKind::BlockingAssign;
+      s->loc = lhs->loc;
       s->lhs = lhs;
       s->rhs = parse_expression();
       return s;
@@ -514,6 +530,7 @@ class FastParser {
     if (accept_punct(kPLe)) {
       auto* s = arena_.create<fast::Stmt>();
       s->kind = StmtKind::NonBlockingAssign;
+      s->loc = lhs->loc;
       s->lhs = lhs;
       s->rhs = parse_expression();
       return s;
@@ -544,8 +561,9 @@ class FastParser {
     ws_.param_stack_.push_back(param);
   }
 
-  void parse_always_block() {
+  void parse_always_block(fast::SrcLoc loc) {
     fast::AlwaysBlock block;
+    block.loc = loc;
     expect_punct(kPAt);
     if (accept_punct(kPStar)) {
       block.star = true;
@@ -582,6 +600,7 @@ class FastParser {
       fast::NetDecl net;
       net.kind = kind;
       net.range = range;
+      net.loc = loc_of(peek());
       net.name = expect_identifier("net name");
       if (accept_punct(kPAssign)) net.init = parse_expression();
       ws_.net_stack_.push_back(net);
@@ -600,6 +619,7 @@ class FastParser {
     accept_keyword("signed");
     const std::optional<BitRange> range = parse_optional_range();
     while (true) {
+      const fast::SrcLoc name_loc = loc_of(peek());
       const util::Symbol name = expect_identifier("port name");
       bool found = false;
       for (std::size_t i = port_mark; i < ws_.port_stack_.size(); ++i) {
@@ -608,18 +628,20 @@ class FastParser {
           port.dir = dir;
           port.net = net;
           port.range = range;
+          port.loc = name_loc;
           found = true;
           break;
         }
       }
       if (!found) {
-        ws_.port_stack_.push_back(fast::PortDecl{dir, net, name, range});
+        ws_.port_stack_.push_back(fast::PortDecl{dir, net, name, range, name_loc});
       }
       if (net == NetKind::Reg) {
         fast::NetDecl decl;
         decl.kind = NetKind::Reg;
         decl.name = name;
         decl.range = range;
+        decl.loc = name_loc;
         ws_.net_stack_.push_back(decl);
       }
       if (!accept_punct(kPComma)) break;
@@ -629,6 +651,7 @@ class FastParser {
 
   void parse_instance() {
     fast::Instance inst;
+    inst.loc = loc_of(peek());
     inst.module_name = intern(advance().text);  // already verified Identifier
     inst.instance_name = expect_identifier("instance name");
     expect_punct(kPLParen);
@@ -656,8 +679,10 @@ class FastParser {
 
   fast::Module parse_module_decl() {
     ws_.param_values_.clear();
+    const fast::SrcLoc loc = loc_of(peek());
     expect_keyword("module");
     fast::Module module;
+    module.loc = loc;
     module.name = expect_identifier("module name");
 
     const std::size_t param_mark = ws_.param_stack_.size();
@@ -699,22 +724,25 @@ class FastParser {
               accept_keyword("signed");
               range = parse_optional_range();
             }
+            const fast::SrcLoc name_loc = loc_of(peek());
             const util::Symbol name = expect_identifier("port name");
-            ws_.port_stack_.push_back(fast::PortDecl{dir, net, name, range});
+            ws_.port_stack_.push_back(fast::PortDecl{dir, net, name, range, name_loc});
             if (net == NetKind::Reg) {
               fast::NetDecl decl;
               decl.kind = NetKind::Reg;
               decl.name = name;
               decl.range = range;
+              decl.loc = name_loc;
               ws_.net_stack_.push_back(decl);
             }
             if (!accept_punct(kPComma)) break;
           }
         } else {
           while (true) {
+            const fast::SrcLoc name_loc = loc_of(peek());
             const util::Symbol name = expect_identifier("port name");
             ws_.port_stack_.push_back(
-                fast::PortDecl{PortDir::Input, NetKind::Wire, name, std::nullopt});
+                fast::PortDecl{PortDir::Input, NetKind::Wire, name, std::nullopt, name_loc});
             if (!accept_punct(kPComma)) break;
           }
         }
@@ -758,6 +786,7 @@ class FastParser {
         advance();
         while (true) {
           fast::ContAssign assign;
+          assign.loc = loc_of(peek());
           assign.lhs = parse_primary();
           expect_punct(kPAssign);
           assign.rhs = parse_expression();
@@ -767,7 +796,7 @@ class FastParser {
         expect_punct(kPSemi);
       } else if (t.is_keyword("always")) {
         advance();
-        parse_always_block();
+        parse_always_block(loc_of(t));
       } else if (t.is_keyword("initial")) {
         advance();
         fast::InitialBlock block;

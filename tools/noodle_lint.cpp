@@ -1,0 +1,108 @@
+// noodle-lint — standalone front-end for the lint:: static-analysis engine.
+//
+// Usage: noodle-lint [options] <file.v> [more.v ...]
+//   --trojan-only   print only the T2xx trojan-signature findings
+//   --quiet         print nothing; exit status carries the answer
+//
+// Exit status: 0 = clean, 1 = findings were emitted, 2 = a file failed to
+// read or parse (remaining files are still processed).
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/netgraph.h"
+#include "lint/lint.h"
+#include "verilog/lexer.h"
+#include "verilog/parser.h"
+
+namespace {
+
+void print_usage() {
+  std::cerr << "usage: noodle-lint [--trojan-only] [--quiet] <file.v> [more.v ...]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace noodle;
+
+  bool trojan_only = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trojan-only") {
+      trojan_only = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg.front() == '-') {
+      std::cerr << "noodle-lint: unknown option '" << arg << "'\n";
+      print_usage();
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  verilog::ParserWorkspace parser;
+  graph::NetGraph netgraph(parser.symbols());
+  graph::BuildScratch build_scratch;
+  lint::LintWorkspace workspace;
+
+  bool any_findings = false;
+  bool any_errors = false;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << path << ": error: cannot open file\n";
+      any_errors = true;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+
+    try {
+      const verilog::fast::SourceFile& file = parser.parse(source);
+      for (const verilog::fast::Module& module : file.modules) {
+        graph::build_netgraph(module, netgraph, build_scratch);
+        for (const lint::Finding& finding :
+             workspace.run(module, netgraph, *parser.symbols())) {
+          if (trojan_only && !lint::rule_info(finding.rule).trojan_signature) {
+            continue;
+          }
+          any_findings = true;
+          if (!quiet) {
+            std::cout << path << ": "
+                      << lint::format_finding(
+                             lint::to_owned(finding, *parser.symbols()))
+                      << '\n';
+          }
+        }
+      }
+    } catch (const verilog::ParseError& e) {
+      std::cerr << path << ':' << e.line() << ':' << e.column()
+                << ": parse error: " << e.what() << '\n';
+      any_errors = true;
+    } catch (const verilog::LexError& e) {
+      std::cerr << path << ": lex error: " << e.what() << '\n';
+      any_errors = true;
+    }
+  }
+
+  if (any_errors) return 2;
+  return any_findings ? 1 : 0;
+}

@@ -16,6 +16,7 @@
 //                          blocked nor re-answered (atomic registry swap)
 //   !models                list registered models to stderr
 //   !stats                 print service counters to stderr
+//   !lint on|off           toggle the static-analysis pass at runtime
 //
 // Options:
 //   --snapshot FILE   load the default model from FILE if it exists;
@@ -30,6 +31,8 @@
 //   --batch N         max requests coalesced per detector batch (default 16)
 //   --cache N         LRU verdict-cache capacity (default 4096, 0 disables)
 //   --workers N       service worker threads (default 1)
+//   --lint            run the lint:: static-analysis pass on every scan and
+//                     attach findings to verdict lines as a lint= column
 //   --seed N          training seed (default 42)
 //   --stats           print service counters (total + per model) on exit
 //   --demo N          write N demo circuits under ./noodled_demo/ and print
@@ -38,7 +41,10 @@
 //
 // Verdict line format (tab-separated):
 //   TROJAN-INFECTED|trojan-free|parse-error|read-error|no-model
-//       p=...  region=...  model=name@version  <path>
+//       p=...  region=...  model=name@version  [lint=...]  <path>
+// The lint= column appears only on verdicts scanned with lint enabled:
+// "lint=0" for a clean design, else "lint=N:CODE@line,CODE@line,..."
+// (first findings; N is the full count).
 
 #include <algorithm>
 #include <chrono>
@@ -52,6 +58,7 @@
 #include <vector>
 
 #include "core/detector.h"
+#include "lint/lint.h"
 #include "serve/registry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -68,6 +75,7 @@ struct Options {
   bool f32 = false;
   bool quick = false;
   bool stats = false;
+  bool lint = false;
   std::size_t batch = 16;
   std::size_t cache = 4096;
   std::size_t workers = 1;
@@ -79,11 +87,11 @@ struct Options {
   if (!error.empty()) std::cerr << "noodled: " << error << "\n";
   std::cerr << "usage: " << argv0
             << " [--snapshot FILE] [--model NAME=PATH ...] [--refit] [--f32]"
-               " [--quick] [--batch N] [--cache N] [--workers N] [--seed N]"
-               " [--stats] [--demo N]\n"
+               " [--quick] [--batch N] [--cache N] [--workers N] [--lint]"
+               " [--seed N] [--stats] [--demo N]\n"
                "reads newline-delimited request lines from stdin:\n"
                "  PATH | MODEL:PATH | MODEL@VER:PATH | !reload NAME=PATH |"
-               " !models | !stats\n";
+               " !models | !stats | !lint on|off\n";
   std::exit(2);
 }
 
@@ -122,6 +130,8 @@ Options parse_options(int argc, char** argv) {
         options.quick = true;
       } else if (arg == "--stats") {
         options.stats = true;
+      } else if (arg == "--lint") {
+        options.lint = true;
       } else if (arg == "--batch") {
         options.batch = std::stoul(next_value(i));
       } else if (arg == "--cache") {
@@ -200,8 +210,35 @@ void print_stats_line(const char* label, const serve::ServiceStats& stats) {
             << " parse_failures=" << stats.parse_failures
             << " model_misses=" << stats.model_misses
             << " avg_batch=" << util::format_fixed(stats.average_batch_size(), 2)
-            << " avg_scan_us=" << util::format_fixed(stats.average_scan_micros(), 1)
-            << "\n";
+            << " avg_scan_us=" << util::format_fixed(stats.average_scan_micros(), 1);
+  if (stats.lint_runs > 0) {
+    std::cerr << " lint_runs=" << stats.lint_runs
+              << " lint_findings=" << stats.lint_findings;
+    for (std::size_t r = 0; r < lint::kRuleCount; ++r) {
+      if (stats.lint_by_rule[r] == 0) continue;
+      std::cerr << " lint[" << lint::rule_info(static_cast<lint::RuleId>(r)).code
+                << "]=" << stats.lint_by_rule[r];
+    }
+  }
+  std::cerr << "\n";
+}
+
+/// The verdict line's lint= column: total count, then the first findings as
+/// CODE@line so a grep of the stream surfaces the rule and position without
+/// another lint run. No spaces — the column must stay one awk field.
+std::string lint_column(const core::DetectionReport& report) {
+  std::string column = "lint=" + std::to_string(report.lint_findings.size());
+  constexpr std::size_t kMaxListed = 8;
+  const std::size_t listed = std::min(report.lint_findings.size(), kMaxListed);
+  for (std::size_t i = 0; i < listed; ++i) {
+    const lint::OwnedFinding& finding = report.lint_findings[i];
+    column += i == 0 ? ':' : ',';
+    column += lint::rule_info(finding.rule).code;
+    column += '@';
+    column += std::to_string(finding.line);
+  }
+  if (report.lint_findings.size() > kMaxListed) column += ",+more";
+  return column;
 }
 
 void print_stats(const serve::DetectionService& service) {
@@ -289,6 +326,7 @@ int main(int argc, char** argv) {
   service_config.max_batch = options.batch;
   service_config.cache_capacity = options.cache;
   service_config.workers = options.workers;
+  service_config.lint = options.lint;
   serve::DetectionService service(registry, default_model, service_config);
 
   struct Pending {
@@ -316,7 +354,9 @@ int main(int argc, char** argv) {
                           : "trojan-free")
                   << "\tp=" << util::format_fixed(report.probability, 3)
                   << "\tregion=" << region_text(report.region)
-                  << "\tmodel=" << report.served_by << "\t" << request.path << "\n";
+                  << "\tmodel=" << report.served_by;
+        if (report.lint_ran) std::cout << "\t" << lint_column(report);
+        std::cout << "\t" << request.path << "\n";
       } catch (const serve::RegistryError& e) {
         std::cout << "no-model\t-\t-\tmodel=" << request.model << "\t" << request.path
                   << "\n";
@@ -374,6 +414,16 @@ int main(int argc, char** argv) {
         print_models(*registry);
       } else if (command == "!stats") {
         print_stats(service);
+      } else if (command == "!lint") {
+        std::string value;
+        control >> value;
+        if (value == "on" || value == "off") {
+          service.set_lint(value == "on");
+          std::cerr << "noodled: lint " << value << "\n";
+        } else {
+          std::cerr << "noodled: !lint wants on|off, got '" << value << "'\n";
+          ++failures;
+        }
       } else {
         std::cerr << "noodled: unknown control line '" << line << "'\n";
         ++failures;
