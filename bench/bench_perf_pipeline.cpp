@@ -25,6 +25,7 @@
 #include "graph/features.h"
 #include "lint/lint.h"
 #include "nn/trainer.h"
+#include "obs/metrics.h"
 #include "serve/registry.h"
 #include "serve/service.h"
 #include "verilog/lexer.h"
@@ -523,6 +524,48 @@ void BM_ServiceThroughput(benchmark::State& state) {
                  " avg_batch=" + std::to_string(stats.average_batch_size()).substr(0, 4));
 }
 BENCHMARK(BM_ServiceThroughput)->Arg(0)->Arg(1)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// --- P6: observability ------------------------------------------------------
+// The warm instrumentation path a request pays per stage: one histogram
+// record plus a counter bump. This is the number that proves the metrics
+// layer is cheap enough to leave on (tens of nanoseconds against a
+// millisecond-scale scan).
+
+void BM_MetricsRecord(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist =
+      registry.histogram("noodle_stage_duration_seconds", "bench", {{"stage", "infer"}});
+  obs::Counter& counter =
+      registry.counter("noodle_cache_probes_total", "bench", {{"outcome", "hit"}});
+  std::uint64_t nanos = 100;
+  for (auto _ : state) {
+    hist.record(nanos);
+    counter.inc();
+    nanos = nanos * 3 % 10'000'000'000ULL;  // walk across the bucket range
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsRecord);
+
+// The read side: merging every shard of a populated histogram into a
+// Snapshot, as render_prometheus()/metrics_snapshot() do per scrape. Scrape
+// cost scales with (families x buckets), not with traffic.
+
+void BM_HistogramMerge(benchmark::State& state) {
+  obs::Histogram hist;
+  std::uint64_t nanos = 137;
+  for (std::size_t i = 0; i < 100'000; ++i) {
+    hist.record(nanos);
+    nanos = nanos * 3 % 10'000'000'000ULL;
+  }
+  for (auto _ : state) {
+    const obs::Histogram::Snapshot snap = hist.snapshot();
+    benchmark::DoNotOptimize(snap.count);
+    benchmark::DoNotOptimize(snap.quantile_nanos(0.99));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramMerge);
 
 }  // namespace
 

@@ -56,6 +56,25 @@ struct DetectorConfig {
   }
 };
 
+/// Where one request's wall time went, in microseconds. Filled by
+/// serve::DetectionService (zero for direct library scans); rendered by
+/// `noodled !trace on` and mirrored into the service's per-stage latency
+/// histograms (obs::MetricsRegistry). All stages are measured on the same
+/// monotonic clock (obs::now_nanos).
+struct RequestTiming {
+  /// Process-unique id assigned at submit(); 0 = not traced (direct scan).
+  std::uint64_t trace_id = 0;
+  /// True when the verdict was answered from the LRU verdict cache: the
+  /// stage fields below are then 0 except cache_lookup_us and total_us.
+  bool from_cache = false;
+  std::uint64_t queue_wait_us = 0;    ///< submit() -> dispatcher pickup
+  std::uint64_t featurize_us = 0;     ///< parse + feature extraction
+  std::uint64_t infer_us = 0;         ///< this request's share of its batch scan
+  std::uint64_t lint_us = 0;          ///< static-analysis pass (0 when lint off)
+  std::uint64_t cache_lookup_us = 0;  ///< LRU probe at submit time
+  std::uint64_t total_us = 0;         ///< submit() -> verdict published
+};
+
 /// Risk-aware scan verdict for one circuit.
 struct DetectionReport {
   /// Point prediction: data::kTrojanFree or data::kTrojanInfected.
@@ -80,6 +99,10 @@ struct DetectionReport {
   /// Findings from the lint pass (empty when lint_ran is false or the
   /// design is clean). Owned copies — safe to move across threads.
   std::vector<lint::OwnedFinding> lint_findings;
+  /// Per-stage wall-time breakdown (serve::DetectionService requests only;
+  /// all-zero for direct scans). Purely additive — no verdict field above
+  /// depends on it.
+  RequestTiming timing;
 };
 
 /// An immutable, fully-fitted detector generation: config, both fusion

@@ -1,0 +1,67 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace noodle::obs {
+
+std::size_t Histogram::bucket_for(std::uint64_t nanos) noexcept {
+  // First bound strictly greater than the value; values on a bound land in
+  // the bucket whose lower bound they are (lower-inclusive buckets — the
+  // property the quantile-exactness tests anchor on).
+  const auto it =
+      std::upper_bound(kHistogramBounds.begin(), kHistogramBounds.end(), nanos);
+  return static_cast<std::size_t>(it - kHistogramBounds.begin());
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t bucket) noexcept {
+  return bucket == 0 ? 0 : kHistogramBounds[bucket - 1];
+}
+
+std::size_t Histogram::shard_index() noexcept {
+  // Round-robin slot assignment at a thread's first record anywhere: the
+  // slot is shared across every Histogram instance, so one thread's stage
+  // timings all land in the same shard row (warm cache lines).
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot & (kShards - 1);
+}
+
+void Histogram::record(std::uint64_t nanos) noexcept {
+  Shard& shard = shards_[shard_index()];
+  shard.counts[bucket_for(nanos)].fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::snapshot() const noexcept {
+  // Relaxed merges: each cell is read exactly once, so every completed
+  // record() is counted exactly once; records racing the merge land fully
+  // in this snapshot or fully in the next.
+  Snapshot merged;
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      merged.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    merged.sum_nanos += shard.sum.load(std::memory_order_relaxed);
+  }
+  for (const std::uint64_t bucket_count : merged.counts) merged.count += bucket_count;
+  return merged;
+}
+
+std::uint64_t Histogram::Snapshot::quantile_nanos(double q) const noexcept {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th recording, 1-based, matching the sorted-reference
+  // definition ref[max(1, ceil(q*n)) - 1] the tests compare against.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += counts[b];
+    if (cumulative >= rank) return bucket_lower_bound(b);
+  }
+  return bucket_lower_bound(kBuckets - 1);
+}
+
+}  // namespace noodle::obs

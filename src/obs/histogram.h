@@ -1,0 +1,129 @@
+#pragma once
+// obs::Histogram — fixed-bucket, log-scaled latency histogram for the
+// serving stack's hot paths.
+//
+// Design constraints (the same discipline as InferenceWorkspace and
+// FeaturizeWorkspace, PR 4/5):
+//
+//   * recording must be wait-free and allocation-free: one relaxed
+//     fetch_add on a per-thread shard, so a scan worker can time every
+//     stage of every request without a lock or a heap touch (asserted by
+//     the counting-operator-new test in tests/test_obs.cpp);
+//   * bucket bounds are a compile-time geometric ladder (ratio ~1.5) from
+//     100ns to 10s — 48 buckets cover nanosecond cache probes and
+//     second-long cold fits in one fixed array, with a worst-case
+//     quantile error of one bucket ratio;
+//   * reads merge the shards into a plain Snapshot value: totals are
+//     exact (every fetch_add lands in exactly one shard cell), quantiles
+//     are estimated as the lower bound of the rank's bucket, which makes
+//     them *exact* for inputs that sit on bucket bounds (the test
+//     anchors on this).
+//
+// Threads are mapped onto kShards slots round-robin at first record, so
+// any number of short-lived threads reuse a fixed footprint; two threads
+// sharing a slot still count exactly (the cells are atomic), they just
+// contend a little.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace noodle::obs {
+
+namespace detail {
+
+inline constexpr std::uint64_t kHistogramMinNanos = 100;             // 100ns
+inline constexpr std::uint64_t kHistogramMaxNanos = 10'000'000'000;  // 10s
+
+/// Integer ~1.5x ladder: b -> b + b/2. Counts the bounds in
+/// [kHistogramMinNanos .. kHistogramMaxNanos] with the last clamped to
+/// exactly kHistogramMaxNanos.
+consteval std::size_t histogram_bound_count() {
+  std::size_t count = 1;
+  for (std::uint64_t bound = kHistogramMinNanos; bound < kHistogramMaxNanos;
+       bound += bound / 2) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace detail
+
+/// Upper bounds (exclusive) of the finite buckets, ascending; the last is
+/// exactly 10s and everything >= it lands in the overflow bucket.
+inline constexpr std::size_t kHistogramBoundCount = detail::histogram_bound_count();
+
+consteval std::array<std::uint64_t, kHistogramBoundCount> make_histogram_bounds() {
+  std::array<std::uint64_t, kHistogramBoundCount> bounds{};
+  std::uint64_t bound = detail::kHistogramMinNanos;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    bounds[i] = bound < detail::kHistogramMaxNanos ? bound : detail::kHistogramMaxNanos;
+    bound += bound / 2;
+  }
+  bounds.back() = detail::kHistogramMaxNanos;
+  return bounds;
+}
+
+inline constexpr std::array<std::uint64_t, kHistogramBoundCount> kHistogramBounds =
+    make_histogram_bounds();
+
+class Histogram {
+ public:
+  /// Finite buckets plus the overflow bucket. Bucket 0 is [0, 100ns);
+  /// bucket i in [1, kBuckets-2] is [bounds[i-1], bounds[i]); the last
+  /// bucket is [10s, +inf).
+  static constexpr std::size_t kBuckets = kHistogramBoundCount + 1;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// The bucket a duration lands in (branch-free ladder walk; ~6 compares).
+  static std::size_t bucket_for(std::uint64_t nanos) noexcept;
+  /// Lower bound (inclusive) of a bucket — the value quantiles report.
+  static std::uint64_t bucket_lower_bound(std::size_t bucket) noexcept;
+
+  /// Wait-free, allocation-free: one shard cell fetch_add plus the running
+  /// sum. Safe from any number of threads.
+  void record(std::uint64_t nanos) noexcept;
+
+  /// Merged view of every shard. Totals are exact; quantiles are bucket
+  /// lower bounds (exact for values recorded on bucket bounds, otherwise
+  /// within one ~1.5x bucket ratio below the true value).
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t count = 0;      ///< total recordings
+    std::uint64_t sum_nanos = 0;  ///< exact sum of recorded durations
+
+    /// Value at quantile q in [0, 1]: the lower bound of the bucket holding
+    /// the ceil(q * count)-th recording (rank 1 minimum). 0 when empty.
+    std::uint64_t quantile_nanos(double q) const noexcept;
+    std::uint64_t p50() const noexcept { return quantile_nanos(0.50); }
+    std::uint64_t p90() const noexcept { return quantile_nanos(0.90); }
+    std::uint64_t p99() const noexcept { return quantile_nanos(0.99); }
+    double mean_nanos() const noexcept {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum_nanos) / static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const noexcept;
+
+ private:
+  // One cache line per shard head keeps two threads on different shards
+  // from false-sharing their hot cells; 16 shards is plenty of spread for
+  // a pool of scan workers while keeping a histogram ~6KB.
+  static constexpr std::size_t kShards = 16;
+  static_assert((kShards & (kShards - 1)) == 0, "shard mask needs a power of two");
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<std::uint64_t> sum{0};
+  };
+
+  static std::size_t shard_index() noexcept;
+
+  std::array<Shard, kShards> shards_{};
+};
+
+}  // namespace noodle::obs

@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace noodle::obs {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name.front())) return false;
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+bool valid_label_key(std::string_view key) {
+  // Label keys follow metric-name rules minus the colon.
+  return valid_metric_name(key) && key.find(':') == std::string_view::npos;
+}
+
+/// Shortest decimal that parses back to exactly `value` — bucket bounds
+/// stay tidy ("1e-07", not "9.9999...e-08") while a long-lived _sum keeps
+/// full nanosecond precision instead of silently rounding at 9 digits.
+std::string format_double(double value) {
+  char buffer[40];
+  for (const int precision : {9, 15, 16, 17}) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+std::string format_seconds(std::uint64_t nanos) {
+  return format_double(static_cast<double>(nanos) / 1e9);
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+/// `{k1="v1",k2="v2"}`, empty string for no labels. `extra` (the histogram
+/// `le` pair) is appended last, matching the convention scrapers expect.
+std::string render_labels(const Labels& labels, const Label* extra = nullptr) {
+  if (labels.empty() && extra == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  const auto append = [&](const Label& label) {
+    if (!first) out += ',';
+    first = false;
+    out += label.key;
+    out += "=\"";
+    append_escaped(out, label.value);
+    out += '"';
+  };
+  for (const Label& label : labels) append(label);
+  if (extra != nullptr) append(*extra);
+  out += '}';
+  return out;
+}
+
+const char* type_text(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        std::string_view help,
+                                                        MetricType type,
+                                                        Labels&& labels) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("MetricsRegistry: bad metric name '" +
+                                std::string(name) + "'");
+  }
+  for (const Label& label : labels) {
+    if (!valid_label_key(label.key)) {
+      throw std::invalid_argument("MetricsRegistry: bad label key '" + label.key +
+                                  "' on metric '" + std::string(name) + "'");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto family_it = families_.find(name);
+  if (family_it == families_.end()) {
+    family_it = families_.emplace(std::string(name), Family{}).first;
+    family_it->second.help = std::string(help);
+    family_it->second.type = type;
+  } else if (family_it->second.type != type) {
+    throw std::invalid_argument("MetricsRegistry: metric '" + std::string(name) +
+                                "' re-registered as a different type");
+  }
+  Family& family = family_it->second;
+  for (Entry& entry : family.entries) {
+    if (entry.labels == labels) return entry;
+  }
+  Entry& entry = family.entries.emplace_back();
+  entry.labels = std::move(labels);
+  switch (type) {
+    case MetricType::kCounter: entry.counter = std::make_unique<Counter>(); break;
+    case MetricType::kGauge: entry.gauge = std::make_unique<Gauge>(); break;
+    case MetricType::kHistogram: entry.histogram = std::make_unique<Histogram>(); break;
+  }
+  return entry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, std::string_view help,
+                                  Labels labels) {
+  return *find_or_create(name, help, MetricType::kCounter, std::move(labels)).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, std::string_view help,
+                              Labels labels) {
+  return *find_or_create(name, help, MetricType::kGauge, std::move(labels)).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, std::string_view help,
+                                      Labels labels) {
+  return *find_or_create(name, help, MetricType::kHistogram, std::move(labels))
+              .histogram;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> samples;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    for (const Entry& entry : family.entries) {
+      Sample sample;
+      sample.name = name;
+      sample.type = family.type;
+      sample.labels = entry.labels;
+      switch (family.type) {
+        case MetricType::kCounter: sample.counter = entry.counter->value(); break;
+        case MetricType::kGauge: sample.gauge = entry.gauge->value(); break;
+        case MetricType::kHistogram: sample.histogram = entry.histogram->snapshot(); break;
+      }
+      samples.push_back(std::move(sample));
+    }
+  }
+  return samples;
+}
+
+std::size_t MetricsRegistry::family_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return families_.size();
+}
+
+void MetricsRegistry::render_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) os << "# HELP " << name << ' ' << family.help << '\n';
+    os << "# TYPE " << name << ' ' << type_text(family.type) << '\n';
+    for (const Entry& entry : family.entries) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          os << name << render_labels(entry.labels) << ' ' << entry.counter->value()
+             << '\n';
+          break;
+        case MetricType::kGauge:
+          os << name << render_labels(entry.labels) << ' ' << entry.gauge->value()
+             << '\n';
+          break;
+        case MetricType::kHistogram: {
+          // Cumulative le= series in seconds; our buckets are
+          // lower-inclusive [lo, hi), so the count at le="hi" excludes a
+          // value of exactly hi — one ulp stricter than the spec's <=,
+          // the standard tradeoff for fixed integer bounds.
+          const Histogram::Snapshot merged = entry.histogram->snapshot();
+          std::uint64_t cumulative = 0;
+          for (std::size_t b = 0; b + 1 < Histogram::kBuckets; ++b) {
+            cumulative += merged.counts[b];
+            const Label le{"le", format_seconds(kHistogramBounds[b])};
+            os << name << "_bucket" << render_labels(entry.labels, &le) << ' '
+               << cumulative << '\n';
+          }
+          const Label le_inf{"le", "+Inf"};
+          os << name << "_bucket" << render_labels(entry.labels, &le_inf) << ' '
+             << merged.count << '\n';
+          os << name << "_sum" << render_labels(entry.labels) << ' '
+             << format_seconds(merged.sum_nanos) << '\n';
+          os << name << "_count" << render_labels(entry.labels) << ' ' << merged.count
+             << '\n';
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace noodle::obs

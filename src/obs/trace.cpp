@@ -1,0 +1,13 @@
+#include "obs/trace.h"
+
+#include <atomic>
+
+namespace noodle::obs {
+
+std::uint64_t next_trace_id() noexcept {
+  // Starts at 1 so 0 can mean "no trace" in DetectionReport::timing.
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace noodle::obs

@@ -76,6 +76,13 @@ std::shared_ptr<ModelRegistry::NameEntry> ModelRegistry::find_entry(
 ModelHandle ModelRegistry::publish(const std::string& name,
                                    std::shared_ptr<const core::FittedModel> model,
                                    std::filesystem::path source) {
+  return publish_timed(name, std::move(model), std::move(source), 0);
+}
+
+ModelHandle ModelRegistry::publish_timed(const std::string& name,
+                                         std::shared_ptr<const core::FittedModel> model,
+                                         std::filesystem::path source,
+                                         std::uint64_t load_micros) {
   if (!valid_name(name)) {
     throw RegistryError("registry: bad model name '" + name + "'");
   }
@@ -99,15 +106,59 @@ ModelHandle ModelRegistry::publish(const std::string& name,
   // path (LatestView::get / resolve-latest) see the previous generation or
   // this one — no torn state, no blocking.
   entry->latest.store(loaded);
+  record_event(ReloadEvent{std::chrono::system_clock::now(), name, loaded->version(),
+                           loaded->id(), load_micros, true, {}});
   return loaded;
 }
 
 ModelHandle ModelRegistry::reload_from(const std::string& name,
                                        const std::filesystem::path& path) {
   // Load and validate before taking any registry lock: a slow or corrupt
-  // snapshot never stalls resolves, and a failed load changes nothing.
-  std::shared_ptr<const core::FittedModel> model = core::FittedModel::load(path);
-  return publish(name, std::move(model), path);
+  // snapshot never stalls resolves, and a failed load changes nothing —
+  // except an error entry in the reload event log, so an operator can see
+  // the rejected swap attempt after the fact.
+  const std::uint64_t start_nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  const auto elapsed_micros = [start_nanos] {
+    const auto now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    return (now - start_nanos) / 1000;
+  };
+  std::shared_ptr<const core::FittedModel> model;
+  try {
+    model = core::FittedModel::load(path);
+  } catch (const std::exception& e) {
+    record_event(ReloadEvent{std::chrono::system_clock::now(), name, 0, 0,
+                             elapsed_micros(), false, e.what()});
+    throw;
+  }
+  return publish_timed(name, std::move(model), path, elapsed_micros());
+}
+
+void ModelRegistry::record_event(ReloadEvent event) {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  if (event.ok) {
+    ++reload_stats_.ok;
+  } else {
+    ++reload_stats_.errors;
+  }
+  reload_stats_.load_micros_total += event.load_micros;
+  events_.push_back(std::move(event));
+  while (events_.size() > kMaxReloadEvents) events_.pop_front();
+}
+
+std::vector<ReloadEvent> ModelRegistry::reload_events() const {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  return {events_.begin(), events_.end()};
+}
+
+ReloadStats ModelRegistry::reload_stats() const {
+  std::lock_guard<std::mutex> lock(events_mu_);
+  return reload_stats_;
 }
 
 ModelHandle ModelRegistry::try_resolve(const ModelSpec& spec) const noexcept {

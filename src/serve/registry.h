@@ -24,7 +24,9 @@
 //     name's epoch slot, never touching a registry mutex.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <map>
 #include <memory>
@@ -90,6 +92,30 @@ class LoadedModel {
 
 using ModelHandle = std::shared_ptr<const LoadedModel>;
 
+/// One entry in the registry's bounded reload/publish event log: every
+/// publish(), every reload_from() — including the ones that failed — with
+/// a wall-clock timestamp and the load+validate cost. The log is what
+/// `noodled !models` and the metrics surface read to answer "what changed
+/// on this server, when, and how long did the swap take".
+struct ReloadEvent {
+  std::chrono::system_clock::time_point when;
+  std::string name;
+  std::uint64_t version = 0;     ///< 0 for failed loads (nothing published)
+  std::uint64_t generation = 0;  ///< process-unique id; 0 for failures
+  std::uint64_t load_micros = 0; ///< snapshot load+validate wall time; 0 for
+                                 ///< in-memory publishes
+  bool ok = false;
+  std::string error;             ///< what() of the failure; empty when ok
+};
+
+/// Monotone totals across the registry's lifetime (the event log itself is
+/// bounded, so counts are kept separately).
+struct ReloadStats {
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t load_micros_total = 0;
+};
+
 class ModelRegistry {
  private:
   struct NameEntry;
@@ -147,6 +173,14 @@ class ModelRegistry {
   /// false when the name/version is unknown.
   bool retire(const std::string& name, std::uint64_t version = 0);
 
+  /// The most recent publish/reload events, oldest first, bounded at
+  /// kMaxReloadEvents (older events age out; totals survive in
+  /// reload_stats()).
+  static constexpr std::size_t kMaxReloadEvents = 64;
+  std::vector<ReloadEvent> reload_events() const;
+  /// Monotone ok/error counts and cumulative load time.
+  ReloadStats reload_stats() const;
+
   /// Names with at least one live version, sorted.
   std::vector<std::string> names() const;
   /// Every live generation, sorted by name then version.
@@ -165,10 +199,18 @@ class ModelRegistry {
   };
 
   std::shared_ptr<NameEntry> find_entry(const std::string& name) const;
+  ModelHandle publish_timed(const std::string& name,
+                            std::shared_ptr<const core::FittedModel> model,
+                            std::filesystem::path source, std::uint64_t load_micros);
+  void record_event(ReloadEvent event);
 
   mutable std::shared_mutex names_mu_;
   std::unordered_map<std::string, std::shared_ptr<NameEntry>> names_;
   std::atomic<std::uint64_t> next_id_{1};
+
+  mutable std::mutex events_mu_;
+  std::deque<ReloadEvent> events_;  ///< bounded ring, oldest at front
+  ReloadStats reload_stats_;
 };
 
 }  // namespace noodle::serve

@@ -83,6 +83,15 @@ std::map<std::string, ServiceStats> StatsBook::by_model() const {
   return per_model_;
 }
 
+std::pair<ServiceStats, std::map<std::string, ServiceStats>> StatsBook::snapshot_all()
+    const {
+  // One lock acquisition: the aggregate equals the sum of the cells in the
+  // returned pair (every update() touches total_ and exactly one cell under
+  // this mutex), which the Prometheus mirror relies on.
+  std::lock_guard<std::mutex> lock(mu_);
+  return {total_, per_model_};
+}
+
 // ---------------------------------------------------------------------------
 // DetectionService
 // ---------------------------------------------------------------------------
@@ -131,7 +140,37 @@ DetectionService::DetectionService(std::shared_ptr<ModelRegistry> registry,
       config_(validate(config)),
       lint_(config_.lint),
       pool_(config_.workers),
-      dispatcher_([this] { dispatcher_loop(); }) {}
+      dispatcher_([this] { dispatcher_loop(); }) {
+  // Runs before any request can exist (submit() requires a constructed
+  // service), so the hot paths always see registered metric handles.
+  register_metrics();
+  pool_.attach_gauges(&pool_queue_depth_->cell(), &pool_in_flight_->cell());
+}
+
+void DetectionService::register_metrics() {
+  static constexpr std::array<const char*, kStageCount> kStageNames = {
+      "queue_wait", "featurize", "infer", "lint", "cache_lookup", "total"};
+  for (std::size_t stage = 0; stage < kStageCount; ++stage) {
+    stage_hist_[stage] = &metrics_.histogram(
+        "noodle_stage_duration_seconds",
+        "Per-stage request latency; infer is recorded once per batch.",
+        {{"stage", kStageNames[stage]}});
+  }
+  static constexpr std::array<const char*,
+                              static_cast<std::size_t>(CacheProbe::kProbeCount)>
+      kProbeNames = {"hit", "miss_absent", "miss_collision", "miss_lint_state",
+                     "miss_bypass"};
+  for (std::size_t probe = 0; probe < probe_counters_.size(); ++probe) {
+    probe_counters_[probe] = &metrics_.counter(
+        "noodle_cache_probes_total",
+        "Submit-time verdict-cache probes by outcome; outcomes sum to requests.",
+        {{"outcome", kProbeNames[probe]}});
+  }
+  pool_queue_depth_ = &metrics_.gauge("noodle_pool_queue_depth",
+                                      "Batches queued on the scan thread pool.");
+  pool_in_flight_ = &metrics_.gauge("noodle_pool_inflight",
+                                    "Batches executing on the scan thread pool.");
+}
 
 DetectionService::DetectionService(core::NoodleDetector detector, ServiceConfig config)
     : DetectionService(single_model_registry(std::move(detector)), kDefaultModelName,
@@ -164,6 +203,8 @@ std::future<core::DetectionReport> DetectionService::submit(const std::string& m
 
 std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec spec,
                                                                     std::string source) {
+  const std::uint64_t submit_nanos = obs::now_nanos();
+  const std::uint64_t trace_id = obs::next_trace_id();
   const std::uint64_t hash = util::fnv1a64(source);
   // Sampling the lint flag here (not at dispatch) makes set_lint() order
   // deterministically with submission: a toggle affects exactly the
@@ -174,14 +215,31 @@ std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec sp
   // Cache probe against the generation the spec resolves to right now; the
   // generation id in the key means a reload in between can only cause a
   // miss (and a fresh scan), never a cross-generation verdict.
+  CacheProbe probe = CacheProbe::kMissBypass;
+  core::DetectionReport cached;
+  std::uint64_t lookup_micros = 0;
   if (ModelHandle handle = registry_->try_resolve(spec)) {
-    core::DetectionReport cached;
-    if (cache_lookup(CacheKey{handle->id(), hash}, source, want_lint, cached)) {
-      stats_.record_cache_hit(spec.name);
-      std::promise<core::DetectionReport> ready;
-      ready.set_value(std::move(cached));
-      return ready.get_future();
-    }
+    obs::TraceSpan lookup_span(stage_hist_[kStageCacheLookup], &lookup_micros);
+    probe = cache_lookup(CacheKey{handle->id(), hash}, source, want_lint, cached);
+  }
+  // Exactly one probe outcome per request: hits and every miss reason
+  // (including lint-state mismatches) sum to requests, so `!lint` toggles
+  // can never skew the hit/miss accounting (see tests/test_serve.cpp).
+  probe_counters_[static_cast<std::size_t>(probe)]->inc();
+  if (probe == CacheProbe::kHit) {
+    // The hit is recorded only now — after the probe validated the source
+    // bytes AND the entry's lint state — never before.
+    stats_.record_cache_hit(spec.name);
+    cached.timing = core::RequestTiming{};
+    cached.timing.trace_id = trace_id;
+    cached.timing.from_cache = true;
+    cached.timing.cache_lookup_us = lookup_micros;
+    const std::uint64_t total_nanos = obs::now_nanos() - submit_nanos;
+    cached.timing.total_us = total_nanos / 1000;
+    stage_hist_[kStageTotal]->record(total_nanos);
+    std::promise<core::DetectionReport> ready;
+    ready.set_value(std::move(cached));
+    return ready.get_future();
   }
   // An unresolvable spec is not failed here: the batch-time resolve is
   // authoritative (the model may be published microseconds from now).
@@ -191,6 +249,9 @@ std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec sp
   request.source = std::move(source);
   request.key = hash;
   request.lint = want_lint;
+  request.submit_nanos = submit_nanos;
+  request.timing.trace_id = trace_id;
+  request.timing.cache_lookup_us = lookup_micros;
   std::future<core::DetectionReport> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -226,6 +287,80 @@ ServiceStats DetectionService::stats(const std::string& model_name) const {
 
 std::map<std::string, ServiceStats> DetectionService::stats_by_model() const {
   return stats_.by_model();
+}
+
+void DetectionService::render_prometheus(std::ostream& os) {
+  sync_mirrored_metrics();
+  metrics_.render_prometheus(os);
+}
+
+std::vector<obs::MetricsRegistry::Sample> DetectionService::metrics_snapshot() {
+  sync_mirrored_metrics();
+  return metrics_.snapshot();
+}
+
+void DetectionService::sync_mirrored_metrics() {
+  // One consistent StatsBook snapshot feeds every mirrored sample, so the
+  // exposition can never disagree with a `!stats` line printed from the
+  // same instant's counters (satellite: StatsBook mirrored, ServiceStats
+  // API unchanged). Registration is get-or-create and the source counters
+  // are monotone, so set() is safe here.
+  const auto [total, by_model] = stats_.snapshot_all();
+  const auto mirror = [this](const char* name, const char* help,
+                             const std::string& model, std::uint64_t value) {
+    metrics_.counter(name, help, {{"model", model}}).set(value);
+  };
+  for (const auto& [model, cell] : by_model) {
+    mirror("noodle_requests_total", "submit() calls.", model, cell.requests);
+    mirror("noodle_cache_hits_total", "Requests answered from the LRU verdict cache.",
+           model, cell.cache_hits);
+    mirror("noodle_scans_total", "Verdicts computed by a detector.", model,
+           cell.scans);
+    mirror("noodle_parse_failures_total", "Requests rejected with a parse error.",
+           model, cell.parse_failures);
+    mirror("noodle_model_misses_total", "Requests naming an unknown model/version.",
+           model, cell.model_misses);
+    mirror("noodle_batches_total", "Single-generation batch groups dispatched.",
+           model, cell.batches);
+    mirror("noodle_scan_busy_microseconds_total",
+           "Wall time spent inside detector batch scans.", model, cell.scan_micros);
+    mirror("noodle_lint_runs_total", "Sources the static-analysis pass covered.",
+           model, cell.lint_runs);
+    for (std::size_t rule = 0; rule < lint::kRuleCount; ++rule) {
+      if (cell.lint_by_rule[rule] == 0) continue;  // bound label cardinality
+      metrics_
+          .counter("noodle_lint_findings_total", "Lint findings by rule.",
+                   {{"model", model},
+                    {"rule", lint::rule_info(static_cast<lint::RuleId>(rule)).code}})
+          .set(cell.lint_by_rule[rule]);
+    }
+  }
+  metrics_.gauge("noodle_max_batch_size", "Largest coalesced batch group so far.")
+      .set(static_cast<std::int64_t>(total.max_batch_size));
+  metrics_.gauge("noodle_cache_entries", "Live verdict-cache entries.")
+      .set(static_cast<std::int64_t>(cache_size()));
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    metrics_.gauge("noodle_dispatch_queue_depth", "Requests awaiting the dispatcher.")
+        .set(static_cast<std::int64_t>(queue_.size()));
+    metrics_.gauge("noodle_requests_outstanding", "Submitted but unanswered requests.")
+        .set(static_cast<std::int64_t>(outstanding_));
+  }
+  metrics_.gauge("noodle_models_loaded", "Live generations in the registry.")
+      .set(static_cast<std::int64_t>(registry_->size()));
+  const ReloadStats reloads = registry_->reload_stats();
+  metrics_
+      .counter("noodle_reloads_total", "Model publish/reload attempts by result.",
+               {{"result", "ok"}})
+      .set(reloads.ok);
+  metrics_
+      .counter("noodle_reloads_total", "Model publish/reload attempts by result.",
+               {{"result", "error"}})
+      .set(reloads.errors);
+  metrics_
+      .counter("noodle_reload_busy_microseconds_total",
+               "Wall time spent loading and validating snapshots.")
+      .set(reloads.load_micros_total);
 }
 
 ModelHandle DetectionService::reload(const std::string& name,
@@ -283,6 +418,14 @@ void DetectionService::process_batch(std::vector<Request> batch) {
 void DetectionService::process_group(const std::string& group_label,
                                      std::vector<Request> group) {
   const std::string model_name = group.front().spec.name;
+  // Queue wait: submit() to this pickup, per request, on the one monotonic
+  // clock every span uses.
+  const std::uint64_t pickup_nanos = obs::now_nanos();
+  for (Request& request : group) {
+    const std::uint64_t wait_nanos = pickup_nanos - request.submit_nanos;
+    stage_hist_[kStageQueueWait]->record(wait_nanos);
+    request.timing.queue_wait_us = wait_nanos / 1000;
+  }
   const ModelHandle handle = registry_->try_resolve(group.front().spec);
   if (!handle) {
     const auto error = std::make_exception_ptr(
@@ -312,41 +455,63 @@ void DetectionService::process_group(const std::string& group_label,
   feat::FeaturizeWorkspace& workspace = feat::thread_workspace();
   for (std::size_t i = 0; i < group.size(); ++i) {
     try {
-      samples.push_back(data::featurize_source(group[i].source, workspace));
-      findings.push_back(group[i].lint ? core::lint_last_parse(workspace)
-                                       : std::vector<lint::OwnedFinding>{});
+      {
+        obs::TraceSpan span(stage_hist_[kStageFeaturize],
+                            &group[i].timing.featurize_us);
+        samples.push_back(data::featurize_source(group[i].source, workspace));
+      }
+      if (group[i].lint) {
+        obs::TraceSpan span(stage_hist_[kStageLint], &group[i].timing.lint_us);
+        findings.push_back(core::lint_last_parse(workspace));
+      } else {
+        findings.emplace_back();
+      }
       sample_owner.push_back(i);
     } catch (...) {
       rejected.emplace_back(i, std::current_exception());
     }
   }
 
-  std::uint64_t elapsed_micros = 0;
+  std::uint64_t scan_nanos = 0;
   std::vector<core::DetectionReport> reports;
   std::exception_ptr batch_error;
   if (!samples.empty()) {
     try {
-      const auto start = std::chrono::steady_clock::now();
       // The handle pins this generation for the whole batch: a reload
       // swapping `latest` right now neither blocks this scan nor changes
-      // its verdicts.
+      // its verdicts. The span records the whole-batch scan once into the
+      // infer histogram; per-request shares land in timing.infer_us.
+      obs::TraceSpan span(stage_hist_[kStageInfer]);
       reports = handle->model().scan_many(samples, config_.scan_threads);
-      elapsed_micros = static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - start)
-              .count());
+      scan_nanos = span.finish();
     } catch (...) {
       // A batch-level failure must not leave futures dangling (a task
       // escaping into the pool would terminate the process).
       batch_error = std::current_exception();
     }
   }
+  const std::uint64_t elapsed_micros = scan_nanos / 1000;
   for (core::DetectionReport& report : reports) report.served_by = handle->label();
   std::uint64_t lint_runs = 0;
   for (std::size_t s = 0; s < reports.size(); ++s) {
     reports[s].lint_ran = group[sample_owner[s]].lint;
     reports[s].lint_findings = std::move(findings[s]);
     lint_runs += reports[s].lint_ran ? 1 : 0;
+  }
+
+  // Stamp per-request timing before counters/cache publication so cached
+  // entries and fulfilled futures carry identical breakdowns. infer_us is
+  // the request's amortized share of the one batched scan.
+  const std::uint64_t resolve_nanos = obs::now_nanos();
+  const std::uint64_t infer_share_micros =
+      reports.empty() ? 0 : scan_nanos / 1000 / reports.size();
+  for (std::size_t s = 0; s < reports.size(); ++s) {
+    Request& owner = group[sample_owner[s]];
+    owner.timing.infer_us = infer_share_micros;
+    const std::uint64_t total_nanos = resolve_nanos - owner.submit_nanos;
+    owner.timing.total_us = total_nanos / 1000;
+    stage_hist_[kStageTotal]->record(total_nanos);
+    reports[s].timing = owner.timing;
   }
 
   // Publish counters and cache entries BEFORE fulfilling any promise, so a
@@ -389,19 +554,24 @@ void DetectionService::finish_requests(std::size_t count) {
   drained_cv_.notify_all();
 }
 
-bool DetectionService::cache_lookup(const CacheKey& key, const std::string& source,
-                                    bool want_lint, core::DetectionReport& report) {
-  if (config_.cache_capacity == 0) return false;
+DetectionService::CacheProbe DetectionService::cache_lookup(
+    const CacheKey& key, const std::string& source, bool want_lint,
+    core::DetectionReport& report) {
+  if (config_.cache_capacity == 0) return CacheProbe::kMissBypass;
   std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = cache_.find(key);
-  if (it == cache_.end() || it->second.source != source) return false;
+  if (it == cache_.end()) return CacheProbe::kMissAbsent;
+  if (it->second.source != source) return CacheProbe::kMissCollision;
   // A toggled lint setting makes older entries non-answers: a lint-on
   // caller must get findings, a lint-off caller must not pay for stale
-  // ones. The rescan re-stores the entry under the current setting.
-  if (it->second.report.lint_ran != want_lint) return false;
+  // ones. The check runs BEFORE any hit side effect (LRU bump, report
+  // copy) — and the caller counts the hit only on kHit — so `!lint`
+  // toggles can never produce a phantom hit. The rescan re-stores the
+  // entry under the current setting.
+  if (it->second.report.lint_ran != want_lint) return CacheProbe::kMissLintState;
   lru_.splice(lru_.begin(), lru_, it->second.position);  // bump to most-recent
   report = it->second.report;
-  return true;
+  return CacheProbe::kHit;
 }
 
 void DetectionService::cache_store(const CacheKey& key, const std::string& source,

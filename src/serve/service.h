@@ -38,6 +38,8 @@
 
 #include "core/detector.h"
 #include "lint/lint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/registry.h"
 #include "util/thread_pool.h"
 
@@ -119,6 +121,11 @@ class StatsBook {
   ServiceStats snapshot(const std::string& model) const;
   /// Consistent snapshot of every model's counters.
   std::map<std::string, ServiceStats> by_model() const;
+  /// Aggregate and per-model snapshots taken under ONE lock acquisition —
+  /// the pair is mutually consistent (total == sum of cells), which is what
+  /// the Prometheus mirror needs so `!stats` and `!metrics` can never
+  /// disagree.
+  std::pair<ServiceStats, std::map<std::string, ServiceStats>> snapshot_all() const;
 
   void record_request(const std::string& model);
   void record_cache_hit(const std::string& model);
@@ -189,6 +196,22 @@ class DetectionService {
   /// Consistent counters for every model name seen so far.
   std::map<std::string, ServiceStats> stats_by_model() const;
 
+  /// The service's observability surface: per-stage latency histograms
+  /// (noodle_stage_duration_seconds{stage=...}), cache miss-reason
+  /// counters, thread-pool gauges — plus, after sync via
+  /// render_prometheus()/metrics_snapshot(), a mirror of every StatsBook
+  /// counter. Embedders may register their own metrics here too.
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Mirrors StatsBook/registry/cache state into the metrics registry
+  /// (one consistent StatsBook snapshot — `!stats` and `!metrics` can
+  /// never disagree), then renders the Prometheus text exposition.
+  /// Thread-safe; callable while the service runs.
+  void render_prometheus(std::ostream& os);
+  /// Same sync, returning the raw samples instead of rendering.
+  std::vector<obs::MetricsRegistry::Sample> metrics_snapshot();
+
   /// The live registry: publish/reload/retire take effect on the next
   /// dispatched batch without pausing the service.
   ModelRegistry& registry() noexcept { return *registry_; }
@@ -215,7 +238,33 @@ class DetectionService {
     std::string source;
     std::uint64_t key = 0;
     bool lint = false;  // lint_ sampled at submit time
+    std::uint64_t submit_nanos = 0;  ///< obs::now_nanos() at submit (queue wait)
+    core::RequestTiming timing;      ///< filled stage by stage, moved into the report
     std::promise<core::DetectionReport> promise;
+  };
+
+  /// Per-stage latency histograms; indexes into stage_hist_.
+  enum Stage : std::size_t {
+    kStageQueueWait = 0,
+    kStageFeaturize,
+    kStageInfer,
+    kStageLint,
+    kStageCacheLookup,
+    kStageTotal,
+    kStageCount,
+  };
+
+  /// Why a submit-time cache probe did not answer the request; each reason
+  /// has its own counter so hit/miss accounting stays exact under `!lint`
+  /// toggles (a lint-state mismatch is a distinct, visible miss, not a
+  /// phantom hit — see tests/test_serve.cpp).
+  enum class CacheProbe : std::size_t {
+    kHit = 0,
+    kMissAbsent,     ///< no entry for (generation, hash)
+    kMissCollision,  ///< hash matched, full source compare did not
+    kMissLintState,  ///< entry exists but was scanned with the other lint setting
+    kMissBypass,     ///< cache disabled, or the spec is not resolvable yet
+    kProbeCount,
   };
 
   /// Verdict-cache key: the generation id scopes the source hash, so two
@@ -241,11 +290,16 @@ class DetectionService {
   void dispatcher_loop();
   void process_batch(std::vector<Request> batch);
   void process_group(const std::string& group_label, std::vector<Request> group);
-  bool cache_lookup(const CacheKey& key, const std::string& source, bool want_lint,
-                    core::DetectionReport& report);
+  CacheProbe cache_lookup(const CacheKey& key, const std::string& source,
+                          bool want_lint, core::DetectionReport& report);
   void cache_store(const CacheKey& key, const std::string& source,
                    const core::DetectionReport& report);
   void finish_requests(std::size_t count);
+  /// Registers the service's own metrics (constructor only).
+  void register_metrics();
+  /// Pushes one consistent StatsBook snapshot plus registry/cache/pool
+  /// state into the metrics registry (render path, not hot path).
+  void sync_mirrored_metrics();
 
   std::shared_ptr<ModelRegistry> registry_;
   std::string default_model_;
@@ -274,6 +328,15 @@ class DetectionService {
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
 
   StatsBook stats_;
+
+  // Declared before pool_/dispatcher_ so the gauges and histograms outlive
+  // every thread that records into them (members destroy in reverse order).
+  obs::MetricsRegistry metrics_;
+  std::array<obs::Histogram*, kStageCount> stage_hist_{};
+  std::array<obs::Counter*, static_cast<std::size_t>(CacheProbe::kProbeCount)>
+      probe_counters_{};
+  obs::Gauge* pool_queue_depth_ = nullptr;
+  obs::Gauge* pool_in_flight_ = nullptr;
 
   util::ThreadPool pool_;
   std::thread dispatcher_;

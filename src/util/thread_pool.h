@@ -8,8 +8,10 @@
 //   * a requested size of 1 (or a single-item range) runs inline on the
 //     calling thread, so the serial baseline has zero threading overhead.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -40,8 +42,25 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Tasks queued but not yet claimed by a worker.
+  std::size_t queue_depth() const;
+  /// Tasks currently executing.
+  std::size_t in_flight() const;
+
+  /// Observability hook: when attached, the pool keeps the cells in sync
+  /// with queue depth and in-flight count on every transition (relaxed
+  /// stores under the pool mutex — no extra synchronization, no
+  /// allocation). Cells are raw atomics rather than obs::Gauge so util::
+  /// stays free of higher-layer includes; obs::Gauge::cell() adapts.
+  /// Either pointer may be null. Attach before submitting work; the cells
+  /// must outlive the pool.
+  void attach_gauges(std::atomic<std::int64_t>* queue_depth,
+                     std::atomic<std::int64_t>* in_flight) noexcept;
+
  private:
   void worker_loop();
+  /// Pushes queue depth / in-flight into the attached cells (mutex held).
+  void publish_gauges();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
@@ -50,6 +69,8 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::atomic<std::int64_t>* queue_depth_gauge_ = nullptr;
+  std::atomic<std::int64_t>* in_flight_gauge_ = nullptr;
 };
 
 /// Resolves a requested thread count: 0 -> hardware_concurrency, and never

@@ -1,0 +1,426 @@
+// Tests for the observability layer: the log-scaled latency histogram's
+// bucket ladder and quantile semantics (exact at bucket bounds, bounded
+// error off them, exact totals under concurrent recording), the
+// zero-warm-allocation recording discipline (counting operator new, the
+// same contract the featurize/inference workspaces carry), MetricsRegistry
+// naming/typing rules and Prometheus text exposition, TraceSpan recording,
+// and trace-id uniqueness across threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+std::atomic<std::size_t> g_allocation_count{0};
+}
+
+// GCC's -Wmismatched-new-delete heuristic cannot see that these replaced
+// operators form a consistent malloc/free pair; the diagnostic is a false
+// positive here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  ++g_allocation_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocation_count;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace noodle {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram bucket ladder
+// ---------------------------------------------------------------------------
+
+TEST(HistogramBuckets, LadderIsAscendingAndSpans100nsTo10s) {
+  ASSERT_GE(obs::kHistogramBoundCount, 2u);
+  EXPECT_EQ(obs::kHistogramBounds.front(), 100u);
+  EXPECT_EQ(obs::kHistogramBounds.back(), 10'000'000'000u);
+  for (std::size_t i = 1; i < obs::kHistogramBounds.size(); ++i) {
+    EXPECT_LT(obs::kHistogramBounds[i - 1], obs::kHistogramBounds[i]) << "at " << i;
+    // Geometric: each step multiplies by ~1.5 (integer b += b/2), except the
+    // final clamp to exactly 10s which may be a shorter step.
+    if (i + 1 < obs::kHistogramBounds.size()) {
+      EXPECT_EQ(obs::kHistogramBounds[i],
+                obs::kHistogramBounds[i - 1] + obs::kHistogramBounds[i - 1] / 2)
+          << "at " << i;
+    }
+  }
+}
+
+TEST(HistogramBuckets, BucketForMatchesLadderSemantics) {
+  // Bucket 0 is [0, 100ns); a value equal to a bound starts that bound's
+  // bucket; the overflow bucket holds everything >= 10s.
+  EXPECT_EQ(obs::Histogram::bucket_for(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_for(99), 0u);
+  for (std::size_t i = 0; i < obs::kHistogramBounds.size(); ++i) {
+    const std::uint64_t bound = obs::kHistogramBounds[i];
+    EXPECT_EQ(obs::Histogram::bucket_for(bound), i + 1) << "bound " << bound;
+    EXPECT_EQ(obs::Histogram::bucket_for(bound - 1), i) << "bound " << bound;
+  }
+  EXPECT_EQ(obs::Histogram::bucket_for(~0ULL), obs::Histogram::kBuckets - 1);
+  // bucket_lower_bound is the inverse on bucket starts.
+  EXPECT_EQ(obs::Histogram::bucket_lower_bound(0), 0u);
+  for (std::size_t b = 1; b < obs::Histogram::kBuckets; ++b) {
+    const std::uint64_t lower = obs::Histogram::bucket_lower_bound(b);
+    EXPECT_EQ(obs::Histogram::bucket_for(lower), b) << "bucket " << b;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles
+// ---------------------------------------------------------------------------
+
+/// The reference the histogram's quantile contract is anchored to: the
+/// rank-th smallest recording with rank = max(1, ceil(q * n)).
+std::uint64_t reference_quantile(std::vector<std::uint64_t> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  rank = std::max<std::size_t>(rank, 1);
+  return values[rank - 1];
+}
+
+TEST(HistogramQuantiles, ExactForBucketBoundaryInputs) {
+  // Every recorded value sits exactly on a bucket lower bound, so the
+  // estimator (lower bound of the rank's bucket) must equal the sorted
+  // reference exactly — no approximation slack allowed.
+  obs::Histogram hist;
+  std::vector<std::uint64_t> values;
+  for (std::size_t i = 0; i < obs::kHistogramBounds.size(); i += 3) {
+    for (std::size_t repeat = 0; repeat < i % 5 + 1; ++repeat) {
+      values.push_back(obs::kHistogramBounds[i]);
+    }
+  }
+  for (const std::uint64_t v : values) hist.record(v);
+
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  ASSERT_EQ(snap.count, values.size());
+  for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0}) {
+    EXPECT_EQ(snap.quantile_nanos(q), reference_quantile(values, q)) << "q=" << q;
+  }
+  EXPECT_EQ(snap.p50(), reference_quantile(values, 0.50));
+  EXPECT_EQ(snap.p90(), reference_quantile(values, 0.90));
+  EXPECT_EQ(snap.p99(), reference_quantile(values, 0.99));
+}
+
+TEST(HistogramQuantiles, OffBoundaryErrorIsBoundedByOneBucketRatio) {
+  // Arbitrary in-range values: the estimate is the lower bound of the true
+  // value's bucket, so estimate <= truth < estimate * 1.5 + 1.
+  obs::Histogram hist;
+  std::vector<std::uint64_t> values;
+  std::uint64_t v = 137;  // pseudo-random walk across the range, off-ladder
+  while (v < obs::kHistogramBounds.back()) {
+    values.push_back(v);
+    v = v * 2 + v / 3 + 1;
+  }
+  for (const std::uint64_t value : values) hist.record(value);
+
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  for (const double q : {0.05, 0.50, 0.90, 0.99}) {
+    const std::uint64_t truth = reference_quantile(values, q);
+    const std::uint64_t estimate = snap.quantile_nanos(q);
+    EXPECT_LE(estimate, truth) << "q=" << q;
+    EXPECT_LT(truth, estimate + estimate / 2 + 1) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantiles, EmptyAndSingletonEdgeCases) {
+  obs::Histogram hist;
+  EXPECT_EQ(hist.snapshot().count, 0u);
+  EXPECT_EQ(hist.snapshot().p50(), 0u);
+  EXPECT_EQ(hist.snapshot().mean_nanos(), 0.0);
+
+  hist.record(1'000'000);  // 1ms, on a ladder bound? not necessarily — use bucket lower
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum_nanos, 1'000'000u);
+  const std::uint64_t lower =
+      obs::Histogram::bucket_lower_bound(obs::Histogram::bucket_for(1'000'000));
+  EXPECT_EQ(snap.p50(), lower);
+  EXPECT_EQ(snap.quantile_nanos(0.0), lower);  // rank clamps to 1
+  EXPECT_EQ(snap.quantile_nanos(1.0), lower);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: totals stay exact when 8 threads record at once
+// ---------------------------------------------------------------------------
+
+TEST(HistogramConcurrency, EightThreadsRecordExactly) {
+  obs::Histogram hist;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20'000;
+  // Each thread records a distinct bound value, so per-bucket counts are
+  // attributable: any lost update would show up as a short bucket.
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      const std::uint64_t value = obs::kHistogramBounds[t * 4];
+      for (std::size_t i = 0; i < kPerThread; ++i) hist.record(value);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  std::uint64_t expected_sum = 0;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    const std::uint64_t value = obs::kHistogramBounds[t * 4];
+    expected_sum += value * kPerThread;
+    EXPECT_EQ(snap.counts[obs::Histogram::bucket_for(value)], kPerThread)
+        << "thread " << t;
+  }
+  EXPECT_EQ(snap.sum_nanos, expected_sum);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-warm-allocation recording
+// ---------------------------------------------------------------------------
+
+TEST(ObsAllocations, WarmRecordingNeverTouchesTheHeap) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.counter("noodle_test_events_total", "test");
+  obs::Gauge& gauge = registry.gauge("noodle_test_depth", "test");
+  obs::Histogram& hist = registry.histogram("noodle_test_latency_seconds", "test");
+
+  // Warm: the first record on a thread assigns its shard slot.
+  hist.record(500);
+  counter.inc();
+  gauge.set(1);
+  { obs::TraceSpan span(&hist); }
+
+  const std::size_t before = g_allocation_count.load();
+  std::uint64_t out_micros = 0;
+  for (int i = 0; i < 1000; ++i) {
+    hist.record(1000 + static_cast<std::uint64_t>(i));
+    counter.inc();
+    gauge.add(1);
+    gauge.sub(1);
+    obs::TraceSpan span(&hist, &out_micros);
+    span.finish();
+  }
+  EXPECT_EQ(g_allocation_count.load() - before, 0u)
+      << "warm metric recording and span timing must not touch the heap";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry naming, typing, identity
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableIdentity) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("noodle_x_total", "x");
+  obs::Counter& b = registry.counter("noodle_x_total", "x");
+  EXPECT_EQ(&a, &b);
+  obs::Counter& lab1 = registry.counter("noodle_y_total", "y", {{"model", "m1"}});
+  obs::Counter& lab2 = registry.counter("noodle_y_total", "y", {{"model", "m2"}});
+  obs::Counter& lab1_again = registry.counter("noodle_y_total", "y", {{"model", "m1"}});
+  EXPECT_NE(&lab1, &lab2);
+  EXPECT_EQ(&lab1, &lab1_again);
+  EXPECT_EQ(registry.family_count(), 2u);
+}
+
+TEST(MetricsRegistry, RejectsBadNamesAndTypeConflicts) {
+  obs::MetricsRegistry registry;
+  EXPECT_THROW(registry.counter("", "empty"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("0starts_with_digit", "bad"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has space", "bad"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("has-dash", "bad"), std::invalid_argument);
+  EXPECT_NO_THROW(registry.counter("ok:colon_total", "good"));
+  EXPECT_NO_THROW(registry.counter("_leading_underscore", "good"));
+
+  registry.gauge("noodle_depth", "a gauge");
+  EXPECT_THROW(registry.counter("noodle_depth", "now a counter?"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("noodle_depth", "now a histogram?"),
+               std::invalid_argument);
+
+  // Label keys follow the same rules minus the colon.
+  EXPECT_THROW(registry.counter("noodle_l_total", "l", {{"bad key", "v"}}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.counter("noodle_l_total", "l", {{"bad:colon", "v"}}),
+               std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesValuesAndTypes) {
+  obs::MetricsRegistry registry;
+  registry.counter("noodle_a_total", "a").inc(5);
+  registry.gauge("noodle_b", "b").set(-3);
+  registry.histogram("noodle_c_seconds", "c").record(1000);
+
+  const std::vector<obs::MetricsRegistry::Sample> samples = registry.snapshot();
+  ASSERT_EQ(samples.size(), 3u);  // sorted by name: a, b, c
+  EXPECT_EQ(samples[0].name, "noodle_a_total");
+  EXPECT_EQ(samples[0].type, obs::MetricType::kCounter);
+  EXPECT_EQ(samples[0].counter, 5u);
+  EXPECT_EQ(samples[1].name, "noodle_b");
+  EXPECT_EQ(samples[1].gauge, -3);
+  EXPECT_EQ(samples[2].name, "noodle_c_seconds");
+  EXPECT_EQ(samples[2].histogram.count, 1u);
+  EXPECT_EQ(samples[2].histogram.sum_nanos, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> render_lines(obs::MetricsRegistry& registry) {
+  std::ostringstream os;
+  registry.render_prometheus(os);
+  std::vector<std::string> lines;
+  std::istringstream is(os.str());
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(PrometheusRendering, CounterAndGaugeGolden) {
+  obs::MetricsRegistry registry;
+  registry.counter("noodle_requests_total", "Total requests.", {{"model", "prod"}})
+      .inc(42);
+  registry.gauge("noodle_queue_depth", "Requests waiting.").set(7);
+
+  const std::vector<std::string> lines = render_lines(registry);
+  const std::vector<std::string> expected = {
+      "# HELP noodle_queue_depth Requests waiting.",
+      "# TYPE noodle_queue_depth gauge",
+      "noodle_queue_depth 7",
+      "# HELP noodle_requests_total Total requests.",
+      "# TYPE noodle_requests_total counter",
+      "noodle_requests_total{model=\"prod\"} 42",
+  };
+  EXPECT_EQ(lines, expected);
+}
+
+TEST(PrometheusRendering, EscapesLabelValues) {
+  obs::MetricsRegistry registry;
+  registry.counter("noodle_esc_total", "esc", {{"path", "a\"b\\c\nd"}}).inc();
+  const std::vector<std::string> lines = render_lines(registry);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[2], "noodle_esc_total{path=\"a\\\"b\\\\c\\nd\"} 1");
+}
+
+TEST(PrometheusRendering, HistogramExpositionIsCumulativeAndComplete) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& hist =
+      registry.histogram("noodle_lat_seconds", "Latency.", {{"stage", "infer"}});
+  hist.record(150);            // bucket for 150ns
+  hist.record(1'000'000);      // 1ms
+  hist.record(20'000'000'000); // 20s -> overflow, only counted by +Inf
+
+  const std::vector<std::string> lines = render_lines(registry);
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "# HELP noodle_lat_seconds Latency.");
+  EXPECT_EQ(lines[1], "# TYPE noodle_lat_seconds histogram");
+
+  std::vector<std::pair<double, std::uint64_t>> buckets;  // (le, cumulative)
+  std::uint64_t inf_count = 0, count = 0;
+  double sum = -1.0;
+  bool saw_inf = false;
+  for (const std::string& line : lines) {
+    if (line.rfind("noodle_lat_seconds_bucket", 0) == 0) {
+      const std::size_t le = line.find("le=\"");
+      const std::size_t end = line.find('"', le + 4);
+      const std::string bound = line.substr(le + 4, end - le - 4);
+      const std::uint64_t value = std::stoull(line.substr(line.rfind(' ') + 1));
+      if (bound == "+Inf") {
+        saw_inf = true;
+        inf_count = value;
+      } else {
+        buckets.emplace_back(std::stod(bound), value);
+      }
+    } else if (line.rfind("noodle_lat_seconds_sum", 0) == 0) {
+      sum = std::stod(line.substr(line.rfind(' ') + 1));
+    } else if (line.rfind("noodle_lat_seconds_count", 0) == 0) {
+      count = std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  // One line per finite bound plus +Inf; bounds ascending in seconds and
+  // cumulative counts monotone; +Inf equals _count.
+  ASSERT_EQ(buckets.size(), obs::kHistogramBoundCount);
+  ASSERT_TRUE(saw_inf);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_LT(buckets[i - 1].first, buckets[i].first);
+    EXPECT_LE(buckets[i - 1].second, buckets[i].second);
+  }
+  EXPECT_EQ(buckets.front().second, 0u);   // nothing under 100ns
+  EXPECT_EQ(buckets.back().second, 2u);    // 20s recording is past the last bound
+  EXPECT_EQ(inf_count, 3u);
+  EXPECT_EQ(count, 3u);
+  EXPECT_NEAR(sum, (150.0 + 1e6 + 2e10) / 1e9, 1e-9);
+  // Every labelled series keeps the stage label alongside le.
+  for (const std::string& line : lines) {
+    if (line.rfind("noodle_lat_seconds_bucket", 0) == 0) {
+      EXPECT_NE(line.find("stage=\"infer\""), std::string::npos);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan + trace ids
+// ---------------------------------------------------------------------------
+
+TEST(TraceSpan, RecordsIntoHistogramAndOutParam) {
+  obs::Histogram hist;
+  std::uint64_t out_micros = ~0ULL;
+  {
+    obs::TraceSpan span(&hist, &out_micros);
+    const std::uint64_t first = span.finish();
+    EXPECT_EQ(span.finish(), first) << "finish() must be idempotent";
+  }
+  const obs::Histogram::Snapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1u) << "destructor after finish() must not double-record";
+  EXPECT_NE(out_micros, ~0ULL);
+
+  // A null histogram/out pointer is a no-op timer, still usable.
+  obs::TraceSpan bare;
+  EXPECT_GE(bare.elapsed_nanos(), 0u);
+}
+
+TEST(TraceIds, UniqueNonZeroAcrossThreads) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10'000;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      ids[t].reserve(kPerThread);
+      for (std::size_t i = 0; i < kPerThread; ++i) ids[t].push_back(obs::next_trace_id());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  std::set<std::uint64_t> unique;
+  for (const auto& per_thread : ids) {
+    for (const std::uint64_t id : per_thread) {
+      EXPECT_NE(id, 0u);
+      unique.insert(id);
+    }
+  }
+  EXPECT_EQ(unique.size(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace noodle

@@ -510,5 +510,58 @@ TEST_F(RegistryFixture, StatsSnapshotsAreNeverTorn) {
   EXPECT_EQ(requests, s.requests);
 }
 
+// --- reload event log --------------------------------------------------------
+
+TEST_F(RegistryFixture, ReloadEventLogRecordsSuccessesAndFailures) {
+  serve::ModelRegistry registry;
+  registry.reload_from("m", path_a_);
+  EXPECT_THROW(registry.reload_from("m", temp_path("noodle_no_such_file.snap")),
+               serve::SnapshotError);
+  registry.reload_from("m", path_b_);
+
+  const std::vector<serve::ReloadEvent> events = registry.reload_events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events[0].ok);
+  EXPECT_EQ(events[0].name, "m");
+  EXPECT_EQ(events[0].version, 1u);
+  EXPECT_GT(events[0].load_micros, 0u);  // a real snapshot load takes time
+  EXPECT_FALSE(events[1].ok);
+  EXPECT_EQ(events[1].version, 0u);  // nothing was published
+  EXPECT_FALSE(events[1].error.empty());
+  EXPECT_TRUE(events[2].ok);
+  EXPECT_EQ(events[2].version, 2u);  // the failure consumed no version number
+  EXPECT_LT(events[0].when, std::chrono::system_clock::now());
+
+  const serve::ReloadStats totals = registry.reload_stats();
+  EXPECT_EQ(totals.ok, 2u);
+  EXPECT_EQ(totals.errors, 1u);
+  EXPECT_GE(totals.load_micros_total, events[0].load_micros);
+}
+
+TEST_F(RegistryFixture, ReloadEventLogIsBoundedButTotalsAreNot) {
+  serve::ModelRegistry registry;
+  const serve::ModelHandle seed = registry.reload_from("m", path_a_);
+  // Republishing the already-loaded model is cheap, so we can push far past
+  // the ring bound without refitting anything.
+  const std::size_t publishes = serve::ModelRegistry::kMaxReloadEvents + 40;
+  for (std::size_t i = 0; i < publishes; ++i) {
+    registry.publish("m", seed->model_ptr());
+  }
+
+  const std::vector<serve::ReloadEvent> events = registry.reload_events();
+  EXPECT_EQ(events.size(), serve::ModelRegistry::kMaxReloadEvents);
+  // Oldest events aged out: the front of the log is a later publish, and
+  // versions stay strictly ascending across the retained window.
+  EXPECT_GT(events.front().version, 1u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].version, events[i - 1].version + 1);
+  }
+  EXPECT_EQ(events.back().version, 1u + publishes);
+
+  const serve::ReloadStats totals = registry.reload_stats();
+  EXPECT_EQ(totals.ok, 1u + publishes);  // totals survive the ring's bound
+  EXPECT_EQ(totals.errors, 0u);
+}
+
 }  // namespace
 }  // namespace noodle

@@ -396,5 +396,138 @@ TEST(DetectionServiceConfig, RejectsUnfittedDetector) {
                std::invalid_argument);
 }
 
+// --- observability: cache-probe accounting, timing, metrics mirror -----------
+
+/// The value of one labelled counter in a metrics snapshot (0 if absent).
+std::uint64_t sample_counter(const std::vector<obs::MetricsRegistry::Sample>& samples,
+                             const std::string& name, const obs::Labels& labels) {
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.labels == labels) return sample.counter;
+  }
+  return 0;
+}
+
+std::uint64_t probe_count(serve::DetectionService& service, const char* outcome) {
+  return sample_counter(service.metrics_snapshot(), "noodle_cache_probes_total",
+                        {{"outcome", outcome}});
+}
+
+TEST_F(DetectorSnapshot, CacheProbeAccountingIsExactUnderLintToggles) {
+  core::NoodleDetector copy;
+  {
+    const auto path = temp_snapshot_path("noodle_probes.snap");
+    detector_->save(path);
+    copy.load(path);
+    std::filesystem::remove(path);
+  }
+  serve::DetectionService service(std::move(copy), serve::ServiceConfig{});
+  const std::string& source = (*corpus_)[0].verilog;
+
+  // lint off: first scan misses (absent), second hits.
+  service.scan(source);
+  service.scan(source);
+  // lint on: the cached verdict has no lint findings, so serving it would be
+  // wrong — the probe must be a visible lint-state miss, never a phantom hit.
+  service.set_lint(true);
+  const core::DetectionReport linted = service.scan(source);
+  EXPECT_TRUE(linted.lint_ran);
+  // Re-cached with lint on: a hit again, and the hit carries the findings.
+  const core::DetectionReport linted_hit = service.scan(source);
+  EXPECT_TRUE(linted_hit.lint_ran);
+  // Toggling back off mismatches the lint-on entry the same way.
+  service.set_lint(false);
+  EXPECT_FALSE(service.scan(source).lint_ran);
+
+  const serve::ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.requests, 5u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.scans, 3u);
+
+  // The probe taxonomy partitions requests exactly: one outcome per submit.
+  EXPECT_EQ(probe_count(service, "hit"), 2u);
+  EXPECT_EQ(probe_count(service, "miss_absent"), 1u);
+  EXPECT_EQ(probe_count(service, "miss_lint_state"), 2u);
+  EXPECT_EQ(probe_count(service, "miss_collision"), 0u);
+  EXPECT_EQ(probe_count(service, "miss_bypass"), 0u);
+  EXPECT_EQ(probe_count(service, "hit") + probe_count(service, "miss_absent") +
+                probe_count(service, "miss_lint_state") +
+                probe_count(service, "miss_collision") +
+                probe_count(service, "miss_bypass"),
+            stats.requests);
+}
+
+TEST_F(DetectorSnapshot, StatsAndMetricsMirrorNeverDisagree) {
+  core::NoodleDetector copy;
+  {
+    const auto path = temp_snapshot_path("noodle_mirror.snap");
+    detector_->save(path);
+    copy.load(path);
+    std::filesystem::remove(path);
+  }
+  serve::DetectionService service(std::move(copy), serve::ServiceConfig{});
+  for (std::size_t i = 0; i < 6; ++i) {
+    service.scan((*corpus_)[i % 3].verilog);
+  }
+
+  const auto samples = service.metrics_snapshot();
+  const serve::ServiceStats stats = service.stats();
+  const obs::Labels model{{"model", serve::kDefaultModelName}};
+  EXPECT_EQ(sample_counter(samples, "noodle_requests_total", model), stats.requests);
+  EXPECT_EQ(sample_counter(samples, "noodle_cache_hits_total", model), stats.cache_hits);
+  EXPECT_EQ(sample_counter(samples, "noodle_scans_total", model), stats.scans);
+  EXPECT_EQ(sample_counter(samples, "noodle_batches_total", model), stats.batches);
+
+  // And the rendered exposition agrees with the same snapshot the stats API
+  // hands out (the mirror syncs from ONE StatsBook lock acquisition).
+  std::ostringstream os;
+  service.render_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("noodle_requests_total{model=\"default\"} " +
+                      std::to_string(stats.requests)),
+            std::string::npos);
+}
+
+TEST_F(DetectorSnapshot, ReportsCarryTimingAndDistinctTraceIds) {
+  core::NoodleDetector copy;
+  {
+    const auto path = temp_snapshot_path("noodle_timing.snap");
+    detector_->save(path);
+    copy.load(path);
+    std::filesystem::remove(path);
+  }
+  serve::DetectionService service(std::move(copy), serve::ServiceConfig{});
+
+  const core::DetectionReport a = service.scan((*corpus_)[0].verilog);
+  const core::DetectionReport b = service.scan((*corpus_)[1].verilog);
+  const core::DetectionReport hit = service.scan((*corpus_)[0].verilog);
+
+  // Every request gets a distinct nonzero trace id, hits included.
+  EXPECT_NE(a.timing.trace_id, 0u);
+  EXPECT_NE(b.timing.trace_id, 0u);
+  EXPECT_NE(hit.timing.trace_id, 0u);
+  EXPECT_NE(a.timing.trace_id, b.timing.trace_id);
+  EXPECT_NE(a.timing.trace_id, hit.timing.trace_id);
+  EXPECT_NE(b.timing.trace_id, hit.timing.trace_id);
+
+  EXPECT_FALSE(a.timing.from_cache);
+  EXPECT_FALSE(b.timing.from_cache);
+  EXPECT_TRUE(hit.timing.from_cache);
+
+  // Scanned requests: the total spans submit -> resolve, so it dominates
+  // the queue wait (batch linger alone is ~2ms).
+  EXPECT_GT(a.timing.total_us, 0u);
+  EXPECT_GE(a.timing.total_us, a.timing.queue_wait_us);
+  EXPECT_GE(b.timing.total_us, b.timing.queue_wait_us);
+
+  // The per-stage histograms saw every request: one total recording each.
+  const auto samples = service.metrics_snapshot();
+  for (const auto& sample : samples) {
+    if (sample.name != "noodle_stage_duration_seconds") continue;
+    if (sample.labels == obs::Labels{{"stage", "total"}}) {
+      EXPECT_EQ(sample.histogram.count, 3u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace noodle

@@ -14,9 +14,16 @@
 //   !reload NAME=PATH      hot-swap: load PATH and publish it as the next
 //                          version of NAME — in-flight scans are neither
 //                          blocked nor re-answered (atomic registry swap)
-//   !models                list registered models to stderr
+//   !models                list registered models (and recent reload
+//                          events) to stderr
 //   !stats                 print service counters to stderr
+//   !metrics               dump the Prometheus text exposition to stderr
+//                          (exposition lines only: `# ...` and `noodle_...`)
+//   !drain                 block until every pending verdict has been
+//                          printed (deterministic cache state for scripts:
+//                          requests after a !drain probe a fully warm cache)
 //   !lint on|off           toggle the static-analysis pass at runtime
+//   !trace on|off          toggle the per-verdict trace= timing column
 //
 // Options:
 //   --snapshot FILE   load the default model from FILE if it exists;
@@ -33,6 +40,13 @@
 //   --workers N       service worker threads (default 1)
 //   --lint            run the lint:: static-analysis pass on every scan and
 //                     attach findings to verdict lines as a lint= column
+//   --trace           start with the per-verdict trace= column on
+//   --metrics-file PATH   dump the Prometheus exposition to PATH every
+//                     --metrics-interval seconds, at clean exit, and on
+//                     SIGTERM/SIGINT — always write-temp + atomic rename,
+//                     so a scraper never reads a torn file
+//   --metrics-interval N  seconds between metrics dumps (default 10; 0 =
+//                     only at exit/signal)
 //   --seed N          training seed (default 42)
 //   --stats           print service counters (total + per model) on exit
 //   --demo N          write N demo circuits under ./noodled_demo/ and print
@@ -41,19 +55,26 @@
 //
 // Verdict line format (tab-separated):
 //   TROJAN-INFECTED|trojan-free|parse-error|read-error|no-model
-//       p=...  region=...  model=name@version  [lint=...]  <path>
+//       p=...  region=...  model=name@version  [lint=...]  [trace=...]  <path>
 // The lint= column appears only on verdicts scanned with lint enabled:
 // "lint=0" for a clean design, else "lint=N:CODE@line,CODE@line,..."
-// (first findings; N is the full count).
+// (first findings; N is the full count). The trace= column appears only
+// while `!trace on` / --trace is active: one field, microseconds per stage,
+//   trace=<id>:cache=hit,lookup=2,total=5            (cache hits)
+//   trace=<id>:queue=120,feat=63,infer=85,lint=4,total=311
+// so `awk -F'\t'` still sees one column per request attribute.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <deque>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -76,6 +97,9 @@ struct Options {
   bool quick = false;
   bool stats = false;
   bool lint = false;
+  bool trace = false;
+  std::filesystem::path metrics_file;
+  std::size_t metrics_interval = 10;
   std::size_t batch = 16;
   std::size_t cache = 4096;
   std::size_t workers = 1;
@@ -88,10 +112,12 @@ struct Options {
   std::cerr << "usage: " << argv0
             << " [--snapshot FILE] [--model NAME=PATH ...] [--refit] [--f32]"
                " [--quick] [--batch N] [--cache N] [--workers N] [--lint]"
+               " [--trace] [--metrics-file PATH] [--metrics-interval N]"
                " [--seed N] [--stats] [--demo N]\n"
                "reads newline-delimited request lines from stdin:\n"
                "  PATH | MODEL:PATH | MODEL@VER:PATH | !reload NAME=PATH |"
-               " !models | !stats | !lint on|off\n";
+               " !models | !stats | !metrics | !drain | !lint on|off |"
+               " !trace on|off\n";
   std::exit(2);
 }
 
@@ -132,6 +158,12 @@ Options parse_options(int argc, char** argv) {
         options.stats = true;
       } else if (arg == "--lint") {
         options.lint = true;
+      } else if (arg == "--trace") {
+        options.trace = true;
+      } else if (arg == "--metrics-file") {
+        options.metrics_file = next_value(i);
+      } else if (arg == "--metrics-interval") {
+        options.metrics_interval = std::stoul(next_value(i));
       } else if (arg == "--batch") {
         options.batch = std::stoul(next_value(i));
       } else if (arg == "--cache") {
@@ -241,6 +273,26 @@ std::string lint_column(const core::DetectionReport& report) {
   return column;
 }
 
+/// The verdict line's trace= column: the request's trace id plus per-stage
+/// wall time in microseconds, comma-joined with no spaces so the column
+/// stays one awk field. Cache hits report the lookup instead of the
+/// pipeline stages they never ran.
+std::string trace_column(const core::DetectionReport& report) {
+  const core::RequestTiming& timing = report.timing;
+  std::string column = "trace=" + std::to_string(timing.trace_id) + ":";
+  if (timing.from_cache) {
+    column += "cache=hit,lookup=" + std::to_string(timing.cache_lookup_us) +
+              ",total=" + std::to_string(timing.total_us);
+  } else {
+    column += "queue=" + std::to_string(timing.queue_wait_us) +
+              ",feat=" + std::to_string(timing.featurize_us) +
+              ",infer=" + std::to_string(timing.infer_us) +
+              ",lint=" + std::to_string(timing.lint_us) +
+              ",total=" + std::to_string(timing.total_us);
+  }
+  return column;
+}
+
 void print_stats(const serve::DetectionService& service) {
   print_stats_line("total", service.stats());
   for (const auto& [name, stats] : service.stats_by_model()) {
@@ -255,7 +307,48 @@ void print_models(const serve::ModelRegistry& registry) {
     if (!handle->source().empty()) std::cerr << " source=" << handle->source().string();
     std::cerr << "\n";
   }
+  const std::vector<serve::ReloadEvent> events = registry.reload_events();
+  constexpr std::size_t kMaxShown = 8;
+  const std::size_t shown = std::min(events.size(), kMaxShown);
+  for (std::size_t i = events.size() - shown; i < events.size(); ++i) {
+    const serve::ReloadEvent& event = events[i];
+    const auto epoch_seconds = std::chrono::duration_cast<std::chrono::seconds>(
+                                   event.when.time_since_epoch())
+                                   .count();
+    std::cerr << "noodled: reload t=" << epoch_seconds << " " << event.name;
+    if (event.ok) {
+      std::cerr << "@" << event.version << " ok load_us=" << event.load_micros;
+    } else {
+      std::cerr << " FAILED load_us=" << event.load_micros << " error="
+                << event.error;
+    }
+    std::cerr << "\n";
+  }
 }
+
+/// Writes the Prometheus exposition to `path` via write-temp + atomic
+/// rename: a scraper polling the file either sees the previous complete
+/// dump or this one, never a torn write.
+bool dump_metrics(serve::DetectionService& service, const std::filesystem::path& path) {
+  std::filesystem::path tmp = path;
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    service.render_prometheus(out);
+    if (!out) return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  return !ec;
+}
+
+/// Signals observed by the metrics-dump thread; async-signal-safe because
+/// the handler only stores into a sig_atomic_t. Installed only when
+/// --metrics-file is given — otherwise default dispositions stand.
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void noodled_signal_handler(int sig) { g_signal = sig; }
 
 /// Splits "spec:path" when the prefix names a registered model; otherwise
 /// the whole line is a path for the default model.
@@ -329,6 +422,42 @@ int main(int argc, char** argv) {
   service_config.lint = options.lint;
   serve::DetectionService service(registry, default_model, service_config);
 
+  // The metrics-dump thread: periodic + signal-triggered + exit dumps, all
+  // through the same atomic-rename writer. The signal handler only raises a
+  // flag; the thread does the dump, restores the default disposition, and
+  // re-raises so the process still dies from SIGTERM/SIGINT as expected.
+  std::atomic<bool> metrics_stop{false};
+  std::thread metrics_thread;
+  if (!options.metrics_file.empty()) {
+    std::signal(SIGTERM, noodled_signal_handler);
+    std::signal(SIGINT, noodled_signal_handler);
+    metrics_thread = std::thread([&service, &metrics_stop, &options] {
+      using clock = std::chrono::steady_clock;
+      auto last_dump = clock::now();
+      while (!metrics_stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (g_signal != 0) {
+          const int sig = static_cast<int>(g_signal);
+          dump_metrics(service, options.metrics_file);
+          std::signal(sig, SIG_DFL);
+          std::raise(sig);
+          return;
+        }
+        if (options.metrics_interval > 0 &&
+            clock::now() - last_dump >=
+                std::chrono::seconds(options.metrics_interval)) {
+          if (!dump_metrics(service, options.metrics_file)) {
+            std::cerr << "noodled: metrics dump to "
+                      << options.metrics_file.string() << " failed\n";
+          }
+          last_dump = clock::now();
+        }
+      }
+    });
+  }
+
+  bool trace_on = options.trace;
+
   struct Pending {
     std::string path;
     std::string model;  ///< requested spec; verdict lines prefer served_by
@@ -356,6 +485,7 @@ int main(int argc, char** argv) {
                   << "\tregion=" << region_text(report.region)
                   << "\tmodel=" << report.served_by;
         if (report.lint_ran) std::cout << "\t" << lint_column(report);
+        if (trace_on) std::cout << "\t" << trace_column(report);
         std::cout << "\t" << request.path << "\n";
       } catch (const serve::RegistryError& e) {
         std::cout << "no-model\t-\t-\tmodel=" << request.model << "\t" << request.path
@@ -414,6 +544,20 @@ int main(int argc, char** argv) {
         print_models(*registry);
       } else if (command == "!stats") {
         print_stats(service);
+      } else if (command == "!metrics") {
+        service.render_prometheus(std::cerr);
+      } else if (command == "!drain") {
+        while (!pending.empty()) print_front();
+      } else if (command == "!trace") {
+        std::string value;
+        control >> value;
+        if (value == "on" || value == "off") {
+          trace_on = value == "on";
+          std::cerr << "noodled: trace " << value << "\n";
+        } else {
+          std::cerr << "noodled: !trace wants on|off, got '" << value << "'\n";
+          ++failures;
+        }
       } else if (command == "!lint") {
         std::string value;
         control >> value;
@@ -448,6 +592,18 @@ int main(int argc, char** argv) {
     while (pending.size() >= max_pending) print_front();
   }
   while (!pending.empty()) print_front();
+
+  if (!options.metrics_file.empty()) {
+    metrics_stop.store(true, std::memory_order_relaxed);
+    if (metrics_thread.joinable()) metrics_thread.join();
+    // Final dump at clean exit, so short-lived runs leave a complete
+    // scrape behind even when no interval ever elapsed.
+    if (!dump_metrics(service, options.metrics_file)) {
+      std::cerr << "noodled: metrics dump to " << options.metrics_file.string()
+                << " failed\n";
+      ++failures;
+    }
+  }
 
   if (options.stats) print_stats(service);
   return failures == 0 ? 0 : 1;
