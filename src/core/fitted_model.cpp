@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "data/dataset.h"
+#include "feat/featurize.h"
 #include "serve/snapshot.h"
 #include "util/binary_io.h"
 #include "util/thread_pool.h"
@@ -202,17 +203,32 @@ DetectorConfig read_config(std::istream& is) {
 
 }  // namespace
 
+namespace {
+
+/// Lowest archive version able to represent a payload of this precision —
+/// stamping it keeps older readers loading every archive they can parse.
+std::uint32_t version_for(nn::WeightPrecision precision) {
+  switch (precision) {
+    case nn::WeightPrecision::I8: return 3;
+    case nn::WeightPrecision::F32: return 2;
+    case nn::WeightPrecision::F64: break;
+  }
+  return serve::kSnapshotVersionMin;
+}
+
+}  // namespace
+
 void FittedModel::save(std::ostream& os, nn::WeightPrecision precision) const {
-  // Pure-f64 archives are byte-compatible with version 1, so stamp the
-  // lowest version that can represent the payload — a fleet of v1 readers
-  // keeps loading uncompacted snapshots written by this build.
-  serve::SnapshotWriter writer(precision == nn::WeightPrecision::F32
-                                   ? serve::kSnapshotVersion
-                                   : serve::kSnapshotVersionMin);
+  serve::SnapshotWriter writer(version_for(precision));
   write_config(writer.begin_section("CONF"), config_);
   early_.save(writer.begin_section("EARL"), precision);
   late_.save(writer.begin_section("LATE"), precision);
-  util::write_string(writer.begin_section("META"), winner_);
+  // META: winner string, then the feature definition the model was fitted
+  // against. Pre-PR 8 archives end after the winner — the loader treats
+  // that as feature version 1.
+  std::ostream& meta = writer.begin_section("META");
+  util::write_string(meta, winner_);
+  util::write_u32(meta, feat::kFeatureVersion);
   writer.write_to(os);
 }
 
@@ -233,9 +249,26 @@ std::shared_ptr<const FittedModel> FittedModel::load(const std::filesystem::path
     fusion::LateFusionModel late(config.fusion);
     early.load(reader.section("EARL"));
     late.load(reader.section("LATE"));
-    std::string winner = util::read_string(reader.section("META"));
+    std::istream& meta = reader.section("META");
+    std::string winner = util::read_string(meta);
     if (winner != "early_fusion" && winner != "late_fusion") {
       throw serve::SnapshotError("snapshot: unknown winning fusion '" + winner + "'");
+    }
+    // Feature-version gate: a model fitted against one feature definition
+    // must never be served against another (the sketch values feeding the
+    // graph CNN would silently shift). Archives written before the version
+    // was recorded are feature version 1 by definition.
+    std::uint32_t feature_version = 1;
+    try {
+      feature_version = util::read_u32(meta);
+    } catch (const std::runtime_error&) {
+      // Pre-PR 8 META ends after the winner string.
+    }
+    if (feature_version != feat::kFeatureVersion) {
+      throw serve::SnapshotError(
+          "snapshot: fitted against feature version " +
+          std::to_string(feature_version) + " but this build computes version " +
+          std::to_string(feat::kFeatureVersion) + "; refit or use a matching build");
     }
     return std::make_shared<const FittedModel>(std::move(config), std::move(early),
                                                std::move(late), std::move(winner));

@@ -20,6 +20,7 @@
 // (parse_module + build_netgraph + graph_features + tabular_features);
 // tests assert this across the bundled corpus.
 
+#include <cstdint>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -31,6 +32,19 @@
 #include "verilog/parser.h"
 
 namespace noodle::feat {
+
+/// Version of the feature definition (graph + tabular vectors jointly).
+/// Bumped whenever any feature changes numerically, even within tolerance,
+/// so a snapshot fitted on one definition is never silently served against
+/// another. History:
+///   1 — seed definition (also any pre-versioning snapshot).
+///   2 — PR 8: spectral sketch rebuilt as blocked subspace iteration with
+///       a Rayleigh-Ritz projection over a CSR adjacency. The [31..33]
+///       eigenvalue features shift versus v1 — by design: at the 24-pass
+///       budget they track a dense eigensolve ~30x tighter than v1's
+///       50-pass deflated power iteration (see tests/test_graph.cpp), so
+///       models must be refit rather than served across the bump.
+inline constexpr std::uint32_t kFeatureVersion = 2;
 
 class FeaturizeWorkspace {
  public:

@@ -120,7 +120,8 @@ void graph_features(const NetGraph& g, std::span<double> out, FeatureScratch& sc
   push(safe_log1p(static_cast<double>(g.depth_from_inputs(scratch.analysis))));
 
   // [31..33] spectral sketch.
-  g.spectral_sketch(std::span<double>(scratch.spectrum, 3), 50, scratch.analysis);
+  g.spectral_sketch(std::span<double>(scratch.spectrum, 3),
+                    NetGraph::kSpectralSketchIterations, scratch.analysis);
   for (const double eigenvalue : scratch.spectrum) push(safe_log1p(eigenvalue));
 
   // [34..39] trigger-motif counts.

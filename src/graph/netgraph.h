@@ -60,10 +60,24 @@ struct AnalysisScratch {
   std::vector<std::uint8_t> seen;
   std::vector<std::size_t> queue;  // BFS ring buffer (head index, no pops)
   std::vector<std::size_t> dist;
-  std::vector<double> vec_a;                 // power-iteration v
-  std::vector<double> vec_b;                 // power-iteration w
-  std::vector<std::vector<double>> basis;    // deflation basis
+  std::vector<double> vec_a;         // blocked-iteration block V (n x width)
+  std::vector<double> vec_b;         // blocked-iteration block A·V
+  std::vector<double> sketch_small;  // norms / Gram / Cholesky small scratch
+  // CSR image of the symmetrized adjacency A + Aᵀ, materialized once per
+  // spectral_sketch call: row i concatenates successors(i) then
+  // predecessors(i), so every SpMV is one contiguous sweep instead of a
+  // scatter over out_'s vector-of-vectors. Column indices are u32 — the
+  // SpMV gathers are bound on index traffic, and module-scale netlists are
+  // nowhere near 2^32 nodes (enforced with a range check at build time).
+  std::vector<std::size_t> csr_offsets;   // size n + 1
+  std::vector<std::uint32_t> csr_adj;     // size 2 · edge_count
 };
+
+/// The calling thread's shared AnalysisScratch (created on first use,
+/// reused for the thread's lifetime). Backs the allocating convenience
+/// overloads of the graph analyses, so casual callers get the same
+/// allocation-free steady state as the workspace-threaded hot path.
+AnalysisScratch& thread_analysis_scratch() noexcept;
 
 /// Directed multigraph with stable integer node ids.
 class NetGraph {
@@ -121,9 +135,10 @@ class NetGraph {
   std::vector<NodeId> nodes_of_type(NodeType type) const;
 
   // --- analyses ---
-  // Each analysis has an allocating form and a scratch-taking form; the
-  // former delegates to the latter, so results are identical by
-  // construction and the hot path can run allocation-free.
+  // Each analysis has a convenience form and a scratch-taking form; the
+  // former delegates to the latter through thread_analysis_scratch(), so
+  // results are identical by construction and BOTH forms are
+  // allocation-free in steady state.
 
   /// Number of weakly connected components.
   std::size_t component_count() const;
@@ -140,9 +155,23 @@ class NetGraph {
   /// In-place form: writes the histogram into `out` (size kNodeTypeCount).
   void type_histogram(std::span<double> out) const;
 
-  /// Largest eigenvalue estimates of the symmetrized adjacency matrix via
-  /// deflated power iteration; a cheap spectral signature of the topology.
-  std::vector<double> spectral_sketch(std::size_t count, std::size_t iterations = 50) const;
+  /// Default pass budget for spectral_sketch. 24 blocked passes put the
+  /// Ritz values ~30x closer to a dense eigensolve than the v1 deflated
+  /// power iteration managed in 50 (asserted in tests/test_graph.cpp), so
+  /// the budget buys strictly better estimates at under half the sweeps.
+  static constexpr std::size_t kSpectralSketchIterations = 24;
+
+  /// Largest eigenvalue magnitudes of the symmetrized adjacency A + Aᵀ — a
+  /// cheap spectral signature of the topology. Computed by blocked subspace
+  /// iteration over a CSR adjacency built once per call: one fused CSR pass
+  /// per iteration drives a fixed 4-wide block, with periodic Cholesky-QR
+  /// orthonormalization and a final Rayleigh-Ritz projection (v2 sketch,
+  /// feat::kFeatureVersion 2). `iterations` is a cap: the loop exits early
+  /// once every column-norm estimate is stationary to a relative 1e-13 for
+  /// two consecutive passes (well-separated spectra exit within a handful
+  /// of passes; near-degenerate ones run the full budget).
+  std::vector<double> spectral_sketch(
+      std::size_t count, std::size_t iterations = kSpectralSketchIterations) const;
   /// In-place form: writes `out.size()` eigenvalues.
   void spectral_sketch(std::span<double> out, std::size_t iterations,
                        AnalysisScratch& scratch) const;

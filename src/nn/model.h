@@ -9,8 +9,13 @@ namespace noodle::nn {
 
 /// On-disk encoding of a weight blob. F64 round-trips bit-exactly; F32
 /// halves the payload (snapshot compaction for fleet distribution) at the
-/// cost of rounding each weight to the nearest binary32 value.
-enum class WeightPrecision : std::uint8_t { F64 = 0, F32 = 1 };
+/// cost of rounding each weight to the nearest binary32 value. I8 stores
+/// one byte per weight plus one f64 scale per parameter buffer (~8x
+/// smaller than F64): q = round(w / scale) clamped to [-127, 127] with
+/// scale = max|w| / 127, decoded as q · scale. Like F32 it is
+/// verdict-equivalent, not bit-identical — asserted in
+/// tests/test_nn_engine.cpp alongside the f32 test.
+enum class WeightPrecision : std::uint8_t { F64 = 0, F32 = 1, I8 = 2 };
 
 class Sequential {
  public:

@@ -41,9 +41,12 @@ class SnapshotError : public std::runtime_error {
 inline constexpr std::uint64_t kSnapshotMagic = 0x31504e53444f4f4eULL;
 /// Version 1: f64 weight blobs only. Version 2: weight sections may carry
 /// the compact f32 encoding (nn::WeightPrecision::F32, ~2x smaller) — the
-/// blob's own magic says which, so v1 archives still load.
+/// blob's own magic says which, so v1 archives still load. Version 3:
+/// weight sections may carry the per-buffer-scaled int8 encoding
+/// (nn::WeightPrecision::I8, ~8x smaller), and the META section carries
+/// the feat::kFeatureVersion the model was fitted against.
 inline constexpr std::uint32_t kSnapshotVersionMin = 1;
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Accumulates tagged sections in memory, then writes the framed, checksummed
 /// archive in one pass. Usage:

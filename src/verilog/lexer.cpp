@@ -1,19 +1,74 @@
 #include "verilog/lexer.h"
 
-#include <cctype>
+#include <array>
+#include <cstdint>
 #include <string>
 
 namespace noodle::verilog {
 
 namespace {
 
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+// Character classes as one 256-byte table instead of <cctype> calls: the
+// locale-aware is*() functions cost an indirect load per character, and the
+// lexer asks several times per byte. The table reproduces the "C"-locale
+// answers exactly (bytes >= 128 are in no class), so token boundaries are
+// unchanged.
+enum : std::uint8_t {
+  kClassSpace = 1,
+  kClassDigit = 2,
+  kClassIdentStart = 4,
+  kClassIdentChar = 8,
+};
+
+constexpr std::array<std::uint8_t, 256> kCharClass = [] {
+  std::array<std::uint8_t, 256> table{};
+  for (int c = 0; c < 256; ++c) {
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r') {
+      table[c] |= kClassSpace;
+    }
+    if (digit) table[c] |= kClassDigit;
+    if (alpha || c == '_') table[c] |= kClassIdentStart;
+    if (alpha || digit || c == '_' || c == '$') table[c] |= kClassIdentChar;
+  }
+  return table;
+}();
+
+constexpr std::uint8_t char_class(char c) noexcept {
+  return kCharClass[static_cast<unsigned char>(c)];
 }
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
-}
+// Punct spellings grouped by first byte (stable counting sort), so matching
+// probes only the handful of spellings that can possibly start here instead
+// of walking all 42. Within a group the original kPunctSpellings order is
+// preserved, which is what implements maximal munch ("<=" before "<") — the
+// match result is identical to the old linear scan, just without the misses.
+struct PunctDispatch {
+  std::array<std::uint8_t, 257> begin{};  // per first byte: offset into order
+  std::array<std::uint8_t, kPunctSpellings.size()> order{};
+};
+
+constexpr PunctDispatch kPunctDispatch = [] {
+  PunctDispatch d{};
+  std::array<std::uint8_t, 256> count{};
+  for (const std::string_view spelling : kPunctSpellings) {
+    ++count[static_cast<unsigned char>(spelling[0])];
+  }
+  std::uint8_t total = 0;
+  for (int c = 0; c < 256; ++c) {
+    d.begin[c] = total;
+    total = static_cast<std::uint8_t>(total + count[c]);
+  }
+  d.begin[256] = total;
+  std::array<std::uint8_t, 256> next = {};
+  for (int c = 0; c < 256; ++c) next[c] = d.begin[c];
+  for (std::size_t p = 0; p < kPunctSpellings.size(); ++p) {
+    d.order[next[static_cast<unsigned char>(kPunctSpellings[p][0])]++] =
+        static_cast<std::uint8_t>(p);
+  }
+  return d;
+}();
 
 int base_digit_value(char c) {
   if (c >= '0' && c <= '9') return c - '0';
@@ -47,6 +102,20 @@ class Cursor {
     pos_ += expected.size();
     column_ += static_cast<int>(expected.size());
     return true;
+  }
+
+  /// Consumes the maximal run of characters in `mask`'s classes. None of
+  /// the classes include '\n', so line tracking reduces to one column bump
+  /// for the whole run — the per-character advance() and its bounds check
+  /// disappear from the identifier/number hot paths.
+  void consume_run(std::uint8_t mask) noexcept {
+    std::size_t p = pos_;
+    while (p < text_.size() &&
+           (kCharClass[static_cast<unsigned char>(text_[p])] & mask) != 0) {
+      ++p;
+    }
+    column_ += static_cast<int>(p - pos_);
+    pos_ = p;
   }
 
   std::size_t pos() const noexcept { return pos_; }
@@ -143,7 +212,7 @@ void lex_into(std::string_view source, std::vector<Token>& tokens) {
   const auto skip_trivia = [&] {
     while (!cur.done()) {
       const char c = cur.peek();
-      if (std::isspace(static_cast<unsigned char>(c))) {
+      if ((char_class(c) & kClassSpace) != 0) {
         cur.advance();
       } else if (c == '/' && cur.peek(1) == '/') {
         while (!cur.done() && cur.peek() != '\n') cur.advance();
@@ -219,8 +288,8 @@ void lex_into(std::string_view source, std::vector<Token>& tokens) {
     }
 
     const char c = cur.peek();
-    if (is_ident_start(c)) {
-      while (!cur.done() && is_ident_char(cur.peek())) cur.advance();
+    if ((char_class(c) & kClassIdentStart) != 0) {
+      cur.consume_run(kClassIdentChar);
       const std::string_view word = cur.slice(start);
       tok.text = word;
       tok.kind = is_verilog_keyword(word) ? TokenKind::Keyword : TokenKind::Identifier;
@@ -230,17 +299,17 @@ void lex_into(std::string_view source, std::vector<Token>& tokens) {
 
     if (c == '$') {
       cur.advance();
-      while (!cur.done() && is_ident_char(cur.peek())) cur.advance();
+      cur.consume_run(kClassIdentChar);
       tok.text = cur.slice(start);
       tok.kind = TokenKind::SystemName;
       tokens.push_back(tok);
       continue;
     }
 
-    if (std::isdigit(static_cast<unsigned char>(c))) {
+    if ((char_class(c) & kClassDigit) != 0) {
       std::uint64_t value = 0;
       while (!cur.done() &&
-             (std::isdigit(static_cast<unsigned char>(cur.peek())) || cur.peek() == '_')) {
+             ((char_class(cur.peek()) & kClassDigit) != 0 || cur.peek() == '_')) {
         const char d = cur.advance();
         if (d == '_') continue;
         value = value * 10 + static_cast<std::uint64_t>(d - '0');
@@ -278,7 +347,10 @@ void lex_into(std::string_view source, std::vector<Token>& tokens) {
     }
 
     bool matched = false;
-    for (std::size_t p = 0; p < kPunctSpellings.size(); ++p) {
+    const unsigned char first = static_cast<unsigned char>(c);
+    for (std::size_t s = kPunctDispatch.begin[first]; s < kPunctDispatch.begin[first + 1];
+         ++s) {
+      const std::size_t p = kPunctDispatch.order[s];
       if (cur.consume(kPunctSpellings[p])) {
         tok.kind = TokenKind::Punct;
         tok.text = kPunctSpellings[p];  // static storage — outlives any source

@@ -245,5 +245,176 @@ TEST(GraphFeatures, AllFamiliesProduceFiniteFeatures) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Blocked spectral sketch vs dense ground truth (feature version 2)
+// ---------------------------------------------------------------------------
+
+/// The feature-version-1 sketch, verbatim: deflated power iteration that
+/// scatters over the out-adjacency edge by edge, zero-fills w every
+/// iteration, and always runs the full iteration budget. The v2 blocked
+/// subspace iteration replaces it outright, so this reference exists to
+/// QUANTIFY the change rather than to match it: the fixture below measures
+/// both implementations against a dense eigensolve and asserts the v2
+/// values are far closer to the true spectrum — which is what justifies
+/// bumping feat::kFeatureVersion instead of claiming any identity.
+std::vector<double> pre_csr_spectral_sketch(const NetGraph& g, std::size_t count,
+                                            std::size_t iterations) {
+  const std::size_t n = g.node_count();
+  std::vector<double> out(count, 0.0);
+  if (n == 0 || count == 0) return out;
+  std::vector<std::vector<double>> basis(count);
+  std::vector<double> v, w;
+  for (std::size_t k = 0; k < count; ++k) {
+    v.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = 1.0 + 0.1 * static_cast<double>((i + k + 1) % 7);
+    }
+    double eigenvalue = 0.0;
+    for (std::size_t iter = 0; iter < iterations; ++iter) {
+      for (std::size_t f = 0; f < k; ++f) {
+        const std::vector<double>& u = basis[f];
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) dot += v[i] * u[i];
+        for (std::size_t i = 0; i < n; ++i) v[i] -= dot * u[i];
+      }
+      w.assign(n, 0.0);
+      for (NetGraph::NodeId src = 0; src < n; ++src) {
+        for (const NetGraph::NodeId dst : g.successors(src)) {
+          w[dst] += v[src];
+          w[src] += v[dst];
+        }
+      }
+      double norm = 0.0;
+      for (const double x : w) norm += x * x;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) {
+        eigenvalue = 0.0;
+        v.assign(n, 0.0);
+        break;
+      }
+      eigenvalue = norm;
+      for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / norm;
+    }
+    out[k] = eigenvalue;
+    basis[k] = v;
+  }
+  return out;
+}
+
+/// Dense cyclic-Jacobi eigensolve of the symmetrized adjacency — the
+/// ground truth the sketches estimate. O(n³) per sweep, test-only.
+std::vector<double> dense_spectrum_magnitudes(const NetGraph& g, std::size_t count) {
+  const std::size_t n = g.node_count();
+  std::vector<double> a(n * n, 0.0);
+  for (NetGraph::NodeId i = 0; i < n; ++i) {
+    for (const NetGraph::NodeId d : g.successors(i)) {
+      a[i * n + d] += 1.0;
+      a[d * n + i] += 1.0;
+    }
+  }
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p * n + q] * a[p * n + q];
+    }
+    if (off < 1e-22) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a[p * n + q];
+        if (std::abs(apq) < 1e-18) continue;
+        const double tau = (a[q * n + q] - a[p * n + p]) / (2.0 * apq);
+        const double t =
+            (tau >= 0.0 ? 1.0 : -1.0) / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double aip = a[i * n + p];
+          const double aiq = a[i * n + q];
+          a[i * n + p] = c * aip - s * aiq;
+          a[i * n + q] = s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double api = a[p * n + i];
+          const double aqi = a[q * n + i];
+          a[p * n + i] = c * api - s * aqi;
+          a[q * n + i] = s * api + c * aqi;
+        }
+      }
+    }
+  }
+  std::vector<double> mags(n);
+  for (std::size_t i = 0; i < n; ++i) mags[i] = std::abs(a[i * n + i]);
+  std::sort(mags.rbegin(), mags.rend());
+  mags.resize(count, 0.0);
+  return mags;
+}
+
+TEST(SpectralSketch, TracksDenseSpectrumFarTighterThanV1OnGeneratedCorpus) {
+  // Every design family at several seeds — the same generator the training
+  // corpus uses, so this is the population the version bump must be judged
+  // on. The v2 blocked sketch at its default 24-pass budget must beat the
+  // v1 deflated power iteration at 50 passes against dense ground truth by
+  // a wide aggregate margin (measured ~30x; asserted at 2x for slack), stay
+  // small in the mean, and never be catastrophically wrong on any graph.
+  double sum_v1 = 0.0;
+  double sum_v2 = 0.0;
+  double max_v2 = 0.0;
+  std::size_t values = 0;
+  for (const auto family : data::all_design_families()) {
+    for (const std::uint64_t seed : {1u, 7u, 23u, 51u, 104u, 999u}) {
+      util::Rng rng(seed);
+      const auto src = data::generate_design(family, "d", rng);
+      const NetGraph g = build_netgraph(verilog::parse_module(src));
+      const auto truth = dense_spectrum_magnitudes(g, 3);
+      const auto v1 = pre_csr_spectral_sketch(g, 3, 50);
+      const auto v2 = g.spectral_sketch(3);
+      ASSERT_EQ(v2.size(), truth.size());
+      for (std::size_t i = 0; i < truth.size(); ++i) {
+        sum_v1 += std::abs(v1[i] - truth[i]);
+        const double err = std::abs(v2[i] - truth[i]);
+        sum_v2 += err;
+        max_v2 = std::max(max_v2, err);
+        ++values;
+      }
+    }
+  }
+  EXPECT_LT(sum_v2, 0.5 * sum_v1) << "v2 aggregate error should crush v1's";
+  EXPECT_LT(sum_v2 / static_cast<double>(values), 0.05) << "v2 mean error";
+  EXPECT_LT(max_v2, 2.0) << "v2 worst-case error";
+}
+
+TEST(SpectralSketch, ConvergenceExitTriggersOnWellSeparatedSpectra) {
+  // A star K_{1,4} has a well-separated spectrum, so every column-norm
+  // estimate goes stationary long before any reasonable cap — and once the
+  // exit triggers, raising the cap cannot change the answer (the break
+  // happens at the same pass with the same block, bit for bit). Graphs
+  // whose spectra converge slower than the cap are deliberately NOT
+  // cap-insensitive; the dense-truth fixture above bounds their error
+  // instead.
+  NetGraph g;
+  const auto center = g.add_node(NodeType::Wire, "c");
+  for (int i = 0; i < 4; ++i) {
+    g.add_edge(center, g.add_node(NodeType::Wire, "l"));
+  }
+  const auto at_50 = g.spectral_sketch(2, 50);
+  const auto at_4000 = g.spectral_sketch(2, 4000);
+  EXPECT_EQ(at_50, at_4000);
+}
+
+TEST(SpectralSketch, ScratchAndConvenienceFormsAgree) {
+  // The convenience overload routes through thread_analysis_scratch(), so
+  // the two forms must be bit-identical — and a reused scratch must not
+  // leak state between differently-shaped graphs.
+  util::Rng rng(9);
+  AnalysisScratch scratch;
+  for (const auto family : data::all_design_families()) {
+    const auto src = data::generate_design(family, "d", rng);
+    const NetGraph g = build_netgraph(verilog::parse_module(src));
+    std::vector<double> via_scratch(3, -1.0);
+    g.spectral_sketch(via_scratch, 50, scratch);
+    EXPECT_EQ(via_scratch, g.spectral_sketch(3, 50)) << data::to_string(family);
+  }
+}
+
 }  // namespace
 }  // namespace noodle::graph

@@ -9,9 +9,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 #include <span>
+#include <sstream>
 
 #include "fusion/models.h"
 #include "nn/kernels.h"
@@ -122,6 +124,192 @@ TEST(GemmBt, RespectsLeadingDimensions) {
   naive_gemm_bt(m, n, k, a.data().data(), lda, b.data().data(), ldb, nullptr,
                 want.data(), n, 1);
   EXPECT_EQ(got, want);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel dispatch: every registered implementation vs the naive reference
+// ---------------------------------------------------------------------------
+
+/// Restores the dispatch target (and the env override) on scope exit, so a
+/// test can never leak a pinned kernel into the rest of the suite.
+class KernelGuard {
+ public:
+  KernelGuard() : previous_(nn::active_gemm_kernel()) {}
+  ~KernelGuard() {
+    unsetenv("NOODLE_GEMM_KERNEL");
+    nn::set_gemm_kernel(previous_);
+  }
+
+ private:
+  nn::GemmKernel previous_;
+};
+
+class GemmKernelSuite : public ::testing::TestWithParam<nn::GemmKernel> {
+ protected:
+  void SetUp() override {
+    if (!nn::gemm_kernel_available(GetParam())) {
+      GTEST_SKIP() << nn::to_string(GetParam()) << " is not available on this CPU";
+    }
+  }
+};
+
+/// Runs one implementation directly against naive_gemm_bt. Bit-identical
+/// kernels must match exactly; Avx2Fma (fused multiply-adds) to a relative
+/// 1e-12 — the documented verdict-equivalence contract.
+void expect_kernel_matches_reference(nn::GemmKernel kernel, std::size_t m,
+                                     std::size_t n, std::size_t k, std::size_t lda,
+                                     std::size_t ldb, std::size_t c_row_stride,
+                                     std::size_t c_col_stride, bool with_bias) {
+  const Matrix a = random_matrix(m, lda, 1000 + 100 * m + 10 * n + k);
+  const Matrix b = random_matrix(n, ldb, 2000 + 100 * m + 10 * n + k);
+  std::vector<double> bias(n);
+  util::Rng rng(3000 + m + n + k);
+  for (double& v : bias) v = rng.normal();
+  const double* bias_ptr = with_bias ? bias.data() : nullptr;
+
+  std::vector<double> got(m * n, -1.0), want(m * n, -2.0);
+  nn::gemm_bt_variant(kernel, m, n, k, a.data().data(), lda, b.data().data(), ldb,
+                      bias_ptr, got.data(), c_row_stride, c_col_stride);
+  naive_gemm_bt(m, n, k, a.data().data(), lda, b.data().data(), ldb, bias_ptr,
+                want.data(), c_row_stride, c_col_stride);
+  if (nn::gemm_kernel_bit_identical(kernel)) {
+    EXPECT_EQ(got, want) << nn::to_string(kernel) << " m=" << m << " n=" << n
+                         << " k=" << k;
+  } else {
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_NEAR(got[i], want[i], 1e-12 * (1.0 + std::abs(want[i])))
+          << nn::to_string(kernel) << " m=" << m << " n=" << n << " k=" << k
+          << " i=" << i;
+    }
+  }
+}
+
+TEST_P(GemmKernelSuite, MatchesReferenceAcrossShapeGrid) {
+  // The PR 4 grid plus n ∈ {8, 9} (exact AVX2 panel width and one past it)
+  // and k = 300 (past the 256-deep k-chunk, so the accumulator round-trip
+  // through C is exercised).
+  for (const std::size_t m : {1u, 3u, 4u, 5u, 8u, 13u}) {
+    for (const std::size_t n : {1u, 2u, 4u, 7u, 8u, 9u, 16u}) {
+      for (const std::size_t k : {1u, 3u, 5u, 24u, 300u}) {
+        expect_kernel_matches_reference(GetParam(), m, n, k, k, k, n, 1, true);
+      }
+    }
+  }
+}
+
+TEST_P(GemmKernelSuite, StridedOutputAndNullBias) {
+  // Conv1D's transposed write: row stride 1, column stride m — the SIMD
+  // kernels must fall back to lane-extracted stores here.
+  expect_kernel_matches_reference(GetParam(), 6, 5, 7, 7, 7, 1, 6, false);
+  expect_kernel_matches_reference(GetParam(), 9, 16, 24, 24, 24, 1, 9, false);
+}
+
+TEST_P(GemmKernelSuite, RespectsLeadingDimensions) {
+  expect_kernel_matches_reference(GetParam(), 5, 9, 4, 9, 11, 9, 1, false);
+}
+
+TEST_P(GemmKernelSuite, ZeroKWritesBias) {
+  expect_kernel_matches_reference(GetParam(), 4, 9, 0, 1, 1, 9, 1, true);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, GemmKernelSuite,
+                         ::testing::Values(nn::GemmKernel::Scalar,
+                                           nn::GemmKernel::Sse2,
+                                           nn::GemmKernel::Avx2,
+                                           nn::GemmKernel::Avx2Fma),
+                         [](const auto& info) { return nn::to_string(info.param); });
+
+TEST(GemmKernelDispatch, EnvOverrideForcesScalar) {
+  KernelGuard guard;
+  setenv("NOODLE_GEMM_KERNEL", "scalar", 1);
+  nn::reset_gemm_kernel();
+  EXPECT_EQ(nn::active_gemm_kernel(), nn::GemmKernel::Scalar);
+}
+
+TEST(GemmKernelDispatch, AutoSelectionIsAlwaysBitIdentical) {
+  KernelGuard guard;
+  // Unrecognized values fall back to auto, and auto never picks Avx2Fma.
+  for (const char* value : {"auto", "bogus-kernel"}) {
+    setenv("NOODLE_GEMM_KERNEL", value, 1);
+    nn::reset_gemm_kernel();
+    EXPECT_TRUE(nn::gemm_kernel_bit_identical(nn::active_gemm_kernel())) << value;
+  }
+  unsetenv("NOODLE_GEMM_KERNEL");
+  nn::reset_gemm_kernel();
+  EXPECT_TRUE(nn::gemm_kernel_bit_identical(nn::active_gemm_kernel()));
+}
+
+TEST(GemmKernelDispatch, SetKernelReturnsPreviousAndRoundTrips) {
+  KernelGuard guard;
+  const nn::GemmKernel original = nn::active_gemm_kernel();
+  const nn::GemmKernel previous = nn::set_gemm_kernel(nn::GemmKernel::Scalar);
+  EXPECT_EQ(previous, original);
+  EXPECT_EQ(nn::active_gemm_kernel(), nn::GemmKernel::Scalar);
+  EXPECT_EQ(nn::set_gemm_kernel(original), nn::GemmKernel::Scalar);
+}
+
+TEST(GemmKernelDispatch, FmaOptInIsVerdictEquivalentAtModelLevel) {
+  if (!nn::gemm_kernel_available(nn::GemmKernel::Avx2Fma)) {
+    GTEST_SKIP() << "avx2fma is not available on this CPU";
+  }
+  KernelGuard guard;
+  util::Rng rng(31);
+  const nn::Sequential model = nn::make_cnn(40, rng);
+  const Matrix input = random_matrix(16, 40, 77);
+
+  nn::set_gemm_kernel(nn::GemmKernel::Scalar);
+  const Matrix reference = model.infer(input);
+  nn::set_gemm_kernel(nn::GemmKernel::Avx2Fma);
+  const Matrix fused = model.infer(input);
+  ASSERT_EQ(fused.rows(), reference.rows());
+  ASSERT_EQ(fused.cols(), reference.cols());
+  for (std::size_t i = 0; i < fused.data().size(); ++i) {
+    EXPECT_NEAR(fused.data()[i], reference.data()[i],
+                1e-9 * (1.0 + std::abs(reference.data()[i])));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// int8 weight encoding
+// ---------------------------------------------------------------------------
+
+TEST(WeightPrecisionI8, RoundTripsWithinOneHalfScalePerBuffer) {
+  util::Rng rng(41);
+  const nn::Sequential model = nn::make_cnn(40, rng);
+  std::stringstream blob;
+  model.save_weights(blob, nn::WeightPrecision::I8);
+
+  util::Rng rng2(41);
+  nn::Sequential restored = nn::make_cnn(40, rng2);
+  restored.load_weights(blob);
+
+  const auto original = model.const_params();
+  const auto loaded = restored.const_params();
+  ASSERT_EQ(original.size(), loaded.size());
+  for (std::size_t p = 0; p < original.size(); ++p) {
+    ASSERT_EQ(original[p].size, loaded[p].size);
+    double peak = 0.0;
+    for (std::size_t i = 0; i < original[p].size; ++i) {
+      peak = std::max(peak, std::abs(original[p].values[i]));
+    }
+    const double scale = peak > 0.0 ? peak / 127.0 : 1.0;
+    for (std::size_t i = 0; i < original[p].size; ++i) {
+      EXPECT_NEAR(loaded[p].values[i], original[p].values[i], 0.5 * scale + 1e-15)
+          << "buffer " << p << " index " << i;
+    }
+  }
+}
+
+TEST(WeightPrecisionI8, BlobIsRoughlyEightfoldSmallerThanF64) {
+  util::Rng rng(43);
+  const nn::Sequential model = nn::make_cnn(40, rng);
+  std::stringstream f64_blob, i8_blob;
+  model.save_weights(f64_blob, nn::WeightPrecision::F64);
+  model.save_weights(i8_blob, nn::WeightPrecision::I8);
+  // Per-buffer framing (size + scale) keeps it off exactly 8x; 0.2 leaves
+  // room for the tiny-buffer overhead while still proving the compaction.
+  EXPECT_LT(static_cast<double>(i8_blob.str().size()),
+            0.2 * static_cast<double>(f64_blob.str().size()));
 }
 
 // ---------------------------------------------------------------------------

@@ -441,6 +441,42 @@ TEST_F(RegistryFixture, F32SnapshotIsSmallerAndVerdictEquivalent) {
   std::filesystem::remove(path_f32);
 }
 
+TEST_F(RegistryFixture, I8SnapshotIsSmallerAndVerdictEquivalent) {
+  const auto path_f64 = temp_path("noodle_registry_i8_ref.snap");
+  const auto path_i8 = temp_path("noodle_registry_i8.snap");
+  gen_a_->save(path_f64, nn::WeightPrecision::F64);
+  gen_a_->save(path_i8, nn::WeightPrecision::I8);
+
+  // One byte plus amortized per-buffer scale per weight against eight bytes:
+  // the archive should shrink well past the f32 halving.
+  const auto size_f64 = std::filesystem::file_size(path_f64);
+  const auto size_i8 = std::filesystem::file_size(path_i8);
+  EXPECT_LT(static_cast<double>(size_i8), 0.45 * static_cast<double>(size_f64));
+
+  // int8 rounding is much coarser than f32, so the equivalence bar is the
+  // verdict, not the score: labels and regions must agree wherever the
+  // reference verdict is confident, and scores stay in the neighborhood.
+  serve::ModelRegistry registry;
+  const serve::ModelHandle quantized = registry.reload_from("quantized", path_i8);
+  for (std::size_t i = 0; i < samples_->size(); ++i) {
+    const core::DetectionReport& exact = (*ref_a_)[i];
+    const core::DetectionReport coarse =
+        quantized->model().scan_features((*samples_)[i]);
+    if (std::abs(exact.probability - 0.5) > 0.1) {
+      EXPECT_EQ(coarse.predicted_label, exact.predicted_label)
+          << "sample " << i << " flipped a confident verdict";
+      EXPECT_EQ(coarse.region.contains, exact.region.contains);
+    }
+    EXPECT_EQ(coarse.fusion_used, exact.fusion_used);
+    EXPECT_NEAR(coarse.probability, exact.probability, 0.1);
+    EXPECT_NEAR(coarse.p_values[0], exact.p_values[0], 0.15);
+    EXPECT_NEAR(coarse.p_values[1], exact.p_values[1], 0.15);
+  }
+
+  std::filesystem::remove(path_f64);
+  std::filesystem::remove(path_i8);
+}
+
 // --- StatsBook consistency ---------------------------------------------------
 
 TEST_F(RegistryFixture, StatsSnapshotsAreNeverTorn) {

@@ -255,10 +255,10 @@ TEST_F(DetectorSnapshot, CorruptedOrTruncatedSnapshotThrowsAndLeavesDetectorInta
 }
 
 TEST_F(DetectorSnapshot, ArchiveVersionTracksTheFeaturesUsed) {
-  // The f32 weight encoding bumped the format to version 2, but a
-  // pure-f64 archive is byte-compatible with version 1 — so the writer
-  // must stamp v1 for f64 saves (old readers keep loading them) and v2
-  // only when compact weights are actually present. Both must load here.
+  // The writer stamps the LOWEST version able to represent the payload: a
+  // pure-f64 archive is byte-compatible with version 1 (old readers keep
+  // loading them), f32 weights need version 2, int8 weights version 3.
+  // All three must load here.
   const auto version_byte = [](const std::filesystem::path& path) {
     std::ifstream is(path, std::ios::binary);
     std::string header(12, '\0');
@@ -276,6 +276,10 @@ TEST_F(DetectorSnapshot, ArchiveVersionTracksTheFeaturesUsed) {
   }
 
   detector_->save(path, nn::WeightPrecision::F32);
+  EXPECT_EQ(version_byte(path), 2u);
+  EXPECT_NO_THROW(core::NoodleDetector::from_snapshot(path));
+
+  detector_->save(path, nn::WeightPrecision::I8);
   EXPECT_EQ(version_byte(path), serve::kSnapshotVersion);
   EXPECT_NO_THROW(core::NoodleDetector::from_snapshot(path));
   std::filesystem::remove(path);

@@ -33,6 +33,13 @@
 //                     is absent
 //   --refit           fit even when the snapshot exists, then overwrite it
 //   --f32             save fitted snapshots with compact f32 weights (~2x smaller)
+//   --int8            save fitted snapshots with per-buffer-scaled int8
+//                     weights (~8x smaller; verdict-equivalent, not
+//                     bit-identical — see DESIGN.md §9)
+//   --fma             opt into the AVX2+FMA GEMM kernel (fastest, but fused
+//                     multiply-adds change low-order bits; verdicts stay
+//                     equivalent). Default dispatch picks the fastest
+//                     bit-identical kernel; NOODLE_GEMM_KERNEL overrides.
 //   --quick           small training config (CI smoke / demos; seconds not
 //                     minutes)
 //   --batch N         max requests coalesced per detector batch (default 16)
@@ -80,6 +87,7 @@
 
 #include "core/detector.h"
 #include "lint/lint.h"
+#include "nn/kernels.h"
 #include "serve/registry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -94,6 +102,8 @@ struct Options {
   std::vector<std::pair<std::string, std::filesystem::path>> models;
   bool refit = false;
   bool f32 = false;
+  bool int8 = false;
+  bool fma = false;
   bool quick = false;
   bool stats = false;
   bool lint = false;
@@ -111,6 +121,7 @@ struct Options {
   if (!error.empty()) std::cerr << "noodled: " << error << "\n";
   std::cerr << "usage: " << argv0
             << " [--snapshot FILE] [--model NAME=PATH ...] [--refit] [--f32]"
+               " [--int8] [--fma]"
                " [--quick] [--batch N] [--cache N] [--workers N] [--lint]"
                " [--trace] [--metrics-file PATH] [--metrics-interval N]"
                " [--seed N] [--stats] [--demo N]\n"
@@ -152,6 +163,10 @@ Options parse_options(int argc, char** argv) {
         options.refit = true;
       } else if (arg == "--f32") {
         options.f32 = true;
+      } else if (arg == "--int8") {
+        options.int8 = true;
+      } else if (arg == "--fma") {
+        options.fma = true;
       } else if (arg == "--quick") {
         options.quick = true;
       } else if (arg == "--stats") {
@@ -183,6 +198,7 @@ Options parse_options(int argc, char** argv) {
   }
   if (options.batch == 0) usage(argv[0], "--batch must be positive");
   if (options.workers == 0) usage(argv[0], "--workers must be positive");
+  if (options.f32 && options.int8) usage(argv[0], "--f32 and --int8 are exclusive");
   return options;
 }
 
@@ -220,10 +236,18 @@ void publish_default(serve::ModelRegistry& registry, const Options& options) {
     detector.fit_default();
   }
   if (!options.snapshot.empty()) {
-    detector.save(options.snapshot,
-                  options.f32 ? nn::WeightPrecision::F32 : nn::WeightPrecision::F64);
-    std::cerr << "noodled: saved snapshot to " << options.snapshot.string()
-              << (options.f32 ? " (f32 weights)" : "") << "\n";
+    nn::WeightPrecision precision = nn::WeightPrecision::F64;
+    const char* note = "";
+    if (options.f32) {
+      precision = nn::WeightPrecision::F32;
+      note = " (f32 weights)";
+    } else if (options.int8) {
+      precision = nn::WeightPrecision::I8;
+      note = " (int8 weights)";
+    }
+    detector.save(options.snapshot, precision);
+    std::cerr << "noodled: saved snapshot to " << options.snapshot.string() << note
+              << "\n";
   }
   registry.publish(serve::kDefaultModelName, detector.fitted_model(),
                    options.snapshot);
@@ -374,6 +398,15 @@ std::pair<std::string, std::string> split_request(const std::string& line,
 
 int main(int argc, char** argv) {
   const Options options = parse_options(argc, argv);
+
+  if (options.fma) {
+    try {
+      nn::set_gemm_kernel(nn::GemmKernel::Avx2Fma);
+      std::cerr << "noodled: gemm kernel avx2fma (opt-in; verdict-equivalent)\n";
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "noodled: --fma ignored: " << e.what() << "\n";
+    }
+  }
 
   if (options.demo > 0) {
     const std::filesystem::path dir = "noodled_demo";
