@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -22,6 +23,14 @@ FittedModel::FittedModel(DetectorConfig config, fusion::EarlyFusionModel early,
   if (winner_ != "early_fusion" && winner_ != "late_fusion") {
     throw std::invalid_argument("FittedModel: unknown winning fusion '" + winner_ + "'");
   }
+  // Content digest over the canonical F64 serialization: the same fitted
+  // state (fit in-process, or loaded from any precision archive) always
+  // hashes identically, so disk-cache keys survive restarts. One extra
+  // serialization per construction — construction happens once per fit or
+  // load, never on a scan path.
+  std::ostringstream canonical(std::ios::binary);
+  save(canonical, nn::WeightPrecision::F64);
+  digest_ = util::fnv1a64(canonical.str());
 }
 
 namespace {

@@ -11,6 +11,7 @@
 // ever create one.
 
 #include <array>
+#include <cstdint>
 #include <filesystem>
 #include <iosfwd>
 #include <memory>
@@ -143,11 +144,20 @@ class FittedModel {
   const DetectorConfig& config() const noexcept { return config_; }
   const std::string& winning_fusion() const noexcept { return winner_; }
 
+  /// Stable content digest: FNV-1a over the canonical F64 serialization,
+  /// computed once at construction. Unlike the registry's process-unique
+  /// generation id, the digest survives restarts and is identical in every
+  /// process that loaded the same fitted state — which is what lets the
+  /// persistent verdict cache (serve::PersistentVerdictCache) key entries
+  /// that outlive the process and be shared across a fleet.
+  std::uint64_t content_digest() const noexcept { return digest_; }
+
  private:
   DetectorConfig config_;
   fusion::EarlyFusionModel early_;
   fusion::LateFusionModel late_;
   std::string winner_;
+  std::uint64_t digest_ = 0;
 };
 
 }  // namespace noodle::core

@@ -1,0 +1,490 @@
+#include "serve/disk_cache.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "feat/featurize.h"
+#include "util/atomic_file.h"
+#include "util/binary_io.h"
+
+namespace noodle::serve {
+
+namespace {
+
+/// Fixed frame: magic (8) + record version (4) + record size (8) up front,
+/// FNV-1a checksum (8) at the back. The prefix layout is stable across
+/// record versions, so a future build can still classify old records.
+constexpr std::uint64_t kPrefixBytes = 8 + 4 + 8;
+constexpr std::uint64_t kChecksumBytes = 8;
+constexpr std::uint64_t kMinRecordBytes = kPrefixBytes + kChecksumBytes;
+
+/// Serializes the persisted verdict fields. Everything a cold scan would
+/// recompute bit-identically; served_by, lint, and timing are stamped (or
+/// zeroed) by the service at hit time.
+void write_verdict(std::ostream& os, const core::DetectionReport& report) {
+  util::write_u32(os, static_cast<std::uint32_t>(report.predicted_label));
+  util::write_f64(os, report.probability);
+  util::write_f64(os, report.p_values[0]);
+  util::write_f64(os, report.p_values[1]);
+  util::write_f64(os, report.region.p[0]);
+  util::write_f64(os, report.region.p[1]);
+  util::write_u8(os, report.region.contains[0] ? 1 : 0);
+  util::write_u8(os, report.region.contains[1] ? 1 : 0);
+  util::write_u32(os, static_cast<std::uint32_t>(report.region.point_prediction));
+  util::write_f64(os, report.region.confidence);
+  util::write_f64(os, report.region.credibility);
+  util::write_string(os, report.fusion_used);
+}
+
+core::DetectionReport read_verdict(std::istream& is) {
+  core::DetectionReport report;
+  report.predicted_label = static_cast<int>(util::read_u32(is));
+  report.probability = util::read_f64(is);
+  report.p_values[0] = util::read_f64(is);
+  report.p_values[1] = util::read_f64(is);
+  report.region.p[0] = util::read_f64(is);
+  report.region.p[1] = util::read_f64(is);
+  report.region.contains[0] = util::read_u8(is) != 0;
+  report.region.contains[1] = util::read_u8(is) != 0;
+  report.region.point_prediction = static_cast<int>(util::read_u32(is));
+  report.region.confidence = util::read_f64(is);
+  report.region.credibility = util::read_f64(is);
+  report.fusion_used = util::read_string(is);
+  return report;
+}
+
+std::string encode_record(const PersistentVerdictCache::Key& key,
+                          const std::string& source,
+                          const core::DetectionReport& report) {
+  std::ostringstream body(std::ios::binary);
+  util::write_u32(body, key.feature_version);
+  util::write_u64(body, key.model_digest);
+  util::write_u64(body, key.source_hash);
+  util::write_string(body, source);
+  write_verdict(body, report);
+  const std::string body_bytes = body.str();
+
+  std::ostringstream os(std::ios::binary);
+  util::write_u64(os, kDiskCacheMagic);
+  util::write_u32(os, kDiskCacheRecordVersion);
+  util::write_u64(os, kPrefixBytes + body_bytes.size() + kChecksumBytes);
+  os.write(body_bytes.data(), static_cast<std::streamsize>(body_bytes.size()));
+  const std::string framed = os.str();
+  util::write_u64(os, util::fnv1a64(framed));
+  return os.str();
+}
+
+struct DecodedRecord {
+  PersistentVerdictCache::Key key;
+  std::string source;
+  core::DetectionReport report;
+};
+
+/// Full validation + decode of one record file's bytes. Returns kCount on
+/// success; any other value is the reason the record must be skipped.
+/// `expected` is the key the filename promises — a mismatching header is a
+/// record that cannot belong here (e.g. a stale model digest renamed or
+/// tampered into place).
+DiskCacheSkip decode_record(const std::string& bytes,
+                            const PersistentVerdictCache::Key& expected,
+                            DecodedRecord& out) {
+  if (bytes.empty()) return DiskCacheSkip::kEmpty;
+  if (bytes.size() < kMinRecordBytes) return DiskCacheSkip::kTruncated;
+  std::istringstream is(bytes);
+  std::uint64_t magic = 0;
+  std::uint32_t record_version = 0;
+  std::uint64_t record_size = 0;
+  try {
+    magic = util::read_u64(is);
+    record_version = util::read_u32(is);
+    record_size = util::read_u64(is);
+  } catch (const std::exception&) {
+    return DiskCacheSkip::kTruncated;  // unreachable given the size guard
+  }
+  if (magic != kDiskCacheMagic) return DiskCacheSkip::kForeign;
+  if (record_size != bytes.size()) return DiskCacheSkip::kTruncated;
+  // Checksum before any field interpretation: a bit flip anywhere —
+  // payload or the checksum itself — lands here, not in a version gate.
+  const std::uint64_t want =
+      util::fnv1a64(bytes.data(), bytes.size() - kChecksumBytes);
+  std::uint64_t got = 0;
+  {
+    // The trailing checksum was written little-endian by write_u64; decode
+    // it the same way instead of trusting host endianness.
+    std::istringstream tail(bytes.substr(bytes.size() - kChecksumBytes));
+    got = util::read_u64(tail);
+  }
+  if (got != want) return DiskCacheSkip::kChecksum;
+  if (record_version != kDiskCacheRecordVersion) return DiskCacheSkip::kStaleRecord;
+  try {
+    out.key.feature_version = util::read_u32(is);
+    out.key.model_digest = util::read_u64(is);
+    out.key.source_hash = util::read_u64(is);
+    if (out.key.feature_version != feat::kFeatureVersion) {
+      return DiskCacheSkip::kStaleFeature;
+    }
+    if (!(out.key == expected)) return DiskCacheSkip::kKeyMismatch;
+    out.source = util::read_string(is, 1u << 26);
+    out.report = read_verdict(is);
+  } catch (const std::exception&) {
+    return DiskCacheSkip::kTruncated;  // checksummed yet unparsable: framing bug
+  }
+  return DiskCacheSkip::kCount;
+}
+
+}  // namespace
+
+const char* to_string(DiskCacheSkip reason) noexcept {
+  switch (reason) {
+    case DiskCacheSkip::kEmpty: return "empty";
+    case DiskCacheSkip::kTruncated: return "truncated";
+    case DiskCacheSkip::kChecksum: return "checksum";
+    case DiskCacheSkip::kForeign: return "foreign";
+    case DiskCacheSkip::kStaleRecord: return "stale_record";
+    case DiskCacheSkip::kStaleFeature: return "stale_feature";
+    case DiskCacheSkip::kKeyMismatch: return "key_mismatch";
+    case DiskCacheSkip::kCount: break;
+  }
+  return "ok";
+}
+
+std::size_t PersistentVerdictCache::KeyHash::operator()(const Key& key) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint64_t word :
+       {static_cast<std::uint64_t>(key.feature_version), key.model_digest,
+        key.source_hash}) {
+    h = (h ^ word) * 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::string PersistentVerdictCache::record_filename(const Key& key) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%08x-%016llx-%016llx.ndc", key.feature_version,
+                static_cast<unsigned long long>(key.model_digest),
+                static_cast<unsigned long long>(key.source_hash));
+  return buf;
+}
+
+bool PersistentVerdictCache::parse_record_filename(const std::string& name, Key& key) {
+  // Exactly "<8 hex>-<16 hex>-<16 hex>.ndc".
+  if (name.size() != 8 + 1 + 16 + 1 + 16 + 4) return false;
+  if (name[8] != '-' || name[25] != '-' || name.compare(42, 4, ".ndc") != 0) {
+    return false;
+  }
+  const auto hex = [&](std::size_t begin, std::size_t count, std::uint64_t& out) {
+    const char* first = name.data() + begin;
+    const char* last = first + count;
+    const auto [end, ec] = std::from_chars(first, last, out, 16);
+    return ec == std::errc{} && end == last;
+  };
+  std::uint64_t feature = 0;
+  if (!hex(0, 8, feature) || !hex(9, 16, key.model_digest) ||
+      !hex(26, 16, key.source_hash)) {
+    return false;
+  }
+  key.feature_version = static_cast<std::uint32_t>(feature);
+  return true;
+}
+
+PersistentVerdictCache::PersistentVerdictCache(DiskCacheConfig config)
+    : config_(std::move(config)) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    std::filesystem::create_directories(config_.directory, ec);
+    if (ec) {
+      enter_degraded_locked("create_directories", ec);
+    } else {
+      scan_directory_locked();
+    }
+  }
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+PersistentVerdictCache::~PersistentVerdictCache() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  writer_.join();
+  // Whatever the writer never reached is dropped — the same entries a
+  // crash at this instant would have dropped. Count them honestly.
+  std::size_t abandoned = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    abandoned = queue_.size();
+    queue_.clear();
+  }
+  if (abandoned > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.drops += abandoned;
+  }
+}
+
+void PersistentVerdictCache::enter_degraded_locked(const char* what,
+                                                   const std::error_code& ec) {
+  (void)what;
+  (void)ec;
+  degraded_ = true;
+  counters_.degraded = true;
+}
+
+void PersistentVerdictCache::scan_directory_locked() {
+  struct Found {
+    Key key;
+    std::uint64_t bytes = 0;
+    std::filesystem::file_time_type mtime;
+  };
+  std::vector<Found> found;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(config_.directory, ec);
+  if (ec) {
+    enter_degraded_locked("directory_iterator", ec);
+    return;
+  }
+  for (const auto& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec) || entry_ec) continue;
+    const std::filesystem::path& path = entry.path();
+    if (util::AtomicFile::is_temp_path(path)) {
+      // A crash mid-publish leaves the temp; the rename never happened, so
+      // the entry simply does not exist. Sweep it.
+      std::filesystem::remove(path, entry_ec);
+      ++counters_.temps_swept;
+      continue;
+    }
+    Key key;
+    if (!parse_record_filename(path.filename().string(), key)) {
+      ++counters_.skipped[static_cast<std::size_t>(DiskCacheSkip::kForeign)];
+      ++counters_.corrupt;
+      continue;  // not ours to touch
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+    DecodedRecord decoded;
+    const DiskCacheSkip verdict =
+        in ? decode_record(bytes, key, decoded) : DiskCacheSkip::kTruncated;
+    if (verdict != DiskCacheSkip::kCount) {
+      ++counters_.skipped[static_cast<std::size_t>(verdict)];
+      ++counters_.corrupt;
+      // Our record, but unserveable by this build: reclaim the space.
+      std::filesystem::remove(path, entry_ec);
+      continue;
+    }
+    const auto mtime = entry.last_write_time(entry_ec);
+    found.push_back({key, bytes.size(), entry_ec ? std::filesystem::file_time_type{} : mtime});
+  }
+  // Oldest first; push_front then leaves the newest at the LRU front.
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime < b.mtime; });
+  for (const Found& record : found) {
+    index_insert_locked(record.key, record.bytes);
+    ++counters_.loaded;
+  }
+  evict_over_budget_locked();
+}
+
+void PersistentVerdictCache::index_insert_locked(const Key& key, std::uint64_t bytes) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    counters_.bytes += bytes;
+    counters_.bytes -= it->second.bytes;
+    it->second.bytes = bytes;
+    lru_.splice(lru_.begin(), lru_, it->second.position);
+  } else {
+    lru_.push_front(key);
+    index_.emplace(key, IndexEntry{bytes, lru_.begin()});
+    counters_.bytes += bytes;
+  }
+  counters_.entries = index_.size();
+}
+
+void PersistentVerdictCache::evict_over_budget_locked() {
+  while (counters_.bytes > config_.max_bytes && !lru_.empty()) {
+    const Key victim = lru_.back();
+    const auto it = index_.find(victim);
+    if (it != index_.end()) {
+      counters_.bytes -= it->second.bytes;
+      index_.erase(it);
+    }
+    lru_.pop_back();
+    std::error_code ec;
+    std::filesystem::remove(config_.directory / record_filename(victim), ec);
+    ++counters_.evictions;
+  }
+  counters_.entries = index_.size();
+}
+
+bool PersistentVerdictCache::lookup(const Key& key, const std::string& source,
+                                    core::DetectionReport& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_ || degraded_) return false;  // not probed: neither hit nor miss
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return false;
+  }
+
+  const std::filesystem::path path = config_.directory / record_filename(key);
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  DecodedRecord decoded;
+  const DiskCacheSkip verdict =
+      in ? decode_record(buffer.str(), key, decoded) : DiskCacheSkip::kTruncated;
+  if (verdict != DiskCacheSkip::kCount) {
+    // The file under an indexed entry went bad at runtime (external
+    // tampering, disk fault). Expel it; the request falls through to a
+    // fresh scan — never a crash, never a wrong verdict.
+    ++counters_.skipped[static_cast<std::size_t>(verdict)];
+    ++counters_.corrupt;
+    counters_.bytes -= it->second.bytes;
+    lru_.erase(it->second.position);
+    index_.erase(it);
+    counters_.entries = index_.size();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    ++counters_.misses;
+    return false;
+  }
+  if (decoded.source != source) {
+    // 64-bit hash collision between different circuits: the persisted
+    // verdict belongs to someone else. Full-source comparison is the same
+    // policy the in-memory tier enforces.
+    ++counters_.collisions;
+    ++counters_.misses;
+    return false;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.position);
+  out = std::move(decoded.report);
+  out.served_by.clear();
+  out.lint_ran = false;
+  out.timing = core::RequestTiming{};
+  return true;
+}
+
+void PersistentVerdictCache::store(const Key& key, std::string source,
+                                   const core::DetectionReport& report) {
+  if (report.lint_ran) return;  // only lint-off verdicts persist
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_ || degraded_) {
+      // The caller wanted persistence and is not getting it; that is a
+      // drop, visible in the counters, not a silent no-op.
+      ++counters_.drops;
+      return;
+    }
+  }
+  bool dropped = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_ || queue_.size() >= config_.queue_capacity) {
+      dropped = true;
+    } else {
+      PendingStore pending;
+      pending.key = key;
+      pending.source = std::move(source);
+      pending.report = report;
+      pending.report.lint_findings.clear();
+      queue_.push_back(std::move(pending));
+    }
+  }
+  if (dropped) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.drops;
+    return;
+  }
+  queue_cv_.notify_one();
+}
+
+void PersistentVerdictCache::flush() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && writing_ == 0; });
+}
+
+void PersistentVerdictCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+  counters_.enabled = enabled;
+}
+
+bool PersistentVerdictCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+bool PersistentVerdictCache::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+DiskCacheStats PersistentVerdictCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  DiskCacheStats snapshot = counters_;
+  snapshot.entries = index_.size();
+  snapshot.degraded = degraded_;
+  snapshot.enabled = enabled_;
+  return snapshot;
+}
+
+void PersistentVerdictCache::writer_loop() {
+  for (;;) {
+    PendingStore entry;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // queued leftovers are counted by ~PersistentVerdictCache
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+      ++writing_;
+    }
+    std::uint64_t bytes = 0;
+    const bool wrote = write_record_locked_free(entry, bytes);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (wrote) {
+        ++counters_.stores;
+        index_insert_locked(entry.key, bytes);
+        evict_over_budget_locked();
+      } else {
+        ++counters_.drops;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --writing_;
+      if (queue_.empty() && writing_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+bool PersistentVerdictCache::write_record_locked_free(const PendingStore& entry,
+                                                      std::uint64_t& bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (degraded_ || !enabled_) return false;
+  }
+  const std::string record = encode_record(entry.key, entry.source, entry.report);
+  bytes = record.size();
+  util::AtomicFile file(config_.directory / record_filename(entry.key));
+  if (!file.write(record) || file.commit()) {
+    // ENOSPC, EIO, unwritable directory — whatever it was, persistence is
+    // now untrustworthy here. Flip to memory-only; never fail a request.
+    std::lock_guard<std::mutex> lock(mu_);
+    enter_degraded_locked("write_record", file.error());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace noodle::serve

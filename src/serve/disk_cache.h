@@ -1,0 +1,195 @@
+#pragma once
+// serve::PersistentVerdictCache — the disk tier under DetectionService's
+// in-memory LRU verdict cache. A verdict computed once survives restarts
+// and can be shared by a fleet of workers pointed at one directory: the
+// cache key is (feature version, model content digest, source hash), all
+// three stable across processes — unlike the registry's process-unique
+// generation id that keys the in-memory tier.
+//
+// Layout: one checksummed record file per entry, named after its key
+// ("<feat>-<digest>-<hash>.ndc"), each published via util::AtomicFile so a
+// crash at any instant leaves either the complete old record, the complete
+// new record, or a sweepable temp — never a torn entry. Record format in
+// DESIGN.md §10 (magic, record/feature versions, key echo, source bytes,
+// verdict payload, trailing FNV-1a checksum).
+//
+// Concurrency & failure contract:
+//
+//   * store() never touches the disk on the caller's thread: it moves the
+//     entry onto a bounded queue drained by one background writer thread.
+//     A full queue DROPS the store (counted) — persistence is best-effort,
+//     the serving path is not;
+//   * lookup() reads one record file synchronously — it only runs on an
+//     in-memory miss, where the alternative is a full featurize+scan that
+//     costs orders of magnitude more;
+//   * the startup scanner indexes every valid record and SKIPS — never
+//     throws on — anything else: truncated, bit-flipped, stale-versioned,
+//     foreign, or empty files each bump their own counter (the corruption
+//     matrix in tests/test_disk_cache.cpp). Crash-orphaned AtomicFile
+//     temps are swept;
+//   * any disk failure (ENOSPC, EIO, unreadable directory) flips the tier
+//     into DEGRADED mode: lookups and stores become immediate no-ops, the
+//     service keeps answering from memory, and the degraded flag is
+//     exported as a gauge. Requests are never failed by persistence;
+//   * total size is bounded: stores beyond max_bytes evict
+//     least-recently-used entries (their files are unlinked).
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/fitted_model.h"
+
+namespace noodle::serve {
+
+/// Little-endian u64 whose on-disk bytes spell "NOODVC01".
+inline constexpr std::uint64_t kDiskCacheMagic = 0x31304356444f4f4eULL;
+/// Bump when the record payload changes shape; readers skip other versions.
+inline constexpr std::uint32_t kDiskCacheRecordVersion = 1;
+
+struct DiskCacheConfig {
+  std::filesystem::path directory;
+  /// Total bytes of record files kept; LRU entries are evicted beyond it.
+  std::uint64_t max_bytes = 64ull << 20;
+  /// Bounded writer queue; stores arriving when it is full are dropped.
+  std::size_t queue_capacity = 1024;
+};
+
+/// Why the scanner (or a runtime lookup) refused a record file.
+enum class DiskCacheSkip : std::size_t {
+  kEmpty = 0,        ///< zero-length file
+  kTruncated,        ///< shorter/longer than its recorded size
+  kChecksum,         ///< trailing FNV-1a mismatch (any bit flip lands here)
+  kForeign,          ///< not a record: wrong magic or alien filename
+  kStaleRecord,      ///< record format version from another build
+  kStaleFeature,     ///< featurizer version the current build cannot serve
+  kKeyMismatch,      ///< header key disagrees with the filename key
+  kCount,
+};
+const char* to_string(DiskCacheSkip reason) noexcept;
+
+/// One consistent counter snapshot (all fields read under one lock).
+struct DiskCacheStats {
+  std::uint64_t hits = 0;        ///< lookups answered from a verified record
+  std::uint64_t misses = 0;      ///< lookups that found no usable record
+  std::uint64_t stores = 0;      ///< records durably published
+  std::uint64_t drops = 0;       ///< stores dropped on a full queue
+  std::uint64_t corrupt = 0;     ///< records refused (sum of skipped[])
+  std::uint64_t evictions = 0;   ///< LRU entries unlinked for space
+  std::uint64_t collisions = 0;  ///< key hit but source bytes differed
+  std::uint64_t temps_swept = 0; ///< crash-orphaned temp files removed
+  std::uint64_t loaded = 0;      ///< valid records indexed at startup
+  std::uint64_t entries = 0;     ///< live indexed records
+  std::uint64_t bytes = 0;       ///< total size of live records
+  bool degraded = false;
+  bool enabled = true;
+  std::array<std::uint64_t, static_cast<std::size_t>(DiskCacheSkip::kCount)> skipped{};
+};
+
+class PersistentVerdictCache {
+ public:
+  /// Restart-stable cache key. Every component must match for a hit.
+  struct Key {
+    std::uint32_t feature_version = 0;
+    std::uint64_t model_digest = 0;
+    std::uint64_t source_hash = 0;
+    bool operator==(const Key&) const = default;
+  };
+
+  /// Creates the directory if needed and scans existing records into the
+  /// index. Never throws on I/O problems — an unusable directory starts
+  /// the tier degraded instead.
+  explicit PersistentVerdictCache(DiskCacheConfig config);
+
+  /// Stops the writer thread; queued-but-unwritten stores are dropped
+  /// (counted), exactly as a crash would drop them.
+  ~PersistentVerdictCache();
+
+  PersistentVerdictCache(const PersistentVerdictCache&) = delete;
+  PersistentVerdictCache& operator=(const PersistentVerdictCache&) = delete;
+
+  /// Reads the record for `key`, verifies it byte-for-byte (checksum AND
+  /// full source comparison — a 64-bit source hash collision must never
+  /// serve another circuit's verdict), and fills `out` with the persisted
+  /// verdict fields (timing zeroed, served_by empty — the caller stamps
+  /// the live generation). Returns false on absence, mismatch, disabled,
+  /// or degraded. Never throws.
+  bool lookup(const Key& key, const std::string& source, core::DetectionReport& out);
+
+  /// Enqueues the entry for the background writer. Never blocks on disk;
+  /// drops (and counts) when the queue is full or the tier is disabled or
+  /// degraded. Lint-bearing reports are refused: only lint-off verdicts
+  /// persist (the in-memory tier handles lint-state separation).
+  void store(const Key& key, std::string source, const core::DetectionReport& report);
+
+  /// Blocks until every store enqueued so far is durably published or
+  /// dropped (tests and orderly shutdown paths).
+  void flush();
+
+  /// Runtime toggle (`noodled !cache persist on|off`). Disabling stops
+  /// lookups and stores; the writer keeps draining what was already queued.
+  void set_enabled(bool enabled);
+  bool enabled() const;
+  bool degraded() const;
+
+  DiskCacheStats stats() const;
+
+  const std::filesystem::path& directory() const noexcept { return config_.directory; }
+
+  /// The record filename for a key — exposed for tests and operators.
+  static std::string record_filename(const Key& key);
+  /// Parses a record filename back into its key; false for alien names.
+  static bool parse_record_filename(const std::string& name, Key& key);
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept;
+  };
+  struct IndexEntry {
+    std::uint64_t bytes = 0;
+    std::list<Key>::iterator position;  ///< into lru_, most-recent first
+  };
+  struct PendingStore {
+    Key key;
+    std::string source;
+    core::DetectionReport report;
+  };
+
+  void scan_directory_locked();
+  void writer_loop();
+  /// Serializes and atomically publishes one record; false => degrade.
+  bool write_record_locked_free(const PendingStore& entry, std::uint64_t& bytes);
+  void index_insert_locked(const Key& key, std::uint64_t bytes);
+  void evict_over_budget_locked();
+  void enter_degraded_locked(const char* what, const std::error_code& ec);
+
+  DiskCacheConfig config_;
+
+  /// One mutex guards index, LRU order, counters, and the degraded flag,
+  /// so stats() snapshots are internally consistent (the PR 7 invariant:
+  /// `!stats` and `!metrics` read the same numbers).
+  mutable std::mutex mu_;
+  std::unordered_map<Key, IndexEntry, KeyHash> index_;
+  std::list<Key> lru_;  ///< most-recent at front
+  DiskCacheStats counters_;
+  bool enabled_ = true;
+  bool degraded_ = false;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<PendingStore> queue_;
+  std::size_t writing_ = 0;  ///< entries popped but not yet published
+  bool stopping_ = false;
+
+  std::thread writer_;
+};
+
+}  // namespace noodle::serve

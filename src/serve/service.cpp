@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "data/dataset.h"
+#include "feat/featurize.h"
 #include "util/binary_io.h"
 
 namespace noodle::serve {
@@ -38,6 +39,10 @@ void StatsBook::record_request(const std::string& model) {
 
 void StatsBook::record_cache_hit(const std::string& model) {
   update(model, [](ServiceStats& s) { ++s.cache_hits; });
+}
+
+void StatsBook::record_disk_hit(const std::string& model) {
+  update(model, [](ServiceStats& s) { ++s.disk_hits; });
 }
 
 void StatsBook::record_model_miss(const std::string& model) {
@@ -145,6 +150,11 @@ DetectionService::DetectionService(std::shared_ptr<ModelRegistry> registry,
   // service), so the hot paths always see registered metric handles.
   register_metrics();
   pool_.attach_gauges(&pool_queue_depth_->cell(), &pool_in_flight_->cell());
+  if (!config_.disk_cache.directory.empty()) {
+    // After register_metrics() and before any request: the disk tier scans
+    // its directory here, off the serving path (there is none yet).
+    disk_cache_ = std::make_unique<PersistentVerdictCache>(config_.disk_cache);
+  }
 }
 
 void DetectionService::register_metrics() {
@@ -158,8 +168,8 @@ void DetectionService::register_metrics() {
   }
   static constexpr std::array<const char*,
                               static_cast<std::size_t>(CacheProbe::kProbeCount)>
-      kProbeNames = {"hit", "miss_absent", "miss_collision", "miss_lint_state",
-                     "miss_bypass"};
+      kProbeNames = {"hit", "disk_hit", "miss_absent", "miss_collision",
+                     "miss_lint_state", "miss_bypass"};
   for (std::size_t probe = 0; probe < probe_counters_.size(); ++probe) {
     probe_counters_[probe] = &metrics_.counter(
         "noodle_cache_probes_total",
@@ -221,15 +231,34 @@ std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec sp
   if (ModelHandle handle = registry_->try_resolve(spec)) {
     obs::TraceSpan lookup_span(stage_hist_[kStageCacheLookup], &lookup_micros);
     probe = cache_lookup(CacheKey{handle->id(), hash}, source, want_lint, cached);
+    if (probe != CacheProbe::kHit && disk_cache_ != nullptr && !want_lint) {
+      // Disk tier: consulted only on an in-memory miss, where the
+      // alternative is a full featurize+scan. One synchronous record read;
+      // lookup() verifies checksum AND full source bytes, and never throws.
+      // Lint-on requests skip it — only lint-off verdicts persist.
+      const PersistentVerdictCache::Key disk_key{
+          feat::kFeatureVersion, handle->model().content_digest(), hash};
+      if (disk_cache_->lookup(disk_key, source, cached)) {
+        cached.served_by = handle->label();
+        // Promote into the in-memory tier: the next probe for this source
+        // hits the LRU without touching the disk again.
+        cache_store(CacheKey{handle->id(), hash}, source, cached);
+        probe = CacheProbe::kDiskHit;
+      }
+    }
   }
   // Exactly one probe outcome per request: hits and every miss reason
   // (including lint-state mismatches) sum to requests, so `!lint` toggles
   // can never skew the hit/miss accounting (see tests/test_serve.cpp).
   probe_counters_[static_cast<std::size_t>(probe)]->inc();
-  if (probe == CacheProbe::kHit) {
+  if (probe == CacheProbe::kHit || probe == CacheProbe::kDiskHit) {
     // The hit is recorded only now — after the probe validated the source
     // bytes AND the entry's lint state — never before.
-    stats_.record_cache_hit(spec.name);
+    if (probe == CacheProbe::kHit) {
+      stats_.record_cache_hit(spec.name);
+    } else {
+      stats_.record_disk_hit(spec.name);
+    }
     cached.timing = core::RequestTiming{};
     cached.timing.trace_id = trace_id;
     cached.timing.from_cache = true;
@@ -289,6 +318,15 @@ std::map<std::string, ServiceStats> DetectionService::stats_by_model() const {
   return stats_.by_model();
 }
 
+DiskCacheStats DetectionService::disk_cache_stats() const {
+  if (!disk_cache_) {
+    DiskCacheStats none;
+    none.enabled = false;
+    return none;
+  }
+  return disk_cache_->stats();
+}
+
 void DetectionService::render_prometheus(std::ostream& os) {
   sync_mirrored_metrics();
   metrics_.render_prometheus(os);
@@ -314,6 +352,9 @@ void DetectionService::sync_mirrored_metrics() {
     mirror("noodle_requests_total", "submit() calls.", model, cell.requests);
     mirror("noodle_cache_hits_total", "Requests answered from the LRU verdict cache.",
            model, cell.cache_hits);
+    mirror("noodle_disk_hits_total",
+           "Requests answered from the persistent disk cache tier.", model,
+           cell.disk_hits);
     mirror("noodle_scans_total", "Verdicts computed by a detector.", model,
            cell.scans);
     mirror("noodle_parse_failures_total", "Requests rejected with a parse error.",
@@ -361,6 +402,54 @@ void DetectionService::sync_mirrored_metrics() {
       .counter("noodle_reload_busy_microseconds_total",
                "Wall time spent loading and validating snapshots.")
       .set(reloads.load_micros_total);
+
+  if (disk_cache_) {
+    // One consistent DiskCacheStats snapshot feeds every disk-tier sample —
+    // the same snapshot `!stats` renders, so the two can never disagree.
+    const DiskCacheStats disk = disk_cache_->stats();
+    const auto disk_counter = [this](const char* name, const char* help,
+                                     std::uint64_t value) {
+      metrics_.counter(name, help).set(value);
+    };
+    disk_counter("noodle_disk_cache_hits_total",
+                 "Disk-tier lookups answered from a verified record.", disk.hits);
+    disk_counter("noodle_disk_cache_misses_total",
+                 "Disk-tier lookups that found no usable record.", disk.misses);
+    disk_counter("noodle_disk_cache_stores_total",
+                 "Verdict records durably published to disk.", disk.stores);
+    disk_counter("noodle_disk_cache_drops_total",
+                 "Disk stores dropped (full queue, degraded, or shutdown).",
+                 disk.drops);
+    disk_counter("noodle_disk_cache_corrupt_total",
+                 "Record files refused by validation (sum over reasons).",
+                 disk.corrupt);
+    disk_counter("noodle_disk_cache_evictions_total",
+                 "Records unlinked by byte-budget LRU eviction.", disk.evictions);
+    disk_counter("noodle_disk_cache_collisions_total",
+                 "Disk-tier key hits whose full source bytes differed.",
+                 disk.collisions);
+    disk_counter("noodle_disk_cache_temps_swept_total",
+                 "Crash-orphaned temp files swept at startup.", disk.temps_swept);
+    for (std::size_t r = 0; r < disk.skipped.size(); ++r) {
+      metrics_
+          .counter("noodle_disk_cache_skipped_total",
+                   "Record files refused by validation, by reason.",
+                   {{"reason", to_string(static_cast<DiskCacheSkip>(r))}})
+          .set(disk.skipped[r]);
+    }
+    metrics_.gauge("noodle_disk_cache_entries", "Live indexed disk records.")
+        .set(static_cast<std::int64_t>(disk.entries));
+    metrics_.gauge("noodle_disk_cache_bytes", "Total bytes of live disk records.")
+        .set(static_cast<std::int64_t>(disk.bytes));
+    metrics_
+        .gauge("noodle_disk_cache_degraded",
+               "1 when a disk failure flipped the tier to memory-only mode.")
+        .set(disk.degraded ? 1 : 0);
+    metrics_
+        .gauge("noodle_disk_cache_enabled",
+               "1 while the disk tier accepts lookups and stores.")
+        .set(disk.enabled ? 1 : 0);
+  }
 }
 
 ModelHandle DetectionService::reload(const std::string& name,
@@ -530,6 +619,18 @@ void DetectionService::process_group(const std::string& group_label,
   for (std::size_t s = 0; s < reports.size(); ++s) {
     cache_store(CacheKey{handle->id(), group[sample_owner[s]].key},
                 group[sample_owner[s]].source, reports[s]);
+  }
+  if (disk_cache_ != nullptr) {
+    // Queue for the disk tier's background writer: the handoff is a queue
+    // push, never a disk write, so promise fulfillment below is not held
+    // up by persistence. store() itself refuses lint-bearing reports.
+    const std::uint64_t digest = handle->model().content_digest();
+    for (std::size_t s = 0; s < reports.size(); ++s) {
+      disk_cache_->store(
+          PersistentVerdictCache::Key{feat::kFeatureVersion, digest,
+                                      group[sample_owner[s]].key},
+          group[sample_owner[s]].source, reports[s]);
+    }
   }
 
   for (auto& [owner, error] : rejected) group[owner].promise.set_exception(error);

@@ -30,6 +30,7 @@
 #include <future>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -40,6 +41,7 @@
 #include "lint/lint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/disk_cache.h"
 #include "serve/registry.h"
 #include "util/thread_pool.h"
 
@@ -66,6 +68,12 @@ struct ServiceConfig {
   /// the findings to the report (verdicts are unaffected). Toggleable at
   /// runtime via DetectionService::set_lint().
   bool lint = false;
+  /// Disk tier under the in-memory LRU (serve::PersistentVerdictCache).
+  /// Active iff `disk_cache.directory` is non-empty; with it unset the
+  /// serving path is byte-for-byte the memory-only fast path (one null
+  /// check). Keys are restart-stable, so a warm directory answers across
+  /// restarts and can be shared by a fleet of workers.
+  DiskCacheConfig disk_cache;
 };
 
 /// One consistent counters snapshot (see StatsBook). Monotonic except that
@@ -75,6 +83,7 @@ struct ServiceConfig {
 struct ServiceStats {
   std::uint64_t requests = 0;       ///< total submit() calls
   std::uint64_t cache_hits = 0;     ///< answered from the LRU without a scan
+  std::uint64_t disk_hits = 0;      ///< answered from the persistent disk tier
   std::uint64_t scans = 0;          ///< verdicts computed by a detector
   std::uint64_t parse_failures = 0; ///< requests rejected with ParseError
   std::uint64_t model_misses = 0;   ///< requests naming an unknown model/version
@@ -129,6 +138,7 @@ class StatsBook {
 
   void record_request(const std::string& model);
   void record_cache_hit(const std::string& model);
+  void record_disk_hit(const std::string& model);
   void record_model_miss(const std::string& model);
   void record_batch(const std::string& model, std::uint64_t scans,
                     std::uint64_t parse_failures, std::uint64_t batch_size,
@@ -232,6 +242,15 @@ class DetectionService {
   void set_lint(bool enabled) noexcept { lint_.store(enabled, std::memory_order_relaxed); }
   bool lint_enabled() const noexcept { return lint_.load(std::memory_order_relaxed); }
 
+  /// The persistent disk tier; nullptr when config_.disk_cache.directory
+  /// was empty. Exposed for the `!cache persist on|off` control line and
+  /// for tests/operators reading its counters.
+  PersistentVerdictCache* disk_cache() noexcept { return disk_cache_.get(); }
+  const PersistentVerdictCache* disk_cache() const noexcept { return disk_cache_.get(); }
+  /// One consistent disk-tier counter snapshot; all-zero (enabled=false)
+  /// when no disk tier is configured, so callers need no null check.
+  DiskCacheStats disk_cache_stats() const;
+
  private:
   struct Request {
     ModelSpec spec;
@@ -260,6 +279,7 @@ class DetectionService {
   /// phantom hit — see tests/test_serve.cpp).
   enum class CacheProbe : std::size_t {
     kHit = 0,
+    kDiskHit,        ///< in-memory miss answered by the persistent disk tier
     kMissAbsent,     ///< no entry for (generation, hash)
     kMissCollision,  ///< hash matched, full source compare did not
     kMissLintState,  ///< entry exists but was scanned with the other lint setting
@@ -328,6 +348,11 @@ class DetectionService {
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
 
   StatsBook stats_;
+
+  /// Disk tier under the LRU; null when not configured. Declared before
+  /// pool_/dispatcher_ because their threads store into it; its own writer
+  /// thread never touches service state, so destruction order is safe.
+  std::unique_ptr<PersistentVerdictCache> disk_cache_;
 
   // Declared before pool_/dispatcher_ so the gauges and histograms outlive
   // every thread that records into them (members destroy in reverse order).

@@ -1,0 +1,104 @@
+#include "util/fault_injector.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace noodle::util {
+
+std::atomic<FaultInjector*> FaultInjector::g_active{nullptr};
+
+FaultInjector::~FaultInjector() {
+  // A still-armed injector about to die would leave fault points chasing a
+  // dangling pointer; disarm defensively (Arm normally does this).
+  FaultInjector* self = this;
+  g_active.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+FaultInjector::Arm::Arm(FaultInjector& injector) : injector_(injector) {
+  FaultInjector* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, &injector, std::memory_order_acq_rel)) {
+    throw std::logic_error("FaultInjector: another injector is already armed");
+  }
+}
+
+FaultInjector::Arm::~Arm() {
+  FaultInjector* self = &injector_;
+  g_active.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+FaultInjector::Rule& FaultInjector::rule_locked(std::string_view point) {
+  const auto it = rules_.find(point);
+  if (it != rules_.end()) return it->second;
+  return rules_.emplace(std::string(point), Rule{}).first->second;
+}
+
+void FaultInjector::fail_point(const std::string& point, int error, int times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule& rule = rule_locked(point);
+  rule.fail_times = times;
+  rule.error = error;
+}
+
+void FaultInjector::short_write(const std::string& point, std::uint64_t cap, int error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule& rule = rule_locked(point);
+  rule.capped = true;
+  rule.budget = cap;
+  rule.error = error;
+}
+
+void FaultInjector::crash_point(const std::string& point, std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rule_locked(point).hook = std::move(hook);
+}
+
+std::uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = rules_.find(point);
+  return it == rules_.end() ? 0 : it->second.hits;
+}
+
+bool FaultInjector::should_fail(std::string_view point, int& error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule& rule = rule_locked(point);
+  ++rule.hits;
+  if (rule.fail_times != 0) {
+    if (rule.fail_times > 0) --rule.fail_times;
+    error = rule.error;
+    return true;
+  }
+  // An exhausted short-write budget turns into the scripted errno: the
+  // short write happened on an earlier visit, this one hits the "disk"
+  // condition behind it.
+  if (rule.capped && rule.budget == 0) {
+    error = rule.error;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t FaultInjector::write_budget(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule& rule = rule_locked(point);
+  return rule.capped ? rule.budget : std::numeric_limits<std::uint64_t>::max();
+}
+
+void FaultInjector::consume(std::string_view point, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule& rule = rule_locked(point);
+  if (!rule.capped) return;
+  rule.budget = bytes >= rule.budget ? 0 : rule.budget - bytes;
+}
+
+void FaultInjector::reach(std::string_view point) {
+  std::function<void()> hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Rule& rule = rule_locked(point);
+    ++rule.hits;
+    hook = rule.hook;  // copy: run outside the lock, hooks may re-enter
+  }
+  if (hook) hook();
+}
+
+}  // namespace noodle::util

@@ -1,0 +1,119 @@
+#pragma once
+// util::FaultInjector — the testing seam that makes "crash-safe" a tested
+// property instead of a comment. Durability code (util::AtomicFile, the
+// serve:: disk tier) calls into named fault points; a test arms an injector
+// and scripts what each point does: fail with an errno, cap how many bytes
+// a write may pass through (short writes), or run a callback at the exact
+// instant a commit step is about to execute (crash points — the callback
+// inspects on-disk state mid-commit, exactly what a power loss would leave).
+//
+// The seam is compiled in always and costs nothing when disarmed: every
+// fault point starts with FaultInjector::active(), a single relaxed atomic
+// load that returns nullptr in production. Only an armed injector ever
+// takes a lock or touches the rule table.
+//
+// Arming is RAII and process-global (one injector at a time — tests that
+// arm concurrently are racing by construction):
+//
+//   util::FaultInjector faults;
+//   faults.fail_point("atomic_file.fsync", EIO);     // every fsync fails
+//   faults.short_write("atomic_file.write", 10);     // 10 bytes, then ENOSPC
+//   faults.crash_point("atomic_file.before_rename",
+//                      [&] { /* observe: temp durable, target old */ });
+//   util::FaultInjector::Arm armed(faults);
+//   ... exercise the code under test ...
+//   // ~Arm() disarms; production behaviour restored.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace noodle::util {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The process-global armed injector, or nullptr (the common case).
+  /// Fault points gate every other call on this being non-null.
+  static FaultInjector* active() noexcept {
+    return g_active.load(std::memory_order_acquire);
+  }
+
+  /// RAII arming scope: publishes the injector for construction's lifetime.
+  /// Throws std::logic_error if another injector is already armed.
+  class Arm {
+   public:
+    explicit Arm(FaultInjector& injector);
+    ~Arm();
+    Arm(const Arm&) = delete;
+    Arm& operator=(const Arm&) = delete;
+
+   private:
+    FaultInjector& injector_;
+  };
+
+  // --- scripting (test side) -----------------------------------------------
+
+  /// Makes `point` fail with `error` on its next `times` visits (every
+  /// visit when times == kAlways). Replaces any previous failure script for
+  /// the point.
+  static constexpr int kAlways = -1;
+  void fail_point(const std::string& point, int error, int times = kAlways);
+
+  /// Lets `cap` bytes through `point` in total, then fails it with `error`
+  /// — a short write followed by a persistent ENOSPC/EIO, the classic
+  /// torn-write shape.
+  void short_write(const std::string& point, std::uint64_t cap, int error);
+
+  /// Runs `hook` every time execution reaches `point` (before the step the
+  /// point guards executes). The hook runs on the faulting thread; it may
+  /// inspect the filesystem, record state, or throw to abandon the commit.
+  void crash_point(const std::string& point, std::function<void()> hook);
+
+  /// How many times `point` has been reached since scripting (armed or not
+  /// visits both count only while armed).
+  std::uint64_t hits(const std::string& point) const;
+
+  // --- fault points (instrumented-code side) -------------------------------
+  // Callers hold a non-null active() pointer; each call is mutex-guarded.
+
+  /// True if the point should fail now; `error` receives the scripted errno.
+  bool should_fail(std::string_view point, int& error);
+
+  /// Byte budget left for a short-write point: callers clamp each write to
+  /// the returned value and charge what they actually wrote via consume().
+  /// Points never scripted with short_write() are unlimited.
+  std::uint64_t write_budget(std::string_view point);
+  void consume(std::string_view point, std::uint64_t bytes);
+
+  /// Runs the point's crash hook, if any (and counts the visit).
+  void reach(std::string_view point);
+
+ private:
+  struct Rule {
+    int fail_times = 0;  ///< >0: fail that many times; kAlways: forever
+    int error = 0;
+    bool capped = false;
+    std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();
+    std::function<void()> hook;
+    std::uint64_t hits = 0;
+  };
+
+  Rule& rule_locked(std::string_view point);
+
+  static std::atomic<FaultInjector*> g_active;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Rule, std::less<>> rules_;
+};
+
+}  // namespace noodle::util

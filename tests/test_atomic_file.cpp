@@ -1,0 +1,283 @@
+// util::AtomicFile + util::FaultInjector — the crash-safety contract,
+// exercised at every commit step: short writes, injected EIO/ENOSPC on
+// fsync/rename/dirsync, and crash-point callbacks that inspect the on-disk
+// state at the exact instants a power loss could interrupt the sequence.
+// The invariant under test throughout: the target path either holds its
+// previous complete contents or the new complete contents, never anything
+// else, and a failed or abandoned commit leaves no temp file behind.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/atomic_file.h"
+#include "util/fault_injector.h"
+
+namespace fs = std::filesystem;
+using noodle::util::AtomicFile;
+using noodle::util::FaultInjector;
+
+namespace {
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("noodle_atomic_file_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    target_ = dir_ / "state.txt";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string read_target() const {
+    std::ifstream in(target_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  /// Temp files visible next to the target right now.
+  std::size_t temp_count() const {
+    std::size_t count = 0;
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      if (AtomicFile::is_temp_path(entry.path())) ++count;
+    }
+    return count;
+  }
+
+  fs::path dir_;
+  fs::path target_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesExactBytes) {
+  AtomicFile file(target_);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file.write("hello "));
+  EXPECT_TRUE(file.write("world"));
+  EXPECT_FALSE(fs::exists(target_)) << "target must not appear before commit";
+  EXPECT_FALSE(file.commit());
+  EXPECT_TRUE(file.committed());
+  EXPECT_EQ(read_target(), "hello world");
+  EXPECT_EQ(temp_count(), 0u);
+}
+
+TEST_F(AtomicFileTest, CommitIsIdempotent) {
+  AtomicFile file(target_);
+  file.write("once");
+  EXPECT_FALSE(file.commit());
+  EXPECT_FALSE(file.commit());  // second commit: success again, no rewrite
+  EXPECT_EQ(read_target(), "once");
+}
+
+TEST_F(AtomicFileTest, DestructionWithoutCommitLeavesNothing) {
+  {
+    AtomicFile file(target_);
+    file.write("abandoned");
+    EXPECT_EQ(temp_count(), 1u);
+  }
+  EXPECT_FALSE(fs::exists(target_));
+  EXPECT_EQ(temp_count(), 0u);
+}
+
+TEST_F(AtomicFileTest, FailedCommitPreservesPreviousContents) {
+  {
+    AtomicFile first(target_);
+    first.write("generation 1");
+    ASSERT_FALSE(first.commit());
+  }
+  FaultInjector faults;
+  faults.fail_point("atomic_file.fsync", EIO);
+  FaultInjector::Arm armed(faults);
+  AtomicFile second(target_);
+  second.write("generation 2");
+  const std::error_code ec = second.commit();
+  EXPECT_EQ(ec.value(), EIO);
+  EXPECT_EQ(read_target(), "generation 1") << "old target must survive the failure";
+  EXPECT_EQ(temp_count(), 0u);
+}
+
+TEST_F(AtomicFileTest, InjectedOpenFailure) {
+  FaultInjector faults;
+  faults.fail_point("atomic_file.open", EACCES);
+  FaultInjector::Arm armed(faults);
+  AtomicFile file(target_);
+  EXPECT_FALSE(file.ok());
+  EXPECT_EQ(file.error().value(), EACCES);
+  EXPECT_FALSE(file.write("ignored"));
+  EXPECT_EQ(file.commit().value(), EACCES);  // latched error surfaces
+}
+
+TEST_F(AtomicFileTest, ShortWriteThenPersistentError) {
+  FaultInjector faults;
+  faults.short_write("atomic_file.write", 4, ENOSPC);
+  FaultInjector::Arm armed(faults);
+  AtomicFile file(target_);
+  ASSERT_TRUE(file.ok());
+  // 10 bytes against a 4-byte budget: the first chunk lands short, the
+  // retry finds the budget exhausted and surfaces the scripted errno.
+  EXPECT_FALSE(file.write("0123456789"));
+  EXPECT_EQ(file.error().value(), ENOSPC);
+  EXPECT_EQ(file.commit().value(), ENOSPC);
+  EXPECT_FALSE(fs::exists(target_));
+  EXPECT_EQ(temp_count(), 0u);
+}
+
+TEST_F(AtomicFileTest, InjectedRenameFailure) {
+  FaultInjector faults;
+  faults.fail_point("atomic_file.rename", EIO);
+  FaultInjector::Arm armed(faults);
+  AtomicFile file(target_);
+  file.write("payload");
+  const std::error_code ec = file.commit();
+  EXPECT_EQ(ec.value(), EIO);
+  EXPECT_FALSE(file.committed());
+  EXPECT_FALSE(fs::exists(target_));
+  EXPECT_EQ(temp_count(), 0u) << "failed rename must clean its temp";
+}
+
+TEST_F(AtomicFileTest, DirsyncFailureReportsButTargetIsLive) {
+  // The rename already happened when dirsync fails: the new file IS the
+  // target (readers see it), but the caller is told durability is suspect.
+  FaultInjector faults;
+  faults.fail_point("atomic_file.dirsync", EIO);
+  FaultInjector::Arm armed(faults);
+  AtomicFile file(target_);
+  file.write("live but maybe not durable");
+  const std::error_code ec = file.commit();
+  EXPECT_EQ(ec.value(), EIO);
+  EXPECT_TRUE(file.committed());
+  EXPECT_EQ(read_target(), "live but maybe not durable");
+}
+
+TEST_F(AtomicFileTest, CrashPointBeforeFsyncSeesTempNotTarget) {
+  FaultInjector faults;
+  bool observed = false;
+  faults.crash_point("atomic_file.before_fsync", [&] {
+    observed = true;
+    EXPECT_FALSE(fs::exists(target_));
+    EXPECT_EQ(temp_count(), 1u);
+  });
+  FaultInjector::Arm armed(faults);
+  AtomicFile file(target_);
+  file.write("x");
+  EXPECT_FALSE(file.commit());
+  EXPECT_TRUE(observed);
+}
+
+TEST_F(AtomicFileTest, CrashPointBeforeRenameSeesDurableTempOldTarget) {
+  {
+    AtomicFile first(target_);
+    first.write("old");
+    ASSERT_FALSE(first.commit());
+  }
+  FaultInjector faults;
+  bool observed = false;
+  faults.crash_point("atomic_file.before_rename", [&] {
+    observed = true;
+    // A power loss here: the temp's bytes are fsynced, the target is the
+    // previous generation — restart sweeps the temp, nothing torn.
+    EXPECT_EQ(read_target(), "old");
+    EXPECT_EQ(temp_count(), 1u);
+  });
+  FaultInjector::Arm armed(faults);
+  AtomicFile file(target_);
+  file.write("new");
+  EXPECT_FALSE(file.commit());
+  EXPECT_TRUE(observed);
+  EXPECT_EQ(read_target(), "new");
+}
+
+TEST_F(AtomicFileTest, CrashPointAfterRenameSeesNewTarget) {
+  FaultInjector faults;
+  bool observed = false;
+  faults.crash_point("atomic_file.after_rename", [&] {
+    observed = true;
+    EXPECT_EQ(read_target(), "published");
+    EXPECT_EQ(temp_count(), 0u);
+  });
+  FaultInjector::Arm armed(faults);
+  AtomicFile file(target_);
+  file.write("published");
+  EXPECT_FALSE(file.commit());
+  EXPECT_TRUE(observed);
+}
+
+TEST_F(AtomicFileTest, CrashHookThrowAbandonsCommit) {
+  // A throwing hook models the process dying at the crash point: commit()
+  // never completes, and RAII abort must still clean the temp up.
+  FaultInjector faults;
+  faults.crash_point("atomic_file.before_rename", [] { throw std::runtime_error("crash"); });
+  {
+    FaultInjector::Arm armed(faults);
+    AtomicFile file(target_);
+    file.write("never lands");
+    EXPECT_THROW(file.commit(), std::runtime_error);
+  }
+  EXPECT_FALSE(fs::exists(target_));
+  EXPECT_EQ(temp_count(), 0u);
+}
+
+TEST_F(AtomicFileTest, FailPointTimesBudget) {
+  FaultInjector faults;
+  faults.fail_point("atomic_file.fsync", EIO, 1);  // fail once, then recover
+  FaultInjector::Arm armed(faults);
+  {
+    AtomicFile first(target_);
+    first.write("attempt 1");
+    EXPECT_EQ(first.commit().value(), EIO);
+  }
+  {
+    AtomicFile second(target_);
+    second.write("attempt 2");
+    EXPECT_FALSE(second.commit());
+  }
+  EXPECT_EQ(read_target(), "attempt 2");
+  EXPECT_GE(faults.hits("atomic_file.fsync"), 2u);
+}
+
+TEST_F(AtomicFileTest, OnlyOneInjectorArmsAtATime) {
+  FaultInjector first;
+  FaultInjector second;
+  FaultInjector::Arm armed(first);
+  EXPECT_THROW(FaultInjector::Arm double_armed(second), std::logic_error);
+  EXPECT_EQ(FaultInjector::active(), &first);
+}
+
+TEST_F(AtomicFileTest, DisarmedInjectorCostsNothing) {
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+  AtomicFile file(target_);
+  file.write("plain");
+  EXPECT_FALSE(file.commit());
+  EXPECT_EQ(read_target(), "plain");
+}
+
+TEST(AtomicFileTempPath, RecognizesOwnScheme) {
+  EXPECT_TRUE(AtomicFile::is_temp_path("metrics.prom.tmp.1234.0"));
+  EXPECT_TRUE(AtomicFile::is_temp_path("/a/b/x.ndc.tmp.99.107"));
+  EXPECT_FALSE(AtomicFile::is_temp_path("metrics.prom"));
+  EXPECT_FALSE(AtomicFile::is_temp_path("x.tmp"));
+  EXPECT_FALSE(AtomicFile::is_temp_path("x.tmp.12"));         // missing counter
+  EXPECT_FALSE(AtomicFile::is_temp_path("x.tmp.12.34.56"));   // too many fields
+  EXPECT_FALSE(AtomicFile::is_temp_path("x.tmp.12.abc"));     // non-digits
+  EXPECT_FALSE(AtomicFile::is_temp_path("x.tmp.pid.0"));
+}
+
+TEST(AtomicFileTempPath, LiveTempMatchesScheme) {
+  const fs::path dir = fs::temp_directory_path() / "noodle_atomic_file_scheme";
+  fs::create_directories(dir);
+  {
+    AtomicFile file(dir / "target");
+    EXPECT_TRUE(AtomicFile::is_temp_path(file.temp_path()));
+    file.abort();
+  }
+  fs::remove_all(dir);
+}
+
+}  // namespace

@@ -1,0 +1,447 @@
+// serve::PersistentVerdictCache — the disk verdict tier's durability and
+// corruption contract. The centerpiece is the corruption matrix: every way
+// a record file can go bad (truncation, payload bit flip, checksum bit
+// flip, stale feature version, stale/mismatched key, zero-length, foreign
+// file) is planted on disk and must be (a) skipped without throwing,
+// (b) counted under its own reason, and (c) for our own records, removed.
+// Plus: store/lookup round-trips, full-source collision defense, byte-
+// bounded LRU eviction, queue-overflow drops, fault-injected degradation,
+// and the runtime persist toggle.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "core/fitted_model.h"
+#include "feat/featurize.h"
+#include "serve/disk_cache.h"
+#include "util/binary_io.h"
+#include "util/fault_injector.h"
+
+namespace fs = std::filesystem;
+using noodle::core::DetectionReport;
+using noodle::serve::DiskCacheConfig;
+using noodle::serve::DiskCacheSkip;
+using noodle::serve::DiskCacheStats;
+using noodle::serve::PersistentVerdictCache;
+using noodle::util::FaultInjector;
+
+namespace {
+
+std::uint64_t skip_count(const DiskCacheStats& stats, DiskCacheSkip reason) {
+  return stats.skipped[static_cast<std::size_t>(reason)];
+}
+
+/// A fully-populated verdict whose fields are all distinctive, so a
+/// round-trip that drops or reorders any field fails loudly.
+DetectionReport sample_report(double salt = 0.0) {
+  DetectionReport report;
+  report.predicted_label = 1;
+  report.probability = 0.875 + salt;
+  report.p_values = {0.03125, 0.9375};
+  report.region.p = {0.03125, 0.9375};
+  report.region.contains = {false, true};
+  report.region.point_prediction = 1;
+  report.region.confidence = 0.96875;
+  report.region.credibility = 0.9375;
+  report.fusion_used = "late_fusion";
+  return report;
+}
+
+void expect_same_verdict(const DetectionReport& got, const DetectionReport& want) {
+  EXPECT_EQ(got.predicted_label, want.predicted_label);
+  EXPECT_EQ(got.probability, want.probability);
+  EXPECT_EQ(got.p_values, want.p_values);
+  EXPECT_EQ(got.region.p, want.region.p);
+  EXPECT_EQ(got.region.contains, want.region.contains);
+  EXPECT_EQ(got.region.point_prediction, want.region.point_prediction);
+  EXPECT_EQ(got.region.confidence, want.region.confidence);
+  EXPECT_EQ(got.region.credibility, want.region.credibility);
+  EXPECT_EQ(got.fusion_used, want.fusion_used);
+  // Stamped by the service, never trusted from disk:
+  EXPECT_TRUE(got.served_by.empty());
+  EXPECT_FALSE(got.lint_ran);
+  EXPECT_EQ(got.timing.total_us, 0u);
+}
+
+class DiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("noodle_disk_cache_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    config_.directory = dir_;
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  PersistentVerdictCache::Key key_for(const std::string& source,
+                                      std::uint64_t digest = 0x1122334455667788ull) {
+    return {noodle::feat::kFeatureVersion, digest, noodle::util::fnv1a64(source)};
+  }
+
+  /// Stores one entry and waits until it is durably on disk.
+  void store_flushed(PersistentVerdictCache& cache, const std::string& source,
+                     const DetectionReport& report,
+                     std::uint64_t digest = 0x1122334455667788ull) {
+    cache.store(key_for(source, digest), source, report);
+    cache.flush();
+  }
+
+  fs::path record_path(const PersistentVerdictCache::Key& key) const {
+    return dir_ / PersistentVerdictCache::record_filename(key);
+  }
+
+  fs::path dir_;
+  DiskCacheConfig config_;
+};
+
+TEST_F(DiskCacheTest, StoreThenLookupRoundTrips) {
+  PersistentVerdictCache cache(config_);
+  const std::string source = "module m; endmodule";
+  const DetectionReport want = sample_report();
+  store_flushed(cache, source, want);
+
+  DetectionReport got;
+  ASSERT_TRUE(cache.lookup(key_for(source), source, got));
+  expect_same_verdict(got, want);
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.stores, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  EXPECT_TRUE(fs::exists(record_path(key_for(source))));
+}
+
+TEST_F(DiskCacheTest, SurvivesRestart) {
+  const std::string source = "module persisted; endmodule";
+  const DetectionReport want = sample_report();
+  {
+    PersistentVerdictCache cache(config_);
+    store_flushed(cache, source, want);
+  }
+  PersistentVerdictCache reopened(config_);
+  const DiskCacheStats stats = reopened.stats();
+  EXPECT_EQ(stats.loaded, 1u);
+  EXPECT_EQ(stats.corrupt, 0u);
+  DetectionReport got;
+  ASSERT_TRUE(reopened.lookup(key_for(source), source, got));
+  expect_same_verdict(got, want);
+}
+
+TEST_F(DiskCacheTest, MissOnAbsentKey) {
+  PersistentVerdictCache cache(config_);
+  DetectionReport got;
+  EXPECT_FALSE(cache.lookup(key_for("never stored"), "never stored", got));
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_F(DiskCacheTest, FullSourceCollisionIsRejected) {
+  PersistentVerdictCache cache(config_);
+  const std::string source = "module a; endmodule";
+  store_flushed(cache, source, sample_report());
+  // Same key (forced: identical hash inputs), different bytes — the verdict
+  // must NOT be served for the other circuit.
+  DetectionReport got;
+  EXPECT_FALSE(cache.lookup(key_for(source), "module b; endmodule", got));
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.collisions, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST_F(DiskCacheTest, LintBearingReportsAreRefused) {
+  PersistentVerdictCache cache(config_);
+  DetectionReport linted = sample_report();
+  linted.lint_ran = true;
+  cache.store(key_for("m"), "m", linted);
+  cache.flush();
+  EXPECT_EQ(cache.stats().stores, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// --------------------------------------------------------------------------
+// The corruption matrix. Each case plants one kind of bad file, reopens the
+// cache, and asserts the scanner classified it under exactly its reason.
+// --------------------------------------------------------------------------
+
+class DiskCacheCorruptionTest : public DiskCacheTest {
+ protected:
+  /// Writes one good record and returns its path.
+  fs::path plant_good_record(const std::string& source = "module good; endmodule") {
+    PersistentVerdictCache cache(config_);
+    store_flushed(cache, source, sample_report());
+    return record_path(key_for(source));
+  }
+
+  /// Reopens the cache and returns the scanner's verdict counters.
+  DiskCacheStats rescan() {
+    PersistentVerdictCache cache(config_);
+    return cache.stats();
+  }
+
+  void flip_byte(const fs::path& path, std::size_t offset_from_end) {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file);
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    ASSERT_GT(size, static_cast<std::streamoff>(offset_from_end));
+    const std::streamoff pos = size - static_cast<std::streamoff>(offset_from_end) - 1;
+    file.seekg(pos);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.seekp(pos);
+    file.write(&byte, 1);
+  }
+};
+
+TEST_F(DiskCacheCorruptionTest, TruncatedRecord) {
+  const fs::path path = plant_good_record();
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size / 2);
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kTruncated), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.loaded, 0u);
+  EXPECT_FALSE(fs::exists(path)) << "unserveable own record must be removed";
+}
+
+TEST_F(DiskCacheCorruptionTest, BitFlippedPayload) {
+  const fs::path path = plant_good_record();
+  // Somewhere in the middle of the body — past the prefix, before the
+  // checksum.
+  flip_byte(path, fs::file_size(path) / 2);
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kChecksum), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.loaded, 0u);
+}
+
+TEST_F(DiskCacheCorruptionTest, BitFlippedChecksum) {
+  const fs::path path = plant_good_record();
+  flip_byte(path, 3);  // inside the trailing 8-byte checksum
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kChecksum), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+}
+
+TEST_F(DiskCacheCorruptionTest, StaleFeatureVersion) {
+  // A record written by a build with an older featurizer: properly framed
+  // and checksummed, but its features mean something else now.
+  const std::string source = "module stale; endmodule";
+  {
+    PersistentVerdictCache cache(config_);
+    PersistentVerdictCache::Key old_key{noodle::feat::kFeatureVersion - 1,
+                                        0x1122334455667788ull,
+                                        noodle::util::fnv1a64(source)};
+    cache.store(old_key, source, sample_report());
+    cache.flush();
+  }
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kStaleFeature), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.loaded, 0u);
+}
+
+TEST_F(DiskCacheCorruptionTest, StaleModelDigestKeyMismatch) {
+  // A record renamed to another model digest's filename (tampering, or a
+  // copy aimed at poisoning another model's cache): the header key echo
+  // disagrees with the filename and the record must not serve.
+  const std::string source = "module renamed; endmodule";
+  const fs::path path = plant_good_record(source);
+  PersistentVerdictCache::Key other = key_for(source, 0xdeadbeefdeadbeefull);
+  fs::rename(path, record_path(other));
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kKeyMismatch), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.loaded, 0u);
+}
+
+TEST_F(DiskCacheCorruptionTest, ZeroLengthRecord) {
+  fs::create_directories(dir_);
+  const fs::path path = record_path(key_for("module empty; endmodule"));
+  std::ofstream(path, std::ios::binary).close();
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kEmpty), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+}
+
+TEST_F(DiskCacheCorruptionTest, ForeignFileLeftAlone) {
+  fs::create_directories(dir_);
+  const fs::path foreign = dir_ / "README.txt";
+  std::ofstream(foreign) << "operator notes, not a record";
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kForeign), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_TRUE(fs::exists(foreign)) << "files we did not write are not ours to delete";
+}
+
+TEST_F(DiskCacheCorruptionTest, ForeignMagicUnderRecordName) {
+  // Right filename shape, alien bytes (another tool's file copied in).
+  fs::create_directories(dir_);
+  const fs::path path = record_path(key_for("module alien; endmodule"));
+  std::ofstream(path, std::ios::binary) << "GIF89a definitely not a verdict record";
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kForeign), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+}
+
+TEST_F(DiskCacheCorruptionTest, OrphanedTempIsSweptNotCorrupt) {
+  fs::create_directories(dir_);
+  const fs::path temp = dir_ / "0000000a-b-c.ndc.tmp.1234.7";
+  std::ofstream(temp, std::ios::binary) << "half-written";
+  const DiskCacheStats stats = rescan();
+  EXPECT_EQ(stats.temps_swept, 1u);
+  EXPECT_EQ(stats.corrupt, 0u) << "a swept temp is a non-event, not corruption";
+  EXPECT_FALSE(fs::exists(temp));
+}
+
+TEST_F(DiskCacheCorruptionTest, RuntimeCorruptionExpelsEntry) {
+  // The record goes bad AFTER being indexed: lookup must expel it, count
+  // it, and miss — never crash or serve garbage.
+  const std::string source = "module runtime; endmodule";
+  const fs::path path = [&] {
+    PersistentVerdictCache cache(config_);
+    store_flushed(cache, source, sample_report());
+    return record_path(key_for(source));
+  }();
+  PersistentVerdictCache cache(config_);
+  ASSERT_EQ(cache.stats().loaded, 1u);
+  flip_byte(path, fs::file_size(path) / 2);
+  DetectionReport got;
+  EXPECT_FALSE(cache.lookup(key_for(source), source, got));
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(skip_count(stats, DiskCacheSkip::kChecksum), 1u);
+  EXPECT_EQ(stats.corrupt, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+// --------------------------------------------------------------------------
+// Bounds, degradation, toggles.
+// --------------------------------------------------------------------------
+
+TEST_F(DiskCacheTest, ByteBudgetEvictsLeastRecentlyUsed) {
+  // Budget sized for roughly two records; storing three must evict the
+  // least recently used one and unlink its file.
+  PersistentVerdictCache::Key keys[3];
+  std::string sources[3];
+  std::uint64_t record_bytes = 0;
+  {
+    PersistentVerdictCache probe(config_);
+    store_flushed(probe, "module size_probe; endmodule", sample_report());
+    record_bytes = probe.stats().bytes;
+  }
+  fs::remove_all(dir_);
+  config_.max_bytes = record_bytes * 2 + record_bytes / 2;
+  PersistentVerdictCache cache(config_);
+  for (int i = 0; i < 3; ++i) {
+    sources[i] = "module eviction_" + std::to_string(i) + "; endmodule";
+    keys[i] = key_for(sources[i]);
+    store_flushed(cache, sources[i], sample_report());
+  }
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.stores, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, config_.max_bytes);
+  EXPECT_FALSE(fs::exists(record_path(keys[0]))) << "oldest record must be evicted";
+  DetectionReport got;
+  EXPECT_TRUE(cache.lookup(keys[2], sources[2], got));
+}
+
+TEST_F(DiskCacheTest, WriteFailureDegradesToMemoryOnly) {
+  PersistentVerdictCache cache(config_);
+  FaultInjector faults;
+  faults.fail_point("atomic_file.fsync", EIO);
+  {
+    FaultInjector::Arm armed(faults);
+    cache.store(key_for("m1"), "m1", sample_report());
+    cache.flush();
+  }
+  DiskCacheStats stats = cache.stats();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_EQ(stats.stores, 0u);
+  EXPECT_EQ(stats.drops, 1u);
+  // Degraded mode: stores and lookups are immediate no-ops, never errors.
+  cache.store(key_for("m2"), "m2", sample_report());
+  cache.flush();
+  DetectionReport got;
+  EXPECT_FALSE(cache.lookup(key_for("m1"), "m1", got));
+  stats = cache.stats();
+  EXPECT_EQ(stats.stores, 0u);
+  EXPECT_EQ(stats.drops, 2u);
+}
+
+TEST_F(DiskCacheTest, UnusableDirectoryDegradesInsteadOfThrowing) {
+  // A regular FILE where the cache directory should be: creation fails.
+  fs::create_directories(dir_.parent_path());
+  std::ofstream(dir_) << "in the way";
+  PersistentVerdictCache cache(config_);
+  EXPECT_TRUE(cache.stats().degraded);
+  cache.store(key_for("m"), "m", sample_report());
+  cache.flush();  // no-op, no crash
+  DetectionReport got;
+  EXPECT_FALSE(cache.lookup(key_for("m"), "m", got));
+  fs::remove(dir_);
+}
+
+TEST_F(DiskCacheTest, PersistToggleStopsBothDirections) {
+  PersistentVerdictCache cache(config_);
+  const std::string source = "module toggled; endmodule";
+  store_flushed(cache, source, sample_report());
+  cache.set_enabled(false);
+  DetectionReport got;
+  EXPECT_FALSE(cache.lookup(key_for(source), source, got));
+  cache.store(key_for("other"), "other", sample_report());
+  cache.flush();
+  EXPECT_EQ(cache.stats().stores, 1u);
+  EXPECT_EQ(cache.stats().drops, 1u);
+  EXPECT_FALSE(cache.stats().enabled);
+  cache.set_enabled(true);
+  EXPECT_TRUE(cache.lookup(key_for(source), source, got));
+}
+
+TEST_F(DiskCacheTest, QueueOverflowDropsInsteadOfBlocking) {
+  config_.queue_capacity = 2;
+  PersistentVerdictCache cache(config_);
+  FaultInjector faults;
+  // Stall the writer inside its first publish so the queue backs up.
+  std::atomic<bool> release{false};
+  faults.crash_point("atomic_file.before_fsync", [&] {
+    while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  {
+    FaultInjector::Arm armed(faults);
+    for (int i = 0; i < 8; ++i) {
+      const std::string source = "module q" + std::to_string(i) + "; endmodule";
+      cache.store(key_for(source), source, sample_report());
+    }
+    release.store(true);
+    cache.flush();
+  }
+  const DiskCacheStats stats = cache.stats();
+  EXPECT_GE(stats.drops, 1u) << "overflow must drop, not block";
+  EXPECT_EQ(stats.stores + stats.drops, 8u);
+}
+
+TEST_F(DiskCacheTest, RecordFilenameRoundTrips) {
+  const PersistentVerdictCache::Key key{noodle::feat::kFeatureVersion,
+                                        0x0123456789abcdefull, 0xfedcba9876543210ull};
+  const std::string name = PersistentVerdictCache::record_filename(key);
+  PersistentVerdictCache::Key parsed;
+  ASSERT_TRUE(PersistentVerdictCache::parse_record_filename(name, parsed));
+  EXPECT_EQ(parsed, key);
+  EXPECT_FALSE(PersistentVerdictCache::parse_record_filename("notarecord.ndc", parsed));
+  EXPECT_FALSE(PersistentVerdictCache::parse_record_filename(name + "x", parsed));
+  EXPECT_FALSE(PersistentVerdictCache::parse_record_filename("", parsed));
+}
+
+}  // namespace

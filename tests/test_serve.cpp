@@ -395,13 +395,6 @@ TEST_F(DetectorSnapshot, ServiceIsolatesParseErrorsToTheirOwnFuture) {
   EXPECT_EQ(service.stats().parse_failures, 1u);
 }
 
-TEST(DetectionServiceConfig, RejectsUnfittedDetector) {
-  EXPECT_THROW(serve::DetectionService(core::NoodleDetector{}, serve::ServiceConfig{}),
-               std::invalid_argument);
-}
-
-// --- observability: cache-probe accounting, timing, metrics mirror -----------
-
 /// The value of one labelled counter in a metrics snapshot (0 if absent).
 std::uint64_t sample_counter(const std::vector<obs::MetricsRegistry::Sample>& samples,
                              const std::string& name, const obs::Labels& labels) {
@@ -415,6 +408,80 @@ std::uint64_t probe_count(serve::DetectionService& service, const char* outcome)
   return sample_counter(service.metrics_snapshot(), "noodle_cache_probes_total",
                         {{"outcome", outcome}});
 }
+
+TEST_F(DetectorSnapshot, DiskTierServesBitIdenticalVerdictsAcrossRestarts) {
+  // End-to-end persistence: service A scans cold and persists the verdict;
+  // a brand-new service B (empty in-memory cache, same cache directory,
+  // same snapshot) must answer from the disk tier — no model scan — with a
+  // report bit-identical to a direct cold scan.
+  const auto path = temp_snapshot_path("noodle_disk_tier.snap");
+  detector_->save(path);
+  const auto cache_dir =
+      std::filesystem::temp_directory_path() / "noodle_disk_tier_cache";
+  std::filesystem::remove_all(cache_dir);
+
+  serve::ServiceConfig config;
+  config.disk_cache.directory = cache_dir;
+  const std::string& source = (*corpus_)[0].verilog;
+
+  {
+    serve::DetectionService service(path, config);
+    ASSERT_NE(service.disk_cache(), nullptr);
+    expect_identical_report(service.scan(source),
+                            detector_->scan_verilog(source));
+    service.disk_cache()->flush();
+    EXPECT_EQ(service.disk_cache_stats().stores, 1u);
+    EXPECT_EQ(service.stats().disk_hits, 0u);
+  }
+  {
+    serve::DetectionService service(path, config);
+    EXPECT_EQ(service.disk_cache_stats().loaded, 1u)
+        << "restart scanner did not pick up the persisted record";
+    const core::DetectionReport warm = service.scan(source);
+    expect_identical_report(warm, detector_->scan_verilog(source));
+    EXPECT_FALSE(warm.served_by.empty());
+
+    const serve::ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.disk_hits, 1u);
+    EXPECT_EQ(stats.scans, 0u) << "disk tier should have spared the model";
+    EXPECT_EQ(probe_count(service, "disk_hit"), 1u);
+
+    // The disk hit promoted the entry: the next identical scan is a memory
+    // hit, not a second disk probe.
+    service.scan(source);
+    EXPECT_EQ(service.stats().cache_hits, 1u);
+    EXPECT_EQ(service.stats().disk_hits, 1u);
+  }
+  std::filesystem::remove(path);
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST_F(DetectorSnapshot, DiskTierDisabledServiceBehavesExactlyAsBefore) {
+  // No disk_cache directory configured: the tier must not exist, stats stay
+  // all-zero/disabled, and scans behave identically to the pre-disk world.
+  core::NoodleDetector copy;
+  {
+    const auto path = temp_snapshot_path("noodle_no_disk.snap");
+    detector_->save(path);
+    copy.load(path);
+    std::filesystem::remove(path);
+  }
+  serve::DetectionService service(std::move(copy), serve::ServiceConfig{});
+  EXPECT_EQ(service.disk_cache(), nullptr);
+  const serve::DiskCacheStats stats = service.disk_cache_stats();
+  EXPECT_FALSE(stats.enabled);
+  EXPECT_EQ(stats.entries, 0u);
+  expect_identical_report(service.scan((*corpus_)[0].verilog),
+                          detector_->scan_verilog((*corpus_)[0].verilog));
+  EXPECT_EQ(service.stats().disk_hits, 0u);
+}
+
+TEST(DetectionServiceConfig, RejectsUnfittedDetector) {
+  EXPECT_THROW(serve::DetectionService(core::NoodleDetector{}, serve::ServiceConfig{}),
+               std::invalid_argument);
+}
+
+// --- observability: cache-probe accounting, timing, metrics mirror -----------
 
 TEST_F(DetectorSnapshot, CacheProbeAccountingIsExactUnderLintToggles) {
   core::NoodleDetector copy;

@@ -24,6 +24,10 @@
 //                          requests after a !drain probe a fully warm cache)
 //   !lint on|off           toggle the static-analysis pass at runtime
 //   !trace on|off          toggle the per-verdict trace= timing column
+//   !cache persist on|off  toggle the persistent disk verdict tier at
+//                          runtime (needs --disk-cache)
+//   !store rescan          sweep the --store directory for new snapshot
+//                          archives now (SIGHUP does the same)
 //
 // Options:
 //   --snapshot FILE   load the default model from FILE if it exists;
@@ -50,8 +54,23 @@
 //   --trace           start with the per-verdict trace= column on
 //   --metrics-file PATH   dump the Prometheus exposition to PATH every
 //                     --metrics-interval seconds, at clean exit, and on
-//                     SIGTERM/SIGINT — always write-temp + atomic rename,
-//                     so a scraper never reads a torn file
+//                     SIGTERM/SIGINT — through util::AtomicFile (write-temp,
+//                     fsync, atomic rename), so a scraper never reads a torn
+//                     or half-durable file
+//   --disk-cache DIR  persistent verdict cache: verdicts are published to
+//                     DIR (checksummed record per entry, crash-safe) and
+//                     answer in-memory misses across restarts; a fleet can
+//                     share one DIR. Disk failure degrades to memory-only —
+//                     requests are never failed by persistence
+//   --disk-cache-bytes N  byte budget for --disk-cache before LRU records
+//                     are evicted (default 64 MiB)
+//   --store DIR       content-addressed snapshot store: archives dropped
+//                     into DIR as <model>.snap are validated off-thread and
+//                     hot-published as the next version of <model>; corrupt
+//                     archives are rejected (reload event log) while the old
+//                     generation keeps serving. Polled every
+//                     --store-interval seconds; SIGHUP rescans immediately
+//   --store-interval N  seconds between store polls (default 2)
 //   --metrics-interval N  seconds between metrics dumps (default 10; 0 =
 //                     only at exit/signal)
 //   --seed N          training seed (default 42)
@@ -78,6 +97,7 @@
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -91,6 +111,8 @@
 #include "serve/registry.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
+#include "serve/snapshot_store.h"
+#include "util/atomic_file.h"
 #include "util/csv.h"
 
 using namespace noodle;
@@ -110,6 +132,10 @@ struct Options {
   bool trace = false;
   std::filesystem::path metrics_file;
   std::size_t metrics_interval = 10;
+  std::filesystem::path disk_cache_dir;
+  std::uint64_t disk_cache_bytes = 64ull << 20;
+  std::filesystem::path store_dir;
+  std::size_t store_interval = 2;
   std::size_t batch = 16;
   std::size_t cache = 4096;
   std::size_t workers = 1;
@@ -124,11 +150,12 @@ struct Options {
                " [--int8] [--fma]"
                " [--quick] [--batch N] [--cache N] [--workers N] [--lint]"
                " [--trace] [--metrics-file PATH] [--metrics-interval N]"
-               " [--seed N] [--stats] [--demo N]\n"
+               " [--disk-cache DIR] [--disk-cache-bytes N] [--store DIR]"
+               " [--store-interval N] [--seed N] [--stats] [--demo N]\n"
                "reads newline-delimited request lines from stdin:\n"
                "  PATH | MODEL:PATH | MODEL@VER:PATH | !reload NAME=PATH |"
                " !models | !stats | !metrics | !drain | !lint on|off |"
-               " !trace on|off\n";
+               " !trace on|off | !cache persist on|off | !store rescan\n";
   std::exit(2);
 }
 
@@ -179,6 +206,14 @@ Options parse_options(int argc, char** argv) {
         options.metrics_file = next_value(i);
       } else if (arg == "--metrics-interval") {
         options.metrics_interval = std::stoul(next_value(i));
+      } else if (arg == "--disk-cache") {
+        options.disk_cache_dir = next_value(i);
+      } else if (arg == "--disk-cache-bytes") {
+        options.disk_cache_bytes = std::stoull(next_value(i));
+      } else if (arg == "--store") {
+        options.store_dir = next_value(i);
+      } else if (arg == "--store-interval") {
+        options.store_interval = std::stoul(next_value(i));
       } else if (arg == "--batch") {
         options.batch = std::stoul(next_value(i));
       } else if (arg == "--cache") {
@@ -261,7 +296,8 @@ std::string region_text(const cp::PredictionRegion& region) {
 
 void print_stats_line(const char* label, const serve::ServiceStats& stats) {
   std::cerr << "noodled stats[" << label << "]: requests=" << stats.requests
-            << " cache_hits=" << stats.cache_hits << " scans=" << stats.scans
+            << " cache_hits=" << stats.cache_hits
+            << " disk_hits=" << stats.disk_hits << " scans=" << stats.scans
             << " batches=" << stats.batches << " max_batch=" << stats.max_batch_size
             << " parse_failures=" << stats.parse_failures
             << " model_misses=" << stats.model_misses
@@ -317,10 +353,32 @@ std::string trace_column(const core::DetectionReport& report) {
   return column;
 }
 
-void print_stats(const serve::DetectionService& service) {
+void print_stats(const serve::DetectionService& service,
+                 const serve::SnapshotStore* store = nullptr) {
   print_stats_line("total", service.stats());
   for (const auto& [name, stats] : service.stats_by_model()) {
     print_stats_line(name.c_str(), stats);
+  }
+  if (service.disk_cache() != nullptr) {
+    // One stats() call — the identical snapshot the Prometheus mirror
+    // reads, so `!stats` and `!metrics` can never disagree on the tier.
+    const serve::DiskCacheStats disk = service.disk_cache_stats();
+    std::cerr << "noodled stats[disk-cache]: hits=" << disk.hits
+              << " misses=" << disk.misses << " stores=" << disk.stores
+              << " drops=" << disk.drops << " corrupt=" << disk.corrupt
+              << " evictions=" << disk.evictions
+              << " collisions=" << disk.collisions
+              << " temps_swept=" << disk.temps_swept << " loaded=" << disk.loaded
+              << " entries=" << disk.entries << " bytes=" << disk.bytes
+              << " degraded=" << (disk.degraded ? 1 : 0)
+              << " enabled=" << (disk.enabled ? 1 : 0) << "\n";
+  }
+  if (store != nullptr) {
+    const serve::SnapshotStoreStats s = store->stats();
+    std::cerr << "noodled stats[snapshot-store]: scans=" << s.scans
+              << " accepted=" << s.accepted << " rejected=" << s.rejected;
+    if (!s.last_error.empty()) std::cerr << " last_error=" << s.last_error;
+    std::cerr << "\n";
   }
 }
 
@@ -350,29 +408,27 @@ void print_models(const serve::ModelRegistry& registry) {
   }
 }
 
-/// Writes the Prometheus exposition to `path` via write-temp + atomic
-/// rename: a scraper polling the file either sees the previous complete
-/// dump or this one, never a torn write.
+/// Writes the Prometheus exposition to `path` through util::AtomicFile
+/// (write-temp in the same directory, fsync, atomic rename): a scraper
+/// polling the file either sees the previous complete dump or this one,
+/// never a torn — or, after a power loss, half-durable — write.
 bool dump_metrics(serve::DetectionService& service, const std::filesystem::path& path) {
-  std::filesystem::path tmp = path;
-  tmp += ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) return false;
-    service.render_prometheus(out);
-    if (!out) return false;
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  return !ec;
+  std::ostringstream exposition;
+  service.render_prometheus(exposition);
+  util::AtomicFile file(path);
+  if (!file.write(exposition.str())) return false;
+  return !file.commit();
 }
 
-/// Signals observed by the metrics-dump thread; async-signal-safe because
-/// the handler only stores into a sig_atomic_t. Installed only when
-/// --metrics-file is given — otherwise default dispositions stand.
+/// Signals observed by the signal-watcher thread; async-signal-safe because
+/// the handlers only store into a sig_atomic_t. SIGTERM/SIGINT are hooked
+/// only when --metrics-file is given (dump, then die); SIGHUP only when
+/// --store is given (rescan, keep serving).
 volatile std::sig_atomic_t g_signal = 0;
+volatile std::sig_atomic_t g_hup = 0;
 
 extern "C" void noodled_signal_handler(int sig) { g_signal = sig; }
+extern "C" void noodled_hup_handler(int) { g_hup = 1; }
 
 /// Splits "spec:path" when the prefix names a registered model; otherwise
 /// the whole line is a path for the default model.
@@ -453,22 +509,59 @@ int main(int argc, char** argv) {
   service_config.cache_capacity = options.cache;
   service_config.workers = options.workers;
   service_config.lint = options.lint;
+  service_config.disk_cache.directory = options.disk_cache_dir;
+  service_config.disk_cache.max_bytes = options.disk_cache_bytes;
   serve::DetectionService service(registry, default_model, service_config);
+  if (service.disk_cache() != nullptr) {
+    const serve::DiskCacheStats disk = service.disk_cache_stats();
+    std::cerr << "noodled: disk cache " << options.disk_cache_dir.string()
+              << " loaded=" << disk.loaded << " corrupt=" << disk.corrupt
+              << " temps_swept=" << disk.temps_swept
+              << (disk.degraded ? " DEGRADED" : "") << "\n";
+  }
 
-  // The metrics-dump thread: periodic + signal-triggered + exit dumps, all
-  // through the same atomic-rename writer. The signal handler only raises a
-  // flag; the thread does the dump, restores the default disposition, and
-  // re-raises so the process still dies from SIGTERM/SIGINT as expected.
-  std::atomic<bool> metrics_stop{false};
-  std::thread metrics_thread;
-  if (!options.metrics_file.empty()) {
-    std::signal(SIGTERM, noodled_signal_handler);
-    std::signal(SIGINT, noodled_signal_handler);
-    metrics_thread = std::thread([&service, &metrics_stop, &options] {
+  // The snapshot-store watcher: archives dropped into --store publish as new
+  // model versions; validation failures are logged and the old generation
+  // keeps serving. The first sweep runs before serving starts, so archives
+  // already in the store are live for the first request line.
+  std::unique_ptr<serve::SnapshotStore> store;
+  if (!options.store_dir.empty()) {
+    serve::SnapshotStoreConfig store_config;
+    store_config.directory = options.store_dir;
+    store_config.poll_interval = std::chrono::seconds(options.store_interval);
+    store = std::make_unique<serve::SnapshotStore>(store_config, *registry,
+                                                   &service.metrics());
+    const std::size_t published = store->rescan_now();
+    std::cerr << "noodled: snapshot store " << options.store_dir.string()
+              << " published=" << published << "\n";
+    store->start();
+    std::signal(SIGHUP, noodled_hup_handler);
+  }
+
+  // The signal-watcher thread: periodic + signal-triggered + exit metrics
+  // dumps, and SIGHUP-triggered store rescans. Handlers only raise flags;
+  // this thread does the work (and for SIGTERM/SIGINT restores the default
+  // disposition and re-raises, so the process still dies as expected).
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher_thread;
+  if (!options.metrics_file.empty() || store != nullptr) {
+    if (!options.metrics_file.empty()) {
+      std::signal(SIGTERM, noodled_signal_handler);
+      std::signal(SIGINT, noodled_signal_handler);
+    }
+    serve::SnapshotStore* store_ptr = store.get();
+    watcher_thread = std::thread([&service, &watcher_stop, &options, store_ptr] {
       using clock = std::chrono::steady_clock;
       auto last_dump = clock::now();
-      while (!metrics_stop.load(std::memory_order_relaxed)) {
+      while (!watcher_stop.load(std::memory_order_relaxed)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        if (g_hup != 0) {
+          g_hup = 0;
+          if (store_ptr != nullptr) {
+            std::cerr << "noodled: SIGHUP — rescanning snapshot store\n";
+            store_ptr->poke();
+          }
+        }
         if (g_signal != 0) {
           const int sig = static_cast<int>(g_signal);
           dump_metrics(service, options.metrics_file);
@@ -476,7 +569,7 @@ int main(int argc, char** argv) {
           std::raise(sig);
           return;
         }
-        if (options.metrics_interval > 0 &&
+        if (!options.metrics_file.empty() && options.metrics_interval > 0 &&
             clock::now() - last_dump >=
                 std::chrono::seconds(options.metrics_interval)) {
           if (!dump_metrics(service, options.metrics_file)) {
@@ -576,7 +669,34 @@ int main(int argc, char** argv) {
       } else if (command == "!models") {
         print_models(*registry);
       } else if (command == "!stats") {
-        print_stats(service);
+        print_stats(service, store.get());
+      } else if (command == "!cache") {
+        std::string subject, value;
+        control >> subject >> value;
+        if (subject != "persist" || (value != "on" && value != "off")) {
+          std::cerr << "noodled: !cache wants 'persist on|off', got '" << line
+                    << "'\n";
+          ++failures;
+        } else if (service.disk_cache() == nullptr) {
+          std::cerr << "noodled: no disk cache configured (--disk-cache DIR)\n";
+          ++failures;
+        } else {
+          service.disk_cache()->set_enabled(value == "on");
+          std::cerr << "noodled: cache persist " << value << "\n";
+        }
+      } else if (command == "!store") {
+        std::string value;
+        control >> value;
+        if (value != "rescan") {
+          std::cerr << "noodled: !store wants 'rescan', got '" << line << "'\n";
+          ++failures;
+        } else if (store == nullptr) {
+          std::cerr << "noodled: no snapshot store configured (--store DIR)\n";
+          ++failures;
+        } else {
+          const std::size_t published = store->rescan_now();
+          std::cerr << "noodled: store rescan published=" << published << "\n";
+        }
       } else if (command == "!metrics") {
         service.render_prometheus(std::cerr);
       } else if (command == "!drain") {
@@ -626,9 +746,10 @@ int main(int argc, char** argv) {
   }
   while (!pending.empty()) print_front();
 
+  watcher_stop.store(true, std::memory_order_relaxed);
+  if (watcher_thread.joinable()) watcher_thread.join();
+  if (store != nullptr) store->stop();
   if (!options.metrics_file.empty()) {
-    metrics_stop.store(true, std::memory_order_relaxed);
-    if (metrics_thread.joinable()) metrics_thread.join();
     // Final dump at clean exit, so short-lived runs leave a complete
     // scrape behind even when no interval ever elapsed.
     if (!dump_metrics(service, options.metrics_file)) {
@@ -638,6 +759,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (options.stats) print_stats(service);
+  if (service.disk_cache() != nullptr) {
+    // Orderly exit gets queued verdicts onto disk; a crash would drop them
+    // (by design), but there is no reason to imitate one here.
+    service.disk_cache()->flush();
+  }
+  if (options.stats) print_stats(service, store.get());
   return failures == 0 ? 0 : 1;
 }
