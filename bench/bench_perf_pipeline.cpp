@@ -9,12 +9,18 @@
 // the benchmark aborts if it does not.
 
 #include <benchmark/benchmark.h>
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <array>
 #include <cmath>
 #include <filesystem>
 #include <future>
+#include <thread>
+
+#include "net/event_loop.h"
+#include "net/server.h"
+#include "net/socket.h"
 
 #include "core/batch.h"
 #include "core/detector.h"
@@ -560,6 +566,61 @@ void BM_ServiceThroughput(benchmark::State& state) {
                  " avg_batch=" + std::to_string(stats.average_batch_size()).substr(0, 4));
 }
 BENCHMARK(BM_ServiceThroughput)->Arg(0)->Arg(1)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// One full TCP round trip over loopback: request line in, verdict line out,
+// through the epoll loop, admission control, the dispatcher hand-off, and
+// the FIFO write path. After the first iteration the verdict cache is hot,
+// so this measures transport + protocol overhead, not inference.
+
+void BM_NetRoundTrip(benchmark::State& state) {
+  const auto path = std::filesystem::temp_directory_path() / "noodle_bench_net.snap";
+  fitted_detector().save(path);
+  serve::DetectionService service(path, serve::ServiceConfig{});
+  std::filesystem::remove(path);
+
+  net::EventLoop loop;
+  net::ScanServer server(loop, service, net::ServerConfig{});
+  server.start();
+  std::thread loop_thread([&] { loop.run(); });
+
+  std::error_code ec;
+  net::Fd client = net::connect_tcp("127.0.0.1", server.port(), ec);
+  const std::string request =
+      "~inline module bench_net(input a, input b, output y);"
+      " assign y = a & b; endmodule\n";
+  std::string acc;
+  char buf[4096];
+  for (auto _ : state) {
+    if (!client) {
+      state.SkipWithError("connect failed");
+      break;
+    }
+    std::size_t off = 0;
+    while (off < request.size()) {
+      const ssize_t put = ::send(client.get(), request.data() + off,
+                                 request.size() - off, MSG_NOSIGNAL);
+      if (put < 0) {
+        state.SkipWithError("send failed");
+        break;
+      }
+      off += static_cast<std::size_t>(put);
+    }
+    while (acc.find('\n') == std::string::npos) {
+      const ssize_t got = ::recv(client.get(), buf, sizeof buf, 0);
+      if (got <= 0) {
+        state.SkipWithError("recv failed");
+        break;
+      }
+      acc.append(buf, static_cast<std::size_t>(got));
+    }
+    acc.clear();
+  }
+  client = net::Fd();
+  loop.stop();
+  loop_thread.join();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetRoundTrip)->UseRealTime()->Unit(benchmark::kMicrosecond);
 
 // --- P6: observability ------------------------------------------------------
 // The warm instrumentation path a request pays per stage: one histogram

@@ -1,0 +1,211 @@
+#include "net/event_loop.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <system_error>
+#include <unistd.h>
+
+namespace noodle::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_.reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_) throw_errno("EventLoop: epoll_create1");
+  wakeup_.reset(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
+  if (!wakeup_) throw_errno("EventLoop: eventfd");
+  epoll_event event{};
+  event.events = EPOLLIN;
+  event.data.fd = wakeup_.get();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wakeup_.get(), &event) != 0) {
+    throw_errno("EventLoop: epoll_ctl(wakeup)");
+  }
+  wheel_epoch_ = std::chrono::steady_clock::now();
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add(int fd, std::uint32_t events, IoCallback callback) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &event) != 0) {
+    throw_errno("EventLoop: epoll_ctl(add)");
+  }
+  io_callbacks_[fd] = std::move(callback);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event event{};
+  event.events = events;
+  event.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &event) != 0) {
+    throw_errno("EventLoop: epoll_ctl(mod)");
+  }
+}
+
+void EventLoop::remove(int fd) {
+  // The fd may already be closed by the caller; EBADF/ENOENT are then fine.
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  io_callbacks_.erase(fd);
+  removed_this_round_.push_back(fd);
+}
+
+EventLoop::TimerId EventLoop::add_timer(std::chrono::milliseconds delay,
+                                        std::function<void()> callback) {
+  // Round UP to whole ticks: a timer must never fire before its delay.
+  const std::uint64_t ticks = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>((delay.count() + kTick.count() - 1) / kTick.count()));
+  const TimerId id = next_timer_id_++;
+  Timer timer;
+  timer.callback = std::move(callback);
+  timer.slot = (current_slot_ + ticks) % kWheelSlots;
+  timer.rounds = ticks / kWheelSlots;
+  wheel_[timer.slot].push_back(id);
+  timers_.emplace(id, std::move(timer));
+  return id;
+}
+
+void EventLoop::cancel_timer(TimerId id) {
+  const auto it = timers_.find(id);
+  if (it == timers_.end()) return;
+  // Lazy removal: the slot entry stays and is skipped when its tick comes.
+  it->second.cancelled = true;
+}
+
+void EventLoop::watch_signal(int signo, std::function<void(int)> callback) {
+  SignalPipe& pipe = SignalPipe::instance();
+  pipe.hook(signo);
+  signal_callbacks_[signo] = std::move(callback);
+  if (!signal_fd_added_ && pipe.read_fd() >= 0) {
+    add(pipe.read_fd(), EPOLLIN, [this](std::uint32_t) {
+      SignalPipe::instance().drain([this](int signo) {
+        const auto it = signal_callbacks_.find(signo);
+        if (it != signal_callbacks_.end()) it->second(signo);
+      });
+    });
+    signal_fd_added_ = true;
+  }
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(task));
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t ignored = ::write(wakeup_.get(), &one, sizeof one);
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t ignored = ::write(wakeup_.get(), &one, sizeof one);
+}
+
+void EventLoop::drain_posted() {
+  // Swap out the whole queue so tasks posted BY a task run next round —
+  // never recursively, and never starving I/O forever.
+  std::deque<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
+int EventLoop::poll_timeout_ms() const {
+  if (timers_.empty()) return -1;  // block until I/O, post, or signal
+  const auto next_tick = wheel_epoch_ + kTick;
+  const auto now = std::chrono::steady_clock::now();
+  if (next_tick <= now) return 0;
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next_tick - now);
+  return static_cast<int>(left.count()) + 1;  // +1: never wake a hair early
+}
+
+void EventLoop::advance_wheel() {
+  if (timers_.empty()) {
+    wheel_epoch_ = std::chrono::steady_clock::now();
+    return;
+  }
+  const auto now = std::chrono::steady_clock::now();
+  while (now - wheel_epoch_ >= kTick) {
+    wheel_epoch_ += kTick;
+    current_slot_ = (current_slot_ + 1) % kWheelSlots;
+    // Fire this slot. Entries are collected first: a callback may arm new
+    // timers (even into this same slot — they belong to the NEXT
+    // revolution and must not fire now).
+    std::vector<TimerId> due;
+    due.swap(wheel_[current_slot_]);
+    for (const TimerId id : due) {
+      const auto it = timers_.find(id);
+      if (it == timers_.end()) continue;
+      if (it->second.cancelled) {
+        timers_.erase(it);
+        continue;
+      }
+      if (it->second.rounds > 0) {
+        --it->second.rounds;
+        wheel_[current_slot_].push_back(id);  // park for another revolution
+        continue;
+      }
+      auto callback = std::move(it->second.callback);
+      timers_.erase(it);
+      callback();
+    }
+    if (timers_.empty()) {
+      // Nothing left to pace; resynchronise so a long idle gap does not
+      // replay thousands of empty ticks later.
+      wheel_epoch_ = std::chrono::steady_clock::now();
+      return;
+    }
+  }
+}
+
+void EventLoop::run() {
+  running_ = true;
+  stop_.store(false, std::memory_order_release);
+  std::vector<epoll_event> events(64);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_.get(), events.data(),
+                               static_cast<int>(events.size()), poll_timeout_ms());
+    if (n < 0 && errno != EINTR) throw_errno("EventLoop: epoll_wait");
+    removed_this_round_.clear();
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wakeup_.get()) {
+        std::uint64_t counter = 0;
+        [[maybe_unused]] const ssize_t ignored =
+            ::read(wakeup_.get(), &counter, sizeof counter);
+        continue;
+      }
+      // A handler earlier in this round may have closed this fd; its
+      // number could even be reused by a brand-new connection, whose
+      // callback must not run on the stale event.
+      if (std::find(removed_this_round_.begin(), removed_this_round_.end(), fd) !=
+          removed_this_round_.end()) {
+        continue;
+      }
+      const auto it = io_callbacks_.find(fd);
+      if (it == io_callbacks_.end()) continue;
+      it->second(events[static_cast<std::size_t>(i)].events);
+    }
+    drain_posted();
+    advance_wheel();
+    if (n == static_cast<int>(events.size())) events.resize(events.size() * 2);
+  }
+  drain_posted();  // anything posted between the last round and stop()
+  running_ = false;
+}
+
+}  // namespace noodle::net

@@ -1,0 +1,127 @@
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "lint/lint.h"
+#include "serve/registry.h"
+#include "util/csv.h"
+
+namespace noodle::net::protocol {
+
+RequestLine parse_request_line(
+    const std::string& line,
+    const std::function<bool(const std::string&)>& is_model) {
+  RequestLine request;
+  std::string rest = line;
+
+  // Model prefix: honoured only when the prefix both parses as a spec AND
+  // names a registered model — so ':' inside paths or inline RTL (ternary
+  // operators!) never mis-splits. Same rule the stdin loop always used.
+  const std::size_t colon = rest.find(':');
+  if (colon != std::string::npos && colon > 0) {
+    try {
+      const serve::ModelSpec spec =
+          serve::parse_model_spec(std::string_view(rest).substr(0, colon));
+      if (is_model(spec.name)) {
+        request.spec = rest.substr(0, colon);
+        rest = rest.substr(colon + 1);
+      }
+    } catch (const serve::RegistryError&) {
+      // Not a model prefix; the whole line is the body.
+    }
+  }
+
+  // Flags: space-separated "~..." tokens before the body. Inline RTL can
+  // never start with '~' (no Verilog construct does), so the loop always
+  // terminates at the real body.
+  while (!rest.empty() && rest.front() == '~') {
+    const std::size_t space = rest.find(' ');
+    const std::string flag =
+        rest.substr(0, space == std::string::npos ? rest.size() : space);
+    rest = space == std::string::npos ? std::string() : rest.substr(space + 1);
+    constexpr std::string_view kDeadline = "~deadline=";
+    if (flag == "~inline") {
+      request.inline_rtl = true;
+    } else if (flag.size() > kDeadline.size() &&
+               std::string_view(flag).substr(0, kDeadline.size()) == kDeadline) {
+      const std::string value = flag.substr(kDeadline.size());
+      if (value.empty() ||
+          !std::all_of(value.begin(), value.end(),
+                       [](unsigned char c) { return c >= '0' && c <= '9'; }) ||
+          value.size() > 9) {  // < 1e9 ms ≈ 11 days; rejects overflow cheaply
+        request.error = "bad deadline '" + value + "'";
+        return request;
+      }
+      request.deadline = std::chrono::milliseconds(std::stoll(value));
+    } else {
+      request.error = "unknown flag '" + flag + "'";
+      return request;
+    }
+  }
+
+  request.body = std::move(rest);
+  if (request.body.empty()) request.error = "empty request body";
+  return request;
+}
+
+std::string region_text(const cp::PredictionRegion& region) {
+  if (region.is_uncertain()) return "{TF,TI}";
+  if (region.is_empty()) return "{}";
+  return region.contains[1] ? "{TI}" : "{TF}";
+}
+
+std::string lint_column(const core::DetectionReport& report) {
+  std::string column = "lint=" + std::to_string(report.lint_findings.size());
+  constexpr std::size_t kMaxListed = 8;
+  const std::size_t listed = std::min(report.lint_findings.size(), kMaxListed);
+  for (std::size_t i = 0; i < listed; ++i) {
+    const lint::OwnedFinding& finding = report.lint_findings[i];
+    column += i == 0 ? ':' : ',';
+    column += lint::rule_info(finding.rule).code;
+    column += '@';
+    column += std::to_string(finding.line);
+  }
+  if (report.lint_findings.size() > kMaxListed) column += ",+more";
+  return column;
+}
+
+std::string trace_column(const core::DetectionReport& report) {
+  const core::RequestTiming& timing = report.timing;
+  std::string column = "trace=" + std::to_string(timing.trace_id) + ":";
+  if (timing.from_cache) {
+    column += "cache=hit,lookup=" + std::to_string(timing.cache_lookup_us) +
+              ",total=" + std::to_string(timing.total_us);
+  } else {
+    column += "queue=" + std::to_string(timing.queue_wait_us) +
+              ",feat=" + std::to_string(timing.featurize_us) +
+              ",infer=" + std::to_string(timing.infer_us) +
+              ",lint=" + std::to_string(timing.lint_us) +
+              ",total=" + std::to_string(timing.total_us);
+  }
+  return column;
+}
+
+std::string verdict_line(const core::DetectionReport& report, const std::string& echo,
+                         bool trace_on) {
+  std::string line = report.predicted_label == data::kTrojanInfected
+                         ? "TROJAN-INFECTED"
+                         : "trojan-free";
+  line += "\tp=" + util::format_fixed(report.probability, 3);
+  line += "\tregion=" + region_text(report.region);
+  line += "\tmodel=" + report.served_by;
+  if (report.lint_ran) line += "\t" + lint_column(report);
+  if (trace_on) line += "\t" + trace_column(report);
+  line += "\t" + echo;
+  return line;
+}
+
+std::string status_line(const char* status, const std::string& model,
+                        const std::string& echo) {
+  std::string line = status;
+  line += "\t-\t-\tmodel=" + model + "\t" + echo;
+  return line;
+}
+
+}  // namespace noodle::net::protocol

@@ -1,0 +1,81 @@
+#pragma once
+// net::protocol — the one definition of noodled's newline-delimited wire
+// grammar, shared by the stdin serving loop and the TCP transport so the
+// two modes cannot drift apart: a script piping request lines into stdin
+// and a client sending the same lines over a socket read byte-identical
+// verdict lines.
+//
+// Request line:
+//
+//   [spec ":"] *(flag " ") body
+//
+//   spec   model name or "name@version" — only honoured when the name is
+//          actually registered (a Windows-style path "C:..." or an inline
+//          `assign x = a ? b : c;` is never mis-split);
+//   flag   "~deadline=MS"  per-request deadline in milliseconds;
+//          "~inline"       body is one-line Verilog source, not a path
+//                          (Verilog is whitespace-insensitive, so a
+//                          client can flatten newlines to spaces);
+//   body   a filesystem path (default) or inline RTL.
+//
+// Response line (tab-separated, one per request, in request order):
+//
+//   TROJAN-INFECTED|trojan-free  p=P  region=R  model=N@V  [lint=..]
+//       [trace=..]  echo
+//   STATUS  -  -  model=N  echo        # STATUS in {parse-error, read-error,
+//                                      #   no-model, TIMEOUT, BUSY,
+//                                      #   bad-request}
+//
+// Both shapes keep one awk field per attribute; the echo field is the
+// request's path, or "<inline>" for inline RTL.
+
+#include <chrono>
+#include <functional>
+#include <string>
+
+#include "core/fitted_model.h"
+
+namespace noodle::net::protocol {
+
+/// Echo field for inline-RTL requests (the source itself is not echoed).
+inline constexpr const char* kInlineEcho = "<inline>";
+
+/// A parsed request line. When `error` is non-empty the line violated the
+/// grammar and the caller answers status_line("bad-request", ...).
+struct RequestLine {
+  std::string spec;  ///< model spec string; empty = serve with the default
+  std::string body;  ///< path, or inline RTL when inline_rtl
+  std::chrono::milliseconds deadline{0};  ///< zero = none requested
+  bool inline_rtl = false;
+  std::string error;
+};
+
+/// Parses one request line. `is_model(name)` decides whether a "prefix:"
+/// names a registered model (the stdin loop and the server both answer it
+/// with a registry probe), so paths containing ':' keep working.
+RequestLine parse_request_line(const std::string& line,
+                               const std::function<bool(const std::string&)>& is_model);
+
+/// "{TF}", "{TI}", "{TF,TI}" (uncertain), or "{}" (empty region).
+std::string region_text(const cp::PredictionRegion& region);
+
+/// The verdict line's lint= column: total count, then the first findings as
+/// CODE@line so a grep of the stream surfaces the rule and position without
+/// another lint run. No spaces — the column must stay one awk field.
+std::string lint_column(const core::DetectionReport& report);
+
+/// The verdict line's trace= column: the request's trace id plus per-stage
+/// wall time in microseconds, comma-joined with no spaces so the column
+/// stays one awk field. Cache hits report the lookup instead of the
+/// pipeline stages they never ran.
+std::string trace_column(const core::DetectionReport& report);
+
+/// The full verdict line for a scanned report (no trailing newline).
+std::string verdict_line(const core::DetectionReport& report, const std::string& echo,
+                         bool trace_on);
+
+/// The 5-field failure/status shape: "STATUS\t-\t-\tmodel=MODEL\tECHO".
+std::string status_line(const char* status, const std::string& model,
+                        const std::string& echo);
+
+}  // namespace noodle::net::protocol

@@ -213,19 +213,11 @@ PersistentVerdictCache::~PersistentVerdictCache() {
     stopping_ = true;
   }
   queue_cv_.notify_all();
+  // The writer drains the queue before exiting: a clean shutdown publishes
+  // every verdict already handed over, so only a crash loses queued
+  // stores. The queue is bounded (queue_capacity), so this is a bounded
+  // amount of work, not an unbounded stall.
   writer_.join();
-  // Whatever the writer never reached is dropped — the same entries a
-  // crash at this instant would have dropped. Count them honestly.
-  std::size_t abandoned = 0;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    abandoned = queue_.size();
-    queue_.clear();
-  }
-  if (abandoned > 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    counters_.drops += abandoned;
-  }
 }
 
 void PersistentVerdictCache::enter_degraded_locked(const char* what,
@@ -443,7 +435,12 @@ void PersistentVerdictCache::writer_loop() {
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_) return;  // queued leftovers are counted by ~PersistentVerdictCache
+      // Drain-then-stop: stopping_ only ends the loop once the queue is
+      // empty, so an orderly shutdown publishes every accepted store.
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
       entry = std::move(queue_.front());
       queue_.pop_front();
       ++writing_;

@@ -108,8 +108,10 @@ class PersistentVerdictCache {
   /// the tier degraded instead.
   explicit PersistentVerdictCache(DiskCacheConfig config);
 
-  /// Stops the writer thread; queued-but-unwritten stores are dropped
-  /// (counted), exactly as a crash would drop them.
+  /// Stops the writer thread AFTER it drains the (bounded) queue: an
+  /// orderly shutdown publishes every store already accepted — only a
+  /// crash loses queued entries. Bounded work: at most queue_capacity
+  /// records.
   ~PersistentVerdictCache();
 
   PersistentVerdictCache(const PersistentVerdictCache&) = delete;

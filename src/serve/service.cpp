@@ -49,6 +49,10 @@ void StatsBook::record_model_miss(const std::string& model) {
   update(model, [](ServiceStats& s) { ++s.model_misses; });
 }
 
+void StatsBook::record_deadline_timeout(const std::string& model) {
+  update(model, [](ServiceStats& s) { ++s.deadline_timeouts; });
+}
+
 void StatsBook::record_batch(const std::string& model, std::uint64_t scans,
                              std::uint64_t parse_failures, std::uint64_t batch_size,
                              std::uint64_t scan_micros) {
@@ -203,16 +207,37 @@ DetectionService::~DetectionService() {
 }
 
 std::future<core::DetectionReport> DetectionService::submit(std::string verilog_source) {
-  return submit_request(ModelSpec{default_model_, 0}, std::move(verilog_source));
+  return submit_request(ModelSpec{default_model_, 0}, std::move(verilog_source), {}, {});
 }
 
 std::future<core::DetectionReport> DetectionService::submit(const std::string& model_spec,
                                                             std::string verilog_source) {
-  return submit_request(parse_model_spec(model_spec), std::move(verilog_source));
+  return submit_request(parse_model_spec(model_spec), std::move(verilog_source), {}, {});
 }
 
-std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec spec,
-                                                                    std::string source) {
+std::future<core::DetectionReport> DetectionService::submit(const std::string& model_spec,
+                                                            std::string verilog_source,
+                                                            SubmitOptions options) {
+  return submit_request(parse_model_spec(model_spec), std::move(verilog_source), options,
+                        {});
+}
+
+void DetectionService::submit_async(std::string verilog_source, SubmitOptions options,
+                                    CompletionFn on_complete) {
+  submit_request(ModelSpec{default_model_, 0}, std::move(verilog_source), options,
+                 std::move(on_complete));
+}
+
+void DetectionService::submit_async(const std::string& model_spec,
+                                    std::string verilog_source, SubmitOptions options,
+                                    CompletionFn on_complete) {
+  submit_request(parse_model_spec(model_spec), std::move(verilog_source), options,
+                 std::move(on_complete));
+}
+
+std::future<core::DetectionReport> DetectionService::submit_request(
+    ModelSpec spec, std::string source, SubmitOptions options,
+    CompletionFn on_complete) {
   const std::uint64_t submit_nanos = obs::now_nanos();
   const std::uint64_t trace_id = obs::next_trace_id();
   const std::uint64_t hash = util::fnv1a64(source);
@@ -268,6 +293,13 @@ std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec sp
     stage_hist_[kStageTotal]->record(total_nanos);
     std::promise<core::DetectionReport> ready;
     ready.set_value(std::move(cached));
+    if (on_complete) {
+      // Cache hits complete synchronously on the submitting thread — the
+      // documented submit_async contract (a reactor caller's handler runs
+      // inline, exactly like a future that is ready on return).
+      on_complete(ready.get_future());
+      return {};
+    }
     return ready.get_future();
   }
   // An unresolvable spec is not failed here: the batch-time resolve is
@@ -279,16 +311,40 @@ std::future<core::DetectionReport> DetectionService::submit_request(ModelSpec sp
   request.key = hash;
   request.lint = want_lint;
   request.submit_nanos = submit_nanos;
+  if (options.deadline.count() > 0) {
+    request.deadline_nanos =
+        submit_nanos + static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               options.deadline)
+                               .count());
+  }
   request.timing.trace_id = trace_id;
   request.timing.cache_lookup_us = lookup_micros;
   std::future<core::DetectionReport> future = request.promise.get_future();
+  if (on_complete) {
+    request.future = std::move(future);
+    request.on_complete = std::move(on_complete);
+    future = {};
+  }
+  bool rejected = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
-      throw std::runtime_error("DetectionService::submit: service is shutting down");
+      if (!request.on_complete) {
+        throw std::runtime_error("DetectionService::submit: service is shutting down");
+      }
+      rejected = true;  // callback fires below, outside the queue lock
+    } else {
+      queue_.push_back(std::move(request));
+      ++outstanding_;
     }
-    queue_.push_back(std::move(request));
-    ++outstanding_;
+  }
+  if (rejected) {
+    // Async callers get the rejection through the callback — a reactor
+    // must not need try/catch around every enqueue during shutdown.
+    request.fail(std::make_exception_ptr(
+        std::runtime_error("DetectionService::submit: service is shutting down")));
+    return {};
   }
   queue_cv_.notify_one();
   return future;
@@ -361,6 +417,9 @@ void DetectionService::sync_mirrored_metrics() {
            model, cell.parse_failures);
     mirror("noodle_model_misses_total", "Requests naming an unknown model/version.",
            model, cell.model_misses);
+    mirror("noodle_deadline_timeouts_total",
+           "Requests failed with DeadlineError before being scanned.", model,
+           cell.deadline_timeouts);
     mirror("noodle_batches_total", "Single-generation batch groups dispatched.",
            model, cell.batches);
     mirror("noodle_scan_busy_microseconds_total",
@@ -507,6 +566,7 @@ void DetectionService::process_batch(std::vector<Request> batch) {
 void DetectionService::process_group(const std::string& group_label,
                                      std::vector<Request> group) {
   const std::string model_name = group.front().spec.name;
+  const std::size_t submitted = group.size();
   // Queue wait: submit() to this pickup, per request, on the one monotonic
   // clock every span uses.
   const std::uint64_t pickup_nanos = obs::now_nanos();
@@ -515,15 +575,42 @@ void DetectionService::process_group(const std::string& group_label,
     stage_hist_[kStageQueueWait]->record(wait_nanos);
     request.timing.queue_wait_us = wait_nanos / 1000;
   }
+
+  // Deadline sweep — BEFORE resolve and featurize: a request nobody is
+  // waiting for anymore must not cost a scan (that is the whole point of
+  // deadlines under overload), and expiry answers even when the model
+  // does not exist.
+  if (std::any_of(group.begin(), group.end(),
+                  [&](const Request& r) {
+                    return r.deadline_nanos != 0 && pickup_nanos >= r.deadline_nanos;
+                  })) {
+    std::vector<Request> live;
+    live.reserve(group.size());
+    for (Request& request : group) {
+      if (request.deadline_nanos != 0 && pickup_nanos >= request.deadline_nanos) {
+        stats_.record_deadline_timeout(model_name);
+        request.fail(std::make_exception_ptr(DeadlineError(
+            "DetectionService: deadline expired before dispatch")));
+      } else {
+        live.push_back(std::move(request));
+      }
+    }
+    group = std::move(live);
+    if (group.empty()) {
+      finish_requests(submitted);
+      return;
+    }
+  }
+
   const ModelHandle handle = registry_->try_resolve(group.front().spec);
   if (!handle) {
     const auto error = std::make_exception_ptr(
         RegistryError("DetectionService: no model '" + group_label + "'"));
     for (Request& request : group) {
       stats_.record_model_miss(model_name);
-      request.promise.set_exception(error);
+      request.fail(error);
     }
-    finish_requests(group.size());
+    finish_requests(submitted);
     return;
   }
 
@@ -633,17 +720,17 @@ void DetectionService::process_group(const std::string& group_label,
     }
   }
 
-  for (auto& [owner, error] : rejected) group[owner].promise.set_exception(error);
+  for (auto& [owner, error] : rejected) group[owner].fail(error);
   if (batch_error) {
     for (const std::size_t owner : sample_owner) {
-      group[owner].promise.set_exception(batch_error);
+      group[owner].fail(batch_error);
     }
   } else {
     for (std::size_t s = 0; s < reports.size(); ++s) {
-      group[sample_owner[s]].promise.set_value(std::move(reports[s]));
+      group[sample_owner[s]].deliver(std::move(reports[s]));
     }
   }
-  finish_requests(group.size());
+  finish_requests(submitted);
 }
 
 void DetectionService::finish_requests(std::size_t count) {

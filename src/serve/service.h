@@ -27,11 +27,13 @@
 #include <cstdint>
 #include <deque>
 #include <filesystem>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -50,6 +52,26 @@ namespace noodle::serve {
 /// Model name used by the single-model convenience constructors and by
 /// submit() overloads that don't name a model.
 inline constexpr const char* kDefaultModelName = "default";
+
+/// Fails a request whose deadline expired before any detector scanned it:
+/// the dispatcher sweeps expired requests out of a batch group BEFORE the
+/// (expensive) featurize+scan, so under overload the service sheds exactly
+/// the work nobody is waiting for anymore instead of scanning into the
+/// void. Carried by the request's future like every other failure.
+class DeadlineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-request knobs for submit()/submit_async(); default-constructed
+/// options reproduce the plain submit() behaviour exactly.
+struct SubmitOptions {
+  /// Relative deadline measured from submit; zero = none. Expiry fails the
+  /// future with DeadlineError. The deadline is enforced at batch dispatch
+  /// (the latest point where skipping the scan still saves the work); a
+  /// request already inside scan_many runs to completion.
+  std::chrono::milliseconds deadline{0};
+};
 
 struct ServiceConfig {
   /// Most requests coalesced into one detector batch.
@@ -78,8 +100,8 @@ struct ServiceConfig {
 
 /// One consistent counters snapshot (see StatsBook). Monotonic except that
 /// a snapshot as a whole is taken atomically: invariants like
-/// cache_hits + scans + parse_failures + model_misses <= requests hold in
-/// every copy handed out.
+/// cache_hits + scans + parse_failures + model_misses + deadline_timeouts
+/// <= requests hold in every copy handed out.
 struct ServiceStats {
   std::uint64_t requests = 0;       ///< total submit() calls
   std::uint64_t cache_hits = 0;     ///< answered from the LRU without a scan
@@ -87,6 +109,7 @@ struct ServiceStats {
   std::uint64_t scans = 0;          ///< verdicts computed by a detector
   std::uint64_t parse_failures = 0; ///< requests rejected with ParseError
   std::uint64_t model_misses = 0;   ///< requests naming an unknown model/version
+  std::uint64_t deadline_timeouts = 0;  ///< requests failed with DeadlineError unscanned
   std::uint64_t batches = 0;        ///< single-generation batch groups dispatched
   std::uint64_t max_batch_size = 0; ///< largest coalesced batch group so far
   std::uint64_t scan_micros = 0;    ///< wall time inside detector batches
@@ -140,6 +163,7 @@ class StatsBook {
   void record_cache_hit(const std::string& model);
   void record_disk_hit(const std::string& model);
   void record_model_miss(const std::string& model);
+  void record_deadline_timeout(const std::string& model);
   void record_batch(const std::string& model, std::uint64_t scans,
                     std::uint64_t parse_failures, std::uint64_t batch_size,
                     std::uint64_t scan_micros);
@@ -192,9 +216,36 @@ class DetectionService {
   std::future<core::DetectionReport> submit(const std::string& model_spec,
                                             std::string verilog_source);
 
+  /// submit() with per-request options; a deadline that expires before
+  /// batch dispatch fails the future with DeadlineError.
+  std::future<core::DetectionReport> submit(const std::string& model_spec,
+                                            std::string verilog_source,
+                                            SubmitOptions options);
+
   /// Synchronous convenience wrappers around submit().get().
   core::DetectionReport scan(std::string verilog_source);
   core::DetectionReport scan(const std::string& model_spec, std::string verilog_source);
+
+  /// Invoked exactly once per submit_async() request with the READY future
+  /// (get() returns or throws immediately — no completion ever blocks in
+  /// it). Runs on whichever thread finished the request: a pool worker for
+  /// scanned verdicts, the submitting thread for cache hits and
+  /// shutdown rejections. Event-loop callers marshal back with post().
+  using CompletionFn = std::function<void(std::future<core::DetectionReport>)>;
+
+  /// Callback-style submit for reactor front ends (noodled's socket mode):
+  /// same semantics as submit() — including the immediate cache-hit path —
+  /// but the verdict is delivered to `on_complete` instead of a returned
+  /// future, so an event loop never parks a thread on future.get(). A
+  /// request past `options.deadline` at batch dispatch fails with
+  /// DeadlineError instead of being scanned. During shutdown the callback
+  /// still fires (with the shutdown error) rather than throwing.
+  void submit_async(std::string verilog_source, SubmitOptions options,
+                    CompletionFn on_complete);
+  /// Same, naming a model as "name" or "name@version". Throws RegistryError
+  /// only on a malformed spec (before any callback is registered).
+  void submit_async(const std::string& model_spec, std::string verilog_source,
+                    SubmitOptions options, CompletionFn on_complete);
 
   /// Blocks until every request submitted so far has been answered.
   void drain();
@@ -258,8 +309,27 @@ class DetectionService {
     std::uint64_t key = 0;
     bool lint = false;  // lint_ sampled at submit time
     std::uint64_t submit_nanos = 0;  ///< obs::now_nanos() at submit (queue wait)
+    std::uint64_t deadline_nanos = 0;  ///< absolute; 0 = no deadline
     core::RequestTiming timing;      ///< filled stage by stage, moved into the report
     std::promise<core::DetectionReport> promise;
+    /// Async-path plumbing: the future is parked here at submit and handed
+    /// (ready) to on_complete right after the promise is fulfilled. Sync
+    /// submits leave both empty — deliver()/fail() then reduce to the
+    /// plain promise operations.
+    std::future<core::DetectionReport> future;
+    CompletionFn on_complete;
+
+    void deliver(core::DetectionReport report) {
+      promise.set_value(std::move(report));
+      notify();
+    }
+    void fail(std::exception_ptr error) {
+      promise.set_exception(std::move(error));
+      notify();
+    }
+    void notify() {
+      if (on_complete) on_complete(std::move(future));
+    }
   };
 
   /// Per-stage latency histograms; indexes into stage_hist_.
@@ -306,7 +376,13 @@ class DetectionService {
     }
   };
 
-  std::future<core::DetectionReport> submit_request(ModelSpec spec, std::string source);
+  /// The one enqueue path behind submit()/submit_async(). With a null
+  /// `on_complete` behaves exactly like the PR-5 submit (returns the
+  /// future, throws when stopping); with one, delivers through the
+  /// callback and returns an empty future.
+  std::future<core::DetectionReport> submit_request(ModelSpec spec, std::string source,
+                                                    SubmitOptions options,
+                                                    CompletionFn on_complete);
   void dispatcher_loop();
   void process_batch(std::vector<Request> batch);
   void process_group(const std::string& group_label, std::vector<Request> group);

@@ -32,10 +32,12 @@ FaultInjector::Rule& FaultInjector::rule_locked(std::string_view point) {
   return rules_.emplace(std::string(point), Rule{}).first->second;
 }
 
-void FaultInjector::fail_point(const std::string& point, int error, int times) {
+void FaultInjector::fail_point(const std::string& point, int error, int times,
+                               int after) {
   std::lock_guard<std::mutex> lock(mu_);
   Rule& rule = rule_locked(point);
   rule.fail_times = times;
+  rule.fail_after = after;
   rule.error = error;
 }
 
@@ -62,7 +64,10 @@ bool FaultInjector::should_fail(std::string_view point, int& error) {
   std::lock_guard<std::mutex> lock(mu_);
   Rule& rule = rule_locked(point);
   ++rule.hits;
-  if (rule.fail_times != 0) {
+  if (rule.fail_after > 0) {
+    // Scheduled failure: this visit is one of the allowed successes.
+    --rule.fail_after;
+  } else if (rule.fail_times != 0) {
     if (rule.fail_times > 0) --rule.fail_times;
     error = rule.error;
     return true;

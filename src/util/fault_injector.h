@@ -65,9 +65,12 @@ class FaultInjector {
 
   /// Makes `point` fail with `error` on its next `times` visits (every
   /// visit when times == kAlways). Replaces any previous failure script for
-  /// the point.
+  /// the point. `after` lets that many visits SUCCEED first — the schedule
+  /// a mid-stream failure needs (e.g. "the second write of a response dies
+  /// with ECONNRESET": fail_point("net.write", ECONNRESET, kAlways, 1)).
   static constexpr int kAlways = -1;
-  void fail_point(const std::string& point, int error, int times = kAlways);
+  void fail_point(const std::string& point, int error, int times = kAlways,
+                  int after = 0);
 
   /// Lets `cap` bytes through `point` in total, then fails it with `error`
   /// — a short write followed by a persistent ENOSPC/EIO, the classic
@@ -101,6 +104,7 @@ class FaultInjector {
  private:
   struct Rule {
     int fail_times = 0;  ///< >0: fail that many times; kAlways: forever
+    int fail_after = 0;  ///< visits allowed to succeed before failing starts
     int error = 0;
     bool capped = false;
     std::uint64_t budget = std::numeric_limits<std::uint64_t>::max();

@@ -136,6 +136,33 @@ TEST_F(DiskCacheTest, SurvivesRestart) {
   expect_same_verdict(got, want);
 }
 
+TEST_F(DiskCacheTest, CleanShutdownDrainsTheWriterQueueBeforeExit) {
+  // A clean exit must publish every store already handed to the writer —
+  // no flush() call, destruction alone is the drain barrier. (Only a crash
+  // may lose queued entries; noodled's drain path relies on this.)
+  constexpr int kStores = 64;
+  const auto source_for = [](int i) {
+    return "module drained_" + std::to_string(i) + "; endmodule";
+  };
+  {
+    PersistentVerdictCache cache(config_);
+    for (int i = 0; i < kStores; ++i) {
+      const std::string source = source_for(i);
+      cache.store(key_for(source, 0x9000u + static_cast<std::uint64_t>(i)),
+                  source, sample_report());
+    }
+  }
+  PersistentVerdictCache reopened(config_);
+  EXPECT_EQ(reopened.stats().loaded, static_cast<std::uint64_t>(kStores));
+  for (int i = 0; i < kStores; ++i) {
+    const std::string source = source_for(i);
+    DetectionReport got;
+    ASSERT_TRUE(reopened.lookup(
+        key_for(source, 0x9000u + static_cast<std::uint64_t>(i)), source, got))
+        << "store " << i << " lost by shutdown";
+  }
+}
+
 TEST_F(DiskCacheTest, MissOnAbsentKey) {
   PersistentVerdictCache cache(config_);
   DetectionReport got;

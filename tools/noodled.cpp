@@ -1,33 +1,40 @@
 // noodled — the detection daemon: load one or more detector snapshots into
 // a serve::ModelRegistry, then serve Trojan scans over newline-delimited
-// request lines on stdin, one verdict line per request. The end-to-end
-// proof that fitted models are named, versioned, hot-swappable artifacts:
+// request lines — on stdin (the default), or over TCP with --listen. The
+// end-to-end proof that fitted models are named, versioned, hot-swappable
+// artifacts:
 //
 //   ./build/noodled --snapshot detector.noodle --quick    # first run: fits + saves
 //   ls designs/*.v | ./build/noodled --snapshot detector.noodle --stats
 //   ./build/noodled --model prod=a.snap --model canary=b.snap
+//   ./build/noodled --snapshot detector.noodle --listen 7077   # TCP mode
 //
-// Request lines:
+// Request lines (identical grammar on stdin and socket — net/protocol.h is
+// the single definition):
 //   designs/foo.v          scan with the default model
 //   canary:designs/foo.v   scan with model "canary" (latest version)
 //   canary@2:designs/foo.v scan with a pinned version
+//   ~deadline=250 PATH     answer TIMEOUT instead of scanning if the
+//                          verdict cannot dispatch within 250 ms
+//   ~inline module m; ...  body is one-line Verilog source, not a path
 //   !reload NAME=PATH      hot-swap: load PATH and publish it as the next
 //                          version of NAME — in-flight scans are neither
 //                          blocked nor re-answered (atomic registry swap)
-//   !models                list registered models (and recent reload
-//                          events) to stderr
-//   !stats                 print service counters to stderr
-//   !metrics               dump the Prometheus text exposition to stderr
+//   !models                list registered models (and recent reload events)
+//   !stats                 print service (and, in TCP mode, transport) counters
+//   !metrics               dump the Prometheus text exposition
 //                          (exposition lines only: `# ...` and `noodle_...`)
-//   !drain                 block until every pending verdict has been
-//                          printed (deterministic cache state for scripts:
-//                          requests after a !drain probe a fully warm cache)
+//   !drain                 stdin: block until every pending verdict has been
+//                          printed (deterministic cache state for scripts);
+//                          socket: begin graceful drain — stop accepting,
+//                          finish in-flight work, then exit 0
 //   !lint on|off           toggle the static-analysis pass at runtime
 //   !trace on|off          toggle the per-verdict trace= timing column
 //   !cache persist on|off  toggle the persistent disk verdict tier at
 //                          runtime (needs --disk-cache)
 //   !store rescan          sweep the --store directory for new snapshot
 //                          archives now (SIGHUP does the same)
+// Control output goes to stderr on stdin, back to the issuing client on TCP.
 //
 // Options:
 //   --snapshot FILE   load the default model from FILE if it exists;
@@ -79,8 +86,29 @@
 //                     their paths to stdout, then exit — composable with a
 //                     serving run:  noodled --demo 6 | noodled --snapshot S
 //
+// TCP transport (net::ScanServer; see DESIGN.md §11):
+//   --listen PORT     serve the request grammar over TCP instead of stdin
+//                     (port 0 = kernel-assigned; the bound port is printed
+//                     to stderr as "noodled: listening on ADDR:PORT").
+//                     SIGTERM/SIGINT begin a graceful drain: stop accepting,
+//                     answer BUSY to new work, finish or deadline-out
+//                     in-flight scans, flush the disk cache, exit 0
+//   --bind ADDR       listen address (default 127.0.0.1)
+//   --max-conns N     connection cap; excess accepts close immediately
+//                     (default 1024)
+//   --max-inflight N  socket scans in flight with the service; excess
+//                     answers BUSY instantly (default 256)
+//   --deadline-ms N   default per-request deadline for socket requests that
+//                     carry no ~deadline= flag (default 0 = none)
+//   --net-idle-ms N   evict connections idle this long (default 30000; 0 off)
+//   --net-stall-ms N  evict clients whose write buffer made no progress
+//                     this long (default 10000; 0 off)
+//   --drain-grace-ms N  force-close laggards this long after drain starts
+//                     (default 5000)
+//
 // Verdict line format (tab-separated):
-//   TROJAN-INFECTED|trojan-free|parse-error|read-error|no-model
+//   TROJAN-INFECTED|trojan-free|parse-error|read-error|no-model|TIMEOUT|
+//   BUSY|bad-request
 //       p=...  region=...  model=name@version  [lint=...]  [trace=...]  <path>
 // The lint= column appears only on verdicts scanned with lint enabled:
 // "lint=0" for a clean design, else "lint=N:CODE@line,CODE@line,..."
@@ -89,6 +117,8 @@
 //   trace=<id>:cache=hit,lookup=2,total=5            (cache hits)
 //   trace=<id>:queue=120,feat=63,infer=85,lint=4,total=311
 // so `awk -F'\t'` still sees one column per request attribute.
+
+#include <poll.h>
 
 #include <algorithm>
 #include <atomic>
@@ -107,6 +137,10 @@
 
 #include "core/detector.h"
 #include "lint/lint.h"
+#include "net/event_loop.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "nn/kernels.h"
 #include "serve/registry.h"
 #include "serve/service.h"
@@ -141,6 +175,14 @@ struct Options {
   std::size_t workers = 1;
   std::uint64_t seed = 42;
   std::size_t demo = 0;
+  int listen = -1;  ///< --listen PORT; -1 = stdin mode, 0 = kernel-assigned
+  std::string bind_address = "127.0.0.1";
+  std::size_t net_max_conns = 1024;
+  std::size_t net_max_inflight = 256;
+  std::size_t net_deadline_ms = 0;
+  std::size_t net_idle_ms = 30000;
+  std::size_t net_stall_ms = 10000;
+  std::size_t net_grace_ms = 5000;
 };
 
 [[noreturn]] void usage(const char* argv0, const std::string& error = {}) {
@@ -151,9 +193,14 @@ struct Options {
                " [--quick] [--batch N] [--cache N] [--workers N] [--lint]"
                " [--trace] [--metrics-file PATH] [--metrics-interval N]"
                " [--disk-cache DIR] [--disk-cache-bytes N] [--store DIR]"
-               " [--store-interval N] [--seed N] [--stats] [--demo N]\n"
-               "reads newline-delimited request lines from stdin:\n"
-               "  PATH | MODEL:PATH | MODEL@VER:PATH | !reload NAME=PATH |"
+               " [--store-interval N] [--seed N] [--stats] [--demo N]"
+               " [--listen PORT] [--bind ADDR] [--max-conns N]"
+               " [--max-inflight N] [--deadline-ms N] [--net-idle-ms N]"
+               " [--net-stall-ms N] [--drain-grace-ms N]\n"
+               "reads newline-delimited request lines from stdin (or, with"
+               " --listen, over TCP):\n"
+               "  PATH | MODEL:PATH | MODEL@VER:PATH | ~deadline=MS PATH |"
+               " ~inline RTL | !reload NAME=PATH |"
                " !models | !stats | !metrics | !drain | !lint on|off |"
                " !trace on|off | !cache persist on|off | !store rescan\n";
   std::exit(2);
@@ -224,6 +271,24 @@ Options parse_options(int argc, char** argv) {
         options.seed = std::stoull(next_value(i));
       } else if (arg == "--demo") {
         options.demo = std::stoul(next_value(i));
+      } else if (arg == "--listen") {
+        const unsigned long port = std::stoul(next_value(i));
+        if (port > 65535) usage(argv[0], "--listen wants a port (0-65535)");
+        options.listen = static_cast<int>(port);
+      } else if (arg == "--bind") {
+        options.bind_address = next_value(i);
+      } else if (arg == "--max-conns") {
+        options.net_max_conns = std::stoul(next_value(i));
+      } else if (arg == "--max-inflight") {
+        options.net_max_inflight = std::stoul(next_value(i));
+      } else if (arg == "--deadline-ms") {
+        options.net_deadline_ms = std::stoul(next_value(i));
+      } else if (arg == "--net-idle-ms") {
+        options.net_idle_ms = std::stoul(next_value(i));
+      } else if (arg == "--net-stall-ms") {
+        options.net_stall_ms = std::stoul(next_value(i));
+      } else if (arg == "--drain-grace-ms") {
+        options.net_grace_ms = std::stoul(next_value(i));
       } else {
         usage(argv[0], "unknown option " + arg);
       }
@@ -234,6 +299,12 @@ Options parse_options(int argc, char** argv) {
   if (options.batch == 0) usage(argv[0], "--batch must be positive");
   if (options.workers == 0) usage(argv[0], "--workers must be positive");
   if (options.f32 && options.int8) usage(argv[0], "--f32 and --int8 are exclusive");
+  if (options.listen >= 0 && options.net_max_conns == 0) {
+    usage(argv[0], "--max-conns must be positive");
+  }
+  if (options.listen >= 0 && options.net_max_inflight == 0) {
+    usage(argv[0], "--max-inflight must be positive");
+  }
   return options;
 }
 
@@ -288,106 +359,74 @@ void publish_default(serve::ModelRegistry& registry, const Options& options) {
                    options.snapshot);
 }
 
-std::string region_text(const cp::PredictionRegion& region) {
-  if (region.is_uncertain()) return "{TF,TI}";
-  if (region.is_empty()) return "{}";
-  return region.contains[1] ? "{TI}" : "{TF}";
-}
-
-void print_stats_line(const char* label, const serve::ServiceStats& stats) {
-  std::cerr << "noodled stats[" << label << "]: requests=" << stats.requests
-            << " cache_hits=" << stats.cache_hits
-            << " disk_hits=" << stats.disk_hits << " scans=" << stats.scans
-            << " batches=" << stats.batches << " max_batch=" << stats.max_batch_size
-            << " parse_failures=" << stats.parse_failures
-            << " model_misses=" << stats.model_misses
-            << " avg_batch=" << util::format_fixed(stats.average_batch_size(), 2)
-            << " avg_scan_us=" << util::format_fixed(stats.average_scan_micros(), 1);
+void print_stats_line(std::ostream& out, const char* label,
+                      const serve::ServiceStats& stats) {
+  out << "noodled stats[" << label << "]: requests=" << stats.requests
+      << " cache_hits=" << stats.cache_hits << " disk_hits=" << stats.disk_hits
+      << " scans=" << stats.scans << " batches=" << stats.batches
+      << " max_batch=" << stats.max_batch_size
+      << " parse_failures=" << stats.parse_failures
+      << " model_misses=" << stats.model_misses
+      << " deadline_timeouts=" << stats.deadline_timeouts
+      << " avg_batch=" << util::format_fixed(stats.average_batch_size(), 2)
+      << " avg_scan_us=" << util::format_fixed(stats.average_scan_micros(), 1);
   if (stats.lint_runs > 0) {
-    std::cerr << " lint_runs=" << stats.lint_runs
-              << " lint_findings=" << stats.lint_findings;
+    out << " lint_runs=" << stats.lint_runs
+        << " lint_findings=" << stats.lint_findings;
     for (std::size_t r = 0; r < lint::kRuleCount; ++r) {
       if (stats.lint_by_rule[r] == 0) continue;
-      std::cerr << " lint[" << lint::rule_info(static_cast<lint::RuleId>(r)).code
-                << "]=" << stats.lint_by_rule[r];
+      out << " lint[" << lint::rule_info(static_cast<lint::RuleId>(r)).code
+          << "]=" << stats.lint_by_rule[r];
     }
   }
-  std::cerr << "\n";
+  out << "\n";
 }
 
-/// The verdict line's lint= column: total count, then the first findings as
-/// CODE@line so a grep of the stream surfaces the rule and position without
-/// another lint run. No spaces — the column must stay one awk field.
-std::string lint_column(const core::DetectionReport& report) {
-  std::string column = "lint=" + std::to_string(report.lint_findings.size());
-  constexpr std::size_t kMaxListed = 8;
-  const std::size_t listed = std::min(report.lint_findings.size(), kMaxListed);
-  for (std::size_t i = 0; i < listed; ++i) {
-    const lint::OwnedFinding& finding = report.lint_findings[i];
-    column += i == 0 ? ':' : ',';
-    column += lint::rule_info(finding.rule).code;
-    column += '@';
-    column += std::to_string(finding.line);
-  }
-  if (report.lint_findings.size() > kMaxListed) column += ",+more";
-  return column;
-}
-
-/// The verdict line's trace= column: the request's trace id plus per-stage
-/// wall time in microseconds, comma-joined with no spaces so the column
-/// stays one awk field. Cache hits report the lookup instead of the
-/// pipeline stages they never ran.
-std::string trace_column(const core::DetectionReport& report) {
-  const core::RequestTiming& timing = report.timing;
-  std::string column = "trace=" + std::to_string(timing.trace_id) + ":";
-  if (timing.from_cache) {
-    column += "cache=hit,lookup=" + std::to_string(timing.cache_lookup_us) +
-              ",total=" + std::to_string(timing.total_us);
-  } else {
-    column += "queue=" + std::to_string(timing.queue_wait_us) +
-              ",feat=" + std::to_string(timing.featurize_us) +
-              ",infer=" + std::to_string(timing.infer_us) +
-              ",lint=" + std::to_string(timing.lint_us) +
-              ",total=" + std::to_string(timing.total_us);
-  }
-  return column;
-}
-
-void print_stats(const serve::DetectionService& service,
-                 const serve::SnapshotStore* store = nullptr) {
-  print_stats_line("total", service.stats());
+void print_stats(std::ostream& out, const serve::DetectionService& service,
+                 const serve::SnapshotStore* store = nullptr,
+                 const net::ScanServer* server = nullptr) {
+  print_stats_line(out, "total", service.stats());
   for (const auto& [name, stats] : service.stats_by_model()) {
-    print_stats_line(name.c_str(), stats);
+    print_stats_line(out, name.c_str(), stats);
   }
   if (service.disk_cache() != nullptr) {
     // One stats() call — the identical snapshot the Prometheus mirror
     // reads, so `!stats` and `!metrics` can never disagree on the tier.
     const serve::DiskCacheStats disk = service.disk_cache_stats();
-    std::cerr << "noodled stats[disk-cache]: hits=" << disk.hits
-              << " misses=" << disk.misses << " stores=" << disk.stores
-              << " drops=" << disk.drops << " corrupt=" << disk.corrupt
-              << " evictions=" << disk.evictions
-              << " collisions=" << disk.collisions
-              << " temps_swept=" << disk.temps_swept << " loaded=" << disk.loaded
-              << " entries=" << disk.entries << " bytes=" << disk.bytes
-              << " degraded=" << (disk.degraded ? 1 : 0)
-              << " enabled=" << (disk.enabled ? 1 : 0) << "\n";
+    out << "noodled stats[disk-cache]: hits=" << disk.hits
+        << " misses=" << disk.misses << " stores=" << disk.stores
+        << " drops=" << disk.drops << " corrupt=" << disk.corrupt
+        << " evictions=" << disk.evictions << " collisions=" << disk.collisions
+        << " temps_swept=" << disk.temps_swept << " loaded=" << disk.loaded
+        << " entries=" << disk.entries << " bytes=" << disk.bytes
+        << " degraded=" << (disk.degraded ? 1 : 0)
+        << " enabled=" << (disk.enabled ? 1 : 0) << "\n";
   }
   if (store != nullptr) {
     const serve::SnapshotStoreStats s = store->stats();
-    std::cerr << "noodled stats[snapshot-store]: scans=" << s.scans
-              << " accepted=" << s.accepted << " rejected=" << s.rejected;
-    if (!s.last_error.empty()) std::cerr << " last_error=" << s.last_error;
-    std::cerr << "\n";
+    out << "noodled stats[snapshot-store]: scans=" << s.scans
+        << " accepted=" << s.accepted << " rejected=" << s.rejected;
+    if (!s.last_error.empty()) out << " last_error=" << s.last_error;
+    out << "\n";
+  }
+  if (server != nullptr) {
+    // Same discipline: one snapshot feeds the whole line.
+    const net::ServerStats n = server->stats();
+    out << "noodled stats[net]: accepted=" << n.accepted
+        << " dropped=" << n.dropped << " requests=" << n.requests
+        << " responses=" << n.responses << " shed=" << n.shed
+        << " timeouts=" << n.timeouts << " protocol_errors=" << n.protocol_errors
+        << " bytes_rx=" << n.bytes_rx << " bytes_tx=" << n.bytes_tx
+        << " connections=" << n.connections << " inflight=" << n.inflight << "\n";
   }
 }
 
-void print_models(const serve::ModelRegistry& registry) {
+void print_models(std::ostream& out, const serve::ModelRegistry& registry) {
   for (const serve::ModelHandle& handle : registry.catalog()) {
-    std::cerr << "noodled: model " << handle->label()
-              << " fusion=" << handle->model().winning_fusion();
-    if (!handle->source().empty()) std::cerr << " source=" << handle->source().string();
-    std::cerr << "\n";
+    out << "noodled: model " << handle->label()
+        << " fusion=" << handle->model().winning_fusion();
+    if (!handle->source().empty()) out << " source=" << handle->source().string();
+    out << "\n";
   }
   const std::vector<serve::ReloadEvent> events = registry.reload_events();
   constexpr std::size_t kMaxShown = 8;
@@ -397,14 +436,13 @@ void print_models(const serve::ModelRegistry& registry) {
     const auto epoch_seconds = std::chrono::duration_cast<std::chrono::seconds>(
                                    event.when.time_since_epoch())
                                    .count();
-    std::cerr << "noodled: reload t=" << epoch_seconds << " " << event.name;
+    out << "noodled: reload t=" << epoch_seconds << " " << event.name;
     if (event.ok) {
-      std::cerr << "@" << event.version << " ok load_us=" << event.load_micros;
+      out << "@" << event.version << " ok load_us=" << event.load_micros;
     } else {
-      std::cerr << " FAILED load_us=" << event.load_micros << " error="
-                << event.error;
+      out << " FAILED load_us=" << event.load_micros << " error=" << event.error;
     }
-    std::cerr << "\n";
+    out << "\n";
   }
 }
 
@@ -420,34 +458,354 @@ bool dump_metrics(serve::DetectionService& service, const std::filesystem::path&
   return !file.commit();
 }
 
-/// Signals observed by the signal-watcher thread; async-signal-safe because
-/// the handlers only store into a sig_atomic_t. SIGTERM/SIGINT are hooked
-/// only when --metrics-file is given (dump, then die); SIGHUP only when
-/// --store is given (rescan, keep serving).
-volatile std::sig_atomic_t g_signal = 0;
-volatile std::sig_atomic_t g_hup = 0;
+/// Everything a "!..." control line may touch, for both serving modes.
+/// `server` is null on stdin; `trace_on` is the live toggle (the socket
+/// mode syncs it into ScanServer after each control line).
+struct ControlContext {
+  serve::DetectionService& service;
+  serve::ModelRegistry& registry;
+  serve::SnapshotStore* store = nullptr;
+  net::ScanServer* server = nullptr;
+  bool trace_on = false;
+};
 
-extern "C" void noodled_signal_handler(int sig) { g_signal = sig; }
-extern "C" void noodled_hup_handler(int) { g_hup = 1; }
-
-/// Splits "spec:path" when the prefix names a registered model; otherwise
-/// the whole line is a path for the default model.
-std::pair<std::string, std::string> split_request(const std::string& line,
-                                                  const serve::ModelRegistry& registry,
-                                                  const std::string& default_model) {
-  const std::size_t colon = line.find(':');
-  if (colon != std::string::npos && colon > 0) {
-    try {
-      const serve::ModelSpec spec = serve::parse_model_spec(
-          std::string_view(line).substr(0, colon));
-      if (registry.try_resolve(serve::ModelSpec{spec.name, 0})) {
-        return {line.substr(0, colon), line.substr(colon + 1)};
-      }
-    } catch (const serve::RegistryError&) {
-      // Not a model prefix; treat the whole line as a path.
+/// Handles every control line except "!drain" (whose meaning is per-mode:
+/// the stdin loop flushes its pending deque, the server runs its drain
+/// state machine before this is ever called). Output goes to `out` —
+/// stderr on stdin, the response buffer for the issuing TCP client.
+/// Returns false for malformed or failed controls.
+bool handle_control_line(const std::string& line, ControlContext& ctx,
+                         std::ostream& out) {
+  std::istringstream control(line);
+  std::string command;
+  control >> command;
+  if (command == "!reload") {
+    std::string value;
+    control >> value;
+    const auto target = try_parse_name_path(value);
+    if (!target) {
+      out << "noodled: !reload wants NAME=PATH, got '" << value << "'\n";
+      return false;
     }
+    try {
+      const serve::ModelHandle handle =
+          ctx.service.reload(target->first, target->second);
+      out << "noodled: reloaded " << handle->label() << " from "
+          << handle->source().string() << "\n";
+    } catch (const std::exception& e) {
+      out << "noodled: reload failed: " << e.what() << "\n";
+      return false;
+    }
+  } else if (command == "!models") {
+    print_models(out, ctx.registry);
+  } else if (command == "!stats") {
+    print_stats(out, ctx.service, ctx.store, ctx.server);
+  } else if (command == "!cache") {
+    std::string subject, value;
+    control >> subject >> value;
+    if (subject != "persist" || (value != "on" && value != "off")) {
+      out << "noodled: !cache wants 'persist on|off', got '" << line << "'\n";
+      return false;
+    }
+    if (ctx.service.disk_cache() == nullptr) {
+      out << "noodled: no disk cache configured (--disk-cache DIR)\n";
+      return false;
+    }
+    ctx.service.disk_cache()->set_enabled(value == "on");
+    out << "noodled: cache persist " << value << "\n";
+  } else if (command == "!store") {
+    std::string value;
+    control >> value;
+    if (value != "rescan") {
+      out << "noodled: !store wants 'rescan', got '" << line << "'\n";
+      return false;
+    }
+    if (ctx.store == nullptr) {
+      out << "noodled: no snapshot store configured (--store DIR)\n";
+      return false;
+    }
+    const std::size_t published = ctx.store->rescan_now();
+    out << "noodled: store rescan published=" << published << "\n";
+  } else if (command == "!metrics") {
+    // The net mirror is loop-thread-only; control lines already run there.
+    if (ctx.server != nullptr) ctx.server->sync_metrics();
+    ctx.service.render_prometheus(out);
+  } else if (command == "!trace") {
+    std::string value;
+    control >> value;
+    if (value != "on" && value != "off") {
+      out << "noodled: !trace wants on|off, got '" << value << "'\n";
+      return false;
+    }
+    ctx.trace_on = value == "on";
+    out << "noodled: trace " << value << "\n";
+  } else if (command == "!lint") {
+    std::string value;
+    control >> value;
+    if (value != "on" && value != "off") {
+      out << "noodled: !lint wants on|off, got '" << value << "'\n";
+      return false;
+    }
+    ctx.service.set_lint(value == "on");
+    out << "noodled: lint " << value << "\n";
+  } else {
+    out << "noodled: unknown control line '" << line << "'\n";
+    return false;
   }
-  return {default_model, line};
+  return true;
+}
+
+/// The stdin serving loop: request lines in, verdict lines out, plus the
+/// SignalPipe watcher thread (periodic + signal-triggered metrics dumps,
+/// SIGHUP store rescans). Returns the failure count.
+int run_stdin_mode(const Options& options, serve::DetectionService& service,
+                   serve::ModelRegistry& registry, serve::SnapshotStore* store,
+                   const std::string& default_model) {
+  // The signal-watcher thread: both serving modes observe signals through
+  // the one net::SignalPipe funnel — the handler writes a byte, and this
+  // thread (the event loop, in TCP mode) does the work as ordinary code.
+  // SIGTERM/SIGINT dump metrics, restore SIG_DFL, and re-raise, so the
+  // process still dies as expected; SIGHUP rescans the snapshot store.
+  std::atomic<bool> watcher_stop{false};
+  std::thread watcher_thread;
+  if (!options.metrics_file.empty() || store != nullptr) {
+    net::SignalPipe& signals = net::SignalPipe::instance();
+    if (!options.metrics_file.empty()) {
+      signals.hook(SIGTERM);
+      signals.hook(SIGINT);
+    }
+    if (store != nullptr) signals.hook(SIGHUP);
+    watcher_thread = std::thread([&service, &watcher_stop, &options, store] {
+      net::SignalPipe& signals = net::SignalPipe::instance();
+      using clock = std::chrono::steady_clock;
+      auto last_dump = clock::now();
+      while (!watcher_stop.load(std::memory_order_relaxed)) {
+        struct pollfd pfd = {signals.read_fd(), POLLIN, 0};
+        ::poll(&pfd, 1, 100);
+        int fatal = 0;
+        signals.drain([&](int signo) {
+          if (signo == SIGHUP) {
+            if (store != nullptr) {
+              std::cerr << "noodled: SIGHUP — rescanning snapshot store\n";
+              store->poke();
+            }
+          } else {
+            fatal = signo;
+          }
+        });
+        if (fatal != 0) {
+          dump_metrics(service, options.metrics_file);
+          signals.unhook(fatal);
+          std::raise(fatal);
+          return;
+        }
+        if (!options.metrics_file.empty() && options.metrics_interval > 0 &&
+            clock::now() - last_dump >=
+                std::chrono::seconds(options.metrics_interval)) {
+          if (!dump_metrics(service, options.metrics_file)) {
+            std::cerr << "noodled: metrics dump to "
+                      << options.metrics_file.string() << " failed\n";
+          }
+          last_dump = clock::now();
+        }
+      }
+    });
+  }
+
+  ControlContext ctx{service, registry, store, nullptr, options.trace};
+  int failures = 0;
+
+  struct Pending {
+    std::string echo;    ///< path, or "<inline>" for inline RTL
+    std::string model;   ///< requested spec; verdict lines prefer served_by
+    std::string status;  ///< early failure status ("read-error", "bad-request")
+    std::future<core::DetectionReport> verdict;
+  };
+  std::deque<Pending> pending;
+
+  // Verdicts stream out in input order as they complete, so a producer
+  // that keeps the pipe open sees results live instead of at EOF.
+  const auto print_front = [&] {
+    Pending& request = pending.front();
+    if (!request.status.empty()) {
+      std::cout << net::protocol::status_line(request.status.c_str(), request.model,
+                                              request.echo)
+                << "\n";
+      ++failures;
+    } else {
+      try {
+        const core::DetectionReport report = request.verdict.get();
+        std::cout << net::protocol::verdict_line(report, request.echo, ctx.trace_on)
+                  << "\n";
+      } catch (const serve::DeadlineError&) {
+        // The request asked for a deadline and missed it — expected
+        // behaviour under load, not a serving failure.
+        std::cout << net::protocol::status_line("TIMEOUT", request.model,
+                                                request.echo)
+                  << "\n";
+      } catch (const serve::RegistryError& e) {
+        std::cout << net::protocol::status_line("no-model", request.model,
+                                                request.echo)
+                  << "\n";
+        std::cerr << "noodled: " << request.echo << ": " << e.what() << "\n";
+        ++failures;
+      } catch (const std::exception& e) {
+        std::cout << net::protocol::status_line("parse-error", request.model,
+                                                request.echo)
+                  << "\n";
+        std::cerr << "noodled: " << request.echo << ": " << e.what() << "\n";
+        ++failures;
+      }
+    }
+    std::cout.flush();
+    pending.pop_front();
+  };
+  const auto flush_ready = [&] {
+    while (!pending.empty() &&
+           (!pending.front().status.empty() ||
+            pending.front().verdict.wait_for(std::chrono::seconds(0)) ==
+                std::future_status::ready)) {
+      print_front();
+    }
+  };
+
+  // Blocking backpressure bound: never hold more in-flight requests than a
+  // few dispatch rounds' worth, so arbitrarily long input stays bounded.
+  const std::size_t max_pending =
+      std::max<std::size_t>(256, options.batch * options.workers * 4);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+
+    if (line.front() == '!') {  // control line
+      std::istringstream control(line);
+      std::string command;
+      control >> command;
+      if (command == "!drain") {
+        while (!pending.empty()) print_front();
+        continue;
+      }
+      if (!handle_control_line(line, ctx, std::cerr)) ++failures;
+      continue;
+    }
+
+    const net::protocol::RequestLine request_line = net::protocol::parse_request_line(
+        line, [&registry](const std::string& name) {
+          return static_cast<bool>(registry.try_resolve(serve::ModelSpec{name, 0}));
+        });
+    Pending request;
+    request.model = request_line.spec.empty() ? default_model : request_line.spec;
+    if (!request_line.error.empty()) {
+      request.echo = line;
+      request.status = "bad-request";
+      std::cerr << "noodled: bad request: " << request_line.error << "\n";
+    } else if (request_line.inline_rtl) {
+      request.echo = net::protocol::kInlineEcho;
+      request.verdict = service.submit(request.model, request_line.body,
+                                       serve::SubmitOptions{request_line.deadline});
+    } else {
+      request.echo = request_line.body;
+      std::ifstream file(request_line.body);
+      if (!file) {
+        request.status = "read-error";
+      } else {
+        std::ostringstream source;
+        source << file.rdbuf();
+        request.verdict = service.submit(request.model, source.str(),
+                                         serve::SubmitOptions{request_line.deadline});
+      }
+    }
+    pending.push_back(std::move(request));
+    flush_ready();
+    while (pending.size() >= max_pending) print_front();
+  }
+  while (!pending.empty()) print_front();
+
+  watcher_stop.store(true, std::memory_order_relaxed);
+  if (watcher_thread.joinable()) watcher_thread.join();
+  return failures;
+}
+
+/// The TCP serving mode: one net::EventLoop thread runs the ScanServer
+/// until a graceful drain (SIGTERM/SIGINT/!drain) completes. Returns the
+/// control-failure count (request failures are the clients' to observe).
+int run_socket_mode(const Options& options, serve::DetectionService& service,
+                    serve::ModelRegistry& registry, serve::SnapshotStore* store,
+                    const std::string& /*default_model*/) {
+  net::EventLoop loop;
+  net::ServerConfig config;
+  config.bind_address = options.bind_address;
+  config.port = static_cast<std::uint16_t>(options.listen);
+  config.max_connections = options.net_max_conns;
+  config.max_inflight = options.net_max_inflight;
+  config.default_deadline = std::chrono::milliseconds(options.net_deadline_ms);
+  config.idle_timeout = std::chrono::milliseconds(options.net_idle_ms);
+  config.write_stall_timeout = std::chrono::milliseconds(options.net_stall_ms);
+  config.drain_grace = std::chrono::milliseconds(options.net_grace_ms);
+  net::ScanServer server(loop, service, config);
+  server.set_trace(options.trace);
+
+  ControlContext ctx{service, registry, store, &server, options.trace};
+  int failures = 0;
+  server.set_control_handler([&](const std::string& line) {
+    std::ostringstream out;
+    if (!handle_control_line(line, ctx, out)) ++failures;
+    server.set_trace(ctx.trace_on);
+    return out.str();
+  });
+  server.set_on_drained([&loop] { loop.stop(); });
+
+  // Same SignalPipe funnel as stdin mode, observed by epoll instead of a
+  // watcher thread: SIGTERM/SIGINT begin the drain (and the loop exits
+  // when it completes), SIGHUP rescans the snapshot store.
+  const auto drain_on_signal = [&server](int signo) {
+    std::cerr << "noodled: signal " << signo << " — draining\n";
+    server.begin_drain();
+  };
+  loop.watch_signal(SIGTERM, drain_on_signal);
+  loop.watch_signal(SIGINT, drain_on_signal);
+  if (store != nullptr) {
+    loop.watch_signal(SIGHUP, [store](int) {
+      std::cerr << "noodled: SIGHUP — rescanning snapshot store\n";
+      store->poke();
+    });
+  }
+
+  // Periodic metrics dumps ride the loop's own timer wheel; the tick
+  // re-arms itself. `dump_tick` outlives loop.run(), so the callback's
+  // pointer into it stays valid without a shared_ptr self-cycle.
+  auto dump_tick = std::make_shared<std::function<void()>>();
+  if (!options.metrics_file.empty() && options.metrics_interval > 0) {
+    const auto interval = std::chrono::seconds(options.metrics_interval);
+    std::function<void()>* tick = dump_tick.get();
+    *dump_tick = [&service, &server, &options, &loop, tick, interval] {
+      server.sync_metrics();
+      if (!dump_metrics(service, options.metrics_file)) {
+        std::cerr << "noodled: metrics dump to " << options.metrics_file.string()
+                  << " failed\n";
+      }
+      loop.add_timer(interval, *tick);
+    };
+    loop.add_timer(interval, *dump_tick);
+  }
+
+  try {
+    server.start();
+  } catch (const std::system_error& e) {
+    std::cerr << "noodled: cannot listen on " << options.bind_address << ":"
+              << options.listen << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "noodled: listening on " << options.bind_address << ":"
+            << server.port() << "\n";
+  loop.run();
+
+  const net::ServerStats n = server.stats();
+  std::cerr << "noodled: drained — accepted=" << n.accepted
+            << " requests=" << n.requests << " responses=" << n.responses
+            << " shed=" << n.shed << " timeouts=" << n.timeouts << "\n";
+  if (options.stats) print_stats(std::cerr, service, store, &server);
+  return failures;
 }
 
 }  // namespace
@@ -501,7 +859,7 @@ int main(int argc, char** argv) {
   const std::string default_model = !options.snapshot.empty() || options.models.empty()
                                         ? std::string(serve::kDefaultModelName)
                                         : options.models.front().first;
-  print_models(*registry);
+  print_models(std::cerr, *registry);
   std::cerr << "noodled: serving (default model " << default_model << ")\n";
 
   serve::ServiceConfig service_config;
@@ -535,219 +893,13 @@ int main(int argc, char** argv) {
     std::cerr << "noodled: snapshot store " << options.store_dir.string()
               << " published=" << published << "\n";
     store->start();
-    std::signal(SIGHUP, noodled_hup_handler);
   }
 
-  // The signal-watcher thread: periodic + signal-triggered + exit metrics
-  // dumps, and SIGHUP-triggered store rescans. Handlers only raise flags;
-  // this thread does the work (and for SIGTERM/SIGINT restores the default
-  // disposition and re-raises, so the process still dies as expected).
-  std::atomic<bool> watcher_stop{false};
-  std::thread watcher_thread;
-  if (!options.metrics_file.empty() || store != nullptr) {
-    if (!options.metrics_file.empty()) {
-      std::signal(SIGTERM, noodled_signal_handler);
-      std::signal(SIGINT, noodled_signal_handler);
-    }
-    serve::SnapshotStore* store_ptr = store.get();
-    watcher_thread = std::thread([&service, &watcher_stop, &options, store_ptr] {
-      using clock = std::chrono::steady_clock;
-      auto last_dump = clock::now();
-      while (!watcher_stop.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
-        if (g_hup != 0) {
-          g_hup = 0;
-          if (store_ptr != nullptr) {
-            std::cerr << "noodled: SIGHUP — rescanning snapshot store\n";
-            store_ptr->poke();
-          }
-        }
-        if (g_signal != 0) {
-          const int sig = static_cast<int>(g_signal);
-          dump_metrics(service, options.metrics_file);
-          std::signal(sig, SIG_DFL);
-          std::raise(sig);
-          return;
-        }
-        if (!options.metrics_file.empty() && options.metrics_interval > 0 &&
-            clock::now() - last_dump >=
-                std::chrono::seconds(options.metrics_interval)) {
-          if (!dump_metrics(service, options.metrics_file)) {
-            std::cerr << "noodled: metrics dump to "
-                      << options.metrics_file.string() << " failed\n";
-          }
-          last_dump = clock::now();
-        }
-      }
-    });
-  }
+  int failures =
+      options.listen >= 0
+          ? run_socket_mode(options, service, *registry, store.get(), default_model)
+          : run_stdin_mode(options, service, *registry, store.get(), default_model);
 
-  bool trace_on = options.trace;
-
-  struct Pending {
-    std::string path;
-    std::string model;  ///< requested spec; verdict lines prefer served_by
-    std::future<core::DetectionReport> verdict;
-    std::string error;  // set when the file could not even be read
-  };
-  std::deque<Pending> pending;
-  int failures = 0;
-
-  // Verdicts stream out in input order as they complete, so a producer
-  // that keeps the pipe open sees results live instead of at EOF.
-  const auto print_front = [&] {
-    Pending& request = pending.front();
-    if (!request.error.empty()) {
-      std::cout << "read-error\t-\t-\tmodel=" << request.model << "\t" << request.path
-                << "\n";
-      ++failures;
-    } else {
-      try {
-        const core::DetectionReport report = request.verdict.get();
-        std::cout << (report.predicted_label == data::kTrojanInfected
-                          ? "TROJAN-INFECTED"
-                          : "trojan-free")
-                  << "\tp=" << util::format_fixed(report.probability, 3)
-                  << "\tregion=" << region_text(report.region)
-                  << "\tmodel=" << report.served_by;
-        if (report.lint_ran) std::cout << "\t" << lint_column(report);
-        if (trace_on) std::cout << "\t" << trace_column(report);
-        std::cout << "\t" << request.path << "\n";
-      } catch (const serve::RegistryError& e) {
-        std::cout << "no-model\t-\t-\tmodel=" << request.model << "\t" << request.path
-                  << "\n";
-        std::cerr << "noodled: " << request.path << ": " << e.what() << "\n";
-        ++failures;
-      } catch (const std::exception& e) {
-        std::cout << "parse-error\t-\t-\tmodel=" << request.model << "\t"
-                  << request.path << "\n";
-        std::cerr << "noodled: " << request.path << ": " << e.what() << "\n";
-        ++failures;
-      }
-    }
-    std::cout.flush();
-    pending.pop_front();
-  };
-  const auto flush_ready = [&] {
-    while (!pending.empty() &&
-           (!pending.front().error.empty() ||
-            pending.front().verdict.wait_for(std::chrono::seconds(0)) ==
-                std::future_status::ready)) {
-      print_front();
-    }
-  };
-
-  // Blocking backpressure bound: never hold more in-flight requests than a
-  // few dispatch rounds' worth, so arbitrarily long input stays bounded.
-  const std::size_t max_pending =
-      std::max<std::size_t>(256, options.batch * options.workers * 4);
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-
-    if (line.front() == '!') {  // control line
-      std::istringstream control(line);
-      std::string command;
-      control >> command;
-      if (command == "!reload") {
-        std::string value;
-        control >> value;
-        const auto target = try_parse_name_path(value);
-        if (!target) {
-          std::cerr << "noodled: !reload wants NAME=PATH, got '" << value << "'\n";
-          ++failures;
-          continue;
-        }
-        try {
-          const serve::ModelHandle handle = service.reload(target->first, target->second);
-          std::cerr << "noodled: reloaded " << handle->label() << " from "
-                    << handle->source().string() << "\n";
-        } catch (const std::exception& e) {
-          std::cerr << "noodled: reload failed: " << e.what() << "\n";
-          ++failures;
-        }
-      } else if (command == "!models") {
-        print_models(*registry);
-      } else if (command == "!stats") {
-        print_stats(service, store.get());
-      } else if (command == "!cache") {
-        std::string subject, value;
-        control >> subject >> value;
-        if (subject != "persist" || (value != "on" && value != "off")) {
-          std::cerr << "noodled: !cache wants 'persist on|off', got '" << line
-                    << "'\n";
-          ++failures;
-        } else if (service.disk_cache() == nullptr) {
-          std::cerr << "noodled: no disk cache configured (--disk-cache DIR)\n";
-          ++failures;
-        } else {
-          service.disk_cache()->set_enabled(value == "on");
-          std::cerr << "noodled: cache persist " << value << "\n";
-        }
-      } else if (command == "!store") {
-        std::string value;
-        control >> value;
-        if (value != "rescan") {
-          std::cerr << "noodled: !store wants 'rescan', got '" << line << "'\n";
-          ++failures;
-        } else if (store == nullptr) {
-          std::cerr << "noodled: no snapshot store configured (--store DIR)\n";
-          ++failures;
-        } else {
-          const std::size_t published = store->rescan_now();
-          std::cerr << "noodled: store rescan published=" << published << "\n";
-        }
-      } else if (command == "!metrics") {
-        service.render_prometheus(std::cerr);
-      } else if (command == "!drain") {
-        while (!pending.empty()) print_front();
-      } else if (command == "!trace") {
-        std::string value;
-        control >> value;
-        if (value == "on" || value == "off") {
-          trace_on = value == "on";
-          std::cerr << "noodled: trace " << value << "\n";
-        } else {
-          std::cerr << "noodled: !trace wants on|off, got '" << value << "'\n";
-          ++failures;
-        }
-      } else if (command == "!lint") {
-        std::string value;
-        control >> value;
-        if (value == "on" || value == "off") {
-          service.set_lint(value == "on");
-          std::cerr << "noodled: lint " << value << "\n";
-        } else {
-          std::cerr << "noodled: !lint wants on|off, got '" << value << "'\n";
-          ++failures;
-        }
-      } else {
-        std::cerr << "noodled: unknown control line '" << line << "'\n";
-        ++failures;
-      }
-      continue;
-    }
-
-    auto [model, path] = split_request(line, *registry, default_model);
-    Pending request;
-    request.path = path;
-    request.model = model;
-    std::ifstream file(path);
-    if (!file) {
-      request.error = "cannot open file";
-    } else {
-      std::ostringstream source;
-      source << file.rdbuf();
-      request.verdict = service.submit(model, source.str());
-    }
-    pending.push_back(std::move(request));
-    flush_ready();
-    while (pending.size() >= max_pending) print_front();
-  }
-  while (!pending.empty()) print_front();
-
-  watcher_stop.store(true, std::memory_order_relaxed);
-  if (watcher_thread.joinable()) watcher_thread.join();
   if (store != nullptr) store->stop();
   if (!options.metrics_file.empty()) {
     // Final dump at clean exit, so short-lived runs leave a complete
@@ -764,6 +916,6 @@ int main(int argc, char** argv) {
     // (by design), but there is no reason to imitate one here.
     service.disk_cache()->flush();
   }
-  if (options.stats) print_stats(service, store.get());
+  if (options.stats && options.listen < 0) print_stats(std::cerr, service, store.get());
   return failures == 0 ? 0 : 1;
 }
